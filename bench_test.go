@@ -1,0 +1,175 @@
+// Package repro's top-level benchmarks regenerate every figure of the paper's
+// evaluation (Figures 4 through 14) plus the ablation studies listed in
+// DESIGN.md. Each benchmark iteration runs one complete benchmark point
+// (server + load generator inside the discrete-event simulation) and reports,
+// alongside ns/op, the reproduction's own metrics as custom units:
+//
+//	replies/s      average reply rate (what Figures 4-9 and 11-13 plot)
+//	err%           failed connection percentage (Figure 10)
+//	median-ms      median connection time (Figure 14)
+//
+// Reduced-size runs are used so `go test -bench=. -benchmem` finishes in
+// minutes; pass -figconns to scale up (the paper used 35000 connections per
+// point, cf. cmd/benchfig and cmd/sweep).
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var figConns = flag.Int("figconns", 2500, "benchmark connections per figure point in bench runs")
+
+// benchPoint runs one benchmark point per iteration and reports its metrics.
+func benchPoint(b *testing.B, server experiments.ServerKind, rate float64, inactive int) {
+	b.Helper()
+	var last experiments.RunResult
+	for i := 0; i < b.N; i++ {
+		spec := experiments.RunSpec{
+			Server:      server,
+			RequestRate: rate,
+			Inactive:    inactive,
+			Connections: *figConns,
+			Seed:        int64(i + 1),
+		}
+		last = experiments.Run(spec)
+	}
+	b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+	b.ReportMetric(last.Load.ErrorPercent, "err%")
+	b.ReportMetric(last.Load.MedianLatencyMs, "median-ms")
+	b.ReportMetric(100*last.CPUUtilization, "cpu%")
+}
+
+// benchFigure sweeps the three representative rates of a figure's x axis (low,
+// middle, high) as sub-benchmarks.
+func benchFigure(b *testing.B, server experiments.ServerKind, inactive int) {
+	b.Helper()
+	for _, rate := range []float64{500, 800, 1100} {
+		rate := rate
+		b.Run(fmt.Sprintf("rate=%.0f", rate), func(b *testing.B) {
+			benchPoint(b, server, rate, inactive)
+		})
+	}
+}
+
+// Figures 4, 6, 8: stock thttpd on poll() at inactive loads 1, 251, 501.
+func BenchmarkFig04ThttpdPollLoad1(b *testing.B)   { benchFigure(b, experiments.ServerThttpdPoll, 1) }
+func BenchmarkFig06ThttpdPollLoad251(b *testing.B) { benchFigure(b, experiments.ServerThttpdPoll, 251) }
+func BenchmarkFig08ThttpdPollLoad501(b *testing.B) { benchFigure(b, experiments.ServerThttpdPoll, 501) }
+
+// Figures 5, 7, 9: thttpd on /dev/poll at inactive loads 1, 251, 501.
+func BenchmarkFig05ThttpdDevpollLoad1(b *testing.B) {
+	benchFigure(b, experiments.ServerThttpdDevPoll, 1)
+}
+func BenchmarkFig07ThttpdDevpollLoad251(b *testing.B) {
+	benchFigure(b, experiments.ServerThttpdDevPoll, 251)
+}
+func BenchmarkFig09ThttpdDevpollLoad501(b *testing.B) {
+	benchFigure(b, experiments.ServerThttpdDevPoll, 501)
+}
+
+// Figure 10: error percentage, poll vs /dev/poll at loads 251 and 501. The
+// err% metric of each sub-benchmark is the figure's y value.
+func BenchmarkFig10ErrorRate(b *testing.B) {
+	curves := []struct {
+		name     string
+		server   experiments.ServerKind
+		inactive int
+	}{
+		{"poll-load251", experiments.ServerThttpdPoll, 251},
+		{"devpoll-load251", experiments.ServerThttpdDevPoll, 251},
+		{"poll-load501", experiments.ServerThttpdPoll, 501},
+		{"devpoll-load501", experiments.ServerThttpdDevPoll, 501},
+	}
+	for _, c := range curves {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			benchPoint(b, c.server, 1000, c.inactive)
+		})
+	}
+}
+
+// Figures 11, 12, 13: phhttpd (RT signals) at inactive loads 1, 251, 501.
+func BenchmarkFig11PhhttpdLoad1(b *testing.B)   { benchFigure(b, experiments.ServerPhhttpd, 1) }
+func BenchmarkFig12PhhttpdLoad251(b *testing.B) { benchFigure(b, experiments.ServerPhhttpd, 251) }
+func BenchmarkFig13PhhttpdLoad501(b *testing.B) { benchFigure(b, experiments.ServerPhhttpd, 501) }
+
+// Figure 14: median connection time at load 251 for the three servers; the
+// median-ms metric of each sub-benchmark is the figure's y value.
+func BenchmarkFig14MedianLatency(b *testing.B) {
+	curves := []struct {
+		name   string
+		server experiments.ServerKind
+	}{
+		{"devpoll", experiments.ServerThttpdDevPoll},
+		{"normal-poll", experiments.ServerThttpdPoll},
+		{"phhttpd", experiments.ServerPhhttpd},
+	}
+	for _, c := range curves {
+		c := c
+		for _, rate := range []float64{700, 1000} {
+			rate := rate
+			b.Run(fmt.Sprintf("%s/rate=%.0f", c.name, rate), func(b *testing.B) {
+				benchPoint(b, c.server, rate, 251)
+			})
+		}
+	}
+}
+
+// Extension: the hybrid server of §4, which the paper could not evaluate.
+func BenchmarkExtHybridLoad501(b *testing.B) { benchFigure(b, experiments.ServerHybrid, 501) }
+
+// Ablation benchmarks: one sub-benchmark per variant, so `-bench Ablation`
+// prints the design-choice comparisons from DESIGN.md.
+func BenchmarkAblation(b *testing.B) {
+	for _, a := range experiments.Ablations(*figConns) {
+		a := a
+		for _, v := range a.Variants {
+			v := v
+			b.Run(a.ID+"/"+v.Label, func(b *testing.B) {
+				var last experiments.RunResult
+				for i := 0; i < b.N; i++ {
+					spec := v.Spec
+					spec.Seed = int64(i + 1)
+					last = experiments.Run(spec)
+				}
+				b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+				b.ReportMetric(last.Load.ErrorPercent, "err%")
+				b.ReportMetric(last.Load.MedianLatencyMs, "median-ms")
+			})
+		}
+	}
+}
+
+// Micro-benchmarks of the mechanisms themselves (cost per wait as the idle
+// interest set grows), complementing the end-to-end figure benchmarks.
+func BenchmarkMechanismWaitCost(b *testing.B) {
+	for _, inactive := range []int{64, 512} {
+		inactive := inactive
+		for _, server := range []experiments.ServerKind{experiments.ServerThttpdPoll, experiments.ServerThttpdDevPoll} {
+			server := server
+			b.Run(fmt.Sprintf("%s/idle=%d", server, inactive), func(b *testing.B) {
+				var last experiments.RunResult
+				for i := 0; i < b.N; i++ {
+					spec := experiments.RunSpec{
+						Server:      server,
+						RequestRate: 300, // light load: the wait path dominates
+						Inactive:    inactive,
+						Connections: 600,
+						Seed:        int64(i + 1),
+					}
+					last = experiments.Run(spec)
+				}
+				perWait := float64(0)
+				if last.Primary.Waits > 0 {
+					perWait = float64(last.Primary.DriverPolls) / float64(last.Primary.Waits)
+				}
+				b.ReportMetric(perWait, "driver-polls/wait")
+				b.ReportMetric(100*last.CPUUtilization, "cpu%")
+			})
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command benchfig regenerates one of the paper's figures (4 through 14) by
+// sweeping the request rate for the figure's server/inactive-load
+// configuration and printing the resulting data series as a text table.
+//
+// Usage:
+//
+//	benchfig -fig 8                 # quick, scaled-down run of Figure 8
+//	benchfig -fig 10 -connections 35000   # the paper's full-size procedure
+//	benchfig -list                  # list available figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (4..14 or fig04..fig14)")
+	list := flag.Bool("list", false, "list available figures and exit")
+	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
+	rates := flag.String("rates", "", "comma-separated request rates overriding the default 500..1100 sweep")
+	seed := flag.Int64("seed", 1, "load generator seed")
+	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
+	flag.Parse()
+
+	if *list {
+		for _, f := range experiments.Figures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "benchfig: -fig is required (use -list to see figures)")
+		os.Exit(2)
+	}
+	figure, ok := experiments.FigureByID(*fig)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	opts := experiments.SweepOptions{Connections: *connections, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *rates != "" {
+		for _, part := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: bad rate %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opts.Rates = append(opts.Rates, v)
+		}
+	}
+
+	result := experiments.RunFigure(figure, opts)
+	fmt.Print(experiments.Format(result))
+}

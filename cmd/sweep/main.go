@@ -1,0 +1,66 @@
+// Command sweep runs the full evaluation: every figure of the paper (4-14)
+// and, optionally, the ablation studies described in DESIGN.md. It prints each
+// figure/ablation as a text table, suitable for pasting into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sweep                          # all figures, scaled-down runs
+//	sweep -connections 35000       # the paper's full procedure (slow)
+//	sweep -figs 8,9,10             # a subset of figures
+//	sweep -ablation                # the ablation studies instead of figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
+	figs := flag.String("figs", "", "comma-separated figure numbers to run (default: all)")
+	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
+	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
+	seed := flag.Int64("seed", 1, "load generator seed")
+	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
+	flag.Parse()
+
+	progress := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	if *ablation || *ablationID != "" {
+		for _, a := range experiments.Ablations(*connections) {
+			if *ablationID != "" && a.ID != *ablationID {
+				continue
+			}
+			res := experiments.RunAblation(a, progress)
+			fmt.Println(experiments.FormatAblation(res))
+		}
+		return
+	}
+
+	wanted := map[string]bool{}
+	for _, part := range strings.Split(*figs, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			wanted[part] = true
+		}
+	}
+	for _, fig := range experiments.Figures() {
+		if len(wanted) > 0 && !wanted[fmt.Sprintf("%d", fig.Number)] && !wanted[fig.ID] {
+			continue
+		}
+		res := experiments.RunFigure(fig, experiments.SweepOptions{
+			Connections: *connections,
+			Seed:        *seed,
+			Progress:    progress,
+		})
+		fmt.Println(experiments.Format(res))
+	}
+}

@@ -1,0 +1,366 @@
+// Package devpoll implements the paper's primary contribution: the Linux
+// /dev/poll interface (§3). The application's interest set lives inside the
+// kernel in a hash table and is maintained incrementally by writing pollfd
+// structs to the device (POLLREMOVE deletes an interest); readiness is
+// collected with ioctl(DP_POLL). Two further optimisations are modelled
+// faithfully:
+//
+//   - device-driver hints (§3.2): each socket carries a backmap entry, and the
+//     driver marks exactly which descriptors changed state, so a DP_POLL scan
+//     calls the expensive driver poll callback only for hinted descriptors and
+//     for cached results that indicated readiness (which must be re-validated —
+//     there are no ready→not-ready hints);
+//   - an mmap'd result area (§3.3): DP_ALLOC plus mmap() shares a result buffer
+//     between kernel and application, eliminating the per-ready-descriptor
+//     copy-out.
+package devpoll
+
+import (
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// Options configure which of the paper's optimisations are active; the
+// defaults enable everything, and the ablation benchmarks switch them off
+// individually.
+type Options struct {
+	// UseHints enables the device-driver hinting backmap of §3.2.
+	UseHints bool
+	// UseMmap enables the shared result area of §3.3.
+	UseMmap bool
+	// SolarisOR selects Solaris semantics for re-writing an existing interest
+	// (the new events are OR'd in) instead of the paper's replace semantics.
+	SolarisOR bool
+	// ResultAreaSize is the capacity (in pollfd entries) of the mmap'd result
+	// area allocated with DP_ALLOC.
+	ResultAreaSize int
+}
+
+// DefaultOptions enables hints and the mmap result area, as in the paper's
+// measured configuration.
+func DefaultOptions() Options {
+	return Options{UseHints: true, UseMmap: true, SolarisOR: false, ResultAreaSize: 4096}
+}
+
+// DevPoll is a /dev/poll instance: one open of the device, holding one
+// kernel-resident interest set. A process may open /dev/poll more than once to
+// maintain several independent sets.
+type DevPoll struct {
+	k    *simkernel.Kernel
+	p    *simkernel.Proc
+	opts Options
+
+	table   *Table
+	backmap map[int]*simkernel.FD  // descriptors whose driver posts hints to us
+	hinted  map[int]bool           // descriptors with a pending hint
+	cache   map[int]core.EventMask // last result returned by the driver poll
+
+	mmapDone bool
+
+	state     waitState
+	pendWake  bool
+	curMax    int
+	curHand   func([]core.Event, core.Time)
+	timeoutID int64
+
+	stats  core.Stats
+	closed bool
+}
+
+type waitState int
+
+const (
+	stateIdle waitState = iota
+	stateScanning
+	stateBlocked
+)
+
+// Open opens /dev/poll for process p. It mirrors open("/dev/poll") plus, when
+// the mmap result area is enabled, the later DP_ALLOC/mmap setup (charged
+// lazily on the first DP_POLL).
+func Open(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *DevPoll {
+	if opts.ResultAreaSize <= 0 {
+		opts.ResultAreaSize = 4096
+	}
+	return &DevPoll{
+		k:       k,
+		p:       p,
+		opts:    opts,
+		table:   NewTable(),
+		backmap: make(map[int]*simkernel.FD),
+		hinted:  make(map[int]bool),
+		cache:   make(map[int]core.EventMask),
+	}
+}
+
+// Name implements core.Poller.
+func (d *DevPoll) Name() string { return "devpoll" }
+
+// Options returns the active option set.
+func (d *DevPoll) Options() Options { return d.opts }
+
+// Table exposes the kernel-resident interest table (for tests and ablations).
+func (d *DevPoll) Table() *Table { return d.table }
+
+// MechanismStats implements core.StatsSource.
+func (d *DevPoll) MechanismStats() core.Stats { return d.stats }
+
+// Add implements core.Poller: a single-entry write() to /dev/poll.
+func (d *DevPoll) Add(fd int, events core.EventMask) error {
+	if d.closed {
+		return core.ErrClosed
+	}
+	if _, ok := d.table.Get(fd); ok {
+		return core.ErrExists
+	}
+	return d.Update([]core.PollFD{{FD: fd, Events: events}})
+}
+
+// Modify implements core.Poller: re-writing an existing descriptor replaces
+// its interest (or ORs it under SolarisOR).
+func (d *DevPoll) Modify(fd int, events core.EventMask) error {
+	if d.closed {
+		return core.ErrClosed
+	}
+	if _, ok := d.table.Get(fd); !ok {
+		return core.ErrNotFound
+	}
+	return d.Update([]core.PollFD{{FD: fd, Events: events}})
+}
+
+// Remove implements core.Poller: a write() carrying POLLREMOVE.
+func (d *DevPoll) Remove(fd int) error {
+	if d.closed {
+		return core.ErrClosed
+	}
+	if _, ok := d.table.Get(fd); !ok {
+		return core.ErrNotFound
+	}
+	return d.Update([]core.PollFD{{FD: fd, Events: core.POLLREMOVE}})
+}
+
+// Interested implements core.Poller.
+func (d *DevPoll) Interested(fd int) bool { _, ok := d.table.Get(fd); return ok }
+
+// Len implements core.Poller.
+func (d *DevPoll) Len() int { return d.table.Len() }
+
+// Update applies a batch of pollfd updates with a single write() to
+// /dev/poll, which is how an application amortises the syscall cost when it
+// changes many interests at once (the hybrid server relies on this).
+func (d *DevPoll) Update(changes []core.PollFD) error {
+	if d.closed {
+		return core.ErrClosed
+	}
+	cost := d.k.Cost
+	d.p.ChargeSyscall(cost.InterestUpdate.Scale(float64(len(changes))))
+	for _, ch := range changes {
+		if ch.Events.Has(core.POLLREMOVE) {
+			d.removeLocked(ch.FD)
+			continue
+		}
+		events := ch.Events
+		if prev, ok := d.table.Get(ch.FD); ok && d.opts.SolarisOR {
+			events |= prev
+		}
+		isNew := d.table.Set(ch.FD, events)
+		if isNew {
+			// Establish the driver backmap for hints and prime the descriptor
+			// so its current state is examined on the next DP_POLL even though
+			// no hint has been posted yet.
+			if entry, ok := d.p.Get(ch.FD); ok {
+				entry.AddWatcher(d)
+				d.backmap[ch.FD] = entry
+			}
+			d.hinted[ch.FD] = true
+		}
+	}
+	return nil
+}
+
+// removeLocked drops one interest, its backmap entry, hint and cached result.
+func (d *DevPoll) removeLocked(fd int) {
+	if !d.table.Delete(fd) {
+		return
+	}
+	if entry, ok := d.backmap[fd]; ok {
+		entry.RemoveWatcher(d)
+		delete(d.backmap, fd)
+	}
+	delete(d.hinted, fd)
+	delete(d.cache, fd)
+}
+
+// Close implements core.Poller: closing /dev/poll releases the interest set.
+func (d *DevPoll) Close() error {
+	if d.closed {
+		return core.ErrClosed
+	}
+	for fd := range d.backmap {
+		d.backmap[fd].RemoveWatcher(d)
+	}
+	d.backmap = nil
+	d.closed = true
+	return nil
+}
+
+// Wait implements core.Poller: one ioctl(DP_POLL). The handler is invoked at
+// the virtual instant the ioctl would have returned.
+func (d *DevPoll) Wait(max int, timeout core.Duration, handler func(events []core.Event, now core.Time)) {
+	if d.closed {
+		handler(nil, d.k.Now())
+		return
+	}
+	if d.state != stateIdle {
+		panic("devpoll: concurrent Wait on a single /dev/poll descriptor")
+	}
+	if max <= 0 {
+		max = d.opts.ResultAreaSize
+	}
+	if d.opts.UseMmap && max > d.opts.ResultAreaSize {
+		max = d.opts.ResultAreaSize
+	}
+	d.curMax = max
+	d.curHand = handler
+	d.pendWake = false
+	d.scan(true, timeout)
+}
+
+// scan performs one DP_POLL pass inside a process batch.
+func (d *DevPoll) scan(firstPass bool, timeout core.Duration) {
+	d.state = stateScanning
+	now := d.k.Now()
+	var ready []core.Event
+	d.p.Batch(now, func() {
+		cost := d.k.Cost
+		d.stats.Waits++
+		if firstPass {
+			d.p.Charge(cost.SyscallEntry)
+		} else {
+			d.p.Charge(cost.SchedWakeup)
+		}
+		if d.opts.UseMmap && !d.mmapDone {
+			// Lazily perform DP_ALLOC + mmap() the first time results are
+			// collected through the shared area.
+			d.p.Charge(cost.MmapSetup)
+			d.mmapDone = true
+		}
+		// The backmap lock is taken for reading once per scan.
+		d.p.Charge(cost.BackmapLock)
+
+		d.table.ForEach(func(fd int, want core.EventMask) {
+			entry, ok := d.p.Get(fd)
+			if !ok {
+				ready = d.appendEvent(ready, core.Event{FD: fd, Ready: core.POLLNVAL})
+				return
+			}
+			cached, hasCache := d.cache[fd]
+			needDriver := d.hinted[fd] || !d.opts.UseHints
+			if !needDriver && hasCache && cached.Any(want|core.POLLERR|core.POLLHUP) {
+				// A cached result that indicated readiness must be re-validated
+				// every time; there is no ready→not-ready hint.
+				needDriver = true
+				d.stats.CacheHits++
+			}
+			if !needDriver {
+				// The hint system lets us skip the driver entirely.
+				d.p.Charge(cost.HintCheck)
+				d.stats.HintHits++
+				return
+			}
+			revents := entry.DriverPoll()
+			d.stats.DriverPolls++
+			d.cache[fd] = revents
+			delete(d.hinted, fd)
+			revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
+			if revents != 0 {
+				ready = d.appendEvent(ready, core.Event{FD: fd, Ready: revents})
+			}
+		})
+
+		if len(ready) > 0 {
+			if !d.opts.UseMmap {
+				d.p.Charge(cost.PollCopyOut.Scale(float64(len(ready))))
+				d.stats.CopiedOut += int64(len(ready))
+			}
+			d.stats.EventsReturned += int64(len(ready))
+			return
+		}
+		if timeout == 0 {
+			return
+		}
+		// Block on the single /dev/poll wait queue.
+		d.p.Charge(cost.WaitQueueOp)
+	}, func(done core.Time) {
+		if len(ready) > 0 || timeout == 0 {
+			d.finish(ready, done)
+			return
+		}
+		if d.pendWake {
+			d.pendWake = false
+			d.scan(false, timeout)
+			return
+		}
+		d.state = stateBlocked
+		if timeout > 0 {
+			d.timeoutID++
+			id := d.timeoutID
+			d.k.Sim.At(done.Add(timeout), func(t core.Time) {
+				if d.state == stateBlocked && d.timeoutID == id {
+					d.finishTimeout(t)
+				}
+			})
+		}
+	})
+}
+
+func (d *DevPoll) appendEvent(events []core.Event, e core.Event) []core.Event {
+	if len(events) >= d.curMax {
+		return events
+	}
+	return append(events, e)
+}
+
+func (d *DevPoll) finish(events []core.Event, now core.Time) {
+	d.state = stateIdle
+	d.timeoutID++
+	h := d.curHand
+	d.curHand = nil
+	if h != nil {
+		h(events, now)
+	}
+}
+
+func (d *DevPoll) finishTimeout(now core.Time) {
+	d.p.Batch(now, func() {
+		d.p.Charge(d.k.Cost.WaitQueueOp)
+	}, func(done core.Time) {
+		d.finish(nil, done)
+	})
+}
+
+// ReadinessChanged implements simkernel.Watcher: the device driver posts a
+// hint to our backmapping list and wakes DP_POLL if it is blocked. Posting the
+// hint costs interrupt-context CPU time.
+func (d *DevPoll) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.EventMask) {
+	if d.closed {
+		return
+	}
+	if d.opts.UseHints {
+		if !d.hinted[fd.Num] {
+			d.hinted[fd.Num] = true
+			d.k.Interrupt(now, d.k.Cost.HintPost, nil)
+		}
+	}
+	switch d.state {
+	case stateScanning:
+		d.pendWake = true
+	case stateBlocked:
+		d.state = stateScanning
+		d.scan(false, core.Forever)
+	}
+}
+
+var _ core.Poller = (*DevPoll)(nil)
+var _ core.StatsSource = (*DevPoll)(nil)
+var _ simkernel.Watcher = (*DevPoll)(nil)

@@ -1,0 +1,125 @@
+package devpoll
+
+import "repro/internal/core"
+
+// interestEntry is one registered interest in the kernel-resident set.
+type interestEntry struct {
+	fd     int
+	events core.EventMask
+}
+
+// Table is the kernel-resident interest set described in §3.1 of the paper: a
+// chained hash table keyed by descriptor. "For simplicity, when the average
+// bucket size is two, the number of buckets in the hash table is doubled. The
+// hash table is never shrunk."
+type Table struct {
+	buckets [][]interestEntry
+	count   int
+
+	// Grows counts bucket-doubling events, exposed for tests and ablations.
+	Grows int
+}
+
+// initialBuckets is the starting bucket count; the exact value only affects
+// how soon the first doubling happens.
+const initialBuckets = 8
+
+// NewTable returns an empty interest table.
+func NewTable() *Table {
+	return &Table{buckets: make([][]interestEntry, initialBuckets)}
+}
+
+// hash spreads descriptor numbers across buckets (Fibonacci hashing).
+func (t *Table) hash(fd int) int {
+	return int(uint32(fd)*2654435761) % len(t.buckets)
+}
+
+// Len reports the number of registered interests.
+func (t *Table) Len() int { return t.count }
+
+// Buckets reports the current bucket count.
+func (t *Table) Buckets() int { return len(t.buckets) }
+
+// AverageChain reports the average bucket occupancy.
+func (t *Table) AverageChain() float64 {
+	if len(t.buckets) == 0 {
+		return 0
+	}
+	return float64(t.count) / float64(len(t.buckets))
+}
+
+// Get returns the interest registered for fd.
+func (t *Table) Get(fd int) (core.EventMask, bool) {
+	b := t.buckets[t.hash(fd)]
+	for _, e := range b {
+		if e.fd == fd {
+			return e.events, true
+		}
+	}
+	return 0, false
+}
+
+// Set registers or replaces the interest for fd and reports whether the entry
+// was newly created.
+func (t *Table) Set(fd int, events core.EventMask) bool {
+	idx := t.hash(fd)
+	for i, e := range t.buckets[idx] {
+		if e.fd == fd {
+			t.buckets[idx][i].events = events
+			return false
+		}
+	}
+	t.buckets[idx] = append(t.buckets[idx], interestEntry{fd: fd, events: events})
+	t.count++
+	if t.AverageChain() >= 2 {
+		t.grow()
+	}
+	return true
+}
+
+// Delete removes the interest for fd, reporting whether it was present. The
+// table never shrinks.
+func (t *Table) Delete(fd int) bool {
+	idx := t.hash(fd)
+	b := t.buckets[idx]
+	for i, e := range b {
+		if e.fd == fd {
+			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach visits every interest. Iteration order is deterministic (bucket
+// order, insertion order within a bucket) so simulation runs are repeatable.
+func (t *Table) ForEach(fn func(fd int, events core.EventMask)) {
+	for _, b := range t.buckets {
+		for _, e := range b {
+			fn(e.fd, e.events)
+		}
+	}
+}
+
+// FDs returns all registered descriptors in iteration order.
+func (t *Table) FDs() []int {
+	out := make([]int, 0, t.count)
+	t.ForEach(func(fd int, _ core.EventMask) { out = append(out, fd) })
+	return out
+}
+
+// grow doubles the bucket count and rehashes every entry.
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([][]interestEntry, len(old)*2)
+	t.count = 0
+	t.Grows++
+	for _, b := range old {
+		for _, e := range b {
+			idx := t.hash(e.fd)
+			t.buckets[idx] = append(t.buckets[idx], e)
+			t.count++
+		}
+	}
+}

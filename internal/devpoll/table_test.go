@@ -1,0 +1,162 @@
+package devpoll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestTableSetGetDelete(t *testing.T) {
+	tb := NewTable()
+	if tb.Len() != 0 || tb.Buckets() != initialBuckets {
+		t.Fatalf("fresh table: len=%d buckets=%d", tb.Len(), tb.Buckets())
+	}
+	if !tb.Set(7, core.POLLIN) {
+		t.Fatal("first Set should report a new entry")
+	}
+	if tb.Set(7, core.POLLOUT) {
+		t.Fatal("second Set of same fd should report replacement")
+	}
+	if ev, ok := tb.Get(7); !ok || ev != core.POLLOUT {
+		t.Fatalf("Get = %v %v", ev, ok)
+	}
+	if _, ok := tb.Get(8); ok {
+		t.Fatal("Get of missing fd succeeded")
+	}
+	if !tb.Delete(7) {
+		t.Fatal("Delete failed")
+	}
+	if tb.Delete(7) {
+		t.Fatal("second Delete should fail")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableGrowthDoublesBuckets(t *testing.T) {
+	tb := NewTable()
+	start := tb.Buckets()
+	for fd := 0; fd < start*2; fd++ {
+		tb.Set(fd, core.POLLIN)
+	}
+	if tb.Buckets() <= start {
+		t.Fatalf("buckets did not grow: %d", tb.Buckets())
+	}
+	// The paper's rule: double when the average chain reaches two; so after any
+	// insertion the average chain stays below two.
+	if tb.AverageChain() >= 2 {
+		t.Fatalf("average chain %.2f not kept below 2", tb.AverageChain())
+	}
+	if tb.Grows == 0 {
+		t.Fatal("Grows not counted")
+	}
+	// All entries survive rehashing.
+	for fd := 0; fd < start*2; fd++ {
+		if _, ok := tb.Get(fd); !ok {
+			t.Fatalf("fd %d lost during growth", fd)
+		}
+	}
+}
+
+func TestTableNeverShrinks(t *testing.T) {
+	tb := NewTable()
+	for fd := 0; fd < 1000; fd++ {
+		tb.Set(fd, core.POLLIN)
+	}
+	grown := tb.Buckets()
+	for fd := 0; fd < 1000; fd++ {
+		tb.Delete(fd)
+	}
+	if tb.Buckets() != grown {
+		t.Fatalf("table shrank from %d to %d buckets", grown, tb.Buckets())
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableForEachAndFDs(t *testing.T) {
+	tb := NewTable()
+	want := map[int]core.EventMask{10: core.POLLIN, 20: core.POLLOUT, 30: core.POLLIN | core.POLLOUT}
+	for fd, ev := range want {
+		tb.Set(fd, ev)
+	}
+	got := map[int]core.EventMask{}
+	tb.ForEach(func(fd int, ev core.EventMask) { got[fd] = ev })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries", len(got))
+	}
+	for fd, ev := range want {
+		if got[fd] != ev {
+			t.Fatalf("fd %d: got %v want %v", fd, got[fd], ev)
+		}
+	}
+	if fds := tb.FDs(); len(fds) != 3 {
+		t.Fatalf("FDs = %v", fds)
+	}
+	// Iteration order is deterministic.
+	first := tb.FDs()
+	second := tb.FDs()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("iteration order not deterministic")
+		}
+	}
+}
+
+// Property: the table behaves exactly like a map under a random sequence of
+// set/delete operations, and the average chain length stays below two.
+func TestTableMatchesModelProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		model := map[int]core.EventMask{}
+		ops := int(n%800) + 50
+		for i := 0; i < ops; i++ {
+			fd := rng.Intn(200)
+			switch rng.Intn(3) {
+			case 0, 1:
+				ev := core.EventMask(rng.Intn(0x20))
+				isNew := tb.Set(fd, ev)
+				_, existed := model[fd]
+				if isNew == existed {
+					return false
+				}
+				model[fd] = ev
+			case 2:
+				deleted := tb.Delete(fd)
+				_, existed := model[fd]
+				if deleted != existed {
+					return false
+				}
+				delete(model, fd)
+			}
+			if tb.Len() != len(model) {
+				return false
+			}
+			if tb.Len() > 0 && tb.AverageChain() >= 2.0 {
+				return false
+			}
+		}
+		for fd, ev := range model {
+			got, ok := tb.Get(fd)
+			if !ok || got != ev {
+				return false
+			}
+		}
+		visited := 0
+		tb.ForEach(func(fd int, ev core.EventMask) {
+			visited++
+			if model[fd] != ev {
+				visited = -1 << 20
+			}
+		})
+		return visited == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devpoll"
+	"repro/internal/servers/hybrid"
+)
+
+// Ablation is one design-choice study beyond the paper's figures: it compares
+// a small set of variant configurations at a fixed, stressful operating point
+// (high request rate, 501 inactive connections unless noted).
+type Ablation struct {
+	ID          string
+	Title       string
+	Description string
+	// Variants maps a variant label to the spec that realises it.
+	Variants []AblationVariant
+}
+
+// AblationVariant is one configuration within an ablation.
+type AblationVariant struct {
+	Label string
+	Spec  RunSpec
+}
+
+// AblationResult pairs each variant with its run result.
+type AblationResult struct {
+	Ablation Ablation
+	Results  []RunResult
+	Labels   []string
+}
+
+// Ablations returns the ablation studies listed in DESIGN.md. connections
+// scales the per-variant run size (0 selects 3000).
+func Ablations(connections int) []Ablation {
+	if connections <= 0 {
+		connections = 3000
+	}
+	base := func(server ServerKind, rate float64, inactive int) RunSpec {
+		s := DefaultSpec(server, rate, inactive)
+		s.Connections = connections
+		return s
+	}
+
+	noHints := devpoll.DefaultOptions()
+	noHints.UseHints = false
+	noMmap := devpoll.DefaultOptions()
+	noMmap.UseMmap = false
+
+	hintsOn := base(ServerThttpdDevPoll, 900, 501)
+	hintsOff := base(ServerThttpdDevPoll, 900, 501)
+	hintsOff.DevPollOptions = &noHints
+
+	mmapOn := base(ServerThttpdDevPoll, 1000, 501)
+	mmapOff := base(ServerThttpdDevPoll, 1000, 501)
+	mmapOff.DevPollOptions = &noMmap
+
+	single := base(ServerPhhttpd, 900, 251)
+	batch := base(ServerPhhttpd, 900, 251)
+	batch.PhhttpdBatchDequeue = true
+
+	smallQueue := base(ServerPhhttpd, 1000, 501)
+	smallQueue.RTQueueLimit = 128
+	bigQueue := base(ServerPhhttpd, 1000, 501)
+	bigQueue.RTQueueLimit = 4096
+
+	hybridEarly := base(ServerHybrid, 1000, 501)
+	earlyCfg := hybrid.DefaultConfig()
+	earlyCfg.HighWater = 32
+	hybridEarly.HybridConfig = &earlyCfg
+	hybridLate := base(ServerHybrid, 1000, 501)
+	lateCfg := hybrid.DefaultConfig()
+	lateCfg.HighWater = lateCfg.QueueLimit
+	hybridLate.HybridConfig = &lateCfg
+
+	hybridVsPh := base(ServerHybrid, 1000, 501)
+	phVsHybrid := base(ServerPhhttpd, 1000, 501)
+
+	return []Ablation{
+		{
+			ID:          "hints",
+			Title:       "Device-driver hints on vs off (/dev/poll, 900 req/s, 501 inactive)",
+			Description: "Quantifies §3.2: hints let DP_POLL skip the per-descriptor driver callback for idle connections.",
+			Variants: []AblationVariant{
+				{Label: "hints-on", Spec: hintsOn},
+				{Label: "hints-off", Spec: hintsOff},
+			},
+		},
+		{
+			ID:          "mmap",
+			Title:       "mmap'd result area on vs off (/dev/poll, 1000 req/s, 501 inactive)",
+			Description: "Quantifies §3.3: the shared result area removes the per-ready-descriptor copy-out.",
+			Variants: []AblationVariant{
+				{Label: "mmap-on", Spec: mmapOn},
+				{Label: "mmap-off", Spec: mmapOff},
+			},
+		},
+		{
+			ID:          "sigtimedwait4",
+			Title:       "sigwaitinfo vs sigtimedwait4 batch dequeue (phhttpd, 900 req/s, 251 inactive)",
+			Description: "Quantifies the paper's §6 proposal to dequeue RT signals in groups rather than one per system call.",
+			Variants: []AblationVariant{
+				{Label: "sigwaitinfo", Spec: single},
+				{Label: "sigtimedwait4", Spec: batch},
+			},
+		},
+		{
+			ID:          "queue-limit",
+			Title:       "RT signal queue limit 128 vs 4096 (phhttpd, 1000 req/s, 501 inactive)",
+			Description: "Explores §4's load-threshold idea: a small queue forces early overflow recovery, a large one defers it.",
+			Variants: []AblationVariant{
+				{Label: "limit-128", Spec: smallQueue},
+				{Label: "limit-4096", Spec: bigQueue},
+			},
+		},
+		{
+			ID:          "hybrid-threshold",
+			Title:       "Hybrid crossover threshold: early vs at-queue-limit (1000 req/s, 501 inactive)",
+			Description: "Evaluates the crossover-point question of §4 using the hybrid server the paper could not build.",
+			Variants: []AblationVariant{
+				{Label: "switch-early", Spec: hybridEarly},
+				{Label: "switch-at-limit", Spec: hybridLate},
+			},
+		},
+		{
+			ID:          "hybrid-vs-phhttpd",
+			Title:       "Hybrid server vs phhttpd under overload (1000 req/s, 501 inactive)",
+			Description: "Tests §6's claim that maintaining kernel interest state concurrently with RT signal activity makes mode switching cheap.",
+			Variants: []AblationVariant{
+				{Label: "hybrid", Spec: hybridVsPh},
+				{Label: "phhttpd", Spec: phVsHybrid},
+			},
+		},
+	}
+}
+
+// AblationByID finds an ablation by identifier.
+func AblationByID(id string, connections int) (Ablation, bool) {
+	for _, a := range Ablations(connections) {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Ablation{}, false
+}
+
+// RunAblation executes every variant of an ablation.
+func RunAblation(a Ablation, progress func(format string, args ...interface{})) AblationResult {
+	out := AblationResult{Ablation: a}
+	for _, v := range a.Variants {
+		res := Run(v.Spec)
+		out.Results = append(out.Results, res)
+		out.Labels = append(out.Labels, v.Label)
+		if progress != nil {
+			progress("%s/%s %s", a.ID, v.Label, Describe(res))
+		}
+	}
+	return out
+}
+
+// FormatAblation renders an ablation result as a text table.
+func FormatAblation(res AblationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABLATION %s: %s\n%s\n", res.Ablation.ID, res.Ablation.Title, res.Ablation.Description)
+	fmt.Fprintf(&b, "%-18s %10s %8s %10s %8s %10s %12s\n",
+		"variant", "reply/s", "err%", "median ms", "cpu%", "loops", "mode")
+	for i, r := range res.Results {
+		fmt.Fprintf(&b, "%-18s %10.1f %8.1f %10.2f %8.0f %10d %12s\n",
+			res.Labels[i], r.Load.ReplyRate.Mean, r.Load.ErrorPercent, r.Load.MedianLatencyMs,
+			100*r.CPUUtilization, r.EventLoops, r.FinalMode)
+	}
+	return b.String()
+}

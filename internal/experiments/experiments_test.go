@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConns keeps the integration runs quick while staying long enough to
+// reach steady state.
+const testConns = 1500
+
+func spec(server ServerKind, rate float64, inactive int) RunSpec {
+	s := DefaultSpec(server, rate, inactive)
+	s.Connections = testConns
+	return s
+}
+
+func TestRunProducesConsistentAccounting(t *testing.T) {
+	res := Run(spec(ServerThttpdDevPoll, 600, 1))
+	if res.Load.Issued != testConns {
+		t.Fatalf("issued = %d", res.Load.Issued)
+	}
+	if res.Load.Completed+res.Load.Errors != res.Load.Issued {
+		t.Fatalf("accounting: %+v", res.Load)
+	}
+	if res.Server.Served == 0 || res.EventLoops == 0 {
+		t.Fatalf("server stats empty: %+v loops=%d", res.Server, res.EventLoops)
+	}
+	if res.CPUUtilization <= 0 || res.CPUUtilization > 1 {
+		t.Fatalf("cpu utilization = %v", res.CPUUtilization)
+	}
+	if res.Primary.Waits == 0 {
+		t.Fatalf("mechanism stats empty: %+v", res.Primary)
+	}
+	if Describe(res) == "" {
+		t.Fatal("empty Describe")
+	}
+	if res.FinalMode != "devpoll" {
+		t.Fatalf("final mode = %s", res.FinalMode)
+	}
+}
+
+func TestRunDefaultsForZeroSpec(t *testing.T) {
+	res := Run(RunSpec{Server: ServerThttpdPoll, RequestRate: 0, Connections: 0, Inactive: 0,
+		MaxVirtualTime: 0})
+	if res.Load.Issued == 0 {
+		t.Fatal("defaults did not produce a run")
+	}
+}
+
+// The paper's headline result (Figures 8 vs 9, Figure 10): with 501 inactive
+// connections, thttpd using /dev/poll sustains the offered load with few or no
+// errors while stock poll() collapses, losing throughput and failing a large
+// fraction of connections.
+func TestDevPollBeatsStockPollUnderInactiveLoad(t *testing.T) {
+	rate := 900.0
+	poll := Run(spec(ServerThttpdPoll, rate, 501))
+	dev := Run(spec(ServerThttpdDevPoll, rate, 501))
+
+	if dev.Load.ReplyRate.Mean < 0.95*rate {
+		t.Fatalf("devpoll should sustain ~%v replies/s, got %v", rate, dev.Load.ReplyRate.Mean)
+	}
+	if dev.Load.ErrorPercent > 1 {
+		t.Fatalf("devpoll error rate = %v%%", dev.Load.ErrorPercent)
+	}
+	if poll.Load.ReplyRate.Mean > 0.85*rate {
+		t.Fatalf("stock poll should fall well short of %v replies/s at load 501, got %v",
+			rate, poll.Load.ReplyRate.Mean)
+	}
+	if poll.Load.ErrorPercent < 5 {
+		t.Fatalf("stock poll should fail a significant fraction of connections, got %v%%",
+			poll.Load.ErrorPercent)
+	}
+	if poll.Load.MedianLatencyMs < 5*dev.Load.MedianLatencyMs {
+		t.Fatalf("stock poll median latency (%vms) should dwarf devpoll's (%vms)",
+			poll.Load.MedianLatencyMs, dev.Load.MedianLatencyMs)
+	}
+	// The mechanism statistics explain why: every stock poll() call scans the
+	// whole interest set (≈500+ driver callbacks per wait), while /dev/poll
+	// with hints touches only the descriptors that changed.
+	devPerWait := float64(dev.Primary.DriverPolls) / float64(dev.Primary.Waits)
+	if devPerWait > 60 {
+		t.Fatalf("devpoll driver polls per wait = %.0f, want only hinted descriptors", devPerWait)
+	}
+	if dev.Primary.HintHits == 0 {
+		t.Fatal("devpoll hint machinery unused")
+	}
+	if poll.Primary.DriverPolls <= dev.Primary.DriverPolls {
+		t.Fatalf("stock poll performed fewer driver polls (%d) than devpoll (%d)",
+			poll.Primary.DriverPolls, dev.Primary.DriverPolls)
+	}
+}
+
+// At a low inactive load both thttpd variants keep up with a moderate request
+// rate (Figures 4 and 5 below the breakdown point).
+func TestBothThttpdVariantsKeepUpAtLowLoad(t *testing.T) {
+	for _, server := range []ServerKind{ServerThttpdPoll, ServerThttpdDevPoll} {
+		res := Run(spec(server, 600, 1))
+		if res.Load.ErrorPercent > 0.5 {
+			t.Fatalf("%s errors = %v%%", server, res.Load.ErrorPercent)
+		}
+		if res.Load.ReplyRate.Mean < 570 {
+			t.Fatalf("%s reply rate = %v", server, res.Load.ReplyRate.Mean)
+		}
+	}
+}
+
+// Figures 12/13: phhttpd degrades with inactive connections — worse than
+// thttpd+/dev/poll under the same load — while remaining better than stock
+// poll (its events still arrive one at a time rather than via full scans).
+func TestPhhttpdSitsBetweenPollAndDevPollAt501(t *testing.T) {
+	rate := 1000.0
+	ph := Run(spec(ServerPhhttpd, rate, 501))
+	dev := Run(spec(ServerThttpdDevPoll, rate, 501))
+	poll := Run(spec(ServerThttpdPoll, rate, 501))
+
+	if !(ph.Load.ReplyRate.Mean < dev.Load.ReplyRate.Mean) {
+		t.Fatalf("phhttpd (%v) should trail devpoll (%v) at load 501",
+			ph.Load.ReplyRate.Mean, dev.Load.ReplyRate.Mean)
+	}
+	if !(ph.Load.ReplyRate.Mean > poll.Load.ReplyRate.Mean) {
+		t.Fatalf("phhttpd (%v) should beat stock poll (%v) at load 501",
+			ph.Load.ReplyRate.Mean, poll.Load.ReplyRate.Mean)
+	}
+	if ph.Load.MedianLatencyMs <= dev.Load.MedianLatencyMs {
+		t.Fatalf("phhttpd median latency (%v) should exceed devpoll's (%v) under overload",
+			ph.Load.MedianLatencyMs, dev.Load.MedianLatencyMs)
+	}
+}
+
+// The hybrid server (the paper's §4 design) should match or beat phhttpd
+// under overload because its interest state is maintained concurrently and
+// switching costs almost nothing.
+func TestHybridHandlesOverloadGracefully(t *testing.T) {
+	rate := 1000.0
+	hy := Run(spec(ServerHybrid, rate, 501))
+	ph := Run(spec(ServerPhhttpd, rate, 501))
+	if hy.Load.ReplyRate.Mean < ph.Load.ReplyRate.Mean {
+		t.Fatalf("hybrid (%v) should not trail phhttpd (%v) under overload",
+			hy.Load.ReplyRate.Mean, ph.Load.ReplyRate.Mean)
+	}
+	if hy.Load.ErrorPercent > ph.Load.ErrorPercent+1 {
+		t.Fatalf("hybrid errors (%v%%) should not exceed phhttpd's (%v%%)",
+			hy.Load.ErrorPercent, ph.Load.ErrorPercent)
+	}
+}
+
+// Sustained extreme overload must not break the hybrid even when the RT
+// signal queue is tiny: overflow either switches it to /dev/poll (cheaply,
+// because the interest set was maintained all along) or is absorbed without
+// losing connections beyond what the offered load itself forces.
+func TestHybridSurvivesTinySignalQueueUnderOverload(t *testing.T) {
+	s := spec(ServerHybrid, 1300, 251)
+	s.RTQueueLimit = 16
+	res := Run(s)
+	if res.Load.ReplyRate.Mean < 1000 {
+		t.Fatalf("hybrid throughput = %v, want /dev/poll-class", res.Load.ReplyRate.Mean)
+	}
+	if res.Load.ErrorPercent > 10 {
+		t.Fatalf("hybrid errors = %v%%", res.Load.ErrorPercent)
+	}
+	if res.Server.Served == 0 || res.Load.Completed == 0 {
+		t.Fatalf("hybrid served nothing: %+v", res.Server)
+	}
+}
+
+func TestFigureDefinitionsCoverPaper(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 11 {
+		t.Fatalf("figures = %d, want 11 (FIG 4 through FIG 14)", len(figs))
+	}
+	seen := map[int]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || f.Paper == "" || len(f.Curves) == 0 || len(f.Rates) == 0 {
+			t.Fatalf("incomplete figure: %+v", f)
+		}
+		seen[f.Number] = true
+	}
+	for n := 4; n <= 14; n++ {
+		if !seen[n] {
+			t.Fatalf("figure %d missing", n)
+		}
+	}
+	if _, ok := FigureByID("fig10"); !ok {
+		t.Fatal("FigureByID(fig10) failed")
+	}
+	if _, ok := FigureByID("14"); !ok {
+		t.Fatal("FigureByID(14) failed")
+	}
+	if _, ok := FigureByID("nope"); ok {
+		t.Fatal("FigureByID(nope) should fail")
+	}
+	if len(ServerKinds()) != 4 {
+		t.Fatal("ServerKinds incomplete")
+	}
+	for _, m := range []MetricKind{MetricReplyRate, MetricErrorPercent, MetricMedianLatency, MetricKind(99)} {
+		if m.String() == "" {
+			t.Fatal("metric string empty")
+		}
+	}
+}
+
+func TestRunFigureAndFormat(t *testing.T) {
+	fig, _ := FigureByID("fig05")
+	res := RunFigure(fig, SweepOptions{Connections: 800, Rates: []float64{600, 900}, Progress: t.Logf})
+	// One curve × (avg, min, max) series.
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	for _, s := range res.Series {
+		if s.Len() != 2 {
+			t.Fatalf("series %q has %d points", s.Label, s.Len())
+		}
+	}
+	out := Format(res)
+	if !strings.Contains(out, "FIGURE 5") || !strings.Contains(out, "600") {
+		t.Fatalf("format output:\n%s", out)
+	}
+
+	// An error-percent figure produces one series per curve.
+	fig10, _ := FigureByID("fig10")
+	res10 := RunFigure(fig10, SweepOptions{Connections: 600, Rates: []float64{900}})
+	if len(res10.Series) != len(fig10.Curves) {
+		t.Fatalf("fig10 series = %d", len(res10.Series))
+	}
+	if !strings.Contains(Format(res10), "errors") {
+		t.Fatal("fig10 format missing metric")
+	}
+}
+
+func TestAblationDefinitionsAndRun(t *testing.T) {
+	abls := Ablations(0)
+	if len(abls) < 5 {
+		t.Fatalf("ablations = %d", len(abls))
+	}
+	ids := map[string]bool{}
+	for _, a := range abls {
+		if a.ID == "" || a.Title == "" || len(a.Variants) < 2 {
+			t.Fatalf("incomplete ablation %+v", a)
+		}
+		ids[a.ID] = true
+	}
+	for _, want := range []string{"hints", "mmap", "sigtimedwait4", "hybrid-vs-phhttpd"} {
+		if !ids[want] {
+			t.Fatalf("ablation %q missing", want)
+		}
+	}
+	if _, ok := AblationByID("hints", 0); !ok {
+		t.Fatal("AblationByID failed")
+	}
+	if _, ok := AblationByID("nope", 0); ok {
+		t.Fatal("AblationByID(nope) should fail")
+	}
+
+	// Run the cheapest meaningful ablation end to end with a small size.
+	a, _ := AblationByID("hints", 800)
+	res := RunAblation(a, nil)
+	if len(res.Results) != 2 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+	// Hints must reduce driver poll callbacks dramatically.
+	on, off := res.Results[0], res.Results[1]
+	if on.Primary.DriverPolls*5 > off.Primary.DriverPolls {
+		t.Fatalf("hints-on driver polls (%d) should be far below hints-off (%d)",
+			on.Primary.DriverPolls, off.Primary.DriverPolls)
+	}
+	if !strings.Contains(FormatAblation(res), "hints") {
+		t.Fatal("FormatAblation output missing id")
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// MetricKind selects what a figure plots on its y axis.
+type MetricKind int
+
+// Metrics plotted by the paper's figures.
+const (
+	MetricReplyRate     MetricKind = iota // average/min/max reply rate (FIGS 4-9, 11-13)
+	MetricErrorPercent                    // percentage of failed connections (FIG 10)
+	MetricMedianLatency                   // median connection time in ms (FIG 14)
+)
+
+// String names the metric.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricReplyRate:
+		return "reply rate (replies/s)"
+	case MetricErrorPercent:
+		return "errors (percent)"
+	case MetricMedianLatency:
+		return "median connection time (ms)"
+	default:
+		return "unknown"
+	}
+}
+
+// Curve is one plotted configuration within a figure.
+type Curve struct {
+	Label    string
+	Server   ServerKind
+	Inactive int
+}
+
+// Figure describes one of the paper's evaluation figures and how to
+// regenerate it.
+type Figure struct {
+	ID     string // "fig04" ... "fig14"
+	Number int
+	Title  string
+	// Paper summarises what the original figure showed, so EXPERIMENTS.md can
+	// compare shape against the reproduction.
+	Paper  string
+	Metric MetricKind
+	Rates  []float64
+	Curves []Curve
+}
+
+// DefaultRates is the request-rate sweep used by every figure (the paper's x
+// axis runs from 500 to 1100 requests per second).
+func DefaultRates() []float64 {
+	return []float64{500, 600, 700, 800, 900, 1000, 1100}
+}
+
+// Figures returns the full set of figure definitions, in paper order.
+func Figures() []Figure {
+	rates := DefaultRates()
+	replyFig := func(num int, server ServerKind, inactive int, title, paper string) Figure {
+		return Figure{
+			ID:     fmt.Sprintf("fig%02d", num),
+			Number: num,
+			Title:  title,
+			Paper:  paper,
+			Metric: MetricReplyRate,
+			Rates:  rates,
+			Curves: []Curve{{Label: string(server), Server: server, Inactive: inactive}},
+		}
+	}
+	return []Figure{
+		replyFig(4, ServerThttpdPoll, 1,
+			"Stock thttpd with poll(), 1 inactive connection",
+			"Server performs well until a high enough request rate, then breaks down as processing latency exceeds the request rate."),
+		replyFig(5, ServerThttpdDevPoll, 1,
+			"thttpd with /dev/poll, 1 inactive connection",
+			"Performs well at all request rates; no point where processing latency exceeds request rate."),
+		replyFig(6, ServerThttpdPoll, 251,
+			"Stock thttpd with poll(), 251 inactive connections",
+			"Breaks down sooner as inactive-connection load increases; minimum response rates hit zero in several places."),
+		replyFig(7, ServerThttpdDevPoll, 251,
+			"thttpd with /dev/poll, 251 inactive connections",
+			"Performs almost as well as with no inactive connections."),
+		replyFig(8, ServerThttpdPoll, 501,
+			"Stock thttpd with poll(), 501 inactive connections",
+			"Latency due to inactive connections dominates at all request rates: poor performance and high error rates."),
+		replyFig(9, ServerThttpdDevPoll, 501,
+			"thttpd with /dev/poll, 501 inactive connections",
+			"Handles the high inactive load with ease; performance begins to break down only at extreme request rates."),
+		{
+			ID:     "fig10",
+			Number: 10,
+			Title:  "Connection error rate, stock poll() vs /dev/poll, 251 and 501 inactive connections",
+			Paper:  "Stock thttpd's error rate climbs toward ~60% of connections; thttpd with /dev/poll shows only sporadic errors (none at 251).",
+			Metric: MetricErrorPercent,
+			Rates:  rates,
+			Curves: []Curve{
+				{Label: "normal poll, load 251", Server: ServerThttpdPoll, Inactive: 251},
+				{Label: "devpoll, load 251", Server: ServerThttpdDevPoll, Inactive: 251},
+				{Label: "normal poll, load 501", Server: ServerThttpdPoll, Inactive: 501},
+				{Label: "devpoll, load 501", Server: ServerThttpdDevPoll, Inactive: 501},
+			},
+		},
+		replyFig(11, ServerPhhttpd, 1,
+			"phhttpd (RT signals), 1 inactive connection",
+			"Compares with the best servers at lower rates; very high request rates make it falter due to per-signal system-call overhead."),
+		replyFig(12, ServerPhhttpd, 251,
+			"phhttpd (RT signals), 251 inactive connections",
+			"Reaches its performance knee sooner; inactive connections unexpectedly increase the cost of handling active ones."),
+		replyFig(13, ServerPhhttpd, 501,
+			"phhttpd (RT signals), 501 inactive connections",
+			"Inactive-connection load affects throughput at all request rates; scales less well than thttpd with /dev/poll."),
+		{
+			ID:     "fig14",
+			Number: 14,
+			Title:  "Median connection time, 251 inactive connections",
+			Paper:  "phhttpd responds 1-3 ms faster than thttpd+/dev/poll up to ~900 req/s, then its median latency jumps past 120 ms while thttpd+/dev/poll stays steady; stock poll sits above both.",
+			Metric: MetricMedianLatency,
+			Rates:  rates,
+			Curves: []Curve{
+				{Label: "devpoll", Server: ServerThttpdDevPoll, Inactive: 251},
+				{Label: "normal poll", Server: ServerThttpdPoll, Inactive: 251},
+				{Label: "phhttpd", Server: ServerPhhttpd, Inactive: 251},
+			},
+		},
+	}
+}
+
+// FigureByID looks a figure up by its "fig04"-style identifier or by its bare
+// number ("4").
+func FigureByID(id string) (Figure, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, f := range Figures() {
+		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// SweepOptions control how a figure is regenerated.
+type SweepOptions struct {
+	// Connections per point; zero selects 4000 (the scaled-down default). Use
+	// 35000 to reproduce the paper's full procedure.
+	Connections int
+	// Rates overrides the figure's request-rate sweep (useful for quick runs).
+	Rates []float64
+	// Seed for the load generator.
+	Seed int64
+	// Progress, when non-nil, receives a line per completed point.
+	Progress func(format string, args ...interface{})
+}
+
+// FigureResult holds everything needed to print or compare one regenerated
+// figure.
+type FigureResult struct {
+	Figure Figure
+	// Series holds one labelled series per plotted line. Reply-rate figures
+	// produce three series per curve (average, minimum, maximum), mirroring the
+	// error bars and min/max marks in the paper's graphs.
+	Series []metrics.Series
+	// Runs holds the raw per-point results, keyed in sweep order.
+	Runs []RunResult
+}
+
+// RunFigure regenerates one figure by sweeping the request rate for each of
+// its curves.
+func RunFigure(fig Figure, opts SweepOptions) FigureResult {
+	rates := fig.Rates
+	if len(opts.Rates) > 0 {
+		rates = opts.Rates
+	}
+	connections := opts.Connections
+	if connections <= 0 {
+		connections = 4000
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	out := FigureResult{Figure: fig}
+	for _, curve := range fig.Curves {
+		var avg, min, max, series metrics.Series
+		label := curve.Label
+		avg = metrics.Series{Label: label + " (avg)", XLabel: "request rate", YLabel: fig.Metric.String()}
+		min = metrics.Series{Label: label + " (min)", XLabel: "request rate", YLabel: fig.Metric.String()}
+		max = metrics.Series{Label: label + " (max)", XLabel: "request rate", YLabel: fig.Metric.String()}
+		series = metrics.Series{Label: label, XLabel: "request rate", YLabel: fig.Metric.String()}
+		for _, rate := range rates {
+			spec := RunSpec{
+				Server:      curve.Server,
+				RequestRate: rate,
+				Inactive:    curve.Inactive,
+				Connections: connections,
+				Seed:        seed,
+			}
+			res := Run(spec)
+			out.Runs = append(out.Runs, res)
+			switch fig.Metric {
+			case MetricReplyRate:
+				avg.Append(rate, res.Load.ReplyRate.Mean)
+				min.Append(rate, res.Load.ReplyRate.Min)
+				max.Append(rate, res.Load.ReplyRate.Max)
+			case MetricErrorPercent:
+				series.Append(rate, res.Load.ErrorPercent)
+			case MetricMedianLatency:
+				series.Append(rate, res.Load.MedianLatencyMs)
+			}
+			if opts.Progress != nil {
+				opts.Progress("%s %s", fig.ID, Describe(res))
+			}
+		}
+		if fig.Metric == MetricReplyRate {
+			out.Series = append(out.Series, avg, min, max)
+		} else {
+			out.Series = append(out.Series, series)
+		}
+	}
+	return out
+}
+
+// Format renders a figure result as the aligned text table the command-line
+// tools print and EXPERIMENTS.md records.
+func Format(res FigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE %d (%s): %s\n", res.Figure.Number, res.Figure.ID, res.Figure.Title)
+	fmt.Fprintf(&b, "paper: %s\n", res.Figure.Paper)
+	fmt.Fprintf(&b, "metric: %s\n", res.Figure.Metric)
+
+	// Collect the x values actually present.
+	xs := map[float64]bool{}
+	for _, s := range res.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	rates := make([]float64, 0, len(xs))
+	for x := range xs {
+		rates = append(rates, x)
+	}
+	sort.Float64s(rates)
+
+	fmt.Fprintf(&b, "%-12s", "rate")
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, "%22s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, rate := range rates {
+		fmt.Fprintf(&b, "%-12.0f", rate)
+		for _, s := range res.Series {
+			if y, ok := s.YAt(rate); ok {
+				fmt.Fprintf(&b, "%22.1f", y)
+			} else {
+				fmt.Fprintf(&b, "%22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

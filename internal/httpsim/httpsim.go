@@ -1,0 +1,230 @@
+// Package httpsim provides the minimal HTTP/1.0 machinery the simulated web
+// servers and the load generator share: an incremental request parser (so a
+// server can handle requests that arrive split across reads, including the
+// deliberately incomplete requests of the paper's inactive clients), request
+// and response formatting, and a static content store holding the 6 KB
+// index.html document the benchmark requests.
+package httpsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors reported by the parser.
+var (
+	// ErrMalformed indicates a request line or header that cannot be parsed.
+	ErrMalformed = errors.New("httpsim: malformed request")
+	// ErrTooLarge indicates a request exceeding the parser's size limit.
+	ErrTooLarge = errors.New("httpsim: request too large")
+)
+
+// MaxRequestBytes bounds how much request data the parser accepts before
+// declaring the request hostile, matching the small fixed buffers of
+// thttpd-era servers.
+const MaxRequestBytes = 8192
+
+// Request is a parsed HTTP/1.0 request.
+type Request struct {
+	Method  string
+	Path    string
+	Version string
+	Headers map[string]string
+}
+
+// FormatRequest renders a well-formed HTTP/1.0 GET request for path, as the
+// httperf-like load generator sends it.
+func FormatRequest(path string) []byte {
+	return []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nUser-Agent: httperf-sim/0.8\r\nHost: server.citi.umich.edu\r\n\r\n", path))
+}
+
+// FormatPartialRequest renders the deliberately incomplete request an inactive
+// (high-latency, stalled) client sends: the request line without the final
+// blank line, so the server keeps the connection open waiting for the rest.
+func FormatPartialRequest(path string) []byte {
+	return []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nUser-Agent: httperf-sim/0.8\r\n", path))
+}
+
+// Parser incrementally assembles a request from the byte chunks a server
+// reads. It is a small state machine over the accumulated buffer: a request is
+// complete when the terminating blank line has been seen.
+type Parser struct {
+	buf      []byte
+	complete bool
+	req      *Request
+	err      error
+}
+
+// NewParser returns an empty request parser.
+func NewParser() *Parser { return &Parser{} }
+
+// Feed appends data read from the connection and reports whether a complete
+// request is now available. Feeding after completion is a no-op.
+func (p *Parser) Feed(data []byte) (complete bool, err error) {
+	if p.err != nil {
+		return false, p.err
+	}
+	if p.complete {
+		return true, nil
+	}
+	p.buf = append(p.buf, data...)
+	if len(p.buf) > MaxRequestBytes {
+		p.err = ErrTooLarge
+		return false, p.err
+	}
+	idx := strings.Index(string(p.buf), "\r\n\r\n")
+	if idx < 0 {
+		return false, nil
+	}
+	req, perr := parseHead(string(p.buf[:idx]))
+	if perr != nil {
+		p.err = perr
+		return false, perr
+	}
+	p.req = req
+	p.complete = true
+	return true, nil
+}
+
+// Complete reports whether a full request has been assembled.
+func (p *Parser) Complete() bool { return p.complete }
+
+// Buffered reports how many bytes are held while waiting for completion.
+func (p *Parser) Buffered() int { return len(p.buf) }
+
+// Request returns the parsed request once Complete is true.
+func (p *Parser) Request() *Request { return p.req }
+
+// Err returns the parse error, if any.
+func (p *Parser) Err() error { return p.err }
+
+// Reset clears the parser for reuse on a keep-alive connection.
+func (p *Parser) Reset() { *p = Parser{} }
+
+// parseHead parses the request line and headers (everything before the blank
+// line).
+func parseHead(head string) (*Request, error) {
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return nil, ErrMalformed
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 {
+		return nil, ErrMalformed
+	}
+	method, path, version := parts[0], parts[1], parts[2]
+	if method == "" || !strings.HasPrefix(path, "/") || !strings.HasPrefix(version, "HTTP/") {
+		return nil, ErrMalformed
+	}
+	req := &Request{Method: method, Path: path, Version: version, Headers: map[string]string{}}
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		colon := strings.Index(line, ":")
+		if colon <= 0 {
+			return nil, ErrMalformed
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		req.Headers[key] = strings.TrimSpace(line[colon+1:])
+	}
+	return req, nil
+}
+
+// Status codes used by the simulated servers.
+const (
+	StatusOK       = 200
+	StatusNotFound = 404
+	StatusBadReq   = 400
+)
+
+// statusText maps the codes above to reason phrases.
+func statusText(code int) string {
+	switch code {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusBadReq:
+		return "Bad Request"
+	default:
+		return "Unknown"
+	}
+}
+
+// ResponseHead renders the response status line and headers for a body of
+// contentLength bytes. The servers charge the CPU for writing
+// len(ResponseHead) + contentLength bytes.
+func ResponseHead(code, contentLength int) []byte {
+	return []byte(fmt.Sprintf(
+		"HTTP/1.0 %d %s\r\nServer: thttpd-sim/2.16\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		code, statusText(code), contentLength))
+}
+
+// ResponseSize is the total on-the-wire size of a response with the given
+// status and body length.
+func ResponseSize(code, contentLength int) int {
+	return len(ResponseHead(code, contentLength)) + contentLength
+}
+
+// Document is one entry in the content store.
+type Document struct {
+	Path string
+	Size int
+}
+
+// ContentStore is the static document tree the server exports. Only sizes are
+// stored; the simulation never ships document bodies.
+type ContentStore struct {
+	docs map[string]int
+}
+
+// DefaultDocumentPath is the document every benchmark run requests.
+const DefaultDocumentPath = "/index.html"
+
+// DefaultDocumentSize is the paper's workload: "we request a 6 Kbyte document,
+// a typical index.html file from the CITI web site".
+const DefaultDocumentSize = 6 * 1024
+
+// NewContentStore returns an empty store.
+func NewContentStore() *ContentStore { return &ContentStore{docs: make(map[string]int)} }
+
+// DefaultContentStore returns a store holding the paper's 6 KB index.html plus
+// a small spread of other document sizes used by the extension workloads.
+func DefaultContentStore() *ContentStore {
+	cs := NewContentStore()
+	cs.Add(DefaultDocumentPath, DefaultDocumentSize)
+	cs.Add("/small.html", 512)
+	cs.Add("/medium.html", 24*1024)
+	cs.Add("/large.html", 128*1024)
+	return cs
+}
+
+// Add registers a document of the given size.
+func (c *ContentStore) Add(path string, size int) {
+	if size < 0 {
+		size = 0
+	}
+	c.docs[path] = size
+}
+
+// Lookup returns a document's size.
+func (c *ContentStore) Lookup(path string) (int, bool) {
+	size, ok := c.docs[path]
+	return size, ok
+}
+
+// Len reports the number of documents.
+func (c *ContentStore) Len() int { return len(c.docs) }
+
+// Documents lists the store's contents sorted by path.
+func (c *ContentStore) Documents() []Document {
+	out := make([]Document, 0, len(c.docs))
+	for p, s := range c.docs {
+		out = append(out, Document{Path: p, Size: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

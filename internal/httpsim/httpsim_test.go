@@ -1,0 +1,177 @@
+package httpsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatRequestIsParseable(t *testing.T) {
+	raw := FormatRequest("/index.html")
+	p := NewParser()
+	complete, err := p.Feed(raw)
+	if err != nil || !complete {
+		t.Fatalf("Feed: complete=%v err=%v", complete, err)
+	}
+	req := p.Request()
+	if req.Method != "GET" || req.Path != "/index.html" || req.Version != "HTTP/1.0" {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Headers["host"] == "" || req.Headers["user-agent"] == "" {
+		t.Fatalf("headers = %v", req.Headers)
+	}
+}
+
+func TestPartialRequestNeverCompletes(t *testing.T) {
+	raw := FormatPartialRequest("/index.html")
+	p := NewParser()
+	complete, err := p.Feed(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete || p.Complete() {
+		t.Fatal("partial request must not complete — it is what keeps inactive connections open")
+	}
+	if p.Buffered() != len(raw) {
+		t.Fatalf("Buffered = %d", p.Buffered())
+	}
+	// Completing it later works.
+	complete, err = p.Feed([]byte("\r\n"))
+	if err != nil || !complete {
+		t.Fatalf("completion: %v %v", complete, err)
+	}
+}
+
+func TestParserIncrementalBytes(t *testing.T) {
+	raw := FormatRequest("/small.html")
+	p := NewParser()
+	for i := 0; i < len(raw); i++ {
+		complete, err := p.Feed(raw[i : i+1])
+		if err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		if complete != (i == len(raw)-1) {
+			t.Fatalf("byte %d: complete=%v", i, complete)
+		}
+	}
+	if p.Request().Path != "/small.html" {
+		t.Fatalf("path = %q", p.Request().Path)
+	}
+	// Feeding after completion is a no-op.
+	if complete, err := p.Feed([]byte("garbage")); !complete || err != nil {
+		t.Fatalf("post-completion feed: %v %v", complete, err)
+	}
+	p.Reset()
+	if p.Complete() || p.Buffered() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestParserMalformedRequests(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"GET /x\r\n\r\n",
+		"GET noslash HTTP/1.0\r\n\r\n",
+		"GET / FTP/1.0\r\n\r\n",
+		"GET / HTTP/1.0\r\nBadHeaderNoColon\r\n\r\n",
+		" / HTTP/1.0\r\n\r\n",
+	}
+	for _, c := range cases {
+		p := NewParser()
+		complete, err := p.Feed([]byte(c))
+		if complete || err == nil {
+			t.Errorf("case %q: complete=%v err=%v", c, complete, err)
+		}
+		if p.Err() == nil {
+			t.Errorf("case %q: Err not sticky", c)
+		}
+		// Subsequent feeds keep returning the error.
+		if _, err2 := p.Feed([]byte("more")); err2 == nil {
+			t.Errorf("case %q: error not sticky on later feeds", c)
+		}
+	}
+}
+
+func TestParserTooLarge(t *testing.T) {
+	p := NewParser()
+	junk := strings.Repeat("X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n", 300)
+	_, err := p.Feed([]byte("GET / HTTP/1.0\r\n" + junk))
+	if err != ErrTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResponseHeadAndSize(t *testing.T) {
+	head := ResponseHead(StatusOK, 6144)
+	s := string(head)
+	if !strings.HasPrefix(s, "HTTP/1.0 200 OK\r\n") {
+		t.Fatalf("head = %q", s)
+	}
+	if !strings.Contains(s, "Content-Length: 6144") || !strings.Contains(s, "Connection: close") {
+		t.Fatalf("head = %q", s)
+	}
+	if ResponseSize(StatusOK, 6144) != len(head)+6144 {
+		t.Fatal("ResponseSize mismatch")
+	}
+	if !strings.Contains(string(ResponseHead(StatusNotFound, 0)), "404 Not Found") {
+		t.Fatal("404 reason phrase missing")
+	}
+	if !strings.Contains(string(ResponseHead(StatusBadReq, 0)), "400 Bad Request") {
+		t.Fatal("400 reason phrase missing")
+	}
+	if !strings.Contains(string(ResponseHead(599, 0)), "599 Unknown") {
+		t.Fatal("unknown status handling missing")
+	}
+}
+
+func TestContentStore(t *testing.T) {
+	cs := DefaultContentStore()
+	size, ok := cs.Lookup(DefaultDocumentPath)
+	if !ok || size != DefaultDocumentSize {
+		t.Fatalf("default document: %d %v", size, ok)
+	}
+	if _, ok := cs.Lookup("/missing.html"); ok {
+		t.Fatal("missing document found")
+	}
+	if cs.Len() < 4 {
+		t.Fatalf("Len = %d", cs.Len())
+	}
+	docs := cs.Documents()
+	for i := 1; i < len(docs); i++ {
+		if docs[i-1].Path >= docs[i].Path {
+			t.Fatal("Documents not sorted")
+		}
+	}
+	cs.Add("/neg.html", -5)
+	if size, _ := cs.Lookup("/neg.html"); size != 0 {
+		t.Fatalf("negative size not clamped: %d", size)
+	}
+}
+
+// Property: any well-formed GET request produced by FormatRequest parses back
+// to the same path, regardless of how it is split into feed chunks.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	f := func(pathSeed uint16, split uint8) bool {
+		path := "/doc" + strings.Repeat("x", int(pathSeed%32)) + ".html"
+		raw := FormatRequest(path)
+		cut := int(split) % len(raw)
+		p := NewParser()
+		if cut > 0 {
+			if complete, err := p.Feed(raw[:cut]); err != nil || (complete && cut < len(raw)-1) {
+				// Completing early is only possible if the cut is after the
+				// terminator, which cannot happen for cut < len-1.
+				if err != nil {
+					return false
+				}
+			}
+		}
+		complete, err := p.Feed(raw[cut:])
+		if err != nil || !complete {
+			return false
+		}
+		return p.Request().Path == path && p.Request().Method == "GET"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

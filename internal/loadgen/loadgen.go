@@ -1,0 +1,442 @@
+// Package loadgen reimplements the measurement client of the paper: httperf
+// driving a fixed request rate of HTTP/1.0 GETs for a 6 KB document, modified
+// as the authors describe (§5) to also maintain a constant population of
+// inactive, high-latency connections that never complete a request and that
+// reopen themselves whenever the server times them out.
+//
+// The generator is open-loop: connections are started on a fixed schedule
+// derived from the target request rate regardless of whether earlier ones have
+// completed, which is what drives an overloaded server into the collapsing
+// reply rates and rising error percentages of Figures 4-13.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/simkernel"
+)
+
+// ErrorReason labels a failed benchmark connection, mirroring httperf's error
+// classes.
+type ErrorReason string
+
+// Error reasons.
+const (
+	ErrRefused   ErrorReason = "connrefused" // SYN rejected (backlog full / no listener)
+	ErrReset     ErrorReason = "connreset"   // connection reset or truncated response
+	ErrTimeout   ErrorReason = "client-timo" // no complete response within Timeout
+	ErrPortSpace ErrorReason = "fd-unavail"  // client ran out of ports/descriptors
+)
+
+// Config parameterises one benchmark run (one point in a figure).
+type Config struct {
+	// RequestRate is the targeted connection (request) rate in requests/second.
+	RequestRate float64
+	// Connections is the number of benchmark connections to issue; the paper
+	// uses 35000 per run to stay clear of the TIME-WAIT port limit.
+	Connections int
+	// InactiveConnections is the constant population of stalled, high-latency
+	// connections (the paper's loads of 1, 251 and 501).
+	InactiveConnections int
+	// DocumentPath is the requested URL (default /index.html, 6 KB).
+	DocumentPath string
+	// DocumentSize is the expected body size, used to recognise a complete
+	// response (default 6 KB).
+	DocumentSize int
+	// Timeout aborts a connection that has not completed in this long
+	// (httperf --timeout). Default 5 s.
+	Timeout core.Duration
+	// ActiveRTT is the round-trip time of benchmark connections (0 selects the
+	// network default, i.e. the LAN).
+	ActiveRTT core.Duration
+	// InactiveRTT is the round-trip time of the inactive clients (default
+	// 100 ms, a modem-like path).
+	InactiveRTT core.Duration
+	// SampleInterval is the reply-rate sampling period (httperf uses 5 s).
+	SampleInterval core.Duration
+	// Seed drives the arrival jitter; runs with equal seeds are identical.
+	Seed int64
+	// Jitter is the fraction of the inter-arrival gap randomised (0..1).
+	Jitter float64
+}
+
+// DefaultConfig returns the paper's workload shape at the given request rate
+// and inactive-connection load.
+func DefaultConfig(rate float64, inactive int) Config {
+	return Config{
+		RequestRate:         rate,
+		Connections:         35000,
+		InactiveConnections: inactive,
+		DocumentPath:        httpsim.DefaultDocumentPath,
+		DocumentSize:        httpsim.DefaultDocumentSize,
+		Timeout:             5 * core.Second,
+		InactiveRTT:         100 * core.Millisecond,
+		SampleInterval:      5 * core.Second,
+		Seed:                1,
+		Jitter:              0.2,
+	}
+}
+
+// Result summarises one benchmark run.
+type Result struct {
+	Config Config
+
+	Started  core.Time
+	Finished core.Time
+
+	Issued    int
+	Completed int
+	Errors    int
+	ErrorsBy  map[ErrorReason]int
+
+	// ReplyRate summarises the per-interval reply-rate samples (avg/min/max/sd),
+	// exactly what Figures 4-9 and 11-13 plot per offered rate.
+	ReplyRateSamples []float64
+	ReplyRate        metrics.Summary
+
+	// Latency of completed connections, in milliseconds.
+	MedianLatencyMs float64
+	MeanLatencyMs   float64
+	P90LatencyMs    float64
+	MaxLatencyMs    float64
+
+	// ErrorPercent is the percentage of benchmark connections that failed
+	// (Figure 10).
+	ErrorPercent float64
+
+	// OfferedRate is the achieved connection-issue rate.
+	OfferedRate float64
+}
+
+// String renders the one-line summary the sweep tool prints per point.
+func (r Result) String() string {
+	return fmt.Sprintf("rate=%4.0f load=%3d reply(avg=%6.1f min=%6.1f max=%6.1f sd=%5.1f) err=%5.1f%% median=%6.2fms",
+		r.Config.RequestRate, r.Config.InactiveConnections,
+		r.ReplyRate.Mean, r.ReplyRate.Min, r.ReplyRate.Max, r.ReplyRate.StdDev,
+		r.ErrorPercent, r.MedianLatencyMs)
+}
+
+// Generator drives one benchmark run against the simulated server.
+type Generator struct {
+	k   *simkernel.Kernel
+	net *netsim.Network
+	cfg Config
+	rng *rand.Rand
+
+	request      []byte
+	expectedSize int
+
+	issued    int
+	resolved  int
+	completed int
+	errors    int
+	errorsBy  map[ErrorReason]int
+
+	latenciesMs []float64
+	sampler     *metrics.RateSampler
+
+	inactive []*inactiveClient
+
+	started  core.Time
+	finished core.Time
+	running  bool
+	done     bool
+	onDone   func(Result)
+}
+
+// New creates a generator for the given kernel, network and workload.
+func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	if cfg.RequestRate <= 0 {
+		cfg.RequestRate = 1
+	}
+	if cfg.DocumentPath == "" {
+		cfg.DocumentPath = httpsim.DefaultDocumentPath
+	}
+	if cfg.DocumentSize <= 0 {
+		cfg.DocumentSize = httpsim.DefaultDocumentSize
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * core.Second
+	}
+	if cfg.InactiveRTT <= 0 {
+		cfg.InactiveRTT = 100 * core.Millisecond
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 5 * core.Second
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Jitter > 1 {
+		cfg.Jitter = 1
+	}
+	return &Generator{
+		k:            k,
+		net:          net,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		request:      httpsim.FormatRequest(cfg.DocumentPath),
+		expectedSize: httpsim.ResponseSize(httpsim.StatusOK, cfg.DocumentSize),
+		errorsBy:     make(map[ErrorReason]int),
+		sampler:      metrics.NewRateSampler(cfg.SampleInterval),
+	}
+}
+
+// OnDone registers a callback invoked once every benchmark connection has
+// resolved (completed or failed).
+func (g *Generator) OnDone(fn func(Result)) { g.onDone = fn }
+
+// Done reports whether the run has finished.
+func (g *Generator) Done() bool { return g.done }
+
+// Progress reports issued and resolved connection counts.
+func (g *Generator) Progress() (issued, resolved int) { return g.issued, g.resolved }
+
+// Start launches the inactive-connection population and schedules the
+// benchmark connections at the configured rate.
+func (g *Generator) Start(now core.Time) {
+	if g.running {
+		return
+	}
+	g.running = true
+
+	for i := 0; i < g.cfg.InactiveConnections; i++ {
+		ic := &inactiveClient{gen: g, id: i}
+		g.inactive = append(g.inactive, ic)
+		// Stagger inactive connection setup over the first 200 ms so the
+		// listener backlog is not hit by a synchronised burst.
+		delay := core.Duration(g.rng.Int63n(int64(200 * core.Millisecond)))
+		g.k.Sim.At(now.Add(delay), ic.open)
+	}
+
+	interval := core.Duration(float64(core.Second) / g.cfg.RequestRate)
+	at := now
+	if g.cfg.InactiveConnections > 0 {
+		// The paper's procedure establishes the inactive population before the
+		// measured load is applied; give it a head start so every benchmark
+		// point sees the full configured interest-set size.
+		at = at.Add(400 * core.Millisecond)
+	}
+	// Measurement (reply-rate sampling, offered-rate accounting) begins when
+	// the benchmark load begins, not when the inactive population is set up.
+	g.started = at
+	g.sampler.Start(at)
+	for i := 0; i < g.cfg.Connections; i++ {
+		jitter := core.Duration(0)
+		if g.cfg.Jitter > 0 {
+			span := float64(interval) * g.cfg.Jitter
+			jitter = core.Duration((g.rng.Float64() - 0.5) * span)
+		}
+		launch := at.Add(jitter)
+		if launch < now {
+			launch = now
+		}
+		g.k.Sim.At(launch, g.launchOne)
+		at = at.Add(interval)
+	}
+}
+
+// launchOne starts a single benchmark connection.
+func (g *Generator) launchOne(now core.Time) {
+	g.issued++
+	ac := &activeConn{gen: g, started: now}
+	ac.conn = g.net.Connect(now, netsim.ConnectOptions{RTT: g.cfg.ActiveRTT}, netsim.Handlers{
+		OnConnected:  ac.onConnected,
+		OnRefused:    ac.onRefused,
+		OnData:       ac.onData,
+		OnPeerClosed: ac.onPeerClosed,
+	})
+	// httperf's client-side timeout.
+	g.k.Sim.At(now.Add(g.cfg.Timeout), ac.onTimeout)
+}
+
+// recordCompletion books a successful reply.
+func (g *Generator) recordCompletion(started, now core.Time) {
+	g.completed++
+	g.resolved++
+	g.sampler.Record(now)
+	g.latenciesMs = append(g.latenciesMs, now.Sub(started).Milliseconds())
+	g.maybeFinish(now)
+}
+
+// recordError books a failed benchmark connection.
+func (g *Generator) recordError(reason ErrorReason, now core.Time) {
+	g.errors++
+	g.resolved++
+	g.errorsBy[reason]++
+	g.maybeFinish(now)
+}
+
+// maybeFinish completes the run once every issued connection has resolved and
+// the full population has been issued.
+func (g *Generator) maybeFinish(now core.Time) {
+	if g.done || g.issued < g.cfg.Connections || g.resolved < g.issued {
+		return
+	}
+	g.done = true
+	g.finished = now
+	if g.onDone != nil {
+		g.onDone(g.Result())
+	}
+}
+
+// Result assembles the run summary. It may be called once Done is true (or at
+// any time for a partial view).
+func (g *Generator) Result() Result {
+	end := g.finished
+	if end == 0 {
+		end = g.k.Now()
+	}
+	samples := append([]float64(nil), g.sampler.Samples()...)
+	if g.done {
+		samples = g.sampler.Finish(end)
+	}
+	res := Result{
+		Config:           g.cfg,
+		Started:          g.started,
+		Finished:         end,
+		Issued:           g.issued,
+		Completed:        g.completed,
+		Errors:           g.errors,
+		ErrorsBy:         copyReasons(g.errorsBy),
+		ReplyRateSamples: samples,
+		ReplyRate:        metrics.Summarize(samples),
+	}
+	if g.issued > 0 {
+		res.ErrorPercent = 100 * float64(g.errors) / float64(g.issued)
+	}
+	if elapsed := end.Sub(g.started); elapsed > 0 {
+		res.OfferedRate = float64(g.issued) / elapsed.Seconds()
+	}
+	if len(g.latenciesMs) > 0 {
+		res.MedianLatencyMs = metrics.Median(g.latenciesMs)
+		res.MeanLatencyMs = metrics.Summarize(g.latenciesMs).Mean
+		res.P90LatencyMs = metrics.Percentile(g.latenciesMs, 90)
+		sorted := append([]float64(nil), g.latenciesMs...)
+		sort.Float64s(sorted)
+		res.MaxLatencyMs = sorted[len(sorted)-1]
+	}
+	return res
+}
+
+func copyReasons(m map[ErrorReason]int) map[ErrorReason]int {
+	out := make(map[ErrorReason]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// activeConn is one benchmark connection's client-side state machine.
+type activeConn struct {
+	gen      *Generator
+	conn     *netsim.ClientConn
+	started  core.Time
+	received int
+	resolved bool
+}
+
+func (a *activeConn) onConnected(now core.Time) {
+	if a.resolved {
+		return
+	}
+	a.conn.Send(now, a.gen.request)
+}
+
+func (a *activeConn) onRefused(now core.Time, reason netsim.RefuseReason) {
+	if a.resolved {
+		return
+	}
+	a.resolved = true
+	switch reason {
+	case netsim.RefusedPorts:
+		a.gen.recordError(ErrPortSpace, now)
+	case netsim.RefusedReset:
+		a.gen.recordError(ErrReset, now)
+	default:
+		a.gen.recordError(ErrRefused, now)
+	}
+}
+
+func (a *activeConn) onData(now core.Time, n int) {
+	a.received += n
+}
+
+func (a *activeConn) onPeerClosed(now core.Time) {
+	if a.resolved {
+		return
+	}
+	a.resolved = true
+	if a.received >= a.gen.expectedSize {
+		a.gen.recordCompletion(a.started, now)
+		return
+	}
+	// The server closed the connection before delivering the full response
+	// (bad request path, shutdown, or idle timeout): count it like httperf's
+	// connection-reset errors.
+	a.gen.recordError(ErrReset, now)
+}
+
+func (a *activeConn) onTimeout(now core.Time) {
+	if a.resolved {
+		return
+	}
+	a.resolved = true
+	a.conn.Close(now)
+	a.gen.recordError(ErrTimeout, now)
+}
+
+// inactiveClient keeps one perpetually incomplete connection open against the
+// server, reopening it whenever it is refused or timed out, so the server's
+// interest set always contains the configured number of idle descriptors.
+type inactiveClient struct {
+	gen     *Generator
+	id      int
+	conn    *netsim.ClientConn
+	reopens int
+}
+
+func (ic *inactiveClient) open(now core.Time) {
+	if ic.gen.done {
+		return
+	}
+	ic.conn = ic.gen.net.Connect(now, netsim.ConnectOptions{RTT: ic.gen.cfg.InactiveRTT}, netsim.Handlers{
+		OnConnected:  ic.onConnected,
+		OnRefused:    ic.onClosedOrRefused,
+		OnPeerClosed: func(t core.Time) { ic.onClosedOrRefused(t, netsim.RefusedReset) },
+	})
+}
+
+func (ic *inactiveClient) onConnected(now core.Time) {
+	// Send a deliberately incomplete request so the server parks the
+	// connection in its interest set.
+	ic.conn.Send(now, httpsim.FormatPartialRequest(ic.gen.cfg.DocumentPath))
+}
+
+func (ic *inactiveClient) onClosedOrRefused(now core.Time, _ netsim.RefuseReason) {
+	if ic.gen.done {
+		return
+	}
+	ic.reopens++
+	// Reopen after a short pause, keeping the inactive population constant.
+	ic.gen.k.Sim.At(now.Add(250*core.Millisecond), ic.open)
+}
+
+// InactiveReopens reports how many times inactive clients had to reconnect
+// (server idle timeouts, refusals); exposed for tests and experiment logs.
+func (g *Generator) InactiveReopens() int {
+	total := 0
+	for _, ic := range g.inactive {
+		total += ic.reopens
+	}
+	return total
+}

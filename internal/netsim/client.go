@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"repro/internal/core"
+)
+
+// RefuseReason explains why a connection attempt failed.
+type RefuseReason int
+
+// Reasons a connection attempt can fail.
+const (
+	RefusedBacklog RefuseReason = iota // server accept queue full
+	RefusedClosed                      // no listener / listener closed
+	RefusedPorts                       // client ran out of ephemeral ports
+	RefusedReset                       // connection reset before being served
+)
+
+// String names the refusal reason.
+func (r RefuseReason) String() string {
+	switch r {
+	case RefusedBacklog:
+		return "backlog-full"
+	case RefusedClosed:
+		return "listener-closed"
+	case RefusedPorts:
+		return "ports-exhausted"
+	case RefusedReset:
+		return "reset"
+	default:
+		return "unknown"
+	}
+}
+
+// ConnState is the client's view of the connection lifecycle.
+type ConnState int
+
+// Client connection states.
+const (
+	StateConnecting ConnState = iota
+	StateEstablished
+	StateRefused
+	StateClosed
+)
+
+// Handlers are the client-side callbacks driven by network events. The client
+// host has unbounded CPU, so handlers run exactly at the event's virtual time.
+// Any handler may be nil.
+type Handlers struct {
+	OnConnected  func(now core.Time)
+	OnRefused    func(now core.Time, reason RefuseReason)
+	OnData       func(now core.Time, n int)
+	OnPeerClosed func(now core.Time)
+}
+
+// ConnectOptions parameterise one client connection.
+type ConnectOptions struct {
+	// RTT is the round-trip time between this client and the server; zero
+	// selects the network's default (LAN) RTT. The paper's inactive clients
+	// use a large RTT to model modem-attached users.
+	RTT core.Duration
+}
+
+// ClientConn is the client-side endpoint of a simulated TCP connection.
+type ClientConn struct {
+	net *Network
+	ID  int64
+	rtt core.Duration
+
+	handlers Handlers
+	state    ConnState
+
+	server *ServerConn
+
+	bytesReceived int
+	portHeld      bool
+	peerClosed    bool
+	closedLocal   bool
+
+	// StartedAt is when Connect was called; loadgen uses it for latency.
+	StartedAt core.Time
+}
+
+// Connect starts a connection attempt at virtual time now. The returned
+// ClientConn reports progress through the supplied handlers.
+func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *ClientConn {
+	rtt := opts.RTT
+	if rtt <= 0 {
+		rtt = n.Cfg.DefaultRTT
+	}
+	c := &ClientConn{net: n, ID: n.connID(), rtt: rtt, handlers: h, state: StateConnecting, StartedAt: now}
+	n.stats.ConnAttempts++
+
+	if !n.allocPort(now) {
+		n.stats.ConnPortFail++
+		c.state = StateRefused
+		n.K.Sim.After(0, func(t core.Time) {
+			if h.OnRefused != nil {
+				h.OnRefused(t, RefusedPorts)
+			}
+		})
+		return c
+	}
+	c.portHeld = true
+
+	// SYN reaches the server half an RTT from now; the handshake completes (or
+	// the refusal is learned) another half RTT later.
+	n.K.Sim.At(now.Add(rtt/2), func(t core.Time) {
+		// Receiving the SYN costs the server an interrupt.
+		n.K.Interrupt(t, n.K.Cost.NetRxIRQ, nil)
+		n.stats.SegmentsRx++
+		l := n.listener
+		reason := RefusedClosed
+		if l != nil {
+			sc := &ServerConn{net: n, ID: c.ID, rtt: rtt, peer: c}
+			if l.deliverSYN(t, sc) {
+				c.server = sc
+				n.stats.ConnEstablished++
+				n.K.Sim.At(t.Add(rtt/2), func(t2 core.Time) {
+					if c.state != StateConnecting {
+						return
+					}
+					c.state = StateEstablished
+					if h.OnConnected != nil {
+						h.OnConnected(t2)
+					}
+				})
+				return
+			}
+			reason = RefusedBacklog
+		}
+		n.stats.ConnRefused++
+		n.K.Sim.At(t.Add(rtt/2), func(t2 core.Time) { c.refuse(t2, reason) })
+	})
+	return c
+}
+
+// State reports the client's view of the connection.
+func (c *ClientConn) State() ConnState { return c.state }
+
+// BytesReceived reports how many response bytes have arrived.
+func (c *ClientConn) BytesReceived() int { return c.bytesReceived }
+
+// RTT returns the connection's round-trip time.
+func (c *ClientConn) RTT() core.Duration { return c.rtt }
+
+// Send transmits request bytes toward the server at time now. Bytes arrive
+// after half an RTT plus the link transmission delay and are buffered on the
+// server connection until it reads them.
+func (c *ClientConn) Send(now core.Time, data []byte) {
+	if c.state != StateEstablished && c.state != StateConnecting {
+		return
+	}
+	n := len(data)
+	if n == 0 {
+		return
+	}
+	payload := append([]byte(nil), data...)
+	net := c.net
+	arrival := now.Add(c.rtt / 2).Add(net.TransmitDelay(n))
+	net.K.Sim.At(arrival, func(t core.Time) {
+		if c.server == nil {
+			return
+		}
+		net.K.Interrupt(t, net.K.Cost.NetRxIRQ, nil)
+		net.stats.SegmentsRx++
+		net.stats.BytesToServer += int64(n)
+		c.server.deliverData(t, payload)
+	})
+}
+
+// Close closes the client end at time now; the FIN reaches the server half an
+// RTT later. The client's ephemeral port enters TIME-WAIT.
+func (c *ClientConn) Close(now core.Time) {
+	if c.closedLocal {
+		return
+	}
+	c.closedLocal = true
+	if c.state == StateEstablished || c.state == StateConnecting {
+		c.state = StateClosed
+	}
+	c.net.stats.ClientCloses++
+	c.releasePort(now)
+	server := c.server
+	if server == nil {
+		return
+	}
+	net := c.net
+	net.K.Sim.At(now.Add(c.rtt/2), func(t core.Time) {
+		net.K.Interrupt(t, net.K.Cost.NetRxIRQ, nil)
+		net.stats.SegmentsRx++
+		server.deliverFIN(t)
+	})
+}
+
+// refuse finalises a failed connection attempt on the client side.
+func (c *ClientConn) refuse(now core.Time, reason RefuseReason) {
+	if c.state != StateConnecting {
+		return
+	}
+	c.state = StateRefused
+	c.releasePort(now)
+	if c.handlers.OnRefused != nil {
+		c.handlers.OnRefused(now, reason)
+	}
+}
+
+// scheduleData delivers response bytes to the client at the given instant.
+func (c *ClientConn) scheduleData(at core.Time, n int) {
+	c.net.K.Sim.At(at, func(t core.Time) {
+		if c.closedLocal {
+			return
+		}
+		c.bytesReceived += n
+		if c.handlers.OnData != nil {
+			c.handlers.OnData(t, n)
+		}
+	})
+}
+
+// schedulePeerClose delivers the server's FIN to the client at the given
+// instant.
+func (c *ClientConn) schedulePeerClose(at core.Time) {
+	c.net.K.Sim.At(at, func(t core.Time) {
+		if c.peerClosed || c.closedLocal {
+			return
+		}
+		c.peerClosed = true
+		c.state = StateClosed
+		c.releasePort(t)
+		if c.handlers.OnPeerClosed != nil {
+			c.handlers.OnPeerClosed(t)
+		}
+	})
+}
+
+// scheduleReset aborts the connection from the server side (listener torn
+// down, descriptor limit, ...), surfacing it to the client as a refusal.
+func (c *ClientConn) scheduleReset(now core.Time) {
+	c.net.K.Sim.At(now.Add(c.rtt/2), func(t core.Time) {
+		if c.closedLocal || c.peerClosed {
+			return
+		}
+		switch c.state {
+		case StateConnecting:
+			c.refuse(t, RefusedReset)
+		case StateEstablished:
+			c.state = StateClosed
+			c.peerClosed = true
+			c.releasePort(t)
+			if c.handlers.OnRefused != nil {
+				c.handlers.OnRefused(t, RefusedReset)
+			}
+		}
+	})
+}
+
+// releasePort returns the client's ephemeral port to TIME-WAIT exactly once.
+func (c *ClientConn) releasePort(now core.Time) {
+	if !c.portHeld {
+		return
+	}
+	c.portHeld = false
+	c.net.releasePort(now)
+}

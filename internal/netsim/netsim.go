@@ -1,0 +1,196 @@
+// Package netsim simulates the network between the benchmark client host and
+// the server host of the paper's testbed: TCP connection establishment with a
+// listener backlog, per-connection round-trip latency, transmission delay on a
+// 100 Mbit/s link, the ~60000-port / 60-second TIME-WAIT limitation that
+// dictates the paper's 35000-connection benchmark procedure, and the
+// server-side socket system calls (accept/read/write/close) with their CPU
+// costs charged to the simulated kernel.
+//
+// The client host (the 4-way Xeon driving httperf) is modelled with unbounded
+// CPU: client-side actions occur exactly at their network event times. The
+// server host is the uniprocessor simulated by package simkernel.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// Config describes the simulated testbed.
+type Config struct {
+	// LinkBandwidthBps is the bandwidth of the Ethernet link in bits/second.
+	LinkBandwidthBps float64
+	// DefaultRTT is the round-trip time used for connections that do not
+	// specify their own (the LAN-attached httperf clients).
+	DefaultRTT core.Duration
+	// ListenBacklog bounds the server's accept queue; SYNs arriving when it is
+	// full are refused, which is one of the error sources Figure 10 counts.
+	ListenBacklog int
+	// PortSpace is the number of client ephemeral ports available (the paper's
+	// "about 60000 open sockets at a single point in time").
+	PortSpace int
+	// TimeWait is how long a client port stays unusable after its connection
+	// finishes (the paper's sixty seconds).
+	TimeWait core.Duration
+	// MaxServerFDs bounds the server process's descriptor table; 0 means
+	// unlimited. thttpd/phhttpd in the paper run with a large limit.
+	MaxServerFDs int
+}
+
+// DefaultConfig returns the testbed configuration used by the paper's
+// evaluation (100 Mbit/s switched Ethernet, LAN RTT, 60 s TIME-WAIT).
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidthBps: 100e6,
+		DefaultRTT:       200 * core.Microsecond,
+		ListenBacklog:    128,
+		PortSpace:        60000,
+		TimeWait:         60 * core.Second,
+		MaxServerFDs:     0,
+	}
+}
+
+// Stats aggregates network-level counters for an experiment run.
+type Stats struct {
+	ConnAttempts    int64 // client connect() calls
+	ConnEstablished int64 // connections that completed the handshake
+	ConnRefused     int64 // SYNs rejected (backlog full or listener closed)
+	ConnPortFail    int64 // connects that failed locally for lack of ports
+	BytesToServer   int64 // request bytes delivered to the server
+	BytesToClient   int64 // response bytes delivered to clients
+	SegmentsRx      int64 // segments received by the server (IRQ charges)
+	Accepted        int64 // connections accepted by the server
+	ServerCloses    int64 // server-initiated closes
+	ClientCloses    int64 // client-initiated closes
+}
+
+// timewaitEntry records when a client port becomes available again.
+type timewaitEntry struct {
+	release core.Time
+}
+
+type timewaitHeap []timewaitEntry
+
+func (h timewaitHeap) Len() int            { return len(h) }
+func (h timewaitHeap) Less(i, j int) bool  { return h[i].release < h[j].release }
+func (h timewaitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timewaitHeap) Push(x interface{}) { *h = append(*h, x.(timewaitEntry)) }
+func (h *timewaitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Network is the simulated wire between the client host and the server host.
+type Network struct {
+	K   *simkernel.Kernel
+	Cfg Config
+
+	listener *Listener
+	stats    Stats
+
+	portsInUse int
+	timewait   timewaitHeap
+
+	nextConnID int64
+}
+
+// New creates a network bound to the given simulated kernel.
+func New(k *simkernel.Kernel, cfg Config) *Network {
+	if cfg.LinkBandwidthBps <= 0 {
+		cfg.LinkBandwidthBps = 100e6
+	}
+	if cfg.DefaultRTT <= 0 {
+		cfg.DefaultRTT = 200 * core.Microsecond
+	}
+	if cfg.ListenBacklog <= 0 {
+		cfg.ListenBacklog = 128
+	}
+	if cfg.PortSpace <= 0 {
+		cfg.PortSpace = 60000
+	}
+	if cfg.TimeWait < 0 {
+		cfg.TimeWait = 0
+	}
+	n := &Network{K: k, Cfg: cfg}
+	heap.Init(&n.timewait)
+	return n
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Listener returns the registered listening socket, if any.
+func (n *Network) Listener() *Listener { return n.listener }
+
+// TransmitDelay returns the serialisation delay for sending size bytes over
+// the link (excluding propagation, which is covered by the RTT).
+func (n *Network) TransmitDelay(size int) core.Duration {
+	if size <= 0 {
+		return 0
+	}
+	seconds := float64(size*8) / n.Cfg.LinkBandwidthBps
+	return core.Duration(seconds * float64(core.Second))
+}
+
+// PortsAvailable reports how many client ephemeral ports can be allocated at
+// virtual time now, after lazily expiring TIME-WAIT entries.
+func (n *Network) PortsAvailable(now core.Time) int {
+	n.expireTimewait(now)
+	return n.Cfg.PortSpace - n.portsInUse - len(n.timewait)
+}
+
+// PortsInTimeWait reports how many ports are currently waiting out TIME-WAIT.
+func (n *Network) PortsInTimeWait(now core.Time) int {
+	n.expireTimewait(now)
+	return len(n.timewait)
+}
+
+func (n *Network) expireTimewait(now core.Time) {
+	for len(n.timewait) > 0 && n.timewait[0].release <= now {
+		heap.Pop(&n.timewait)
+	}
+}
+
+// allocPort claims a client ephemeral port; it returns false when the port
+// space (including TIME-WAIT entries) is exhausted, which the paper avoids by
+// limiting runs to 35000 connections.
+func (n *Network) allocPort(now core.Time) bool {
+	if n.PortsAvailable(now) <= 0 {
+		return false
+	}
+	n.portsInUse++
+	return true
+}
+
+// releasePort moves a port into TIME-WAIT at time now.
+func (n *Network) releasePort(now core.Time) {
+	if n.portsInUse <= 0 {
+		return
+	}
+	n.portsInUse--
+	if n.Cfg.TimeWait > 0 {
+		heap.Push(&n.timewait, timewaitEntry{release: now.Add(n.Cfg.TimeWait)})
+	}
+}
+
+// connID returns a fresh connection identifier for tracing.
+func (n *Network) connID() int64 {
+	n.nextConnID++
+	return n.nextConnID
+}
+
+func (n *Network) tracef(now core.Time, format string, args ...interface{}) {
+	n.K.Tracef(now, "net", format, args...)
+}
+
+// String summarises the configuration, mostly for experiment logs.
+func (c Config) String() string {
+	return fmt.Sprintf("link=%.0fMbit/s rtt=%v backlog=%d ports=%d timewait=%v",
+		c.LinkBandwidthBps/1e6, c.DefaultRTT, c.ListenBacklog, c.PortSpace, c.TimeWait)
+}

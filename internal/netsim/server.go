@@ -1,0 +1,300 @@
+package netsim
+
+import (
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// Listener is the server's listening socket ("port 80"). It implements
+// simkernel.File so it can live in the server's descriptor table and be polled
+// by any of the event mechanisms: it is readable whenever its accept queue is
+// non-empty.
+type Listener struct {
+	net     *Network
+	backlog int
+
+	acceptQ []*ServerConn
+	closed  bool
+
+	notifier func(now core.Time, mask core.EventMask)
+
+	// Overflows counts SYNs refused because the accept queue was full.
+	Overflows int64
+}
+
+// Poll implements simkernel.File: POLLIN when a connection is waiting.
+func (l *Listener) Poll() core.EventMask {
+	if l.closed {
+		return core.POLLNVAL
+	}
+	if len(l.acceptQ) > 0 {
+		return core.POLLIN
+	}
+	return 0
+}
+
+// SetNotifier implements simkernel.File.
+func (l *Listener) SetNotifier(fn func(now core.Time, mask core.EventMask)) { l.notifier = fn }
+
+// Close implements simkernel.File.
+func (l *Listener) Close(now core.Time) {
+	l.closed = true
+	// Connections still in the accept queue are reset.
+	for _, c := range l.acceptQ {
+		c.resetFromServer(now)
+	}
+	l.acceptQ = nil
+}
+
+// Backlog reports the current accept-queue depth.
+func (l *Listener) Backlog() int { return len(l.acceptQ) }
+
+// notify wakes pollers/hints after the queue became non-empty.
+func (l *Listener) notify(now core.Time, mask core.EventMask) {
+	if l.notifier != nil {
+		l.notifier(now, mask)
+	}
+}
+
+// deliverSYN is called by the network when a client's SYN reaches the server.
+// It reports whether the connection was placed on the accept queue.
+func (l *Listener) deliverSYN(now core.Time, conn *ServerConn) bool {
+	if l.closed || len(l.acceptQ) >= l.backlog {
+		l.Overflows++
+		return false
+	}
+	l.acceptQ = append(l.acceptQ, conn)
+	if len(l.acceptQ) == 1 {
+		l.notify(now, core.POLLIN)
+	}
+	return true
+}
+
+// pop removes the oldest pending connection.
+func (l *Listener) pop() (*ServerConn, bool) {
+	if len(l.acceptQ) == 0 {
+		return nil, false
+	}
+	c := l.acceptQ[0]
+	l.acceptQ = l.acceptQ[1:]
+	return c, true
+}
+
+// ServerConn is the server-side endpoint of an established connection. It
+// implements simkernel.File: readable when request bytes are buffered or the
+// peer has closed, writable while open.
+type ServerConn struct {
+	net  *Network
+	ID   int64
+	rtt  core.Duration
+	peer *ClientConn
+
+	rcvBuf      []byte // request bytes buffered, not yet read by the server
+	peerClosed  bool   // client sent FIN
+	closedLocal bool   // server closed its end
+	accepted    bool
+
+	// lastDeliveryAt is the client-side arrival time of the last response data
+	// scheduled, used to keep FIN delivery ordered after the data.
+	lastDeliveryAt core.Time
+
+	notifier func(now core.Time, mask core.EventMask)
+}
+
+// Poll implements simkernel.File.
+func (c *ServerConn) Poll() core.EventMask {
+	if c.closedLocal {
+		return core.POLLNVAL
+	}
+	var m core.EventMask
+	if len(c.rcvBuf) > 0 {
+		m |= core.POLLIN
+	}
+	if c.peerClosed {
+		m |= core.POLLIN | core.POLLHUP
+	}
+	m |= core.POLLOUT
+	return m
+}
+
+// SetNotifier implements simkernel.File.
+func (c *ServerConn) SetNotifier(fn func(now core.Time, mask core.EventMask)) { c.notifier = fn }
+
+// Close implements simkernel.File. Note that the externally visible FIN is
+// scheduled by SockAPI.Close as a deferred batch effect; this only marks local
+// state.
+func (c *ServerConn) Close(now core.Time) { c.closedLocal = true }
+
+// Buffered reports how many unread request bytes are queued.
+func (c *ServerConn) Buffered() int { return len(c.rcvBuf) }
+
+// PeerClosed reports whether the client already sent FIN.
+func (c *ServerConn) PeerClosed() bool { return c.peerClosed }
+
+// Accepted reports whether the server has accepted the connection.
+func (c *ServerConn) Accepted() bool { return c.accepted }
+
+// Peer returns the client endpoint (used by tests and the load generator).
+func (c *ServerConn) Peer() *ClientConn { return c.peer }
+
+func (c *ServerConn) notify(now core.Time, mask core.EventMask) {
+	if c.notifier != nil {
+		c.notifier(now, mask)
+	}
+}
+
+// deliverData is called by the network when request bytes arrive.
+func (c *ServerConn) deliverData(now core.Time, data []byte) {
+	if c.closedLocal || len(data) == 0 {
+		return
+	}
+	c.rcvBuf = append(c.rcvBuf, data...)
+	c.notify(now, core.POLLIN)
+}
+
+// deliverFIN is called by the network when the client's FIN arrives.
+func (c *ServerConn) deliverFIN(now core.Time) {
+	if c.closedLocal {
+		return
+	}
+	c.peerClosed = true
+	c.notify(now, core.POLLIN|core.POLLHUP)
+}
+
+// resetFromServer aborts a connection that was never accepted (listener
+// closed underneath it).
+func (c *ServerConn) resetFromServer(now core.Time) {
+	if c.peer != nil {
+		c.peer.scheduleReset(now)
+	}
+}
+
+// SockAPI exposes the socket system calls to a simulated server process. Every
+// method charges its CPU cost to the process's current batch (see
+// simkernel.Proc.Batch); externally visible effects — transmissions and FINs —
+// are deferred to the batch's completion instant.
+type SockAPI struct {
+	K   *simkernel.Kernel
+	P   *simkernel.Proc
+	Net *Network
+
+	// EMFILECount counts accepts that failed due to the descriptor limit.
+	EMFILECount int64
+}
+
+// NewSockAPI builds the socket interface for process p.
+func NewSockAPI(k *simkernel.Kernel, p *simkernel.Proc, net *Network) *SockAPI {
+	return &SockAPI{K: k, P: p, Net: net}
+}
+
+// Listen creates the listening socket, installs it in the descriptor table and
+// registers it with the network so client SYNs can reach it.
+func (a *SockAPI) Listen() (*simkernel.FD, *Listener) {
+	a.P.ChargeSyscall(a.K.Cost.Accept) // socket+bind+listen lumped together
+	l := &Listener{net: a.Net, backlog: a.Net.Cfg.ListenBacklog}
+	fd := a.P.Install(l)
+	a.Net.listener = l
+	return fd, l
+}
+
+// Accept pops one pending connection from the listener's queue, installing a
+// new descriptor for it. ok is false when the queue is empty (EAGAIN) or the
+// descriptor limit is reached (EMFILE, in which case the pending connection is
+// reset, mirroring what a real server under fd pressure does).
+func (a *SockAPI) Accept(lfd *simkernel.FD) (fd *simkernel.FD, conn *ServerConn, ok bool) {
+	a.P.ChargeSyscall(a.K.Cost.Accept)
+	l, isListener := lfd.File().(*Listener)
+	if !isListener {
+		return nil, nil, false
+	}
+	c, ok := l.pop()
+	if !ok {
+		return nil, nil, false
+	}
+	if a.Net.Cfg.MaxServerFDs > 0 && a.P.NumFDs() >= a.Net.Cfg.MaxServerFDs {
+		a.EMFILECount++
+		c.resetFromServer(a.K.Now())
+		return nil, nil, false
+	}
+	c.accepted = true
+	a.Net.stats.Accepted++
+	fd = a.P.Install(c)
+	return fd, c, true
+}
+
+// Read consumes up to max buffered request bytes from the connection,
+// returning the data read and whether end-of-file (peer FIN with an empty
+// buffer) was reached. max <= 0 reads everything buffered.
+func (a *SockAPI) Read(fd *simkernel.FD, max int) (data []byte, eof bool) {
+	a.P.ChargeSyscall(a.K.Cost.SockRead)
+	conn, isConn := fd.File().(*ServerConn)
+	if !isConn || fd.Closed() {
+		return nil, true
+	}
+	n := len(conn.rcvBuf)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n > 0 {
+		data = conn.rcvBuf[:n:n]
+		conn.rcvBuf = conn.rcvBuf[n:]
+	}
+	if n == 0 && conn.peerClosed {
+		eof = true
+	}
+	return data, eof
+}
+
+// Write queues n response bytes for transmission to the client. The CPU cost
+// is charged now; the bytes arrive at the client one link-transmission plus
+// half an RTT after the batch completes.
+func (a *SockAPI) Write(fd *simkernel.FD, n int) {
+	a.P.ChargeSyscall(a.K.Cost.WriteCost(n))
+	conn, isConn := fd.File().(*ServerConn)
+	if !isConn || fd.Closed() || n <= 0 || conn.closedLocal {
+		return
+	}
+	net := a.Net
+	a.P.Defer(func(done core.Time) {
+		arrival := done.Add(net.TransmitDelay(n)).Add(conn.rtt / 2)
+		if arrival < conn.lastDeliveryAt {
+			arrival = conn.lastDeliveryAt
+		}
+		conn.lastDeliveryAt = arrival
+		net.stats.BytesToClient += int64(n)
+		if conn.peer != nil {
+			conn.peer.scheduleData(arrival, n)
+		}
+	})
+}
+
+// Close releases the descriptor and sends a FIN to the client after the
+// current batch completes. For HTTP/1.0 the server closes every connection
+// after writing the response, so the FIN is what lets the client measure the
+// connection as complete.
+func (a *SockAPI) Close(fd *simkernel.FD) {
+	a.P.ChargeSyscall(a.K.Cost.SockClose)
+	conn, isConn := fd.File().(*ServerConn)
+	_ = a.P.CloseFD(a.K.Now(), fd.Num)
+	if !isConn {
+		return
+	}
+	net := a.Net
+	a.P.Defer(func(done core.Time) {
+		net.stats.ServerCloses++
+		arrival := done.Add(conn.rtt / 2)
+		if arrival < conn.lastDeliveryAt {
+			arrival = conn.lastDeliveryAt
+		}
+		conn.lastDeliveryAt = arrival
+		if conn.peer != nil {
+			conn.peer.schedulePeerClose(arrival)
+		}
+	})
+}
+
+// Fcntl models fcntl() calls such as F_SETSIG/F_SETOWN/O_ASYNC, charging their
+// cost; the RT-signal mechanism calls it when registering descriptors.
+func (a *SockAPI) Fcntl(fd *simkernel.FD) {
+	a.P.ChargeSyscall(a.K.Cost.FcntlSetSig)
+}

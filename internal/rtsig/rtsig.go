@@ -1,0 +1,392 @@
+// Package rtsig implements the POSIX Real-Time signal event-delivery model of
+// the paper (§2, §4): an application assigns a signal number to each open
+// descriptor with fcntl(fd, F_SETSIG, signum); the kernel appends a siginfo
+// carrying the descriptor and the band (event mask) to the process's RT signal
+// queue whenever a read, write or close completes; the application keeps the
+// signals masked and collects them one at a time with sigwaitinfo().
+//
+// The queue is a bounded resource (1024 entries by default). On overflow the
+// kernel raises SIGIO; the application must flush pending signals and fall
+// back to poll() to discover any remaining activity — the recovery path that
+// phhttpd implements so expensively (§6).
+//
+// The package also implements the paper's proposed sigtimedwait4() extension:
+// dequeueing a batch of siginfo structs with a single system call (§6, future
+// work), which the hybrid server and the ablation benchmarks exercise.
+package rtsig
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// DefaultQueueLimit is the kernel's default maximum RT signal queue length
+// ("normally set high enough (1024 by default) that it is never exceeded").
+const DefaultQueueLimit = 1024
+
+// OverflowFD is the descriptor value reported in the sentinel event delivered
+// when the signal queue has overflowed and SIGIO is pending.
+const OverflowFD = -1
+
+// OverflowEvent is the sentinel event a Wait delivers to announce a pending
+// SIGIO. The application must call Recover and re-scan with poll().
+var OverflowEvent = core.Event{FD: OverflowFD, Ready: core.POLLERR}
+
+// Options configure the RT signal queue.
+type Options struct {
+	// QueueLimit is the maximum number of queued siginfo entries (default 1024).
+	QueueLimit int
+	// Signo is the RT signal number assigned by Add when the caller does not
+	// choose one per descriptor.
+	Signo int
+	// BatchDequeue enables the sigtimedwait4() extension: Wait(max>1) dequeues
+	// up to max events per system call instead of exactly one.
+	BatchDequeue bool
+}
+
+// DefaultOptions matches phhttpd's configuration on the paper's test kernel.
+func DefaultOptions() Options {
+	return Options{QueueLimit: DefaultQueueLimit, Signo: core.SIGRTMIN, BatchDequeue: false}
+}
+
+// registration records the signal assignment for a descriptor.
+type registration struct {
+	signo  int
+	events core.EventMask
+	entry  *simkernel.FD
+}
+
+// Queue is a process's RT signal queue plus its per-descriptor signal
+// assignments. It implements core.Poller so servers can treat it like the
+// other mechanisms, with Wait mapping to sigwaitinfo()/sigtimedwait4().
+type Queue struct {
+	k    *simkernel.Kernel
+	p    *simkernel.Proc
+	opts Options
+
+	registered map[int]*registration
+	bySigno    map[int][]core.Siginfo // pending siginfo, FIFO per signal number
+	signos     []int                  // sorted signal numbers with pending entries
+	length     int
+
+	overflowed       bool
+	overflowReported bool
+
+	state     waitState
+	pendWake  bool
+	curMax    int
+	curHand   func([]core.Event, core.Time)
+	timeoutID int64
+
+	stats  core.Stats
+	closed bool
+}
+
+type waitState int
+
+const (
+	stateIdle waitState = iota
+	stateDequeueing
+	stateBlocked
+)
+
+// New creates an RT signal queue for process p.
+func New(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Queue {
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = DefaultQueueLimit
+	}
+	if opts.Signo == 0 {
+		opts.Signo = core.SIGRTMIN
+	}
+	return &Queue{
+		k:          k,
+		p:          p,
+		opts:       opts,
+		registered: make(map[int]*registration),
+		bySigno:    make(map[int][]core.Siginfo),
+	}
+}
+
+// Name implements core.Poller.
+func (q *Queue) Name() string { return "rtsig" }
+
+// Options returns the active option set.
+func (q *Queue) Options() Options { return q.opts }
+
+// MechanismStats implements core.StatsSource.
+func (q *Queue) MechanismStats() core.Stats { return q.stats }
+
+// QueueLength reports the number of pending siginfo entries; the hybrid server
+// uses it as its load threshold (§4).
+func (q *Queue) QueueLength() int { return q.length }
+
+// QueueLimit reports the configured maximum queue length.
+func (q *Queue) QueueLimit() int { return q.opts.QueueLimit }
+
+// Overflowed reports whether the queue has overflowed since the last Recover.
+func (q *Queue) Overflowed() bool { return q.overflowed }
+
+// Add implements core.Poller by registering fd with the queue's default signal
+// number.
+func (q *Queue) Add(fd int, events core.EventMask) error {
+	return q.Register(fd, q.opts.Signo, events)
+}
+
+// Register assigns an explicit RT signal number to fd, mirroring
+// fcntl(fd, F_SETSIG, signo) plus F_SETOWN and O_ASYNC.
+func (q *Queue) Register(fd, signo int, events core.EventMask) error {
+	if q.closed {
+		return core.ErrClosed
+	}
+	if _, ok := q.registered[fd]; ok {
+		return core.ErrExists
+	}
+	if signo < core.SIGRTMIN || signo > core.SIGRTMAX {
+		signo = q.opts.Signo
+	}
+	entry, ok := q.p.Get(fd)
+	if !ok {
+		return core.ErrBadFD
+	}
+	q.p.ChargeSyscall(q.k.Cost.FcntlSetSig)
+	reg := &registration{signo: signo, events: events, entry: entry}
+	q.registered[fd] = reg
+	entry.AddWatcher(q)
+	return nil
+}
+
+// Modify implements core.Poller: it updates the event mask used to filter
+// completions for fd.
+func (q *Queue) Modify(fd int, events core.EventMask) error {
+	if q.closed {
+		return core.ErrClosed
+	}
+	reg, ok := q.registered[fd]
+	if !ok {
+		return core.ErrNotFound
+	}
+	q.p.ChargeSyscall(q.k.Cost.FcntlSetSig)
+	reg.events = events
+	return nil
+}
+
+// Remove implements core.Poller. Siginfo entries already queued for fd remain
+// on the queue (the paper: "Events queued before an application closes a
+// connection will remain on the RT signal queue, and must be processed and/or
+// ignored by applications").
+func (q *Queue) Remove(fd int) error {
+	if q.closed {
+		return core.ErrClosed
+	}
+	reg, ok := q.registered[fd]
+	if !ok {
+		return core.ErrNotFound
+	}
+	reg.entry.RemoveWatcher(q)
+	delete(q.registered, fd)
+	return nil
+}
+
+// Interested implements core.Poller.
+func (q *Queue) Interested(fd int) bool { _, ok := q.registered[fd]; return ok }
+
+// Len implements core.Poller: the number of registered descriptors.
+func (q *Queue) Len() int { return len(q.registered) }
+
+// Close implements core.Poller.
+func (q *Queue) Close() error {
+	if q.closed {
+		return core.ErrClosed
+	}
+	for _, reg := range q.registered {
+		reg.entry.RemoveWatcher(q)
+	}
+	q.registered = nil
+	q.closed = true
+	return nil
+}
+
+// Recover flushes the signal queue after an overflow, mirroring the
+// application changing the handler to SIG_DFL to drop pending signals. It
+// returns the number of entries flushed; the caller is expected to follow up
+// with a poll() over its descriptors to find any remaining activity.
+func (q *Queue) Recover() int {
+	q.p.ChargeSyscall(q.k.Cost.SigMaskChange)
+	flushed := q.length
+	q.bySigno = make(map[int][]core.Siginfo)
+	q.signos = nil
+	q.length = 0
+	q.overflowed = false
+	q.overflowReported = false
+	return flushed
+}
+
+// Wait implements core.Poller. With max <= 1 (or batch dequeue disabled) it is
+// one sigwaitinfo() call returning a single event; with max > 1 and
+// BatchDequeue enabled it is the sigtimedwait4() extension returning up to max
+// events in one system call. A pending overflow is reported first, as the
+// SIGIO sentinel event.
+func (q *Queue) Wait(max int, timeout core.Duration, handler func(events []core.Event, now core.Time)) {
+	if q.closed {
+		handler(nil, q.k.Now())
+		return
+	}
+	if q.state != stateIdle {
+		panic("rtsig: concurrent Wait on a single-threaded signal queue")
+	}
+	if max <= 0 || !q.opts.BatchDequeue {
+		max = 1
+	}
+	q.curMax = max
+	q.curHand = handler
+	q.pendWake = false
+	q.dequeue(true, timeout)
+}
+
+// dequeue performs one sigwaitinfo()/sigtimedwait4() attempt inside a batch.
+func (q *Queue) dequeue(firstPass bool, timeout core.Duration) {
+	q.state = stateDequeueing
+	now := q.k.Now()
+	var events []core.Event
+	q.p.Batch(now, func() {
+		cost := q.k.Cost
+		q.stats.Waits++
+		if firstPass {
+			q.p.Charge(cost.SyscallEntry)
+		} else {
+			q.p.Charge(cost.SchedWakeup)
+		}
+		if q.overflowed && !q.overflowReported {
+			// SIGIO announces the overflow; the application learns nothing else
+			// from this delivery.
+			q.p.Charge(cost.SigDequeue)
+			q.overflowReported = true
+			events = append(events, OverflowEvent)
+			q.stats.EventsReturned++
+			return
+		}
+		for len(events) < q.curMax && q.length > 0 {
+			si, ok := q.pop()
+			if !ok {
+				break
+			}
+			if len(events) == 0 {
+				q.p.Charge(cost.SigDequeue)
+			} else {
+				q.p.Charge(cost.SigDequeueBatch)
+			}
+			events = append(events, core.Event{FD: si.FD, Ready: si.Band})
+			q.stats.EventsReturned++
+		}
+	}, func(done core.Time) {
+		if len(events) > 0 || timeout == 0 {
+			q.finish(events, done)
+			return
+		}
+		if q.pendWake {
+			q.pendWake = false
+			q.dequeue(false, timeout)
+			return
+		}
+		q.state = stateBlocked
+		if timeout > 0 {
+			q.timeoutID++
+			id := q.timeoutID
+			q.k.Sim.At(done.Add(timeout), func(t core.Time) {
+				if q.state == stateBlocked && q.timeoutID == id {
+					q.finish(nil, t)
+				}
+			})
+		}
+	})
+}
+
+func (q *Queue) finish(events []core.Event, now core.Time) {
+	q.state = stateIdle
+	q.timeoutID++
+	h := q.curHand
+	q.curHand = nil
+	if h != nil {
+		h(events, now)
+	}
+}
+
+// pop removes the oldest pending siginfo from the lowest pending signal
+// number: "Signals dequeue in order of their assigned signal number".
+func (q *Queue) pop() (core.Siginfo, bool) {
+	for len(q.signos) > 0 {
+		signo := q.signos[0]
+		pending := q.bySigno[signo]
+		if len(pending) == 0 {
+			q.signos = q.signos[1:]
+			delete(q.bySigno, signo)
+			continue
+		}
+		si := pending[0]
+		q.bySigno[signo] = pending[1:]
+		q.length--
+		if len(q.bySigno[signo]) == 0 {
+			q.signos = q.signos[1:]
+			delete(q.bySigno, signo)
+		}
+		return si, true
+	}
+	return core.Siginfo{}, false
+}
+
+// push appends a siginfo, keeping the per-signo FIFO and the sorted signo set.
+func (q *Queue) push(si core.Siginfo) {
+	if _, ok := q.bySigno[si.Signo]; !ok {
+		q.signos = append(q.signos, si.Signo)
+		sort.Ints(q.signos)
+	}
+	q.bySigno[si.Signo] = append(q.bySigno[si.Signo], si)
+	q.length++
+}
+
+// ReadinessChanged implements simkernel.Watcher: an I/O completion on a
+// registered descriptor queues an RT signal in interrupt context. The enqueue
+// cost includes a per-registered-descriptor component (the fasync list walk),
+// which is what makes a large population of idle connections slow the signal
+// path down — the effect the paper observed in Figures 12 and 13.
+func (q *Queue) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.EventMask) {
+	if q.closed {
+		return
+	}
+	reg, ok := q.registered[fd.Num]
+	if !ok {
+		return
+	}
+	if !mask.Any(reg.events | core.POLLERR | core.POLLHUP) {
+		return
+	}
+	cost := q.k.Cost
+	enqueueCost := cost.SigEnqueue + cost.SigEnqueuePerFD.Scale(float64(len(q.registered)))
+	q.k.Interrupt(now, enqueueCost, nil)
+
+	if q.length >= q.opts.QueueLimit {
+		q.stats.Dropped++
+		if !q.overflowed {
+			q.overflowed = true
+			q.stats.Overflows++
+			q.k.Interrupt(now, cost.SigOverflow, nil)
+		}
+	} else {
+		q.push(core.Siginfo{Signo: reg.signo, Band: mask, FD: fd.Num})
+		q.stats.Enqueued++
+	}
+
+	switch q.state {
+	case stateDequeueing:
+		q.pendWake = true
+	case stateBlocked:
+		q.state = stateDequeueing
+		q.dequeue(false, core.Forever)
+	}
+}
+
+var _ core.Poller = (*Queue)(nil)
+var _ core.StatsSource = (*Queue)(nil)
+var _ simkernel.Watcher = (*Queue)(nil)

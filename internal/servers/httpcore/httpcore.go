@@ -1,0 +1,233 @@
+// Package httpcore contains the connection-handling logic shared by the
+// simulated web servers (thttpd, phhttpd and the hybrid server): accepting
+// connections, incrementally parsing HTTP/1.0 requests, serving static
+// documents from a content store, closing connections and sweeping idle ones.
+//
+// The event-delivery policy — which descriptors to wait on and how — is what
+// differentiates the servers, so it stays in the server packages; they plug
+// into this handler through the OnConnOpen/OnConnClose callbacks.
+package httpcore
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/simkernel"
+)
+
+// CloseReason explains why the server closed a connection.
+type CloseReason int
+
+// Close reasons, tallied in Stats.
+const (
+	CloseServed CloseReason = iota // response written
+	CloseBadRequest
+	CloseEOF // client closed before sending a complete request
+	CloseIdle
+	CloseShutdown
+)
+
+// Stats tallies server-side application events.
+type Stats struct {
+	Accepted    int64
+	Served      int64
+	NotFound    int64
+	BadRequests int64
+	EOFCloses   int64
+	IdleCloses  int64
+	Closed      int64
+	BytesSent   int64
+}
+
+// Conn is the per-connection state a server keeps.
+type Conn struct {
+	FD     *simkernel.FD
+	SC     *netsim.ServerConn
+	Parser *httpsim.Parser
+
+	OpenedAt     core.Time
+	LastActivity core.Time
+}
+
+// Handler implements the application layer of a static-content HTTP/1.0
+// server over the simulated socket API. All methods that perform socket calls
+// must be invoked from inside a simkernel batch; the servers' event loops
+// guarantee this.
+type Handler struct {
+	K       *simkernel.Kernel
+	P       *simkernel.Proc
+	API     *netsim.SockAPI
+	Content *httpsim.ContentStore
+
+	// IdleTimeout closes connections that have shown no activity for this
+	// long; zero disables the sweep. thttpd's connection timeout is what makes
+	// the paper's inactive clients reopen their connections.
+	IdleTimeout core.Duration
+
+	// OnConnOpen is called (inside the batch) after a connection is accepted
+	// and installed; the server registers the descriptor with its event
+	// mechanism here.
+	OnConnOpen func(fd int)
+	// OnConnClose is called (inside the batch) just before a connection's
+	// descriptor is closed; the server unregisters it here.
+	OnConnClose func(fd int)
+
+	Conns map[int]*Conn
+	Stats Stats
+}
+
+// NewHandler builds a handler with an empty connection table.
+func NewHandler(k *simkernel.Kernel, p *simkernel.Proc, api *netsim.SockAPI, content *httpsim.ContentStore) *Handler {
+	if content == nil {
+		content = httpsim.DefaultContentStore()
+	}
+	return &Handler{K: k, P: p, API: api, Content: content, Conns: make(map[int]*Conn)}
+}
+
+// OpenConns returns the open connection descriptors in ascending order.
+func (h *Handler) OpenConns() []int {
+	out := make([]int, 0, len(h.Conns))
+	for fd := range h.Conns {
+		out = append(out, fd)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AcceptAll drains the listener's accept queue, installing a connection for
+// each pending client and invoking OnConnOpen. It returns the descriptors of
+// the newly accepted connections; edge-style servers (RT signals) use the list
+// to perform an immediate read, since data that arrived before registration
+// produces no completion signal.
+func (h *Handler) AcceptAll(now core.Time, lfd *simkernel.FD) []int {
+	var accepted []int
+	for {
+		fd, sc, ok := h.API.Accept(lfd)
+		if !ok {
+			break
+		}
+		h.Stats.Accepted++
+		c := &Conn{FD: fd, SC: sc, Parser: httpsim.NewParser(), OpenedAt: now, LastActivity: now}
+		h.Conns[fd.Num] = c
+		accepted = append(accepted, fd.Num)
+		if h.OnConnOpen != nil {
+			h.OnConnOpen(fd.Num)
+		}
+	}
+	return accepted
+}
+
+// HandleReadable processes a readability event on a connection: it reads
+// whatever is buffered, advances the request parser and, when a complete
+// request has arrived, serves it and closes the connection (HTTP/1.0). Events
+// for unknown descriptors (stale RT signals, for example) are ignored, as the
+// paper notes real servers must do.
+func (h *Handler) HandleReadable(now core.Time, fd int) {
+	c, ok := h.Conns[fd]
+	if !ok {
+		return
+	}
+	data, eof := h.API.Read(c.FD, 0)
+	if len(data) > 0 {
+		c.LastActivity = now
+		complete, err := c.Parser.Feed(data)
+		if err != nil {
+			h.respondError(c, httpsim.StatusBadReq)
+			h.closeConn(c, CloseBadRequest)
+			return
+		}
+		if complete {
+			h.serve(c)
+			h.closeConn(c, CloseServed)
+			return
+		}
+	}
+	if eof {
+		// The client went away before completing its request.
+		h.closeConn(c, CloseEOF)
+	}
+}
+
+// serve writes the response for the parsed request.
+func (h *Handler) serve(c *Conn) {
+	req := c.Parser.Request()
+	// The application-level work of serving a request: parse, map the URL,
+	// locate the cached document, build headers.
+	h.P.Charge(h.K.Cost.HTTPService)
+	size, ok := h.Content.Lookup(req.Path)
+	if !ok {
+		h.Stats.NotFound++
+		h.respondError(c, httpsim.StatusNotFound)
+		return
+	}
+	total := httpsim.ResponseSize(httpsim.StatusOK, size)
+	h.API.Write(c.FD, total)
+	h.Stats.Served++
+	h.Stats.BytesSent += int64(total)
+}
+
+// respondError writes a minimal error response.
+func (h *Handler) respondError(c *Conn, status int) {
+	h.P.Charge(h.K.Cost.HTTPService / 4)
+	total := httpsim.ResponseSize(status, 0)
+	h.API.Write(c.FD, total)
+	if status == httpsim.StatusBadReq {
+		h.Stats.BadRequests++
+	}
+	h.Stats.BytesSent += int64(total)
+}
+
+// CloseConn closes the connection for descriptor fd with the given reason, if
+// it is still open.
+func (h *Handler) CloseConn(now core.Time, fd int, reason CloseReason) {
+	if c, ok := h.Conns[fd]; ok {
+		h.closeConn(c, reason)
+	}
+}
+
+func (h *Handler) closeConn(c *Conn, reason CloseReason) {
+	if _, ok := h.Conns[c.FD.Num]; !ok {
+		return
+	}
+	if h.OnConnClose != nil {
+		h.OnConnClose(c.FD.Num)
+	}
+	delete(h.Conns, c.FD.Num)
+	h.API.Close(c.FD)
+	h.Stats.Closed++
+	switch reason {
+	case CloseEOF:
+		h.Stats.EOFCloses++
+	case CloseIdle:
+		h.Stats.IdleCloses++
+	}
+}
+
+// SweepIdle closes connections that have been inactive longer than
+// IdleTimeout and returns how many were closed. thttpd performs this from its
+// timer callbacks; the simulated servers call it when their wait times out.
+func (h *Handler) SweepIdle(now core.Time) int {
+	if h.IdleTimeout <= 0 {
+		return 0
+	}
+	var victims []*Conn
+	for _, c := range h.Conns {
+		if now.Sub(c.LastActivity) >= h.IdleTimeout {
+			victims = append(victims, c)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].FD.Num < victims[j].FD.Num })
+	for _, c := range victims {
+		h.closeConn(c, CloseIdle)
+	}
+	return len(victims)
+}
+
+// CloseAll tears down every open connection (server shutdown).
+func (h *Handler) CloseAll(now core.Time) {
+	for _, fd := range h.OpenConns() {
+		h.CloseConn(now, fd, CloseShutdown)
+	}
+}

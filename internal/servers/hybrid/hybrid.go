@@ -1,0 +1,292 @@
+// Package hybrid implements the server the paper imagines but never builds
+// (§4, §6): a static-content server that uses POSIX RT signals for low-latency
+// event delivery while lightly loaded and switches to /dev/poll once the RT
+// signal queue length signals heavy load, switching back when load subsides.
+//
+// Following §6's prescription, the /dev/poll interest set is maintained
+// concurrently with RT signal activity, so a mode switch costs almost nothing:
+// no per-connection handoff and no rebuilding of interest state — the
+// weaknesses that doom phhttpd's overflow recovery.
+package hybrid
+
+import (
+	"repro/internal/core"
+	"repro/internal/devpoll"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/rtsig"
+	"repro/internal/servers/httpcore"
+	"repro/internal/simkernel"
+)
+
+// Mode is the server's current event-delivery mode.
+type Mode int
+
+// Modes.
+const (
+	ModeSignal  Mode = iota // RT signals: lowest latency per event
+	ModePolling             // /dev/poll: highest throughput under load
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeSignal {
+		return "signal"
+	}
+	return "devpoll"
+}
+
+// Config parameterises the hybrid server.
+type Config struct {
+	// Content is the static document tree; nil selects the default store.
+	Content *httpsim.ContentStore
+	// IdleTimeout closes connections with no activity for this long.
+	IdleTimeout core.Duration
+	// QueueLimit is the RT signal queue maximum.
+	QueueLimit int
+	// HighWater is the queue length that triggers the switch to /dev/poll; the
+	// paper suggests using the queue maximum itself, since overflow already
+	// forces a poll. Zero selects QueueLimit/2, a slightly earlier, safer
+	// crossover.
+	HighWater int
+	// LowWater is the queue length below which (together with small /dev/poll
+	// result sets) the server switches back to signal mode.
+	LowWater int
+	// ConsecutiveLow is how many consecutive light /dev/poll scans are required
+	// before switching back, to avoid oscillation.
+	ConsecutiveLow int
+	// BatchDequeue enables sigtimedwait4-style batch dequeue in signal mode.
+	BatchDequeue bool
+	// DevPoll configures the /dev/poll instance.
+	DevPoll devpoll.Options
+	// MaxEventsPerWait caps events per /dev/poll wait.
+	MaxEventsPerWait int
+	// WaitTimeout bounds each wait so timers can run.
+	WaitTimeout core.Duration
+}
+
+// DefaultConfig returns a hybrid configuration with the crossover at half the
+// RT queue limit and hysteresis on the way back down.
+func DefaultConfig() Config {
+	return Config{
+		IdleTimeout:      60 * core.Second,
+		QueueLimit:       rtsig.DefaultQueueLimit,
+		HighWater:        rtsig.DefaultQueueLimit / 2,
+		LowWater:         8,
+		ConsecutiveLow:   4,
+		BatchDequeue:     false,
+		DevPoll:          devpoll.DefaultOptions(),
+		MaxEventsPerWait: 1024,
+		WaitTimeout:      core.Second,
+	}
+}
+
+// Server is a running hybrid instance inside the simulation.
+type Server struct {
+	K   *simkernel.Kernel
+	Net *netsim.Network
+	P   *simkernel.Proc
+
+	cfg     Config
+	api     *netsim.SockAPI
+	rtq     *rtsig.Queue
+	dp      *devpoll.DevPoll
+	handler *httpcore.Handler
+	lfd     *simkernel.FD
+
+	mode      Mode
+	lowRuns   int
+	started   bool
+	stopped   bool
+	lastSweep core.Time
+
+	// Loops counts event-loop iterations. SwitchesToPoll and SwitchesToSignal
+	// count mode transitions; ModeTime accumulates virtual time per mode.
+	Loops            int64
+	SwitchesToPoll   int64
+	SwitchesToSignal int64
+	lastModeChange   core.Time
+	ModeTime         [2]core.Duration
+}
+
+// New creates a hybrid server bound to the kernel and network.
+func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = rtsig.DefaultQueueLimit
+	}
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = cfg.QueueLimit / 2
+	}
+	if cfg.LowWater <= 0 {
+		cfg.LowWater = 8
+	}
+	if cfg.ConsecutiveLow <= 0 {
+		cfg.ConsecutiveLow = 4
+	}
+	if cfg.MaxEventsPerWait <= 0 {
+		cfg.MaxEventsPerWait = 1024
+	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = core.Second
+	}
+	if cfg.DevPoll.ResultAreaSize == 0 {
+		cfg.DevPoll = devpoll.DefaultOptions()
+	}
+	p := k.NewProc("hybrid")
+	api := netsim.NewSockAPI(k, p, net)
+	s := &Server{K: k, Net: net, P: p, cfg: cfg, api: api, mode: ModeSignal}
+	s.rtq = rtsig.New(k, p, rtsig.Options{QueueLimit: cfg.QueueLimit, Signo: core.SIGRTMIN, BatchDequeue: cfg.BatchDequeue})
+	s.dp = devpoll.Open(k, p, cfg.DevPoll)
+	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
+	s.handler.IdleTimeout = cfg.IdleTimeout
+	// Both event sources are kept up to date on every connection open/close,
+	// which is what makes switching modes nearly free.
+	s.handler.OnConnOpen = func(fd int) {
+		_ = s.rtq.Add(fd, core.POLLIN)
+		_ = s.dp.Add(fd, core.POLLIN)
+	}
+	s.handler.OnConnClose = func(fd int) {
+		_ = s.rtq.Remove(fd)
+		_ = s.dp.Remove(fd)
+	}
+	return s
+}
+
+// Start opens the listening socket, registers it with both mechanisms and
+// enters the event loop.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.P.Batch(s.K.Now(), func() {
+		s.lfd, _ = s.api.Listen()
+		_ = s.rtq.Add(s.lfd.Num, core.POLLIN)
+		_ = s.dp.Add(s.lfd.Num, core.POLLIN)
+	}, func(done core.Time) {
+		s.lastSweep = done
+		s.lastModeChange = done
+		s.loop()
+	})
+}
+
+// Stop halts the event loop after the current iteration.
+func (s *Server) Stop() {
+	s.stopped = true
+	s.ModeTime[s.mode] += s.K.Now().Sub(s.lastModeChange)
+	s.lastModeChange = s.K.Now()
+}
+
+// Mode reports the current event-delivery mode.
+func (s *Server) Mode() Mode { return s.mode }
+
+// Stats returns the application-level counters.
+func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
+
+// SignalQueue exposes the RT signal queue (for tests and experiments).
+func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
+
+// DevPollSet exposes the /dev/poll instance (for tests and experiments).
+func (s *Server) DevPollSet() *devpoll.DevPoll { return s.dp }
+
+// OpenConnections reports how many connections the server currently holds.
+func (s *Server) OpenConnections() int { return len(s.handler.Conns) }
+
+// loop performs one wait-and-dispatch iteration in the current mode.
+func (s *Server) loop() {
+	if s.stopped {
+		return
+	}
+	if s.mode == ModeSignal {
+		max := 1
+		if s.cfg.BatchDequeue {
+			max = s.cfg.MaxEventsPerWait
+		}
+		s.rtq.Wait(max, s.cfg.WaitTimeout, s.handleEvents)
+		return
+	}
+	s.dp.Wait(s.cfg.MaxEventsPerWait, s.cfg.WaitTimeout, s.handleEvents)
+}
+
+// handleEvents processes one delivery as a single scheduling quantum and then
+// evaluates the mode-switch policy.
+func (s *Server) handleEvents(events []core.Event, now core.Time) {
+	if s.stopped {
+		return
+	}
+	s.Loops++
+	s.P.Batch(now, func() {
+		for _, ev := range events {
+			if ev.FD == rtsig.OverflowFD {
+				// Overflow is simply an early, emphatic load signal; the
+				// devpoll interest set is already current, so recovery is one
+				// Recover plus the next devpoll scan.
+				s.rtq.Recover()
+				s.switchMode(now, ModePolling)
+				continue
+			}
+			if s.lfd != nil && ev.FD == s.lfd.Num {
+				newConns := s.handler.AcceptAll(now, s.lfd)
+				if s.mode == ModeSignal {
+					// As in phhttpd: data that arrived before registration never
+					// raises a signal, so read freshly accepted connections once.
+					for _, fd := range newConns {
+						s.handler.HandleReadable(now, fd)
+					}
+				}
+				continue
+			}
+			s.handler.HandleReadable(now, ev.FD)
+		}
+		if s.cfg.IdleTimeout > 0 && now.Sub(s.lastSweep) >= s.cfg.WaitTimeout {
+			s.handler.SweepIdle(now)
+			s.lastSweep = now
+		}
+		s.evaluateSwitch(now, len(events))
+	}, func(core.Time) {
+		s.loop()
+	})
+}
+
+// evaluateSwitch applies the crossover policy of §4: the RT signal queue
+// length is the load indicator.
+func (s *Server) evaluateSwitch(now core.Time, delivered int) {
+	switch s.mode {
+	case ModeSignal:
+		if s.rtq.QueueLength() >= s.cfg.HighWater || s.rtq.Overflowed() {
+			// The queue is deep: one-at-a-time dequeueing is falling behind.
+			// Flush it (the devpoll scan will rediscover everything pending)
+			// and switch.
+			s.rtq.Recover()
+			s.switchMode(now, ModePolling)
+		}
+	case ModePolling:
+		if delivered < s.cfg.LowWater && s.rtq.QueueLength() < s.cfg.LowWater {
+			s.lowRuns++
+			if s.lowRuns >= s.cfg.ConsecutiveLow {
+				// Load has subsided; drain the stale signal backlog and return
+				// to low-latency delivery.
+				s.rtq.Recover()
+				s.switchMode(now, ModeSignal)
+			}
+		} else {
+			s.lowRuns = 0
+		}
+	}
+}
+
+// switchMode records a mode transition.
+func (s *Server) switchMode(now core.Time, to Mode) {
+	if s.mode == to {
+		return
+	}
+	s.ModeTime[s.mode] += now.Sub(s.lastModeChange)
+	s.lastModeChange = now
+	s.lowRuns = 0
+	if to == ModePolling {
+		s.SwitchesToPoll++
+	} else {
+		s.SwitchesToSignal++
+	}
+	s.mode = to
+}

@@ -1,0 +1,277 @@
+// Package phhttpd simulates Zach Brown's phhttpd as the paper benchmarks it
+// (§2, §5.2, §6): a static-content server driven by POSIX RT signals. Each
+// accepted descriptor is registered with fcntl(F_SETSIG); the server keeps the
+// signals masked and collects completions one at a time with sigwaitinfo().
+//
+// The overflow-recovery path reproduces the behaviour the paper criticises in
+// §6: when the RT signal queue overflows, the server flushes pending signals,
+// hands every open connection — one at a time, over a UNIX-domain socket — to
+// a poll sibling, rebuilds the pollfd array from scratch, and then runs in
+// polling mode for the rest of its life ("the current phhttpd server does not
+// switch from polling mode back to RT signal queue mode").
+package phhttpd
+
+import (
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/rtsig"
+	"repro/internal/servers/httpcore"
+	"repro/internal/simkernel"
+	"repro/internal/stockpoll"
+)
+
+// Mode is the server's current event-delivery mode.
+type Mode int
+
+// Modes.
+const (
+	ModeSignal  Mode = iota // normal operation: RT signals, one event per syscall
+	ModePolling             // after queue overflow: stock poll() over all descriptors
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeSignal {
+		return "signal"
+	}
+	return "polling"
+}
+
+// Config parameterises a phhttpd instance.
+type Config struct {
+	// Content is the static document tree; nil selects the default store.
+	Content *httpsim.ContentStore
+	// IdleTimeout closes connections with no activity for this long.
+	IdleTimeout core.Duration
+	// QueueLimit is the RT signal queue maximum (default 1024).
+	QueueLimit int
+	// Signo is the RT signal number assigned to descriptors.
+	Signo int
+	// BatchDequeue enables the sigtimedwait4() extension (§6 future work); the
+	// faithful phhttpd configuration leaves it off.
+	BatchDequeue bool
+	// WaitTimeout bounds each sigwaitinfo()/poll() wait so timers (idle sweeps)
+	// can run.
+	WaitTimeout core.Duration
+	// MaxEventsPerWait caps events per wait in polling mode and, with
+	// BatchDequeue, per sigtimedwait4 call.
+	MaxEventsPerWait int
+	// PerConnOverhead is phhttpd's per-event bookkeeping cost per open
+	// connection: the experimental server walks its per-thread connection
+	// structures on every completion it handles. This is the term behind the
+	// paper's unexpected observation that "inactive connections appear to
+	// increase the overhead of handling active connections" (Figures 12, 13);
+	// the default is calibrated to reproduce those figures' shapes.
+	PerConnOverhead core.Duration
+}
+
+// DefaultConfig matches the single-threaded phhttpd configuration of the
+// paper's Figures 11-13.
+func DefaultConfig() Config {
+	return Config{
+		IdleTimeout:      60 * core.Second,
+		QueueLimit:       rtsig.DefaultQueueLimit,
+		Signo:            core.SIGRTMIN,
+		BatchDequeue:     false,
+		WaitTimeout:      core.Second,
+		MaxEventsPerWait: 1024,
+		PerConnOverhead:  600 * core.Nanosecond,
+	}
+}
+
+// Server is a running phhttpd instance inside the simulation.
+type Server struct {
+	K   *simkernel.Kernel
+	Net *netsim.Network
+	P   *simkernel.Proc
+
+	cfg     Config
+	api     *netsim.SockAPI
+	rtq     *rtsig.Queue
+	pollset *stockpoll.Poller
+	handler *httpcore.Handler
+	lfd     *simkernel.FD
+
+	mode      Mode
+	started   bool
+	stopped   bool
+	lastSweep core.Time
+
+	// Loops counts event-loop iterations; Overflows counts queue overflows;
+	// Handoffs counts connections transferred to the poll sibling during
+	// overflow recovery.
+	Loops     int64
+	Overflows int64
+	Handoffs  int64
+}
+
+// New creates a phhttpd instance bound to the kernel and network.
+func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = rtsig.DefaultQueueLimit
+	}
+	if cfg.Signo == 0 {
+		cfg.Signo = core.SIGRTMIN
+	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = core.Second
+	}
+	if cfg.MaxEventsPerWait <= 0 {
+		cfg.MaxEventsPerWait = 1024
+	}
+	p := k.NewProc("phhttpd")
+	api := netsim.NewSockAPI(k, p, net)
+	s := &Server{K: k, Net: net, P: p, cfg: cfg, api: api, mode: ModeSignal}
+	s.rtq = rtsig.New(k, p, rtsig.Options{
+		QueueLimit:   cfg.QueueLimit,
+		Signo:        cfg.Signo,
+		BatchDequeue: cfg.BatchDequeue,
+	})
+	s.pollset = stockpoll.New(k, p)
+	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
+	s.handler.IdleTimeout = cfg.IdleTimeout
+	s.handler.OnConnOpen = func(fd int) {
+		if s.mode == ModeSignal {
+			_ = s.rtq.Add(fd, core.POLLIN)
+		} else {
+			_ = s.pollset.Add(fd, core.POLLIN)
+		}
+	}
+	s.handler.OnConnClose = func(fd int) {
+		if s.rtq.Interested(fd) {
+			_ = s.rtq.Remove(fd)
+		}
+		if s.pollset.Interested(fd) {
+			_ = s.pollset.Remove(fd)
+		}
+	}
+	return s
+}
+
+// Start opens the listening socket, registers it for RT signals and enters the
+// event loop.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.P.Batch(s.K.Now(), func() {
+		s.lfd, _ = s.api.Listen()
+		_ = s.rtq.Add(s.lfd.Num, core.POLLIN)
+	}, func(done core.Time) {
+		s.lastSweep = done
+		s.loop()
+	})
+}
+
+// Stop halts the event loop after the current iteration.
+func (s *Server) Stop() { s.stopped = true }
+
+// Mode reports the current event-delivery mode.
+func (s *Server) Mode() Mode { return s.mode }
+
+// Stats returns the application-level counters.
+func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
+
+// SignalQueue exposes the RT signal queue (for experiments and tests).
+func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
+
+// PollSet exposes the overflow sibling's poll set (for tests).
+func (s *Server) PollSet() *stockpoll.Poller { return s.pollset }
+
+// OpenConnections reports how many connections the server currently holds.
+func (s *Server) OpenConnections() int { return len(s.handler.Conns) }
+
+// loop performs one wait-and-dispatch iteration in the current mode.
+func (s *Server) loop() {
+	if s.stopped {
+		return
+	}
+	if s.mode == ModeSignal {
+		max := 1
+		if s.cfg.BatchDequeue {
+			max = s.cfg.MaxEventsPerWait
+		}
+		s.rtq.Wait(max, s.cfg.WaitTimeout, s.handleEvents)
+		return
+	}
+	s.pollset.Wait(s.cfg.MaxEventsPerWait, s.cfg.WaitTimeout, s.handleEvents)
+}
+
+// handleEvents processes one delivery (a single siginfo in signal mode, a
+// batch of pollfd results in polling mode) as one scheduling quantum.
+func (s *Server) handleEvents(events []core.Event, now core.Time) {
+	if s.stopped {
+		return
+	}
+	s.Loops++
+	s.P.Batch(now, func() {
+		for _, ev := range events {
+			if ev.FD == rtsig.OverflowFD {
+				s.recoverFromOverflow(now)
+				continue
+			}
+			if s.lfd != nil && ev.FD == s.lfd.Num {
+				newConns := s.handler.AcceptAll(now, s.lfd)
+				if s.mode == ModeSignal {
+					// Request data that arrived before F_SETSIG was issued never
+					// generates a completion signal, so a signal-driven server
+					// must read each freshly accepted connection once.
+					for _, fd := range newConns {
+						s.handleReadable(now, fd)
+					}
+				}
+				continue
+			}
+			// Events are only hints: the connection may already be gone
+			// (HandleReadable ignores unknown descriptors), or may have more
+			// state changes queued behind this one.
+			s.handleReadable(now, ev.FD)
+		}
+		if s.cfg.IdleTimeout > 0 && now.Sub(s.lastSweep) >= s.cfg.WaitTimeout {
+			s.handler.SweepIdle(now)
+			s.lastSweep = now
+		}
+	}, func(core.Time) {
+		s.loop()
+	})
+}
+
+// handleReadable wraps the shared HTTP engine with phhttpd's per-connection
+// bookkeeping cost: the experimental server walks structures proportional to
+// its open connection count whenever it handles activity on a descriptor (see
+// Config.PerConnOverhead and the paper's Figures 12-13 discussion).
+func (s *Server) handleReadable(now core.Time, fd int) {
+	s.P.Charge(s.cfg.PerConnOverhead.Scale(float64(len(s.handler.Conns))))
+	s.handler.HandleReadable(now, fd)
+}
+
+// recoverFromOverflow implements phhttpd's expensive overflow recovery. It
+// must be called from inside a batch.
+func (s *Server) recoverFromOverflow(now core.Time) {
+	if s.mode == ModePolling {
+		// Already recovered; a stale SIGIO indication needs no further work.
+		return
+	}
+	s.Overflows++
+	// Flush pending signals (handler set to SIG_DFL).
+	s.rtq.Recover()
+
+	// Hand every connection, plus the listener, to the poll sibling one at a
+	// time over a UNIX-domain socket, and rebuild the pollfd array from
+	// scratch — precisely the work §6 identifies as likely to melt the server
+	// down under the very load that caused the overflow.
+	cost := s.K.Cost
+	if s.lfd != nil {
+		s.P.Charge(cost.ConnHandoff)
+		s.Handoffs++
+		_ = s.pollset.Add(s.lfd.Num, core.POLLIN)
+	}
+	for _, fd := range s.handler.OpenConns() {
+		s.P.Charge(cost.ConnHandoff)
+		s.Handoffs++
+		_ = s.pollset.Add(fd, core.POLLIN)
+	}
+	s.mode = ModePolling
+}

@@ -1,0 +1,173 @@
+// Package thttpd simulates the paper's thttpd: a simple single-process,
+// event-driven static web server. The event mechanism is pluggable — the stock
+// poll() baseline or the modified /dev/poll build — which mirrors the two
+// thttpd configurations measured in Figures 4 through 10.
+package thttpd
+
+import (
+	"repro/internal/core"
+	"repro/internal/devpoll"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/servers/httpcore"
+	"repro/internal/simkernel"
+	"repro/internal/stockpoll"
+)
+
+// Mechanism constructs the event-notification backend for a server process.
+type Mechanism func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
+
+// StockPoll selects the unmodified poll() event core.
+func StockPoll() Mechanism {
+	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return stockpoll.New(k, p) }
+}
+
+// DevPoll selects the /dev/poll event core with the given options.
+func DevPoll(opts devpoll.Options) Mechanism {
+	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return devpoll.Open(k, p, opts) }
+}
+
+// Config parameterises a thttpd instance.
+type Config struct {
+	// Mechanism chooses the event backend; nil selects stock poll().
+	Mechanism Mechanism
+	// Content is the static document tree; nil selects the default store with
+	// the paper's 6 KB index.html.
+	Content *httpsim.ContentStore
+	// IdleTimeout closes connections with no activity for this long (thttpd's
+	// connection timeout). Zero disables idle sweeping.
+	IdleTimeout core.Duration
+	// MaxEventsPerWait caps how many events one wait delivers.
+	MaxEventsPerWait int
+	// WaitTimeout is the poll timeout used to drive timer processing (idle
+	// sweeps); it mirrors thttpd's one-second timer granularity.
+	WaitTimeout core.Duration
+}
+
+// DefaultConfig returns the configuration used in the paper's runs: stock
+// poll(), the 6 KB document, a 60-second connection timeout.
+func DefaultConfig() Config {
+	return Config{
+		Mechanism:        StockPoll(),
+		IdleTimeout:      60 * core.Second,
+		MaxEventsPerWait: 1024,
+		WaitTimeout:      core.Second,
+	}
+}
+
+// Server is a running thttpd instance inside the simulation.
+type Server struct {
+	K   *simkernel.Kernel
+	Net *netsim.Network
+	P   *simkernel.Proc
+
+	cfg     Config
+	api     *netsim.SockAPI
+	poller  core.Poller
+	handler *httpcore.Handler
+	lfd     *simkernel.FD
+
+	started   bool
+	stopped   bool
+	lastSweep core.Time
+
+	// Loops counts completed event-loop iterations.
+	Loops int64
+}
+
+// New creates a thttpd instance bound to the kernel and network.
+func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
+	if cfg.Mechanism == nil {
+		cfg.Mechanism = StockPoll()
+	}
+	if cfg.MaxEventsPerWait <= 0 {
+		cfg.MaxEventsPerWait = 1024
+	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = core.Second
+	}
+	p := k.NewProc("thttpd")
+	api := netsim.NewSockAPI(k, p, net)
+	s := &Server{K: k, Net: net, P: p, cfg: cfg, api: api}
+	s.poller = cfg.Mechanism(k, p)
+	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
+	s.handler.IdleTimeout = cfg.IdleTimeout
+	s.handler.OnConnOpen = func(fd int) { _ = s.poller.Add(fd, core.POLLIN) }
+	s.handler.OnConnClose = func(fd int) { _ = s.poller.Remove(fd) }
+	return s
+}
+
+// Start opens the listening socket, registers it with the event mechanism and
+// enters the event loop. It may be called once.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.P.Batch(s.K.Now(), func() {
+		s.lfd, _ = s.api.Listen()
+		_ = s.poller.Add(s.lfd.Num, core.POLLIN)
+	}, func(done core.Time) {
+		s.lastSweep = done
+		s.loop()
+	})
+}
+
+// Stop halts the event loop after the current iteration.
+func (s *Server) Stop() { s.stopped = true }
+
+// Stats returns the application-level counters.
+func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
+
+// Poller exposes the event mechanism (for experiment statistics).
+func (s *Server) Poller() core.Poller { return s.poller }
+
+// Handler exposes the shared HTTP engine (for tests).
+func (s *Server) Handler() *httpcore.Handler { return s.handler }
+
+// OpenConnections reports how many connections the server currently holds.
+func (s *Server) OpenConnections() int { return len(s.handler.Conns) }
+
+// loop performs one wait-and-dispatch iteration.
+func (s *Server) loop() {
+	if s.stopped {
+		return
+	}
+	s.poller.Wait(s.cfg.MaxEventsPerWait, s.waitTimeout(), s.handleEvents)
+}
+
+// waitTimeout returns the poll timeout: bounded by the timer tick when idle
+// sweeping is enabled, otherwise indefinite.
+func (s *Server) waitTimeout() core.Duration {
+	if s.cfg.IdleTimeout > 0 {
+		return s.cfg.WaitTimeout
+	}
+	return core.Forever
+}
+
+// handleEvents processes one batch of readiness events as a single scheduling
+// quantum of the server process.
+func (s *Server) handleEvents(events []core.Event, now core.Time) {
+	if s.stopped {
+		return
+	}
+	s.Loops++
+	s.P.Batch(now, func() {
+		// thttpd's per-iteration bookkeeping: timer list scan, connection table
+		// management, fdwatch setup.
+		s.P.Charge(s.K.Cost.ServerLoopOverhead)
+		for _, ev := range events {
+			if s.lfd != nil && ev.FD == s.lfd.Num {
+				s.handler.AcceptAll(now, s.lfd)
+				continue
+			}
+			s.handler.HandleReadable(now, ev.FD)
+		}
+		if s.cfg.IdleTimeout > 0 && now.Sub(s.lastSweep) >= s.cfg.WaitTimeout {
+			s.handler.SweepIdle(now)
+			s.lastSweep = now
+		}
+	}, func(core.Time) {
+		s.loop()
+	})
+}

@@ -1,0 +1,76 @@
+package simkernel
+
+import "repro/internal/core"
+
+// CPU models the single processor of the simulated server host (the paper's
+// 400 MHz AMD K6-2). Work is serialised first-come first-served: a request for
+// `cost` of processing that arrives at time `now` starts no earlier than the
+// completion of previously accepted work and finishes `cost` later.
+//
+// Interrupt-context work (network arrivals, signal enqueueing) and process
+// context work (the server's event loop) share the same processor, which is
+// exactly the contention the paper's overload experiments exercise.
+type CPU struct {
+	sim *Simulator
+
+	// busyUntil is the instant at which all currently accepted work completes.
+	busyUntil core.Time
+
+	// Busy accumulates total processing time accepted, for utilisation reports.
+	Busy core.Duration
+
+	// Jobs counts Exec invocations.
+	Jobs int64
+}
+
+// NewCPU returns a CPU bound to the given simulator.
+func NewCPU(sim *Simulator) *CPU {
+	return &CPU{sim: sim}
+}
+
+// Exec accepts a unit of work costing cost at virtual time now and schedules
+// done (if non-nil) at its completion instant, which is returned. A negative
+// cost is treated as zero.
+func (c *CPU) Exec(now core.Time, cost core.Duration, done func(now core.Time)) core.Time {
+	if cost < 0 {
+		cost = 0
+	}
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	finish := start.Add(cost)
+	c.busyUntil = finish
+	c.Busy += cost
+	c.Jobs++
+	if done != nil {
+		c.sim.At(finish, done)
+	}
+	return finish
+}
+
+// BusyUntil reports the completion instant of all accepted work.
+func (c *CPU) BusyUntil() core.Time { return c.busyUntil }
+
+// Utilization reports the fraction of virtual time the CPU has been busy,
+// measured against the supplied elapsed window. It returns 0 for an empty
+// window.
+func (c *CPU) Utilization(elapsed core.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(c.Busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// QueueDelay reports how long newly submitted work would wait before starting
+// if submitted at time now.
+func (c *CPU) QueueDelay(now core.Time) core.Duration {
+	if c.busyUntil <= now {
+		return 0
+	}
+	return c.busyUntil.Sub(now)
+}

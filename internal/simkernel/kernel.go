@@ -1,0 +1,280 @@
+package simkernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// File is the kernel-side view of an open object (a socket, a listener, or the
+// /dev/poll device itself). Poll is the device driver's poll callback: it
+// reports current readiness without blocking. SetNotifier installs the single
+// callback the kernel uses to learn about readiness transitions (the analogue
+// of the driver waking a wait queue and, in the paper's extension, posting a
+// hint to the backmapping list).
+type File interface {
+	// Poll reports the file's current readiness (the driver poll callback).
+	Poll() core.EventMask
+	// SetNotifier installs fn to be invoked whenever the file's readiness
+	// changes. Passing nil removes the notifier.
+	SetNotifier(fn func(now core.Time, mask core.EventMask))
+	// Close releases the underlying object.
+	Close(now core.Time)
+}
+
+// Watcher observes readiness transitions on a descriptor. Event mechanisms
+// register watchers to implement wait-queue wakeups (stock poll), driver hints
+// (/dev/poll backmaps) and asynchronous completion signals (RT signals).
+type Watcher interface {
+	ReadinessChanged(now core.Time, fd *FD, mask core.EventMask)
+}
+
+// Kernel bundles the simulation clock, the server CPU and the cost model. All
+// server-side packages share one Kernel per experiment.
+type Kernel struct {
+	Sim   *Simulator
+	CPU   *CPU
+	Cost  *CostModel
+	Trace Tracer
+}
+
+// NewKernel creates a kernel with a fresh simulator and CPU. A nil cost model
+// selects DefaultCostModel.
+func NewKernel(cost *CostModel) *Kernel {
+	if cost == nil {
+		cost = DefaultCostModel()
+	}
+	sim := NewSimulator()
+	return &Kernel{
+		Sim:   sim,
+		CPU:   NewCPU(sim),
+		Cost:  cost,
+		Trace: NopTracer{},
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() core.Time { return k.Sim.Now() }
+
+// Interrupt charges interrupt-context work (packet reception, signal
+// enqueueing) to the CPU at time now, invoking done at its completion if it is
+// non-nil. It returns the completion instant.
+func (k *Kernel) Interrupt(now core.Time, cost core.Duration, done func(now core.Time)) core.Time {
+	return k.CPU.Exec(now, cost, done)
+}
+
+// Tracef emits a trace record if tracing is enabled.
+func (k *Kernel) Tracef(now core.Time, component, format string, args ...interface{}) {
+	if k.Trace != nil {
+		k.Trace.Trace(now, component, format, args...)
+	}
+}
+
+// FD is an entry in a process's descriptor table.
+type FD struct {
+	Num  int
+	Proc *Proc
+
+	file     File
+	watchers []Watcher
+	closed   bool
+}
+
+// File returns the underlying open file.
+func (fd *FD) File() File { return fd.file }
+
+// Closed reports whether the descriptor has been closed.
+func (fd *FD) Closed() bool { return fd.closed }
+
+// Poll reports the file's readiness without charging any CPU cost. Mechanisms
+// that model the expense of the driver callback should use DriverPoll.
+func (fd *FD) Poll() core.EventMask {
+	if fd.closed {
+		return core.POLLNVAL
+	}
+	return fd.file.Poll()
+}
+
+// DriverPoll invokes the device driver's poll callback, charging its cost to
+// the process's current batch (or directly to the CPU-independent accumulator
+// if no batch is active, which only happens in tests).
+func (fd *FD) DriverPoll() core.EventMask {
+	fd.Proc.Charge(fd.Proc.K.Cost.DriverPoll)
+	return fd.Poll()
+}
+
+// AddWatcher registers w to be notified of readiness transitions on fd.
+func (fd *FD) AddWatcher(w Watcher) {
+	for _, existing := range fd.watchers {
+		if existing == w {
+			return
+		}
+	}
+	fd.watchers = append(fd.watchers, w)
+}
+
+// RemoveWatcher unregisters w.
+func (fd *FD) RemoveWatcher(w Watcher) {
+	for i, existing := range fd.watchers {
+		if existing == w {
+			fd.watchers = append(fd.watchers[:i], fd.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Watchers reports the number of registered watchers (used by tests).
+func (fd *FD) Watchers() int { return len(fd.watchers) }
+
+// notify fans a readiness transition out to all registered watchers.
+func (fd *FD) notify(now core.Time, mask core.EventMask) {
+	if fd.closed {
+		return
+	}
+	// Copy: watchers may remove themselves during delivery.
+	ws := make([]Watcher, len(fd.watchers))
+	copy(ws, fd.watchers)
+	for _, w := range ws {
+		w.ReadinessChanged(now, fd, mask)
+	}
+}
+
+// Proc is a simulated process: a descriptor table plus the batch accounting
+// used to charge the cost of a run of system calls to the CPU as one
+// scheduling quantum.
+type Proc struct {
+	K    *Kernel
+	Name string
+
+	fds    map[int]*FD
+	nextFD int
+
+	inBatch   bool
+	batchCost core.Duration
+	deferred  []func(now core.Time)
+
+	// TotalCharged accumulates all CPU time charged through this process.
+	TotalCharged core.Duration
+}
+
+// NewProc creates a process with an empty descriptor table. Descriptor numbers
+// start at 3, leaving room for the conventional stdin/stdout/stderr.
+func (k *Kernel) NewProc(name string) *Proc {
+	return &Proc{K: k, Name: name, fds: make(map[int]*FD), nextFD: 3}
+}
+
+// Install allocates the lowest unused descriptor number for f and returns the
+// new table entry, mirroring POSIX descriptor allocation.
+func (p *Proc) Install(f File) *FD {
+	num := p.nextFD
+	for {
+		if _, used := p.fds[num]; !used {
+			break
+		}
+		num++
+	}
+	fd := &FD{Num: num, Proc: p, file: f}
+	p.fds[num] = fd
+	if num >= p.nextFD {
+		p.nextFD = num + 1
+	}
+	f.SetNotifier(func(now core.Time, mask core.EventMask) { fd.notify(now, mask) })
+	return fd
+}
+
+// Get returns the descriptor table entry for fd.
+func (p *Proc) Get(fd int) (*FD, bool) {
+	e, ok := p.fds[fd]
+	return e, ok
+}
+
+// NumFDs reports the number of open descriptors.
+func (p *Proc) NumFDs() int { return len(p.fds) }
+
+// FDs returns the open descriptor numbers in ascending order.
+func (p *Proc) FDs() []int {
+	out := make([]int, 0, len(p.fds))
+	for n := range p.fds {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CloseFD removes fd from the table and closes the underlying file. The caller
+// is responsible for charging the close cost (Cost.SockClose + SyscallEntry).
+func (p *Proc) CloseFD(now core.Time, fd int) error {
+	e, ok := p.fds[fd]
+	if !ok {
+		return core.ErrBadFD
+	}
+	delete(p.fds, fd)
+	e.closed = true
+	e.watchers = nil
+	e.file.SetNotifier(nil)
+	e.file.Close(now)
+	return nil
+}
+
+// InBatch reports whether a batch is currently being accumulated.
+func (p *Proc) InBatch() bool { return p.inBatch }
+
+// Charge adds d to the cost of the current batch. Outside a batch the cost is
+// still accounted in TotalCharged but not scheduled; mechanisms always operate
+// inside batches, so this path is only taken by unit tests poking at internals.
+func (p *Proc) Charge(d core.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.TotalCharged += d
+	if p.inBatch {
+		p.batchCost += d
+	}
+}
+
+// ChargeSyscall charges the fixed syscall entry/exit cost plus extra.
+func (p *Proc) ChargeSyscall(extra core.Duration) {
+	p.Charge(p.K.Cost.SyscallEntry + extra)
+}
+
+// Defer registers fn to run at the completion instant of the current batch.
+// Externally visible effects of system calls (transmitting a response,
+// delivering a FIN) are deferred so they become visible only once the CPU has
+// actually finished the work that produced them.
+func (p *Proc) Defer(fn func(now core.Time)) {
+	if !p.inBatch {
+		// Outside a batch there is nothing to defer against; run immediately.
+		fn(p.K.Now())
+		return
+	}
+	p.deferred = append(p.deferred, fn)
+}
+
+// Batch runs fn as one scheduling quantum of the process at time now: fn
+// performs its system calls synchronously, each charging cost via Charge; when
+// fn returns, the accumulated cost is submitted to the CPU, deferred effects
+// run at the completion instant, and done (if non-nil) is invoked last.
+// Nested batches are a programming error.
+func (p *Proc) Batch(now core.Time, fn func(), done func(now core.Time)) {
+	if p.inBatch {
+		panic(fmt.Sprintf("simkernel: nested Batch on process %q", p.Name))
+	}
+	p.inBatch = true
+	p.batchCost = 0
+	p.deferred = nil
+	fn()
+	cost := p.batchCost
+	deferred := p.deferred
+	p.inBatch = false
+	p.batchCost = 0
+	p.deferred = nil
+	p.K.CPU.Exec(now, cost, func(t core.Time) {
+		for _, d := range deferred {
+			d(t)
+		}
+		if done != nil {
+			done(t)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package simkernel provides the discrete-event simulation substrate on which
+// the reproduction runs: a virtual clock and event queue, a simulated
+// uniprocessor CPU with a calibrated cost model, and a lightweight process
+// model (file-descriptor table, readiness watchers, wait queues) that the
+// network simulator and the event-notification mechanisms plug into.
+//
+// The real paper measured a Linux 2.2.14 kernel on a 400 MHz AMD K6-2. A Go
+// library cannot reproduce that kernel interface directly, so this package
+// reproduces the thing the evaluation actually depends on: where CPU time goes
+// on a saturated uniprocessor as the interest set grows. See DESIGN.md §2.
+package simkernel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Event is a scheduled callback in the simulation.
+type event struct {
+	at  core.Time
+	seq uint64
+	fn  func(now core.Time)
+}
+
+// eventHeap orders events by time, breaking ties by insertion order so the
+// simulation is deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event scheduler over virtual time.
+// The zero value is not usable; call NewSimulator.
+type Simulator struct {
+	now     core.Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+
+	// Executed counts events dispatched since construction.
+	Executed int64
+}
+
+// NewSimulator returns an empty simulator positioned at virtual time zero.
+func NewSimulator() *Simulator {
+	s := &Simulator{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() core.Time { return s.now }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute virtual instant t. Scheduling in the
+// past is a programming error and panics, because it would break causality.
+func (s *Simulator) At(t core.Time, fn func(now core.Time)) {
+	if fn == nil {
+		panic("simkernel: At with nil callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("simkernel: scheduling into the past (%v < %v)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. A negative d is
+// treated as zero.
+func (s *Simulator) After(d core.Duration, fn func(now core.Time)) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Stop makes Run and RunUntil return after the currently executing event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (s *Simulator) Run() core.Time { return s.RunUntil(core.Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps not after deadline, or until the
+// queue drains or Stop is called. The clock is left at the time of the last
+// executed event (or at deadline if it was reached with events remaining).
+func (s *Simulator) RunUntil(deadline core.Time) core.Time {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > deadline {
+			s.now = deadline
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.Executed++
+		next.fn(s.now)
+	}
+	return s.now
+}
+
+// Step executes exactly one pending event, if any, and reports whether one was
+// executed. It is primarily useful in tests.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*event)
+	s.now = next.at
+	s.Executed++
+	next.fn(s.now)
+	return true
+}

@@ -1,0 +1,77 @@
+package simkernel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Tracer receives structured trace records from the simulation. Tracing is
+// optional and disabled by default (NopTracer); cmd/httpsim can enable a
+// WriterTracer for debugging experiment runs.
+type Tracer interface {
+	Trace(now core.Time, component, format string, args ...interface{})
+}
+
+// NopTracer discards all trace records.
+type NopTracer struct{}
+
+// Trace implements Tracer by doing nothing.
+func (NopTracer) Trace(core.Time, string, string, ...interface{}) {}
+
+// WriterTracer formats trace records as lines on an io.Writer. It is safe for
+// use from multiple goroutines, although the simulation itself is single
+// threaded.
+type WriterTracer struct {
+	mu sync.Mutex
+	W  io.Writer
+	// Filter, when non-nil, limits output to records whose component it
+	// accepts.
+	Filter func(component string) bool
+	// Lines counts records written.
+	Lines int64
+}
+
+// NewWriterTracer returns a tracer writing to w.
+func NewWriterTracer(w io.Writer) *WriterTracer { return &WriterTracer{W: w} }
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(now core.Time, component, format string, args ...interface{}) {
+	if t.Filter != nil && !t.Filter(component) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.W, "%12.6f %-10s %s\n", now.Seconds(), component, fmt.Sprintf(format, args...))
+	t.Lines++
+}
+
+// RecordingTracer stores trace records in memory for assertions in tests.
+type RecordingTracer struct {
+	Records []TraceRecord
+}
+
+// TraceRecord is one captured trace entry.
+type TraceRecord struct {
+	At        core.Time
+	Component string
+	Message   string
+}
+
+// Trace implements Tracer.
+func (t *RecordingTracer) Trace(now core.Time, component, format string, args ...interface{}) {
+	t.Records = append(t.Records, TraceRecord{At: now, Component: component, Message: fmt.Sprintf(format, args...)})
+}
+
+// ByComponent returns the captured records for one component.
+func (t *RecordingTracer) ByComponent(component string) []TraceRecord {
+	var out []TraceRecord
+	for _, r := range t.Records {
+		if r.Component == component {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package simtest provides small helpers shared by the unit tests of the
+// event-notification mechanisms: a controllable fake file (socket stand-in)
+// and a pre-wired kernel/process pair.
+package simtest
+
+import (
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// FakeFile is a minimal simkernel.File whose readiness is set explicitly by
+// the test, standing in for a socket driver.
+type FakeFile struct {
+	ReadyMask core.EventMask
+	notify    func(now core.Time, mask core.EventMask)
+	IsClosed  bool
+	Polls     int
+}
+
+// Poll implements simkernel.File and counts driver poll callbacks.
+func (f *FakeFile) Poll() core.EventMask {
+	f.Polls++
+	return f.ReadyMask
+}
+
+// SetNotifier implements simkernel.File.
+func (f *FakeFile) SetNotifier(fn func(now core.Time, mask core.EventMask)) { f.notify = fn }
+
+// Close implements simkernel.File.
+func (f *FakeFile) Close(now core.Time) { f.IsClosed = true }
+
+// SetReady changes the readiness mask and fires the driver notification, as a
+// real device driver would on packet arrival.
+func (f *FakeFile) SetReady(now core.Time, mask core.EventMask) {
+	f.ReadyMask = mask
+	if f.notify != nil {
+		f.notify(now, mask)
+	}
+}
+
+// Env is a ready-to-use kernel and process for mechanism tests.
+type Env struct {
+	K *simkernel.Kernel
+	P *simkernel.Proc
+}
+
+// NewEnv builds a kernel (default cost model) and one process.
+func NewEnv() *Env {
+	k := simkernel.NewKernel(nil)
+	return &Env{K: k, P: k.NewProc("test")}
+}
+
+// NewFD installs a fresh FakeFile and returns both.
+func (e *Env) NewFD(ready core.EventMask) (*simkernel.FD, *FakeFile) {
+	f := &FakeFile{ReadyMask: ready}
+	fd := e.P.Install(f)
+	return fd, f
+}
+
+// Run drains the simulator.
+func (e *Env) Run() { e.K.Sim.Run() }
+
+// Collector gathers Wait results for assertions.
+type Collector struct {
+	Calls  int
+	Events []core.Event
+	At     core.Time
+}
+
+// Handler returns a Wait handler that records into the collector.
+func (c *Collector) Handler() func(events []core.Event, now core.Time) {
+	return func(events []core.Event, now core.Time) {
+		c.Calls++
+		c.Events = append([]core.Event(nil), events...)
+		c.At = now
+	}
+}
+
+// FDNums extracts the descriptor numbers from the collected events.
+func (c *Collector) FDNums() []int {
+	out := make([]int, 0, len(c.Events))
+	for _, e := range c.Events {
+		out = append(out, e.FD)
+	}
+	return out
+}

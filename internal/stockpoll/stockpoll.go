@@ -1,0 +1,314 @@
+// Package stockpoll implements the baseline event-notification mechanism of
+// the paper: the stock Linux 2.2 poll() system call. The application keeps its
+// interest set in user space as a pollfd array and passes the entire array to
+// the kernel on every call; the kernel copies it in, invokes the device
+// driver's poll callback for every descriptor, manipulates a wait queue per
+// descriptor when it has to block, and copies results back out.
+//
+// All of those per-interest costs are charged on every Wait, which is exactly
+// the O(interest set) behaviour whose breakdown under many inactive
+// connections the paper's Figures 4, 6 and 8 document.
+package stockpoll
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// Poller is a stock poll()-based implementation of core.Poller.
+type Poller struct {
+	k *simkernel.Kernel
+	p *simkernel.Proc
+
+	interests map[int]core.EventMask
+	order     []int // pollfd array order (insertion order, like a real server's array)
+
+	state     waitState
+	pendWake  bool
+	armed     map[int]*simkernel.FD // descriptors with our watcher registered
+	curMax    int
+	curHand   func([]core.Event, core.Time)
+	timeoutID int64 // generation counter to cancel stale timeouts
+
+	stats  core.Stats
+	closed bool
+}
+
+type waitState int
+
+const (
+	stateIdle waitState = iota
+	stateScanning
+	stateBlocked
+)
+
+// New creates a poll()-based poller for process p.
+func New(k *simkernel.Kernel, p *simkernel.Proc) *Poller {
+	return &Poller{
+		k:         k,
+		p:         p,
+		interests: make(map[int]core.EventMask),
+		armed:     make(map[int]*simkernel.FD),
+	}
+}
+
+// Name implements core.Poller.
+func (pl *Poller) Name() string { return "poll" }
+
+// Add implements core.Poller. Maintaining the pollfd array is a user-space
+// operation for stock poll, so it costs nothing in the kernel; the price is
+// paid on every Wait instead.
+func (pl *Poller) Add(fd int, events core.EventMask) error {
+	if pl.closed {
+		return core.ErrClosed
+	}
+	if _, ok := pl.interests[fd]; ok {
+		return core.ErrExists
+	}
+	pl.interests[fd] = events
+	pl.order = append(pl.order, fd)
+	return nil
+}
+
+// Modify implements core.Poller.
+func (pl *Poller) Modify(fd int, events core.EventMask) error {
+	if pl.closed {
+		return core.ErrClosed
+	}
+	if _, ok := pl.interests[fd]; !ok {
+		return core.ErrNotFound
+	}
+	pl.interests[fd] = events
+	return nil
+}
+
+// Remove implements core.Poller.
+func (pl *Poller) Remove(fd int) error {
+	if pl.closed {
+		return core.ErrClosed
+	}
+	if _, ok := pl.interests[fd]; !ok {
+		return core.ErrNotFound
+	}
+	delete(pl.interests, fd)
+	for i, n := range pl.order {
+		if n == fd {
+			pl.order = append(pl.order[:i], pl.order[i+1:]...)
+			break
+		}
+	}
+	if e, ok := pl.armed[fd]; ok {
+		e.RemoveWatcher(pl)
+		delete(pl.armed, fd)
+	}
+	return nil
+}
+
+// Interested implements core.Poller.
+func (pl *Poller) Interested(fd int) bool { _, ok := pl.interests[fd]; return ok }
+
+// Len implements core.Poller.
+func (pl *Poller) Len() int { return len(pl.interests) }
+
+// FDs returns the interest set in pollfd-array order (for tests).
+func (pl *Poller) FDs() []int {
+	out := make([]int, len(pl.order))
+	copy(out, pl.order)
+	return out
+}
+
+// MechanismStats implements core.StatsSource.
+func (pl *Poller) MechanismStats() core.Stats { return pl.stats }
+
+// Close implements core.Poller.
+func (pl *Poller) Close() error {
+	if pl.closed {
+		return core.ErrClosed
+	}
+	pl.disarm()
+	pl.closed = true
+	return nil
+}
+
+// Wait implements core.Poller: one poll() invocation over the whole interest
+// set. The handler runs at the virtual instant the call would have returned.
+func (pl *Poller) Wait(max int, timeout core.Duration, handler func(events []core.Event, now core.Time)) {
+	if pl.closed {
+		handler(nil, pl.k.Now())
+		return
+	}
+	if pl.state != stateIdle {
+		panic("stockpoll: concurrent Wait on a single-threaded poller")
+	}
+	if max <= 0 {
+		max = len(pl.interests) + 1
+	}
+	pl.curMax = max
+	pl.curHand = handler
+	pl.pendWake = false
+	pl.scan(true, timeout)
+}
+
+// scan performs one pass over the interest set inside a process batch.
+// firstPass distinguishes the initial syscall (which pays the copy-in) from a
+// rescan after a wait-queue wakeup.
+func (pl *Poller) scan(firstPass bool, timeout core.Duration) {
+	pl.state = stateScanning
+	now := pl.k.Now()
+	var ready []core.Event
+	pl.p.Batch(now, func() {
+		pl.stats.Waits++
+		cost := pl.k.Cost
+		if firstPass {
+			pl.p.Charge(cost.SyscallEntry)
+			// The entire pollfd array is copied into the kernel and parsed.
+			pl.p.Charge(cost.PollCopyIn.Scale(float64(len(pl.order))))
+			pl.stats.CopiedIn += int64(len(pl.order))
+		} else {
+			// Wakeup path: the process is rescheduled and the wait queues it
+			// joined are torn down.
+			pl.p.Charge(cost.SchedWakeup)
+			pl.p.Charge(cost.WaitQueueOp.Scale(float64(len(pl.order))))
+		}
+		// Every descriptor's driver poll callback is invoked, ready or not.
+		for _, fd := range pl.order {
+			want := pl.interests[fd]
+			entry, ok := pl.p.Get(fd)
+			if !ok {
+				ready = appendEvent(ready, pl.curMax, core.Event{FD: fd, Ready: core.POLLNVAL})
+				continue
+			}
+			revents := entry.DriverPoll()
+			pl.stats.DriverPolls++
+			revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
+			if revents != 0 {
+				ready = appendEvent(ready, pl.curMax, core.Event{FD: fd, Ready: revents})
+			}
+		}
+		if len(ready) > 0 {
+			// Results are copied back to user space.
+			pl.p.Charge(cost.PollCopyOut.Scale(float64(len(ready))))
+			// The non-amortising part of the 2.2 poll path: for each readiness
+			// transition that woke us, the wait queues and interest set were
+			// re-walked (see CostModel.PollReadyRescan). This is the cost the
+			// /dev/poll hints eliminate.
+			pl.p.Charge(cost.PollReadyRescan.Scale(float64(len(pl.order)) * float64(len(ready))))
+			pl.stats.CopiedOut += int64(len(ready))
+			pl.stats.EventsReturned += int64(len(ready))
+			return
+		}
+		if timeout == 0 {
+			return
+		}
+		// Nothing ready: join each file's wait queue before sleeping.
+		if firstPass {
+			pl.p.Charge(cost.WaitQueueOp.Scale(float64(len(pl.order))))
+		}
+		pl.arm()
+	}, func(done core.Time) {
+		if len(ready) > 0 || timeout == 0 {
+			pl.finish(ready, done)
+			return
+		}
+		if pl.pendWake {
+			// A readiness notification raced with the scan; poll loops again.
+			pl.pendWake = false
+			pl.scan(false, timeout)
+			return
+		}
+		pl.state = stateBlocked
+		if timeout > 0 {
+			pl.timeoutID++
+			id := pl.timeoutID
+			pl.k.Sim.At(done.Add(timeout), func(t core.Time) {
+				if pl.state == stateBlocked && pl.timeoutID == id {
+					pl.finishTimeout(t)
+				}
+			})
+		}
+	})
+}
+
+// finish tears down the wait and delivers results.
+func (pl *Poller) finish(events []core.Event, now core.Time) {
+	pl.disarm()
+	pl.state = stateIdle
+	pl.timeoutID++
+	h := pl.curHand
+	pl.curHand = nil
+	if h != nil {
+		h(events, now)
+	}
+}
+
+// finishTimeout delivers an empty result after the timeout expires; the
+// wait-queue teardown costs one batch.
+func (pl *Poller) finishTimeout(now core.Time) {
+	pl.p.Batch(now, func() {
+		pl.p.Charge(pl.k.Cost.WaitQueueOp.Scale(float64(len(pl.order))))
+	}, func(done core.Time) {
+		pl.finish(nil, done)
+	})
+}
+
+// arm registers the poller as a watcher on every descriptor in the interest
+// set, modelling the per-descriptor wait-queue entries poll() creates when it
+// blocks.
+func (pl *Poller) arm() {
+	for _, fd := range pl.order {
+		if _, ok := pl.armed[fd]; ok {
+			continue
+		}
+		if entry, ok := pl.p.Get(fd); ok {
+			entry.AddWatcher(pl)
+			pl.armed[fd] = entry
+		}
+	}
+}
+
+// disarm removes all wait-queue entries.
+func (pl *Poller) disarm() {
+	for fd, entry := range pl.armed {
+		entry.RemoveWatcher(pl)
+		delete(pl.armed, fd)
+	}
+}
+
+// ReadinessChanged implements simkernel.Watcher: a driver woke one of the wait
+// queues poll() is sleeping on.
+func (pl *Poller) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.EventMask) {
+	switch pl.state {
+	case stateScanning:
+		pl.pendWake = true
+	case stateBlocked:
+		pl.state = stateScanning
+		pl.scanAfterWakeup()
+	}
+}
+
+// scanAfterWakeup re-runs the scan once the sleeping process has been
+// rescheduled.
+func (pl *Poller) scanAfterWakeup() {
+	// The rescan batch begins immediately; SchedWakeup is charged inside it.
+	pl.scan(false, core.Forever)
+}
+
+// appendEvent appends e unless the result cap has been reached.
+func appendEvent(events []core.Event, max int, e core.Event) []core.Event {
+	if len(events) >= max {
+		return events
+	}
+	return append(events, e)
+}
+
+// SortEvents orders events by descriptor, which keeps golden outputs stable in
+// tests and examples.
+func SortEvents(events []core.Event) {
+	sort.Slice(events, func(i, j int) bool { return events[i].FD < events[j].FD })
+}
+
+var _ core.Poller = (*Poller)(nil)
+var _ core.StatsSource = (*Poller)(nil)
+var _ simkernel.Watcher = (*Poller)(nil)
