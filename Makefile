@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all fmt-check vet build test bench-smoke ci
+
+all: ci
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One fast benchmark iteration per figure family: exercises the benchmark
+# plumbing end to end without the full sweep.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501' -benchtime 1x -figconns 800 .
+
+ci: fmt-check vet build test bench-smoke

@@ -122,6 +122,19 @@ func BenchmarkFig14MedianLatency(b *testing.B) {
 // Extension: the hybrid server of §4, which the paper could not evaluate.
 func BenchmarkExtHybridLoad501(b *testing.B) { benchFigure(b, experiments.ServerHybrid, 501) }
 
+// Extensions: thttpd on epoll, the mechanism Linux ultimately adopted, in both
+// trigger modes, plus the hybrid server running epoll as its bulk poller
+// (Figures 15 and 16 of the extension set).
+func BenchmarkExtThttpdEpollLoad501(b *testing.B) {
+	benchFigure(b, experiments.ServerThttpdEpoll, 501)
+}
+func BenchmarkExtThttpdEpollETLoad501(b *testing.B) {
+	benchFigure(b, experiments.ServerThttpdEpollET, 501)
+}
+func BenchmarkExtHybridEpollLoad501(b *testing.B) {
+	benchFigure(b, experiments.ServerHybridEpoll, 501)
+}
+
 // Ablation benchmarks: one sub-benchmark per variant, so `-bench Ablation`
 // prints the design-choice comparisons from DESIGN.md.
 func BenchmarkAblation(b *testing.B) {
@@ -149,7 +162,12 @@ func BenchmarkAblation(b *testing.B) {
 func BenchmarkMechanismWaitCost(b *testing.B) {
 	for _, inactive := range []int{64, 512} {
 		inactive := inactive
-		for _, server := range []experiments.ServerKind{experiments.ServerThttpdPoll, experiments.ServerThttpdDevPoll} {
+		for _, server := range []experiments.ServerKind{
+			experiments.ServerThttpdPoll,
+			experiments.ServerThttpdDevPoll,
+			experiments.ServerThttpdEpoll,
+			experiments.ServerThttpdEpollET,
+		} {
 			server := server
 			b.Run(fmt.Sprintf("%s/idle=%d", server, inactive), func(b *testing.B) {
 				var last experiments.RunResult

@@ -1,10 +1,12 @@
-// Command benchfig regenerates one of the paper's figures (4 through 14) by
-// sweeping the request rate for the figure's server/inactive-load
-// configuration and printing the resulting data series as a text table.
+// Command benchfig regenerates one of the paper's figures (4 through 14), or
+// one of the extension figures (15+, the epoll curves), by sweeping the
+// request rate for the figure's server/inactive-load configuration and
+// printing the resulting data series as a text table.
 //
 // Usage:
 //
 //	benchfig -fig 8                 # quick, scaled-down run of Figure 8
+//	benchfig -fig 16                # extension: all four mechanisms incl. epoll
 //	benchfig -fig 10 -connections 35000   # the paper's full-size procedure
 //	benchfig -list                  # list available figures
 package main
@@ -29,7 +31,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, f := range experiments.Figures() {
+		for _, f := range experiments.AllFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return

@@ -1,6 +1,7 @@
-// Command sweep runs the full evaluation: every figure of the paper (4-14)
-// and, optionally, the ablation studies described in DESIGN.md. It prints each
-// figure/ablation as a text table, suitable for pasting into EXPERIMENTS.md.
+// Command sweep runs the full evaluation: every figure of the paper (4-14),
+// the extension figures (15+, the epoll curves) and, optionally, the ablation
+// studies described in DESIGN.md. It prints each figure/ablation as a text
+// table, suitable for pasting into EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -52,7 +53,7 @@ func main() {
 			wanted[part] = true
 		}
 	}
-	for _, fig := range experiments.Figures() {
+	for _, fig := range experiments.AllFigures() {
 		if len(wanted) > 0 && !wanted[fmt.Sprintf("%d", fig.Number)] && !wanted[fig.ID] {
 			continue
 		}

@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Time is an absolute instant of virtual (simulated) time, in nanoseconds
@@ -94,7 +95,8 @@ const (
 	POLLREMOVE EventMask = 0x1000
 )
 
-// String renders the mask as a "|"-joined list of flag names.
+// String renders the mask as a "|"-joined list of flag names; bits without a
+// name are rendered once, collectively, as a trailing hex literal.
 func (m EventMask) String() string {
 	if m == 0 {
 		return "0"
@@ -108,22 +110,22 @@ func (m EventMask) String() string {
 		{POLLERR, "POLLERR"}, {POLLHUP, "POLLHUP"}, {POLLNVAL, "POLLNVAL"},
 		{POLLREMOVE, "POLLREMOVE"},
 	}
-	out := ""
+	var b strings.Builder
 	for _, f := range flags {
 		if m&f.bit != 0 {
-			if out != "" {
-				out += "|"
+			if b.Len() > 0 {
+				b.WriteByte('|')
 			}
-			out += f.name
+			b.WriteString(f.name)
 		}
 	}
 	if rest := m &^ (POLLIN | POLLPRI | POLLOUT | POLLERR | POLLHUP | POLLNVAL | POLLREMOVE); rest != 0 {
-		if out != "" {
-			out += "|"
+		if b.Len() > 0 {
+			b.WriteByte('|')
 		}
-		out += fmt.Sprintf("0x%x", uint16(rest))
+		fmt.Fprintf(&b, "0x%x", uint16(rest))
 	}
-	return out
+	return b.String()
 }
 
 // Has reports whether every bit of want is set in m.

@@ -88,6 +88,27 @@ func TestEventMaskString(t *testing.T) {
 	}
 }
 
+// Unknown-bit rendering pinned exactly: a pure-unknown mask renders as one hex
+// literal with no separator, multiple unknown bits collapse into a single
+// literal, and a mixed mask joins names and the literal with "|" in order.
+func TestEventMaskStringUnknownBits(t *testing.T) {
+	cases := []struct {
+		m    EventMask
+		want string
+	}{
+		{EventMask(0x4000), "0x4000"},
+		{EventMask(0x4000 | 0x0400), "0x4400"},
+		{POLLIN | EventMask(0x0800), "POLLIN|0x800"},
+		{POLLIN | POLLHUP | EventMask(0x4000), "POLLIN|POLLHUP|0x4000"},
+		{POLLIN | POLLOUT, "POLLIN|POLLOUT"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("EventMask(%#x).String() = %q, want %q", uint16(c.m), got, c.want)
+		}
+	}
+}
+
 func TestEventMaskHasAny(t *testing.T) {
 	m := POLLIN | POLLHUP
 	if !m.Has(POLLIN) {

@@ -13,10 +13,15 @@
 //   - an mmap'd result area (§3.3): DP_ALLOC plus mmap() shares a result buffer
 //     between kernel and application, eliminating the per-ready-descriptor
 //     copy-out.
+//
+// The kernel-resident interest table, the hint ledger and the blocking-wait
+// state machine all come from the shared engine in internal/interest; this
+// package contributes only the /dev/poll semantics and cost charges.
 package devpoll
 
 import (
 	"repro/internal/core"
+	"repro/internal/interest"
 	"repro/internal/simkernel"
 )
 
@@ -50,30 +55,17 @@ type DevPoll struct {
 	p    *simkernel.Proc
 	opts Options
 
-	table   *Table
-	backmap map[int]*simkernel.FD  // descriptors whose driver posts hints to us
-	hinted  map[int]bool           // descriptors with a pending hint
-	cache   map[int]core.EventMask // last result returned by the driver poll
+	table  *interest.Table        // kernel-resident interest set; Entry.File is the driver backmap
+	hinted *interest.Ledger       // descriptors whose driver posted a hint since the last scan
+	cache  map[int]core.EventMask // last result returned by the driver poll
 
 	mmapDone bool
 
-	state     waitState
-	pendWake  bool
-	curMax    int
-	curHand   func([]core.Event, core.Time)
-	timeoutID int64
+	eng interest.Engine
 
 	stats  core.Stats
 	closed bool
 }
-
-type waitState int
-
-const (
-	stateIdle waitState = iota
-	stateScanning
-	stateBlocked
-)
 
 // Open opens /dev/poll for process p. It mirrors open("/dev/poll") plus, when
 // the mmap result area is enabled, the later DP_ALLOC/mmap setup (charged
@@ -82,15 +74,24 @@ func Open(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *DevPoll {
 	if opts.ResultAreaSize <= 0 {
 		opts.ResultAreaSize = 4096
 	}
-	return &DevPoll{
-		k:       k,
-		p:       p,
-		opts:    opts,
-		table:   NewTable(),
-		backmap: make(map[int]*simkernel.FD),
-		hinted:  make(map[int]bool),
-		cache:   make(map[int]core.EventMask),
+	d := &DevPoll{
+		k:      k,
+		p:      p,
+		opts:   opts,
+		table:  interest.NewTable(),
+		hinted: interest.NewLedger(),
+		cache:  make(map[int]core.EventMask),
 	}
+	d.eng = interest.Engine{
+		Name:    "devpoll",
+		K:       k,
+		P:       p,
+		Collect: d.collect,
+		// Block on the single /dev/poll wait queue.
+		OnBlock:         func(bool) { d.p.Charge(d.k.Cost.WaitQueueOp) },
+		TimeoutTeardown: func() core.Duration { return d.k.Cost.WaitQueueOp },
+	}
+	return d
 }
 
 // Name implements core.Poller.
@@ -100,7 +101,7 @@ func (d *DevPoll) Name() string { return "devpoll" }
 func (d *DevPoll) Options() Options { return d.opts }
 
 // Table exposes the kernel-resident interest table (for tests and ablations).
-func (d *DevPoll) Table() *Table { return d.table }
+func (d *DevPoll) Table() *interest.Table { return d.table }
 
 // MechanismStats implements core.StatsSource.
 func (d *DevPoll) MechanismStats() core.Stats { return d.stats }
@@ -110,7 +111,7 @@ func (d *DevPoll) Add(fd int, events core.EventMask) error {
 	if d.closed {
 		return core.ErrClosed
 	}
-	if _, ok := d.table.Get(fd); ok {
+	if d.table.Contains(fd) {
 		return core.ErrExists
 	}
 	return d.Update([]core.PollFD{{FD: fd, Events: events}})
@@ -122,7 +123,7 @@ func (d *DevPoll) Modify(fd int, events core.EventMask) error {
 	if d.closed {
 		return core.ErrClosed
 	}
-	if _, ok := d.table.Get(fd); !ok {
+	if !d.table.Contains(fd) {
 		return core.ErrNotFound
 	}
 	return d.Update([]core.PollFD{{FD: fd, Events: events}})
@@ -133,14 +134,14 @@ func (d *DevPoll) Remove(fd int) error {
 	if d.closed {
 		return core.ErrClosed
 	}
-	if _, ok := d.table.Get(fd); !ok {
+	if !d.table.Contains(fd) {
 		return core.ErrNotFound
 	}
 	return d.Update([]core.PollFD{{FD: fd, Events: core.POLLREMOVE}})
 }
 
 // Interested implements core.Poller.
-func (d *DevPoll) Interested(fd int) bool { _, ok := d.table.Get(fd); return ok }
+func (d *DevPoll) Interested(fd int) bool { return d.table.Contains(fd) }
 
 // Len implements core.Poller.
 func (d *DevPoll) Len() int { return d.table.Len() }
@@ -159,20 +160,21 @@ func (d *DevPoll) Update(changes []core.PollFD) error {
 			d.removeLocked(ch.FD)
 			continue
 		}
-		events := ch.Events
-		if prev, ok := d.table.Get(ch.FD); ok && d.opts.SolarisOR {
-			events |= prev
+		e, isNew := d.table.Upsert(ch.FD)
+		if d.opts.SolarisOR && !isNew {
+			e.Events |= ch.Events
+		} else {
+			e.Events = ch.Events
 		}
-		isNew := d.table.Set(ch.FD, events)
 		if isNew {
 			// Establish the driver backmap for hints and prime the descriptor
 			// so its current state is examined on the next DP_POLL even though
 			// no hint has been posted yet.
 			if entry, ok := d.p.Get(ch.FD); ok {
 				entry.AddWatcher(d)
-				d.backmap[ch.FD] = entry
+				e.File = entry
 			}
-			d.hinted[ch.FD] = true
+			d.hinted.Mark(ch.FD, 0)
 		}
 	}
 	return nil
@@ -180,27 +182,31 @@ func (d *DevPoll) Update(changes []core.PollFD) error {
 
 // removeLocked drops one interest, its backmap entry, hint and cached result.
 func (d *DevPoll) removeLocked(fd int) {
-	if !d.table.Delete(fd) {
+	e := d.table.Lookup(fd)
+	if e == nil {
 		return
 	}
-	if entry, ok := d.backmap[fd]; ok {
-		entry.RemoveWatcher(d)
-		delete(d.backmap, fd)
+	if e.File != nil {
+		e.File.RemoveWatcher(d)
 	}
-	delete(d.hinted, fd)
+	d.table.Delete(fd)
+	d.hinted.Clear(fd)
 	delete(d.cache, fd)
 }
 
 // Close implements core.Poller: closing /dev/poll releases the interest set.
+// A wait blocked on DP_POLL completes immediately with no events.
 func (d *DevPoll) Close() error {
 	if d.closed {
 		return core.ErrClosed
 	}
-	for fd := range d.backmap {
-		d.backmap[fd].RemoveWatcher(d)
-	}
-	d.backmap = nil
+	d.table.Each(func(e *interest.Entry) {
+		if e.File != nil {
+			e.File.RemoveWatcher(d)
+		}
+	})
 	d.closed = true
+	d.eng.Abort(d.k.Now())
 	return nil
 }
 
@@ -211,132 +217,75 @@ func (d *DevPoll) Wait(max int, timeout core.Duration, handler func(events []cor
 		handler(nil, d.k.Now())
 		return
 	}
-	if d.state != stateIdle {
-		panic("devpoll: concurrent Wait on a single /dev/poll descriptor")
-	}
 	if max <= 0 {
 		max = d.opts.ResultAreaSize
 	}
 	if d.opts.UseMmap && max > d.opts.ResultAreaSize {
 		max = d.opts.ResultAreaSize
 	}
-	d.curMax = max
-	d.curHand = handler
-	d.pendWake = false
-	d.scan(true, timeout)
+	d.eng.Wait(max, timeout, handler)
 }
 
-// scan performs one DP_POLL pass inside a process batch.
-func (d *DevPoll) scan(firstPass bool, timeout core.Duration) {
-	d.state = stateScanning
-	now := d.k.Now()
+// collect performs one DP_POLL pass: it walks the kernel-resident interest
+// table, consulting the hint ledger and the cached results to decide which
+// descriptors need the expensive driver poll callback.
+func (d *DevPoll) collect(firstPass bool, max int) []core.Event {
+	cost := d.k.Cost
+	d.stats.Waits++
+	if firstPass {
+		d.p.Charge(cost.SyscallEntry)
+	} else {
+		d.p.Charge(cost.SchedWakeup)
+	}
+	if d.opts.UseMmap && !d.mmapDone {
+		// Lazily perform DP_ALLOC + mmap() the first time results are
+		// collected through the shared area.
+		d.p.Charge(cost.MmapSetup)
+		d.mmapDone = true
+	}
+	// The backmap lock is taken for reading once per scan.
+	d.p.Charge(cost.BackmapLock)
+
 	var ready []core.Event
-	d.p.Batch(now, func() {
-		cost := d.k.Cost
-		d.stats.Waits++
-		if firstPass {
-			d.p.Charge(cost.SyscallEntry)
-		} else {
-			d.p.Charge(cost.SchedWakeup)
-		}
-		if d.opts.UseMmap && !d.mmapDone {
-			// Lazily perform DP_ALLOC + mmap() the first time results are
-			// collected through the shared area.
-			d.p.Charge(cost.MmapSetup)
-			d.mmapDone = true
-		}
-		// The backmap lock is taken for reading once per scan.
-		d.p.Charge(cost.BackmapLock)
-
-		d.table.ForEach(func(fd int, want core.EventMask) {
-			entry, ok := d.p.Get(fd)
-			if !ok {
-				ready = d.appendEvent(ready, core.Event{FD: fd, Ready: core.POLLNVAL})
-				return
-			}
-			cached, hasCache := d.cache[fd]
-			needDriver := d.hinted[fd] || !d.opts.UseHints
-			if !needDriver && hasCache && cached.Any(want|core.POLLERR|core.POLLHUP) {
-				// A cached result that indicated readiness must be re-validated
-				// every time; there is no ready→not-ready hint.
-				needDriver = true
-				d.stats.CacheHits++
-			}
-			if !needDriver {
-				// The hint system lets us skip the driver entirely.
-				d.p.Charge(cost.HintCheck)
-				d.stats.HintHits++
-				return
-			}
-			revents := entry.DriverPoll()
-			d.stats.DriverPolls++
-			d.cache[fd] = revents
-			delete(d.hinted, fd)
-			revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
-			if revents != 0 {
-				ready = d.appendEvent(ready, core.Event{FD: fd, Ready: revents})
-			}
-		})
-
-		if len(ready) > 0 {
-			if !d.opts.UseMmap {
-				d.p.Charge(cost.PollCopyOut.Scale(float64(len(ready))))
-				d.stats.CopiedOut += int64(len(ready))
-			}
-			d.stats.EventsReturned += int64(len(ready))
+	d.table.Each(func(e *interest.Entry) {
+		fd, want := e.FD, e.Events
+		entry, ok := d.p.Get(fd)
+		if !ok {
+			ready = interest.AppendEvent(ready, max, core.Event{FD: fd, Ready: core.POLLNVAL})
 			return
 		}
-		if timeout == 0 {
+		cached, hasCache := d.cache[fd]
+		needDriver := d.hinted.Ready(fd) || !d.opts.UseHints
+		if !needDriver && hasCache && cached.Any(want|core.POLLERR|core.POLLHUP) {
+			// A cached result that indicated readiness must be re-validated
+			// every time; there is no ready→not-ready hint.
+			needDriver = true
+			d.stats.CacheHits++
+		}
+		if !needDriver {
+			// The hint system lets us skip the driver entirely.
+			d.p.Charge(cost.HintCheck)
+			d.stats.HintHits++
 			return
 		}
-		// Block on the single /dev/poll wait queue.
-		d.p.Charge(cost.WaitQueueOp)
-	}, func(done core.Time) {
-		if len(ready) > 0 || timeout == 0 {
-			d.finish(ready, done)
-			return
-		}
-		if d.pendWake {
-			d.pendWake = false
-			d.scan(false, timeout)
-			return
-		}
-		d.state = stateBlocked
-		if timeout > 0 {
-			d.timeoutID++
-			id := d.timeoutID
-			d.k.Sim.At(done.Add(timeout), func(t core.Time) {
-				if d.state == stateBlocked && d.timeoutID == id {
-					d.finishTimeout(t)
-				}
-			})
+		revents := entry.DriverPoll()
+		d.stats.DriverPolls++
+		d.cache[fd] = revents
+		d.hinted.Clear(fd)
+		revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
+		if revents != 0 {
+			ready = interest.AppendEvent(ready, max, core.Event{FD: fd, Ready: revents})
 		}
 	})
-}
 
-func (d *DevPoll) appendEvent(events []core.Event, e core.Event) []core.Event {
-	if len(events) >= d.curMax {
-		return events
+	if len(ready) > 0 {
+		if !d.opts.UseMmap {
+			d.p.Charge(cost.PollCopyOut.Scale(float64(len(ready))))
+			d.stats.CopiedOut += int64(len(ready))
+		}
+		d.stats.EventsReturned += int64(len(ready))
 	}
-	return append(events, e)
-}
-
-func (d *DevPoll) finish(events []core.Event, now core.Time) {
-	d.state = stateIdle
-	d.timeoutID++
-	h := d.curHand
-	d.curHand = nil
-	if h != nil {
-		h(events, now)
-	}
-}
-
-func (d *DevPoll) finishTimeout(now core.Time) {
-	d.p.Batch(now, func() {
-		d.p.Charge(d.k.Cost.WaitQueueOp)
-	}, func(done core.Time) {
-		d.finish(nil, done)
-	})
+	return ready
 }
 
 // ReadinessChanged implements simkernel.Watcher: the device driver posts a
@@ -347,18 +296,11 @@ func (d *DevPoll) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Ev
 		return
 	}
 	if d.opts.UseHints {
-		if !d.hinted[fd.Num] {
-			d.hinted[fd.Num] = true
+		if d.hinted.Mark(fd.Num, mask) {
 			d.k.Interrupt(now, d.k.Cost.HintPost, nil)
 		}
 	}
-	switch d.state {
-	case stateScanning:
-		d.pendWake = true
-	case stateBlocked:
-		d.state = stateScanning
-		d.scan(false, core.Forever)
-	}
+	d.eng.Wake()
 }
 
 var _ core.Poller = (*DevPoll)(nil)

@@ -78,6 +78,11 @@ func Ablations(connections int) []Ablation {
 	hybridVsPh := base(ServerHybrid, 1000, 501)
 	phVsHybrid := base(ServerPhhttpd, 1000, 501)
 
+	epollLT := base(ServerThttpdEpoll, 1000, 501)
+	epollET := base(ServerThttpdEpollET, 1000, 501)
+	devpollVsEpoll := base(ServerThttpdDevPoll, 1000, 501)
+	hybridEpollBulk := base(ServerHybridEpoll, 1000, 501)
+
 	return []Ablation{
 		{
 			ID:          "hints",
@@ -131,6 +136,33 @@ func Ablations(connections int) []Ablation {
 			Variants: []AblationVariant{
 				{Label: "hybrid", Spec: hybridVsPh},
 				{Label: "phhttpd", Spec: phVsHybrid},
+			},
+		},
+		{
+			ID:          "epoll-trigger-mode",
+			Title:       "epoll level-triggered vs edge-triggered (1000 req/s, 501 inactive)",
+			Description: "Compares the two epoll delivery modes on the shared interest engine: LT re-validates ready descriptors with the driver, ET delivers each transition once without re-polling.",
+			Variants: []AblationVariant{
+				{Label: "level-triggered", Spec: epollLT},
+				{Label: "edge-triggered", Spec: epollET},
+			},
+		},
+		{
+			ID:          "epoll-vs-devpoll",
+			Title:       "epoll vs /dev/poll under heavy inactive load (1000 req/s, 501 inactive)",
+			Description: "The successor mechanism against the paper's: epoll's O(ready) wait versus /dev/poll's O(registered) hint-check scan.",
+			Variants: []AblationVariant{
+				{Label: "epoll", Spec: epollLT},
+				{Label: "devpoll", Spec: devpollVsEpoll},
+			},
+		},
+		{
+			ID:          "hybrid-bulk-mechanism",
+			Title:       "Hybrid bulk poller: /dev/poll vs epoll (1000 req/s, 501 inactive)",
+			Description: "Swaps the hybrid server's load-time mechanism, possible only because both maintain the shared kernel-resident interest set concurrently with RT signal activity.",
+			Variants: []AblationVariant{
+				{Label: "bulk-devpoll", Spec: hybridVsPh},
+				{Label: "bulk-epoll", Spec: hybridEpollBulk},
 			},
 		},
 	}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/servers/hybrid"
 )
 
 // testConns keeps the integration runs quick while staying long enough to
@@ -91,10 +93,13 @@ func TestDevPollBeatsStockPollUnderInactiveLoad(t *testing.T) {
 	}
 }
 
-// At a low inactive load both thttpd variants keep up with a moderate request
-// rate (Figures 4 and 5 below the breakdown point).
-func TestBothThttpdVariantsKeepUpAtLowLoad(t *testing.T) {
-	for _, server := range []ServerKind{ServerThttpdPoll, ServerThttpdDevPoll} {
+// At a low inactive load every thttpd variant keeps up with a moderate
+// request rate (Figures 4 and 5 below the breakdown point, plus the epoll
+// extensions).
+func TestThttpdVariantsKeepUpAtLowLoad(t *testing.T) {
+	for _, server := range []ServerKind{
+		ServerThttpdPoll, ServerThttpdDevPoll, ServerThttpdEpoll, ServerThttpdEpollET,
+	} {
 		res := Run(spec(server, 600, 1))
 		if res.Load.ErrorPercent > 0.5 {
 			t.Fatalf("%s errors = %v%%", server, res.Load.ErrorPercent)
@@ -102,6 +107,72 @@ func TestBothThttpdVariantsKeepUpAtLowLoad(t *testing.T) {
 		if res.Load.ReplyRate.Mean < 570 {
 			t.Fatalf("%s reply rate = %v", server, res.Load.ReplyRate.Mean)
 		}
+	}
+}
+
+// The epoll extension: under heavy inactive load, epoll (in either trigger
+// mode) sustains the offered rate like /dev/poll does, while performing only
+// O(ready) work per wait — far fewer driver polls than stock poll.
+func TestEpollSustainsHeavyInactiveLoad(t *testing.T) {
+	rate := 900.0
+	poll := Run(spec(ServerThttpdPoll, rate, 501))
+	for _, server := range []ServerKind{ServerThttpdEpoll, ServerThttpdEpollET} {
+		res := Run(spec(server, rate, 501))
+		if res.Load.ReplyRate.Mean < 0.95*rate {
+			t.Fatalf("%s should sustain ~%v replies/s, got %v", server, rate, res.Load.ReplyRate.Mean)
+		}
+		if res.Load.ErrorPercent > 1 {
+			t.Fatalf("%s error rate = %v%%", server, res.Load.ErrorPercent)
+		}
+		if res.Primary.Waits == 0 {
+			t.Fatalf("%s mechanism stats empty", server)
+		}
+		perWait := float64(res.Primary.DriverPolls) / float64(res.Primary.Waits)
+		if perWait > 60 {
+			t.Fatalf("%s driver polls per wait = %.0f, want O(ready)", server, perWait)
+		}
+		if poll.Primary.DriverPolls <= res.Primary.DriverPolls {
+			t.Fatalf("stock poll performed fewer driver polls (%d) than %s (%d)",
+				poll.Primary.DriverPolls, server, res.Primary.DriverPolls)
+		}
+		wantMode := "epoll"
+		if server == ServerThttpdEpollET {
+			wantMode = "epoll-et"
+		}
+		if res.FinalMode != wantMode {
+			t.Fatalf("%s final mode = %q", server, res.FinalMode)
+		}
+	}
+}
+
+// The hybrid server accepts epoll as its bulk mechanism and still survives
+// overload with a tiny signal queue; with an aggressive crossover it actually
+// engages the epoll bulk poller and reports it by name.
+func TestHybridEpollSurvivesOverload(t *testing.T) {
+	s := spec(ServerHybridEpoll, 1300, 251)
+	s.RTQueueLimit = 16
+	res := Run(s)
+	if res.Load.ReplyRate.Mean < 1000 {
+		t.Fatalf("hybrid-epoll throughput = %v, want epoll-class", res.Load.ReplyRate.Mean)
+	}
+	if res.Load.ErrorPercent > 10 {
+		t.Fatalf("hybrid-epoll errors = %v%%", res.Load.ErrorPercent)
+	}
+
+	early := spec(ServerHybridEpoll, 1300, 251)
+	cfg := hybrid.DefaultConfig()
+	cfg.HighWater = 2
+	cfg.ConsecutiveLow = 1 << 30 // never switch back: pin polling mode
+	early.HybridConfig = &cfg
+	eres := Run(early)
+	if eres.SwitchesToPoll == 0 {
+		t.Fatal("hybrid-epoll never engaged its bulk poller despite HighWater=2")
+	}
+	if eres.FinalMode != "epoll" {
+		t.Fatalf("final mode = %q, want the epoll bulk poller by name", eres.FinalMode)
+	}
+	if eres.Load.ReplyRate.Mean < 1000 {
+		t.Fatalf("hybrid-epoll in polling mode throughput = %v", eres.Load.ReplyRate.Mean)
 	}
 }
 
@@ -190,8 +261,23 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 	if _, ok := FigureByID("nope"); ok {
 		t.Fatal("FigureByID(nope) should fail")
 	}
-	if len(ServerKinds()) != 4 {
-		t.Fatal("ServerKinds incomplete")
+	if len(ServerKinds()) != 7 {
+		t.Fatalf("ServerKinds = %d, want the paper's four plus the three epoll kinds", len(ServerKinds()))
+	}
+	kinds := map[ServerKind]bool{}
+	for _, k := range ServerKinds() {
+		kinds[k] = true
+	}
+	for _, want := range []ServerKind{ServerThttpdEpoll, ServerThttpdEpollET, ServerHybridEpoll} {
+		if !kinds[want] {
+			t.Fatalf("ServerKinds missing %q", want)
+		}
+	}
+	if len(ExtensionFigures()) == 0 || len(AllFigures()) != len(Figures())+len(ExtensionFigures()) {
+		t.Fatal("extension figures not wired into AllFigures")
+	}
+	if _, ok := FigureByID("fig16"); !ok {
+		t.Fatal("FigureByID(fig16) failed")
 	}
 	for _, m := range []MetricKind{MetricReplyRate, MetricErrorPercent, MetricMedianLatency, MetricKind(99)} {
 		if m.String() == "" {

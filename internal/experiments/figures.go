@@ -131,11 +131,48 @@ func Figures() []Figure {
 	}
 }
 
+// ExtensionFigures returns figures that go beyond the paper: the epoll curves
+// the follow-up literature made the obvious next measurement. Extension
+// figures use numbers above the paper's 14 so identifiers stay unambiguous.
+func ExtensionFigures() []Figure {
+	rates := DefaultRates()
+	return []Figure{
+		{
+			ID:     "fig15",
+			Number: 15,
+			Title:  "Extension: thttpd with epoll (level-triggered), 501 inactive connections",
+			Paper:  "Not in the paper. epoll's O(ready) wait should match or beat /dev/poll under heavy inactive load.",
+			Metric: MetricReplyRate,
+			Rates:  rates,
+			Curves: []Curve{{Label: string(ServerThttpdEpoll), Server: ServerThttpdEpoll, Inactive: 501}},
+		},
+		{
+			ID:     "fig16",
+			Number: 16,
+			Title:  "Extension: event mechanisms compared at 501 inactive connections",
+			Paper:  "Not in the paper. Stock poll collapses, /dev/poll and both epoll modes sustain the load.",
+			Metric: MetricReplyRate,
+			Rates:  rates,
+			Curves: []Curve{
+				{Label: "normal poll", Server: ServerThttpdPoll, Inactive: 501},
+				{Label: "devpoll", Server: ServerThttpdDevPoll, Inactive: 501},
+				{Label: "epoll", Server: ServerThttpdEpoll, Inactive: 501},
+				{Label: "epoll-et", Server: ServerThttpdEpollET, Inactive: 501},
+			},
+		},
+	}
+}
+
+// AllFigures returns the paper's figures followed by the extension figures.
+func AllFigures() []Figure {
+	return append(Figures(), ExtensionFigures()...)
+}
+
 // FigureByID looks a figure up by its "fig04"-style identifier or by its bare
-// number ("4").
+// number ("4"), searching the paper's figures and the extensions.
 func FigureByID(id string) (Figure, bool) {
 	id = strings.ToLower(strings.TrimSpace(id))
-	for _, f := range Figures() {
+	for _, f := range AllFigures() {
 		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
 			return f, true
 		}

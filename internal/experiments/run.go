@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/devpoll"
+	"repro/internal/epoll"
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/rtsig"
@@ -23,17 +24,24 @@ import (
 // ServerKind selects the server under test.
 type ServerKind string
 
-// The four servers the repository can benchmark.
+// The servers the repository can benchmark: the paper's four, plus the epoll
+// extensions (the mechanism Linux ultimately adopted).
 const (
-	ServerThttpdPoll    ServerKind = "thttpd-poll"    // stock thttpd on stock poll()
-	ServerThttpdDevPoll ServerKind = "thttpd-devpoll" // thttpd modified to use /dev/poll
-	ServerPhhttpd       ServerKind = "phhttpd"        // RT-signal phhttpd
-	ServerHybrid        ServerKind = "hybrid"         // the paper's hypothetical hybrid
+	ServerThttpdPoll    ServerKind = "thttpd-poll"     // stock thttpd on stock poll()
+	ServerThttpdDevPoll ServerKind = "thttpd-devpoll"  // thttpd modified to use /dev/poll
+	ServerPhhttpd       ServerKind = "phhttpd"         // RT-signal phhttpd
+	ServerHybrid        ServerKind = "hybrid"          // the paper's hypothetical hybrid
+	ServerThttpdEpoll   ServerKind = "thttpd-epoll"    // thttpd on level-triggered epoll
+	ServerThttpdEpollET ServerKind = "thttpd-epoll-et" // thttpd on edge-triggered epoll
+	ServerHybridEpoll   ServerKind = "hybrid-epoll"    // hybrid with epoll as the bulk poller
 )
 
 // ServerKinds lists all selectable servers.
 func ServerKinds() []ServerKind {
-	return []ServerKind{ServerThttpdPoll, ServerThttpdDevPoll, ServerPhhttpd, ServerHybrid}
+	return []ServerKind{
+		ServerThttpdPoll, ServerThttpdDevPoll, ServerPhhttpd, ServerHybrid,
+		ServerThttpdEpoll, ServerThttpdEpollET, ServerHybridEpoll,
+	}
 }
 
 // RunSpec describes one benchmark point: one server, one offered rate, one
@@ -54,6 +62,8 @@ type RunSpec struct {
 	Network *netsim.Config
 	// DevPollOptions overrides /dev/poll options for thttpd-devpoll and hybrid.
 	DevPollOptions *devpoll.Options
+	// EpollOptions overrides epoll options for the epoll server kinds.
+	EpollOptions *epoll.Options
 	// PhhttpdBatchDequeue enables the sigtimedwait4 extension in phhttpd.
 	PhhttpdBatchDequeue bool
 	// HybridConfig optionally overrides the hybrid server configuration.
@@ -141,6 +151,16 @@ func Run(spec RunSpec) RunResult {
 		cfg.Mechanism = thttpd.DevPoll(opts)
 		thttpdSrv = thttpd.New(k, net, cfg)
 		ctl = thttpdSrv
+	case ServerThttpdEpoll, ServerThttpdEpollET:
+		cfg := thttpd.DefaultConfig()
+		opts := epoll.DefaultOptions()
+		if spec.EpollOptions != nil {
+			opts = *spec.EpollOptions
+		}
+		opts.EdgeTriggered = spec.Server == ServerThttpdEpollET
+		cfg.Mechanism = thttpd.Epoll(opts)
+		thttpdSrv = thttpd.New(k, net, cfg)
+		ctl = thttpdSrv
 	case ServerPhhttpd:
 		cfg := phhttpd.DefaultConfig()
 		cfg.BatchDequeue = spec.PhhttpdBatchDequeue
@@ -149,13 +169,22 @@ func Run(spec RunSpec) RunResult {
 		}
 		phhttpdSrv = phhttpd.New(k, net, cfg)
 		ctl = phhttpdSrv
-	case ServerHybrid:
+	case ServerHybrid, ServerHybridEpoll:
 		cfg := hybrid.DefaultConfig()
 		if spec.HybridConfig != nil {
 			cfg = *spec.HybridConfig
 		}
 		if spec.DevPollOptions != nil {
 			cfg.DevPoll = *spec.DevPollOptions
+		}
+		if spec.Server == ServerHybridEpoll {
+			opts := epoll.DefaultOptions()
+			if spec.EpollOptions != nil {
+				opts = *spec.EpollOptions
+			}
+			cfg.Bulk = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+				return epoll.Open(k, p, opts)
+			}
 		}
 		if spec.RTQueueLimit > 0 {
 			cfg.QueueLimit = spec.RTQueueLimit
@@ -217,7 +246,7 @@ func Run(spec RunSpec) RunResult {
 		CPUUtilization: k.CPU.Utilization(k.Now().Sub(0)),
 	}
 	switch spec.Server {
-	case ServerThttpdPoll, ServerThttpdDevPoll:
+	case ServerThttpdPoll, ServerThttpdDevPoll, ServerThttpdEpoll, ServerThttpdEpollET:
 		if src, ok := thttpdSrv.Poller().(core.StatsSource); ok {
 			res.Primary = src.MechanismStats()
 		}
@@ -230,11 +259,13 @@ func Run(spec RunSpec) RunResult {
 		res.FinalMode = phhttpdSrv.Mode().String()
 		res.Overflows = phhttpdSrv.Overflows
 		res.Handoffs = phhttpdSrv.Handoffs
-	case ServerHybrid:
-		res.Primary = hybridSrv.DevPollSet().MechanismStats()
+	case ServerHybrid, ServerHybridEpoll:
+		if src, ok := hybridSrv.DevPollSet().(core.StatsSource); ok {
+			res.Primary = src.MechanismStats()
+		}
 		res.Secondary = hybridSrv.SignalQueue().MechanismStats()
 		res.EventLoops = hybridSrv.Loops
-		res.FinalMode = hybridSrv.Mode().String()
+		res.FinalMode = hybridSrv.ModeName()
 		res.SwitchesToPoll = hybridSrv.SwitchesToPoll
 		res.SwitchesToSignal = hybridSrv.SwitchesToSignal
 	}

@@ -1,0 +1,274 @@
+package interest_test
+
+// The shared Poller conformance suite: one table-driven file exercised against
+// all four event-notification mechanisms (stock poll, /dev/poll, RT signals,
+// and epoll in both trigger modes). It pins the contract every mechanism must
+// honour so refactors of the shared interest engine are provably
+// behaviour-preserving: error cases on interest management (ErrExists,
+// ErrNotFound, ErrClosed), Interested/Len bookkeeping, readiness delivery,
+// wait-with-timeout, non-blocking waits, and close-while-waiting.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devpoll"
+	"repro/internal/epoll"
+	"repro/internal/rtsig"
+	"repro/internal/simtest"
+	"repro/internal/stockpoll"
+)
+
+// mechanism names one Poller implementation under test.
+type mechanism struct {
+	name string
+	open func(env *simtest.Env) core.Poller
+}
+
+func mechanisms() []mechanism {
+	return []mechanism{
+		{"stockpoll", func(env *simtest.Env) core.Poller {
+			return stockpoll.New(env.K, env.P)
+		}},
+		{"devpoll", func(env *simtest.Env) core.Poller {
+			return devpoll.Open(env.K, env.P, devpoll.DefaultOptions())
+		}},
+		{"rtsig", func(env *simtest.Env) core.Poller {
+			return rtsig.New(env.K, env.P, rtsig.DefaultOptions())
+		}},
+		{"epoll-lt", func(env *simtest.Env) core.Poller {
+			return epoll.Open(env.K, env.P, epoll.Options{EdgeTriggered: false})
+		}},
+		{"epoll-et", func(env *simtest.Env) core.Poller {
+			return epoll.Open(env.K, env.P, epoll.Options{EdgeTriggered: true})
+		}},
+	}
+}
+
+// forEachMechanism runs fn as a sub-test per mechanism, with a fresh
+// simulation environment each time.
+func forEachMechanism(t *testing.T, fn func(t *testing.T, env *simtest.Env, p core.Poller)) {
+	t.Helper()
+	for _, m := range mechanisms() {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			env := simtest.NewEnv()
+			fn(t, env, m.open(env))
+		})
+	}
+}
+
+func TestConformanceInterestErrors(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fdA, _ := env.NewFD(0)
+		fdB, _ := env.NewFD(0)
+
+		if err := p.Add(fdA.Num, core.POLLIN); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if err := p.Add(fdA.Num, core.POLLIN); err != core.ErrExists {
+			t.Fatalf("duplicate Add = %v, want ErrExists", err)
+		}
+		if err := p.Modify(fdB.Num, core.POLLIN); err != core.ErrNotFound {
+			t.Fatalf("Modify of unregistered fd = %v, want ErrNotFound", err)
+		}
+		if err := p.Remove(fdB.Num); err != core.ErrNotFound {
+			t.Fatalf("Remove of unregistered fd = %v, want ErrNotFound", err)
+		}
+		if err := p.Modify(fdA.Num, core.POLLIN|core.POLLOUT); err != nil {
+			t.Fatalf("Modify: %v", err)
+		}
+		if err := p.Remove(fdA.Num); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		if err := p.Remove(fdA.Num); err != core.ErrNotFound {
+			t.Fatalf("double Remove = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestConformanceInterestedAndLen(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		if p.Len() != 0 {
+			t.Fatalf("fresh poller Len = %d", p.Len())
+		}
+		var fds []int
+		for i := 0; i < 5; i++ {
+			fd, _ := env.NewFD(0)
+			if err := p.Add(fd.Num, core.POLLIN); err != nil {
+				t.Fatalf("Add %d: %v", i, err)
+			}
+			fds = append(fds, fd.Num)
+		}
+		if p.Len() != 5 {
+			t.Fatalf("Len = %d, want 5", p.Len())
+		}
+		for _, fd := range fds {
+			if !p.Interested(fd) {
+				t.Fatalf("Interested(%d) = false", fd)
+			}
+		}
+		if p.Interested(fds[4] + 1) {
+			t.Fatal("Interested reports an unregistered fd")
+		}
+		if err := p.Remove(fds[2]); err != nil {
+			t.Fatal(err)
+		}
+		if p.Interested(fds[2]) || p.Len() != 4 {
+			t.Fatalf("after Remove: Interested=%v Len=%d", p.Interested(fds[2]), p.Len())
+		}
+	})
+}
+
+func TestConformanceClosedPollerErrors(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, _ := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := p.Close(); err != core.ErrClosed {
+			t.Fatalf("double Close = %v, want ErrClosed", err)
+		}
+		if err := p.Add(fd.Num+1, core.POLLIN); err != core.ErrClosed {
+			t.Fatalf("Add after Close = %v, want ErrClosed", err)
+		}
+		if err := p.Modify(fd.Num, core.POLLIN); err != core.ErrClosed {
+			t.Fatalf("Modify after Close = %v, want ErrClosed", err)
+		}
+		if err := p.Remove(fd.Num); err != core.ErrClosed {
+			t.Fatalf("Remove after Close = %v, want ErrClosed", err)
+		}
+		// A Wait on a closed poller completes immediately and delivers nothing.
+		var col simtest.Collector
+		p.Wait(0, core.Forever, col.Handler())
+		if col.Calls != 1 || len(col.Events) != 0 {
+			t.Fatalf("Wait after Close: %+v", col)
+		}
+		// Closing must not leave watchers on the descriptor.
+		if fd.Watchers() != 0 {
+			t.Fatalf("watchers leaked after Close: %d", fd.Watchers())
+		}
+	})
+}
+
+func TestConformanceWaitDeliversReadiness(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, file := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		var col simtest.Collector
+		p.Wait(0, core.Forever, col.Handler())
+		// Readiness arrives 2 ms into the run — after registration, so every
+		// mechanism (including transition-driven RT signals) observes it.
+		env.K.Sim.At(core.Time(2*core.Millisecond), func(now core.Time) {
+			file.SetReady(now, core.POLLIN)
+		})
+		env.Run()
+		if col.Calls != 1 {
+			t.Fatalf("handler calls = %d", col.Calls)
+		}
+		if len(col.Events) == 0 {
+			t.Fatal("no events delivered")
+		}
+		found := false
+		for _, ev := range col.Events {
+			if ev.FD == fd.Num && ev.Ready.Any(core.POLLIN) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("readiness on fd %d not delivered: %+v", fd.Num, col.Events)
+		}
+		if col.At < core.Time(2*core.Millisecond) {
+			t.Fatalf("handler ran before the readiness existed: %v", col.At)
+		}
+	})
+}
+
+func TestConformanceWaitTimeout(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, _ := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		const timeout = 10 * core.Millisecond
+		var col simtest.Collector
+		p.Wait(0, timeout, col.Handler())
+		env.Run()
+		if col.Calls != 1 || len(col.Events) != 0 {
+			t.Fatalf("timed-out wait: %+v", col)
+		}
+		if col.At < core.Time(timeout) {
+			t.Fatalf("timeout fired early: %v", col.At)
+		}
+		// The poller is reusable after a timeout.
+		var col2 simtest.Collector
+		p.Wait(0, 0, col2.Handler())
+		env.Run()
+		if col2.Calls != 1 {
+			t.Fatal("second Wait never completed")
+		}
+	})
+}
+
+func TestConformanceWaitZeroTimeoutNeverBlocks(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, _ := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		var col simtest.Collector
+		p.Wait(0, 0, col.Handler())
+		env.Run()
+		if col.Calls != 1 || len(col.Events) != 0 {
+			t.Fatalf("non-blocking wait: %+v", col)
+		}
+	})
+}
+
+func TestConformanceCloseWhileWaiting(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, _ := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		var col simtest.Collector
+		p.Wait(0, core.Forever, col.Handler())
+		env.K.Sim.At(core.Time(core.Millisecond), func(core.Time) {
+			if err := p.Close(); err != nil {
+				t.Errorf("Close while waiting: %v", err)
+			}
+		})
+		env.Run()
+		// The blocked wait must complete (empty) rather than strand the caller.
+		if col.Calls != 1 || len(col.Events) != 0 {
+			t.Fatalf("close-while-waiting: %+v", col)
+		}
+		if col.At < core.Time(core.Millisecond) {
+			t.Fatalf("wait completed before the Close: %v", col.At)
+		}
+		if fd.Watchers() != 0 {
+			t.Fatalf("watchers leaked: %d", fd.Watchers())
+		}
+	})
+}
+
+func TestConformanceConcurrentWaitPanics(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, _ := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		p.Wait(0, core.Forever, func([]core.Event, core.Time) {})
+		defer func() {
+			if recover() == nil {
+				t.Error("second Wait should panic while the first is in flight")
+			}
+		}()
+		p.Wait(0, core.Forever, func([]core.Event, core.Time) {})
+	})
+}

@@ -1,0 +1,212 @@
+package interest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// engineState tracks where a wait currently is.
+type engineState int
+
+const (
+	// stateIdle: no Wait in flight.
+	stateIdle engineState = iota
+	// stateScanning: a scan/dequeue batch is on the simulated CPU.
+	stateScanning
+	// stateBlocked: the scan found nothing; the process sleeps until a driver
+	// notification (Wake) or the timeout fires.
+	stateBlocked
+	// stateExpiring: the timeout fired and its teardown batch is on the CPU;
+	// the wait is committed to returning empty. Wakes during this window are
+	// ignored — the readiness they announce is already latched in the
+	// mechanism's ledger or queue and the next Wait's first pass collects it.
+	stateExpiring
+)
+
+// Engine is the blocking-wait state machine shared by every event mechanism.
+// Each mechanism owns what happens inside a scan (which descriptors to
+// examine, what CPU costs to charge) and plugs it in through the hook fields;
+// the engine owns the part they all used to duplicate: the
+// idle/scanning/blocked lifecycle, the first-pass fast path versus the
+// rescan-after-wakeup path, wakeups racing with an in-flight scan, timeout
+// scheduling and cancellation, and dispatching the handler at the virtual
+// instant the underlying blocking call would have returned.
+//
+// The zero value is not usable; populate the exported fields before the first
+// Wait and do not change them afterwards.
+type Engine struct {
+	// Name identifies the mechanism in panic messages.
+	Name string
+	K    *simkernel.Kernel
+	P    *simkernel.Proc
+
+	// Collect runs inside the scan batch and returns the ready events for this
+	// pass, charging all scan CPU costs (syscall entry on the first pass,
+	// scheduler wakeup on rescans, per-descriptor work, copy-out) as it goes.
+	// It must respect max.
+	Collect func(firstPass bool, max int) []core.Event
+
+	// OnBlock, if non-nil, runs inside the scan batch when nothing was ready
+	// and the wait is about to block (timeout != 0): the point where a
+	// mechanism joins wait queues (arms watchers) and charges for doing so.
+	OnBlock func(firstPass bool)
+
+	// OnFinish, if non-nil, runs immediately before the handler is invoked:
+	// the point where a mechanism leaves the wait queues it joined (disarms
+	// watchers). It runs on every completion path (events, timeout, abort).
+	OnFinish func()
+
+	// TimeoutTeardown, if non-nil, returns the CPU cost of dismantling the
+	// blocked wait when its timeout expires; the engine charges it in a batch
+	// before delivering the empty result. Nil means the timeout completes
+	// without CPU work (RT signals).
+	TimeoutTeardown func() core.Duration
+
+	state      engineState
+	pendWake   bool
+	pendExpire bool
+	curMax     int
+	curHand    func(events []core.Event, now core.Time)
+	timeoutID  int64
+}
+
+// Idle reports whether no Wait is in flight.
+func (e *Engine) Idle() bool { return e.state == stateIdle }
+
+// Wait starts one blocking wait: at most max events, blocking for at most
+// timeout (core.Forever blocks indefinitely, 0 never blocks). The handler is
+// invoked exactly once, at the virtual time the underlying call would have
+// returned. A second Wait while one is in flight is a programming error.
+func (e *Engine) Wait(max int, timeout core.Duration, handler func(events []core.Event, now core.Time)) {
+	if e.state != stateIdle {
+		panic(fmt.Sprintf("%s: concurrent Wait while one is in flight", e.Name))
+	}
+	e.curMax = max
+	e.curHand = handler
+	e.pendWake = false
+	e.pendExpire = false
+	e.scan(true, timeout)
+}
+
+// Wake is called by the mechanism's readiness notification (driver hint,
+// wait-queue wakeup, signal enqueue). A wake during a scan marks the scan for
+// an immediate rescan; a wake while blocked starts the rescan right away. The
+// rescan carries core.Forever: any original timeout stays scheduled and still
+// bounds the overall wait through its generation check.
+func (e *Engine) Wake() {
+	switch e.state {
+	case stateScanning:
+		e.pendWake = true
+	case stateBlocked:
+		e.scan(false, core.Forever)
+	}
+}
+
+// Abort cancels a blocked wait, delivering an empty result at now. Waits that
+// are mid-scan are left to complete normally. Mechanisms call it from Close so
+// a close-while-waiting never strands the caller.
+func (e *Engine) Abort(now core.Time) {
+	if e.state == stateBlocked {
+		e.finish(nil, now)
+	}
+}
+
+// scan performs one pass inside a process batch. firstPass distinguishes the
+// initial system call (which pays entry and copy-in costs) from a rescan after
+// a wait-queue wakeup (which pays the scheduler wakeup instead).
+func (e *Engine) scan(firstPass bool, timeout core.Duration) {
+	e.state = stateScanning
+	now := e.K.Now()
+	var ready []core.Event
+	e.P.Batch(now, func() {
+		ready = e.Collect(firstPass, e.curMax)
+		if len(ready) > 0 || timeout == 0 {
+			return
+		}
+		if e.OnBlock != nil {
+			e.OnBlock(firstPass)
+		}
+	}, func(done core.Time) {
+		if len(ready) > 0 || timeout == 0 {
+			e.finish(ready, done)
+			return
+		}
+		if e.pendWake {
+			// A readiness notification raced with the scan; rescan immediately.
+			// A deadline that passed meanwhile (pendExpire) stays pending: if
+			// the rescan also finds nothing, the wait times out below instead
+			// of re-blocking forever.
+			e.pendWake = false
+			e.scan(false, timeout)
+			return
+		}
+		if e.pendExpire {
+			// The deadline passed while a rescan was on the CPU and the rescan
+			// found nothing: the wait times out now.
+			e.pendExpire = false
+			e.expire(done)
+			return
+		}
+		e.state = stateBlocked
+		if timeout > 0 {
+			e.timeoutID++
+			id := e.timeoutID
+			e.K.Sim.At(done.Add(timeout), func(t core.Time) {
+				if e.timeoutID != id {
+					return
+				}
+				switch e.state {
+				case stateBlocked:
+					e.expire(t)
+				case stateScanning:
+					// A rescan is on the CPU as the deadline passes; let it
+					// finish, but remember that the wait's time is up.
+					e.pendExpire = true
+				}
+			})
+		}
+	})
+}
+
+// finish tears down the wait and delivers results to the handler.
+func (e *Engine) finish(events []core.Event, now core.Time) {
+	if e.OnFinish != nil {
+		e.OnFinish()
+	}
+	e.state = stateIdle
+	e.timeoutID++
+	h := e.curHand
+	e.curHand = nil
+	if h != nil {
+		h(events, now)
+	}
+}
+
+// AppendEvent appends e to events unless the result cap max has been reached,
+// the bound every mechanism's Collect applies to its result area.
+func AppendEvent(events []core.Event, max int, e core.Event) []core.Event {
+	if len(events) >= max {
+		return events
+	}
+	return append(events, e)
+}
+
+// expire completes a blocked wait whose timeout fired, charging the
+// mechanism's teardown cost first if it has one. The state moves to
+// stateExpiring before the teardown batch so a Wake racing with it cannot
+// start a scan on behalf of a wait that is already returning.
+func (e *Engine) expire(now core.Time) {
+	if e.TimeoutTeardown == nil {
+		e.finish(nil, now)
+		return
+	}
+	e.state = stateExpiring
+	cost := e.TimeoutTeardown()
+	e.P.Batch(now, func() {
+		e.P.Charge(cost)
+	}, func(done core.Time) {
+		e.finish(nil, done)
+	})
+}

@@ -1,0 +1,151 @@
+package interest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simtest"
+)
+
+// A Wake that lands while the timeout's teardown batch is on the CPU must not
+// start a scan on behalf of the expiring wait: that scan would consume latched
+// readiness and deliver it to nobody (the expiring wait already returned),
+// losing the event. The engine parks in stateExpiring for the teardown window;
+// the readiness stays latched in the mechanism and the next Wait collects it.
+func TestEngineTimeoutTeardownIgnoresRacingWake(t *testing.T) {
+	env := simtest.NewEnv()
+	pending := false
+	collects := 0
+	eng := Engine{
+		Name: "racetest",
+		K:    env.K,
+		P:    env.P,
+		Collect: func(firstPass bool, max int) []core.Event {
+			collects++
+			if pending {
+				pending = false
+				return []core.Event{{FD: 7, Ready: core.POLLIN}}
+			}
+			return nil
+		},
+		TimeoutTeardown: func() core.Duration { return 10 * core.Microsecond },
+	}
+
+	var first [][]core.Event
+	eng.Wait(4, 5*core.Millisecond, func(ev []core.Event, now core.Time) {
+		first = append(first, ev)
+	})
+	// The timeout fires at 5 ms and its teardown batch occupies the CPU for
+	// 10 µs; readiness is latched and Wake arrives in the middle of that
+	// window.
+	env.K.Sim.At(core.Time(5*core.Millisecond+5*core.Microsecond), func(core.Time) {
+		pending = true
+		eng.Wake()
+	})
+	env.Run()
+
+	if len(first) != 1 || len(first[0]) != 0 {
+		t.Fatalf("expiring wait delivered %v, want one empty result", first)
+	}
+	if collects != 1 {
+		t.Fatalf("collects = %d; a stale scan ran during the teardown window", collects)
+	}
+
+	// The latched readiness was not consumed: the next wait's first pass
+	// returns it.
+	var second []core.Event
+	eng.Wait(4, 0, func(ev []core.Event, now core.Time) { second = ev })
+	env.Run()
+	if len(second) != 1 || second[0].FD != 7 {
+		t.Fatalf("latched readiness lost across the expiring wait: %v", second)
+	}
+}
+
+// A finite timeout whose deadline passes while a wakeup-triggered rescan is on
+// the CPU must still expire the wait if the rescan finds nothing. (The rescan
+// runs with core.Forever, so without the pendExpire latch the consumed timer
+// would leave the wait blocked for good.)
+func TestEngineTimeoutSurvivesRacingRescan(t *testing.T) {
+	env := simtest.NewEnv()
+	collects := 0
+	eng := Engine{
+		Name: "expiretest",
+		K:    env.K,
+		P:    env.P,
+		Collect: func(firstPass bool, max int) []core.Event {
+			collects++
+			// Every scan costs enough CPU that a rescan started just before
+			// the deadline is still running when it passes.
+			env.P.Charge(50 * core.Microsecond)
+			return nil // nothing is ever ready: a spurious wake
+		},
+	}
+	var calls int
+	var at core.Time
+	const timeout = 5 * core.Millisecond
+	eng.Wait(4, timeout, func(ev []core.Event, now core.Time) {
+		calls++
+		at = now
+		if len(ev) != 0 {
+			t.Errorf("expected an empty timeout result, got %v", ev)
+		}
+	})
+	// The first scan costs 50 µs, so the wait blocks at 50 µs and its deadline
+	// is timeout+50µs. A spurious wake (e.g. a hint whose mask the wait
+	// doesn't want) lands 20 µs before that deadline; its 50 µs rescan spans
+	// the deadline instant, so the timer fires mid-scan.
+	env.K.Sim.At(core.Time(timeout+30*core.Microsecond), func(core.Time) {
+		eng.Wake()
+	})
+	env.Run()
+	if calls != 1 {
+		t.Fatalf("handler calls = %d; the bounded wait hung after the racing rescan", calls)
+	}
+	if at < core.Time(timeout) {
+		t.Fatalf("timed out early at %v", at)
+	}
+	if collects != 2 {
+		t.Fatalf("collects = %d, want initial scan + the racing rescan", collects)
+	}
+}
+
+// A wake during the scan batch itself (not the teardown) must still force the
+// immediate rescan that prevents lost wakeups.
+func TestEngineWakeDuringScanForcesRescan(t *testing.T) {
+	env := simtest.NewEnv()
+	pending := false
+	collects := 0
+	eng := Engine{
+		Name: "rescantest",
+		K:    env.K,
+		P:    env.P,
+		Collect: func(firstPass bool, max int) []core.Event {
+			collects++
+			// The scan itself costs CPU time, opening the race window.
+			env.P.Charge(20 * core.Microsecond)
+			if pending {
+				pending = false
+				return []core.Event{{FD: 3, Ready: core.POLLIN}}
+			}
+			return nil
+		},
+	}
+	var got []core.Event
+	calls := 0
+	eng.Wait(4, core.Forever, func(ev []core.Event, now core.Time) {
+		calls++
+		got = ev
+	})
+	// Readiness lands while the first scan batch is still on the CPU.
+	env.K.Sim.At(core.Time(10*core.Microsecond), func(core.Time) {
+		pending = true
+		eng.Wake()
+	})
+	env.Run()
+	if calls != 1 || len(got) != 1 || got[0].FD != 3 {
+		t.Fatalf("rescan after mid-scan wake failed: calls=%d events=%v", calls, got)
+	}
+	if collects != 2 {
+		t.Fatalf("collects = %d, want initial scan + one rescan", collects)
+	}
+}

@@ -1,0 +1,116 @@
+package interest
+
+import "repro/internal/core"
+
+// ledgerNode is one marked descriptor, linked in arrival order.
+type ledgerNode struct {
+	fd         int
+	mask       core.EventMask
+	prev, next *ledgerNode
+}
+
+// Ledger is the readiness side of the kernel-resident interest engine: the set
+// of registered descriptors that currently have undelivered readiness, in
+// arrival order. Device drivers update it once per readiness notification
+// (Mark), and a mechanism's wait path scans only the marked descriptors —
+// O(ready) work — instead of walking the whole interest set. Mark and Clear
+// are O(1) (map plus intrusive list), so hot paths never pay for the ledger's
+// size.
+//
+// /dev/poll uses it as the §3.2 hint backmap (a marked descriptor is one whose
+// driver posted a hint since the last scan); epoll uses it as the ready list
+// behind epoll_wait.
+type Ledger struct {
+	nodes map[int]*ledgerNode
+	head  *ledgerNode
+	tail  *ledgerNode
+}
+
+// NewLedger returns an empty readiness ledger.
+func NewLedger() *Ledger {
+	return &Ledger{nodes: make(map[int]*ledgerNode)}
+}
+
+// Mark records readiness mask for fd, OR-ing it into any mask already pending,
+// and reports whether fd was newly marked. The bool lets callers charge the
+// interrupt-context posting cost once per transition to ready, as the
+// /dev/poll hint system does.
+func (l *Ledger) Mark(fd int, mask core.EventMask) bool {
+	if n, ok := l.nodes[fd]; ok {
+		n.mask |= mask
+		return false
+	}
+	n := &ledgerNode{fd: fd, mask: mask}
+	l.nodes[fd] = n
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		n.prev = l.tail
+		l.tail.next = n
+		l.tail = n
+	}
+	return true
+}
+
+// Ready reports whether fd has undelivered readiness.
+func (l *Ledger) Ready(fd int) bool {
+	_, ok := l.nodes[fd]
+	return ok
+}
+
+// Mask returns the accumulated readiness mask pending for fd (zero if none).
+func (l *Ledger) Mask(fd int) core.EventMask {
+	if n, ok := l.nodes[fd]; ok {
+		return n.mask
+	}
+	return 0
+}
+
+// Clear drops any pending readiness for fd, reporting whether there was any.
+func (l *Ledger) Clear(fd int) bool {
+	n, ok := l.nodes[fd]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	return true
+}
+
+// Len reports the number of descriptors with undelivered readiness.
+func (l *Ledger) Len() int { return len(l.nodes) }
+
+// Reset empties the ledger.
+func (l *Ledger) Reset() {
+	l.nodes = make(map[int]*ledgerNode)
+	l.head, l.tail = nil, nil
+}
+
+// Scan visits the marked descriptors in arrival order. fn returns whether the
+// descriptor should stay marked: a level-triggered consumer keeps descriptors
+// that remain ready, an edge-triggered one drops each mark as it is delivered.
+// fn must not call Mark or Clear during the scan.
+func (l *Ledger) Scan(fn func(fd int, mask core.EventMask) (keep bool)) {
+	for n := l.head; n != nil; {
+		next := n.next
+		if !fn(n.fd, n.mask) {
+			l.unlink(n)
+		}
+		n = next
+	}
+}
+
+// unlink removes a node from the list and the index.
+func (l *Ledger) unlink(n *ledgerNode) {
+	if n.prev == nil {
+		l.head = n.next
+	} else {
+		n.prev.next = n.next
+	}
+	if n.next == nil {
+		l.tail = n.prev
+	} else {
+		n.next.prev = n.prev
+	}
+	n.prev, n.next = nil, nil
+	delete(l.nodes, n.fd)
+}

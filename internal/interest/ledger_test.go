@@ -1,0 +1,94 @@
+package interest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLedgerMarkAccumulatesAndReportsNewness(t *testing.T) {
+	l := NewLedger()
+	if !l.Mark(4, core.POLLIN) {
+		t.Fatal("first Mark should report newly marked")
+	}
+	if l.Mark(4, core.POLLOUT) {
+		t.Fatal("second Mark of same fd should not be new")
+	}
+	if l.Mask(4) != core.POLLIN|core.POLLOUT {
+		t.Fatalf("Mask = %v", l.Mask(4))
+	}
+	if !l.Ready(4) || l.Ready(5) || l.Len() != 1 {
+		t.Fatal("Ready/Len wrong")
+	}
+	if !l.Clear(4) || l.Clear(4) {
+		t.Fatal("Clear wrong")
+	}
+	if l.Len() != 0 || l.Mask(4) != 0 {
+		t.Fatal("ledger not empty after Clear")
+	}
+}
+
+func TestLedgerScanOrderAndKeepSemantics(t *testing.T) {
+	l := NewLedger()
+	l.Mark(7, core.POLLIN)
+	l.Mark(3, core.POLLIN)
+	l.Mark(9, core.POLLOUT)
+
+	// Drop fd 3, keep the others: arrival order must be preserved.
+	var visited []int
+	l.Scan(func(fd int, mask core.EventMask) bool {
+		visited = append(visited, fd)
+		return fd != 3
+	})
+	if len(visited) != 3 || visited[0] != 7 || visited[1] != 3 || visited[2] != 9 {
+		t.Fatalf("visited = %v", visited)
+	}
+	if l.Len() != 2 || l.Ready(3) {
+		t.Fatalf("keep semantics broken: len=%d", l.Len())
+	}
+
+	visited = nil
+	l.Scan(func(fd int, mask core.EventMask) bool {
+		visited = append(visited, fd)
+		return false
+	})
+	if len(visited) != 2 || visited[0] != 7 || visited[1] != 9 {
+		t.Fatalf("second scan visited = %v", visited)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("ledger should be drained, len=%d", l.Len())
+	}
+}
+
+func TestLedgerRemarkAfterClearKeepsSingleEntry(t *testing.T) {
+	l := NewLedger()
+	l.Mark(1, core.POLLIN)
+	l.Mark(2, core.POLLIN)
+	l.Clear(1)
+	if !l.Mark(1, core.POLLOUT) {
+		t.Fatal("re-mark after clear should be new")
+	}
+	var visited []int
+	l.Scan(func(fd int, mask core.EventMask) bool {
+		visited = append(visited, fd)
+		return false
+	})
+	// fd 1 re-arrived after fd 2, and is visited exactly once.
+	if len(visited) != 2 || visited[0] != 2 || visited[1] != 1 {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger()
+	l.Mark(1, core.POLLIN)
+	l.Mark(2, core.POLLIN)
+	l.Reset()
+	if l.Len() != 0 || l.Ready(1) {
+		t.Fatal("Reset did not empty the ledger")
+	}
+	l.Mark(3, core.POLLIN)
+	if l.Len() != 1 {
+		t.Fatal("ledger unusable after Reset")
+	}
+}

@@ -1,0 +1,204 @@
+// Package interest is the shared kernel-resident interest engine behind every
+// event-notification mechanism in the reproduction. The paper's central
+// argument (Provos & Lever, "Scalable Network I/O in Linux", FREENIX 2000) is
+// that /dev/poll and RT signals beat stock poll() because the interest set
+// lives inside the kernel instead of being copied in on every call; this
+// package is that kernel-resident state, factored out so the mechanisms
+// (stock poll, /dev/poll, RT signals, epoll) differ only in what they charge
+// the cost model and how they present readiness, not in how they store
+// interests or run a blocking wait.
+//
+// It provides three pieces:
+//
+//   - Table: the chained hash table of §3.1 (doubling at an average chain of
+//     two, never shrinking), generalized with insertion-order iteration so the
+//     same structure can also stand in for stock poll's user-space pollfd
+//     array;
+//   - Ledger: a readiness ledger recording which registered descriptors have
+//     pending readiness, updated once per driver notification and scanned in
+//     O(ready) rather than O(registered);
+//   - Engine: the common blocking-wait state machine (first-pass fast path,
+//     rescan-on-wakeup, timeout, handler dispatch at the correct virtual
+//     time).
+package interest
+
+import (
+	"repro/internal/core"
+	"repro/internal/simkernel"
+)
+
+// Entry is one registered interest in the kernel-resident set. Events is the
+// requested interest mask; File caches the resolved descriptor-table entry
+// (nil until a mechanism resolves it); Data carries mechanism-specific
+// per-interest state (the RT signal number for rtsig, user data for epoll).
+type Entry struct {
+	FD     int
+	Events core.EventMask
+	File   *simkernel.FD
+	Data   int64
+
+	hashNext   *Entry // next entry in the same hash bucket
+	prev, next *Entry // insertion-order list
+}
+
+// Table is the kernel-resident interest set described in §3.1 of the paper: a
+// chained hash table keyed by descriptor. "For simplicity, when the average
+// bucket size is two, the number of buckets in the hash table is doubled. The
+// hash table is never shrunk."
+//
+// Iteration (Each, ForEach, FDs) runs in insertion order, which keeps
+// simulation runs deterministic and lets stock poll reuse the table as its
+// ordered pollfd array.
+type Table struct {
+	buckets []*Entry
+	head    *Entry
+	tail    *Entry
+	count   int
+
+	// Grows counts bucket-doubling events, exposed for tests and ablations.
+	Grows int
+}
+
+// initialBuckets is the starting bucket count; the exact value only affects
+// how soon the first doubling happens.
+const initialBuckets = 8
+
+// NewTable returns an empty interest table.
+func NewTable() *Table {
+	return &Table{buckets: make([]*Entry, initialBuckets)}
+}
+
+// hash spreads descriptor numbers across buckets (Fibonacci hashing).
+func (t *Table) hash(fd int) int {
+	return int(uint32(fd)*2654435761) % len(t.buckets)
+}
+
+// Len reports the number of registered interests.
+func (t *Table) Len() int { return t.count }
+
+// Buckets reports the current bucket count.
+func (t *Table) Buckets() int { return len(t.buckets) }
+
+// AverageChain reports the average bucket occupancy.
+func (t *Table) AverageChain() float64 {
+	if len(t.buckets) == 0 {
+		return 0
+	}
+	return float64(t.count) / float64(len(t.buckets))
+}
+
+// Lookup returns the entry registered for fd, or nil.
+func (t *Table) Lookup(fd int) *Entry {
+	for e := t.buckets[t.hash(fd)]; e != nil; e = e.hashNext {
+		if e.FD == fd {
+			return e
+		}
+	}
+	return nil
+}
+
+// Get returns the interest mask registered for fd.
+func (t *Table) Get(fd int) (core.EventMask, bool) {
+	if e := t.Lookup(fd); e != nil {
+		return e.Events, true
+	}
+	return 0, false
+}
+
+// Contains reports whether fd has a registered interest.
+func (t *Table) Contains(fd int) bool { return t.Lookup(fd) != nil }
+
+// Upsert returns the entry for fd, creating it (appended to the insertion
+// order) if absent, and reports whether it was newly created.
+func (t *Table) Upsert(fd int) (*Entry, bool) {
+	if e := t.Lookup(fd); e != nil {
+		return e, false
+	}
+	e := &Entry{FD: fd}
+	idx := t.hash(fd)
+	e.hashNext = t.buckets[idx]
+	t.buckets[idx] = e
+	if t.tail == nil {
+		t.head, t.tail = e, e
+	} else {
+		e.prev = t.tail
+		t.tail.next = e
+		t.tail = e
+	}
+	t.count++
+	if t.AverageChain() >= 2 {
+		t.grow()
+	}
+	return e, true
+}
+
+// Set registers or replaces the interest mask for fd and reports whether the
+// entry was newly created. File and Data of an existing entry are preserved.
+func (t *Table) Set(fd int, events core.EventMask) bool {
+	e, isNew := t.Upsert(fd)
+	e.Events = events
+	return isNew
+}
+
+// Delete removes the interest for fd, reporting whether it was present. The
+// table never shrinks.
+func (t *Table) Delete(fd int) bool {
+	idx := t.hash(fd)
+	var prev *Entry
+	for e := t.buckets[idx]; e != nil; prev, e = e, e.hashNext {
+		if e.FD != fd {
+			continue
+		}
+		if prev == nil {
+			t.buckets[idx] = e.hashNext
+		} else {
+			prev.hashNext = e.hashNext
+		}
+		if e.prev == nil {
+			t.head = e.next
+		} else {
+			e.prev.next = e.next
+		}
+		if e.next == nil {
+			t.tail = e.prev
+		} else {
+			e.next.prev = e.prev
+		}
+		t.count--
+		return true
+	}
+	return false
+}
+
+// Each visits every entry in insertion order. fn must not add or remove table
+// entries during the walk.
+func (t *Table) Each(fn func(e *Entry)) {
+	for e := t.head; e != nil; e = e.next {
+		fn(e)
+	}
+}
+
+// ForEach visits every interest in insertion order. Iteration order is
+// deterministic so simulation runs are repeatable.
+func (t *Table) ForEach(fn func(fd int, events core.EventMask)) {
+	t.Each(func(e *Entry) { fn(e.FD, e.Events) })
+}
+
+// FDs returns all registered descriptors in insertion order.
+func (t *Table) FDs() []int {
+	out := make([]int, 0, t.count)
+	t.Each(func(e *Entry) { out = append(out, e.FD) })
+	return out
+}
+
+// grow doubles the bucket count and rehashes every entry. The insertion-order
+// list is untouched.
+func (t *Table) grow() {
+	t.buckets = make([]*Entry, len(t.buckets)*2)
+	t.Grows++
+	for e := t.head; e != nil; e = e.next {
+		idx := t.hash(e.FD)
+		e.hashNext = t.buckets[idx]
+		t.buckets[idx] = e
+	}
+}

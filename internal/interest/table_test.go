@@ -1,4 +1,4 @@
-package devpoll
+package interest
 
 import (
 	"math/rand"
@@ -25,6 +25,9 @@ func TestTableSetGetDelete(t *testing.T) {
 	if _, ok := tb.Get(8); ok {
 		t.Fatal("Get of missing fd succeeded")
 	}
+	if !tb.Contains(7) || tb.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
 	if !tb.Delete(7) {
 		t.Fatal("Delete failed")
 	}
@@ -33,6 +36,23 @@ func TestTableSetGetDelete(t *testing.T) {
 	}
 	if tb.Len() != 0 {
 		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableUpsertPreservesFileAndData(t *testing.T) {
+	tb := NewTable()
+	e, isNew := tb.Upsert(9)
+	if !isNew {
+		t.Fatal("Upsert of fresh fd should be new")
+	}
+	e.Events = core.POLLIN
+	e.Data = 42
+	if tb.Set(9, core.POLLOUT) {
+		t.Fatal("Set of existing fd reported new")
+	}
+	got := tb.Lookup(9)
+	if got == nil || got.Events != core.POLLOUT || got.Data != 42 {
+		t.Fatalf("entry after Set = %+v", got)
 	}
 }
 
@@ -75,6 +95,35 @@ func TestTableNeverShrinks(t *testing.T) {
 	}
 	if tb.Len() != 0 {
 		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableIteratesInInsertionOrder(t *testing.T) {
+	tb := NewTable()
+	// Enough entries to force growth, so rehashing is covered too.
+	var want []int
+	for i := 0; i < 40; i++ {
+		fd := (i * 13) % 97 // scattered, all distinct
+		tb.Set(fd, core.POLLIN)
+		want = append(want, fd)
+	}
+	if got := tb.FDs(); len(got) != len(want) {
+		t.Fatalf("FDs = %v", got)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("insertion order broken at %d: got %v want %v", i, got, want)
+			}
+		}
+	}
+	// Deleting from the middle preserves the order of the rest.
+	tb.Delete(want[3])
+	want = append(want[:3], want[4:]...)
+	got := tb.FDs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order after delete broken at %d: got %v want %v", i, got, want)
+		}
 	}
 }
 

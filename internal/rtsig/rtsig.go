@@ -13,12 +13,18 @@
 // The package also implements the paper's proposed sigtimedwait4() extension:
 // dequeueing a batch of siginfo structs with a single system call (§6, future
 // work), which the hybrid server and the ablation benchmarks exercise.
+//
+// The per-descriptor signal registrations live in the shared kernel-resident
+// interest table of internal/interest (Entry.Data carries the assigned signal
+// number), and sigwaitinfo's blocking behaviour runs on the shared wait
+// engine; only the signal queue itself is mechanism-specific.
 package rtsig
 
 import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/interest"
 	"repro/internal/simkernel"
 )
 
@@ -51,13 +57,6 @@ func DefaultOptions() Options {
 	return Options{QueueLimit: DefaultQueueLimit, Signo: core.SIGRTMIN, BatchDequeue: false}
 }
 
-// registration records the signal assignment for a descriptor.
-type registration struct {
-	signo  int
-	events core.EventMask
-	entry  *simkernel.FD
-}
-
 // Queue is a process's RT signal queue plus its per-descriptor signal
 // assignments. It implements core.Poller so servers can treat it like the
 // other mechanisms, with Wait mapping to sigwaitinfo()/sigtimedwait4().
@@ -66,7 +65,10 @@ type Queue struct {
 	p    *simkernel.Proc
 	opts Options
 
-	registered map[int]*registration
+	// registered holds the F_SETSIG assignments: Entry.Events is the mask of
+	// completions that raise a signal, Entry.Data the assigned signal number,
+	// Entry.File the descriptor whose fasync list we joined.
+	registered *interest.Table
 	bySigno    map[int][]core.Siginfo // pending siginfo, FIFO per signal number
 	signos     []int                  // sorted signal numbers with pending entries
 	length     int
@@ -74,23 +76,11 @@ type Queue struct {
 	overflowed       bool
 	overflowReported bool
 
-	state     waitState
-	pendWake  bool
-	curMax    int
-	curHand   func([]core.Event, core.Time)
-	timeoutID int64
+	eng interest.Engine
 
 	stats  core.Stats
 	closed bool
 }
-
-type waitState int
-
-const (
-	stateIdle waitState = iota
-	stateDequeueing
-	stateBlocked
-)
 
 // New creates an RT signal queue for process p.
 func New(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Queue {
@@ -100,13 +90,22 @@ func New(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Queue {
 	if opts.Signo == 0 {
 		opts.Signo = core.SIGRTMIN
 	}
-	return &Queue{
+	q := &Queue{
 		k:          k,
 		p:          p,
 		opts:       opts,
-		registered: make(map[int]*registration),
+		registered: interest.NewTable(),
 		bySigno:    make(map[int][]core.Siginfo),
 	}
+	q.eng = interest.Engine{
+		Name:    "rtsig",
+		K:       k,
+		P:       p,
+		Collect: q.collect,
+		// Blocking in sigwaitinfo() joins no per-descriptor wait queues and a
+		// timeout tears nothing down, so OnBlock and TimeoutTeardown stay nil.
+	}
+	return q
 }
 
 // Name implements core.Poller.
@@ -140,7 +139,7 @@ func (q *Queue) Register(fd, signo int, events core.EventMask) error {
 	if q.closed {
 		return core.ErrClosed
 	}
-	if _, ok := q.registered[fd]; ok {
+	if q.registered.Contains(fd) {
 		return core.ErrExists
 	}
 	if signo < core.SIGRTMIN || signo > core.SIGRTMAX {
@@ -151,8 +150,10 @@ func (q *Queue) Register(fd, signo int, events core.EventMask) error {
 		return core.ErrBadFD
 	}
 	q.p.ChargeSyscall(q.k.Cost.FcntlSetSig)
-	reg := &registration{signo: signo, events: events, entry: entry}
-	q.registered[fd] = reg
+	e, _ := q.registered.Upsert(fd)
+	e.Events = events
+	e.Data = int64(signo)
+	e.File = entry
 	entry.AddWatcher(q)
 	return nil
 }
@@ -163,12 +164,12 @@ func (q *Queue) Modify(fd int, events core.EventMask) error {
 	if q.closed {
 		return core.ErrClosed
 	}
-	reg, ok := q.registered[fd]
-	if !ok {
+	e := q.registered.Lookup(fd)
+	if e == nil {
 		return core.ErrNotFound
 	}
 	q.p.ChargeSyscall(q.k.Cost.FcntlSetSig)
-	reg.events = events
+	e.Events = events
 	return nil
 }
 
@@ -180,31 +181,34 @@ func (q *Queue) Remove(fd int) error {
 	if q.closed {
 		return core.ErrClosed
 	}
-	reg, ok := q.registered[fd]
-	if !ok {
+	e := q.registered.Lookup(fd)
+	if e == nil {
 		return core.ErrNotFound
 	}
-	reg.entry.RemoveWatcher(q)
-	delete(q.registered, fd)
+	e.File.RemoveWatcher(q)
+	q.registered.Delete(fd)
 	return nil
 }
 
 // Interested implements core.Poller.
-func (q *Queue) Interested(fd int) bool { _, ok := q.registered[fd]; return ok }
+func (q *Queue) Interested(fd int) bool { return q.registered.Contains(fd) }
 
 // Len implements core.Poller: the number of registered descriptors.
-func (q *Queue) Len() int { return len(q.registered) }
+func (q *Queue) Len() int { return q.registered.Len() }
 
-// Close implements core.Poller.
+// Close implements core.Poller. A wait blocked in sigwaitinfo() completes
+// immediately with no events.
 func (q *Queue) Close() error {
 	if q.closed {
 		return core.ErrClosed
 	}
-	for _, reg := range q.registered {
-		reg.entry.RemoveWatcher(q)
-	}
-	q.registered = nil
+	q.registered.Each(func(e *interest.Entry) {
+		if e.File != nil {
+			e.File.RemoveWatcher(q)
+		}
+	})
 	q.closed = true
+	q.eng.Abort(q.k.Now())
 	return nil
 }
 
@@ -233,84 +237,44 @@ func (q *Queue) Wait(max int, timeout core.Duration, handler func(events []core.
 		handler(nil, q.k.Now())
 		return
 	}
-	if q.state != stateIdle {
-		panic("rtsig: concurrent Wait on a single-threaded signal queue")
-	}
 	if max <= 0 || !q.opts.BatchDequeue {
 		max = 1
 	}
-	q.curMax = max
-	q.curHand = handler
-	q.pendWake = false
-	q.dequeue(true, timeout)
+	q.eng.Wait(max, timeout, handler)
 }
 
-// dequeue performs one sigwaitinfo()/sigtimedwait4() attempt inside a batch.
-func (q *Queue) dequeue(firstPass bool, timeout core.Duration) {
-	q.state = stateDequeueing
-	now := q.k.Now()
-	var events []core.Event
-	q.p.Batch(now, func() {
-		cost := q.k.Cost
-		q.stats.Waits++
-		if firstPass {
-			q.p.Charge(cost.SyscallEntry)
-		} else {
-			q.p.Charge(cost.SchedWakeup)
-		}
-		if q.overflowed && !q.overflowReported {
-			// SIGIO announces the overflow; the application learns nothing else
-			// from this delivery.
-			q.p.Charge(cost.SigDequeue)
-			q.overflowReported = true
-			events = append(events, OverflowEvent)
-			q.stats.EventsReturned++
-			return
-		}
-		for len(events) < q.curMax && q.length > 0 {
-			si, ok := q.pop()
-			if !ok {
-				break
-			}
-			if len(events) == 0 {
-				q.p.Charge(cost.SigDequeue)
-			} else {
-				q.p.Charge(cost.SigDequeueBatch)
-			}
-			events = append(events, core.Event{FD: si.FD, Ready: si.Band})
-			q.stats.EventsReturned++
-		}
-	}, func(done core.Time) {
-		if len(events) > 0 || timeout == 0 {
-			q.finish(events, done)
-			return
-		}
-		if q.pendWake {
-			q.pendWake = false
-			q.dequeue(false, timeout)
-			return
-		}
-		q.state = stateBlocked
-		if timeout > 0 {
-			q.timeoutID++
-			id := q.timeoutID
-			q.k.Sim.At(done.Add(timeout), func(t core.Time) {
-				if q.state == stateBlocked && q.timeoutID == id {
-					q.finish(nil, t)
-				}
-			})
-		}
-	})
-}
-
-func (q *Queue) finish(events []core.Event, now core.Time) {
-	q.state = stateIdle
-	q.timeoutID++
-	h := q.curHand
-	q.curHand = nil
-	if h != nil {
-		h(events, now)
+// collect performs one sigwaitinfo()/sigtimedwait4() dequeue attempt.
+func (q *Queue) collect(firstPass bool, max int) []core.Event {
+	cost := q.k.Cost
+	q.stats.Waits++
+	if firstPass {
+		q.p.Charge(cost.SyscallEntry)
+	} else {
+		q.p.Charge(cost.SchedWakeup)
 	}
+	if q.overflowed && !q.overflowReported {
+		// SIGIO announces the overflow; the application learns nothing else
+		// from this delivery.
+		q.p.Charge(cost.SigDequeue)
+		q.overflowReported = true
+		q.stats.EventsReturned++
+		return []core.Event{OverflowEvent}
+	}
+	var events []core.Event
+	for len(events) < max && q.length > 0 {
+		si, ok := q.pop()
+		if !ok {
+			break
+		}
+		if len(events) == 0 {
+			q.p.Charge(cost.SigDequeue)
+		} else {
+			q.p.Charge(cost.SigDequeueBatch)
+		}
+		events = append(events, core.Event{FD: si.FD, Ready: si.Band})
+		q.stats.EventsReturned++
+	}
+	return events
 }
 
 // pop removes the oldest pending siginfo from the lowest pending signal
@@ -355,15 +319,15 @@ func (q *Queue) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Even
 	if q.closed {
 		return
 	}
-	reg, ok := q.registered[fd.Num]
-	if !ok {
+	reg := q.registered.Lookup(fd.Num)
+	if reg == nil {
 		return
 	}
-	if !mask.Any(reg.events | core.POLLERR | core.POLLHUP) {
+	if !mask.Any(reg.Events | core.POLLERR | core.POLLHUP) {
 		return
 	}
 	cost := q.k.Cost
-	enqueueCost := cost.SigEnqueue + cost.SigEnqueuePerFD.Scale(float64(len(q.registered)))
+	enqueueCost := cost.SigEnqueue + cost.SigEnqueuePerFD.Scale(float64(q.registered.Len()))
 	q.k.Interrupt(now, enqueueCost, nil)
 
 	if q.length >= q.opts.QueueLimit {
@@ -374,17 +338,11 @@ func (q *Queue) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Even
 			q.k.Interrupt(now, cost.SigOverflow, nil)
 		}
 	} else {
-		q.push(core.Siginfo{Signo: reg.signo, Band: mask, FD: fd.Num})
+		q.push(core.Siginfo{Signo: int(reg.Data), Band: mask, FD: fd.Num})
 		q.stats.Enqueued++
 	}
 
-	switch q.state {
-	case stateDequeueing:
-		q.pendWake = true
-	case stateBlocked:
-		q.state = stateDequeueing
-		q.dequeue(false, core.Forever)
-	}
+	q.eng.Wake()
 }
 
 var _ core.Poller = (*Queue)(nil)

@@ -36,6 +36,12 @@ func (m Mode) String() string {
 	return "devpoll"
 }
 
+// BulkMechanism constructs the bulk-notification poller the server switches
+// to under load. The default is /dev/poll, as the paper prescribes; epoll (the
+// mechanism history converged on) plugs in the same way because both maintain
+// their kernel-resident interest set concurrently with RT signal activity.
+type BulkMechanism func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
+
 // Config parameterises the hybrid server.
 type Config struct {
 	// Content is the static document tree; nil selects the default store.
@@ -57,7 +63,10 @@ type Config struct {
 	ConsecutiveLow int
 	// BatchDequeue enables sigtimedwait4-style batch dequeue in signal mode.
 	BatchDequeue bool
-	// DevPoll configures the /dev/poll instance.
+	// Bulk constructs the bulk poller used in polling mode; nil selects
+	// /dev/poll with the DevPoll options below.
+	Bulk BulkMechanism
+	// DevPoll configures the /dev/poll instance used when Bulk is nil.
 	DevPoll devpoll.Options
 	// MaxEventsPerWait caps events per /dev/poll wait.
 	MaxEventsPerWait int
@@ -90,7 +99,7 @@ type Server struct {
 	cfg     Config
 	api     *netsim.SockAPI
 	rtq     *rtsig.Queue
-	dp      *devpoll.DevPoll
+	dp      core.Poller
 	handler *httpcore.Handler
 	lfd     *simkernel.FD
 
@@ -136,7 +145,11 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 	api := netsim.NewSockAPI(k, p, net)
 	s := &Server{K: k, Net: net, P: p, cfg: cfg, api: api, mode: ModeSignal}
 	s.rtq = rtsig.New(k, p, rtsig.Options{QueueLimit: cfg.QueueLimit, Signo: core.SIGRTMIN, BatchDequeue: cfg.BatchDequeue})
-	s.dp = devpoll.Open(k, p, cfg.DevPoll)
+	if cfg.Bulk != nil {
+		s.dp = cfg.Bulk(k, p)
+	} else {
+		s.dp = devpoll.Open(k, p, cfg.DevPoll)
+	}
 	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
 	s.handler.IdleTimeout = cfg.IdleTimeout
 	// Both event sources are kept up to date on every connection open/close,
@@ -180,14 +193,24 @@ func (s *Server) Stop() {
 // Mode reports the current event-delivery mode.
 func (s *Server) Mode() Mode { return s.mode }
 
+// ModeName names the current mode using the bulk poller's own name, so a
+// hybrid built on epoll reports "epoll" rather than "devpoll".
+func (s *Server) ModeName() string {
+	if s.mode == ModeSignal {
+		return ModeSignal.String()
+	}
+	return s.dp.Name()
+}
+
 // Stats returns the application-level counters.
 func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
 
 // SignalQueue exposes the RT signal queue (for tests and experiments).
 func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
 
-// DevPollSet exposes the /dev/poll instance (for tests and experiments).
-func (s *Server) DevPollSet() *devpoll.DevPoll { return s.dp }
+// DevPollSet exposes the bulk poller — /dev/poll by default, or whatever
+// Config.Bulk selected (for tests and experiments).
+func (s *Server) DevPollSet() core.Poller { return s.dp }
 
 // OpenConnections reports how many connections the server currently holds.
 func (s *Server) OpenConnections() int { return len(s.handler.Conns) }

@@ -7,6 +7,7 @@ package thttpd
 import (
 	"repro/internal/core"
 	"repro/internal/devpoll"
+	"repro/internal/epoll"
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
 	"repro/internal/servers/httpcore"
@@ -25,6 +26,12 @@ func StockPoll() Mechanism {
 // DevPoll selects the /dev/poll event core with the given options.
 func DevPoll(opts devpoll.Options) Mechanism {
 	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return devpoll.Open(k, p, opts) }
+}
+
+// Epoll selects the epoll event core with the given options (level- or
+// edge-triggered).
+func Epoll(opts epoll.Options) Mechanism {
+	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return epoll.Open(k, p, opts) }
 }
 
 // Config parameterises a thttpd instance.

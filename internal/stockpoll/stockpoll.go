@@ -8,12 +8,19 @@
 // All of those per-interest costs are charged on every Wait, which is exactly
 // the O(interest set) behaviour whose breakdown under many inactive
 // connections the paper's Figures 4, 6 and 8 document.
+//
+// The interest set and the blocking-wait state machine come from the shared
+// engine in internal/interest — the same kernel-resident structures the other
+// mechanisms use — but stock poll still charges the full per-call copy-in,
+// full-scan and copy-out costs, so the paper's figures are unchanged: the
+// refactor moves code, not costs.
 package stockpoll
 
 import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/interest"
 	"repro/internal/simkernel"
 )
 
@@ -22,36 +29,40 @@ type Poller struct {
 	k *simkernel.Kernel
 	p *simkernel.Proc
 
-	interests map[int]core.EventMask
-	order     []int // pollfd array order (insertion order, like a real server's array)
+	// table holds the interest set. Insertion-order iteration stands in for
+	// the application's pollfd array order; Entry.File caches the descriptor
+	// entries on whose wait queues a blocked poll() is sleeping.
+	table *interest.Table
+	armed bool // watchers currently registered (poll() is blocked or about to)
 
-	state     waitState
-	pendWake  bool
-	armed     map[int]*simkernel.FD // descriptors with our watcher registered
-	curMax    int
-	curHand   func([]core.Event, core.Time)
-	timeoutID int64 // generation counter to cancel stale timeouts
+	eng interest.Engine
 
 	stats  core.Stats
 	closed bool
 }
 
-type waitState int
-
-const (
-	stateIdle waitState = iota
-	stateScanning
-	stateBlocked
-)
-
 // New creates a poll()-based poller for process p.
 func New(k *simkernel.Kernel, p *simkernel.Proc) *Poller {
-	return &Poller{
-		k:         k,
-		p:         p,
-		interests: make(map[int]core.EventMask),
-		armed:     make(map[int]*simkernel.FD),
+	pl := &Poller{k: k, p: p, table: interest.NewTable()}
+	pl.eng = interest.Engine{
+		Name:    "stockpoll",
+		K:       k,
+		P:       p,
+		Collect: pl.collect,
+		// Nothing ready: join each file's wait queue before sleeping. The
+		// rescan path already paid its wait-queue teardown inside collect.
+		OnBlock: func(firstPass bool) {
+			if firstPass {
+				pl.p.Charge(pl.k.Cost.WaitQueueOp.Scale(float64(pl.table.Len())))
+			}
+			pl.arm()
+		},
+		OnFinish: pl.disarm,
+		TimeoutTeardown: func() core.Duration {
+			return pl.k.Cost.WaitQueueOp.Scale(float64(pl.table.Len()))
+		},
 	}
+	return pl
 }
 
 // Name implements core.Poller.
@@ -64,11 +75,10 @@ func (pl *Poller) Add(fd int, events core.EventMask) error {
 	if pl.closed {
 		return core.ErrClosed
 	}
-	if _, ok := pl.interests[fd]; ok {
+	if pl.table.Contains(fd) {
 		return core.ErrExists
 	}
-	pl.interests[fd] = events
-	pl.order = append(pl.order, fd)
+	pl.table.Set(fd, events)
 	return nil
 }
 
@@ -77,10 +87,10 @@ func (pl *Poller) Modify(fd int, events core.EventMask) error {
 	if pl.closed {
 		return core.ErrClosed
 	}
-	if _, ok := pl.interests[fd]; !ok {
+	if !pl.table.Contains(fd) {
 		return core.ErrNotFound
 	}
-	pl.interests[fd] = events
+	pl.table.Set(fd, events)
 	return nil
 }
 
@@ -89,46 +99,38 @@ func (pl *Poller) Remove(fd int) error {
 	if pl.closed {
 		return core.ErrClosed
 	}
-	if _, ok := pl.interests[fd]; !ok {
+	e := pl.table.Lookup(fd)
+	if e == nil {
 		return core.ErrNotFound
 	}
-	delete(pl.interests, fd)
-	for i, n := range pl.order {
-		if n == fd {
-			pl.order = append(pl.order[:i], pl.order[i+1:]...)
-			break
-		}
+	if pl.armed && e.File != nil {
+		e.File.RemoveWatcher(pl)
 	}
-	if e, ok := pl.armed[fd]; ok {
-		e.RemoveWatcher(pl)
-		delete(pl.armed, fd)
-	}
+	pl.table.Delete(fd)
 	return nil
 }
 
 // Interested implements core.Poller.
-func (pl *Poller) Interested(fd int) bool { _, ok := pl.interests[fd]; return ok }
+func (pl *Poller) Interested(fd int) bool { return pl.table.Contains(fd) }
 
 // Len implements core.Poller.
-func (pl *Poller) Len() int { return len(pl.interests) }
+func (pl *Poller) Len() int { return pl.table.Len() }
 
 // FDs returns the interest set in pollfd-array order (for tests).
-func (pl *Poller) FDs() []int {
-	out := make([]int, len(pl.order))
-	copy(out, pl.order)
-	return out
-}
+func (pl *Poller) FDs() []int { return pl.table.FDs() }
 
 // MechanismStats implements core.StatsSource.
 func (pl *Poller) MechanismStats() core.Stats { return pl.stats }
 
-// Close implements core.Poller.
+// Close implements core.Poller. A wait blocked in poll() completes
+// immediately with no events.
 func (pl *Poller) Close() error {
 	if pl.closed {
 		return core.ErrClosed
 	}
 	pl.disarm()
 	pl.closed = true
+	pl.eng.Abort(pl.k.Now())
 	return nil
 }
 
@@ -139,168 +141,90 @@ func (pl *Poller) Wait(max int, timeout core.Duration, handler func(events []cor
 		handler(nil, pl.k.Now())
 		return
 	}
-	if pl.state != stateIdle {
-		panic("stockpoll: concurrent Wait on a single-threaded poller")
-	}
 	if max <= 0 {
-		max = len(pl.interests) + 1
+		max = pl.table.Len() + 1
 	}
-	pl.curMax = max
-	pl.curHand = handler
-	pl.pendWake = false
-	pl.scan(true, timeout)
+	pl.eng.Wait(max, timeout, handler)
 }
 
-// scan performs one pass over the interest set inside a process batch.
-// firstPass distinguishes the initial syscall (which pays the copy-in) from a
-// rescan after a wait-queue wakeup.
-func (pl *Poller) scan(firstPass bool, timeout core.Duration) {
-	pl.state = stateScanning
-	now := pl.k.Now()
+// collect performs one full pass over the pollfd array, charging the per-call
+// copy-in (first pass) or the wakeup and wait-queue teardown (rescan), then a
+// driver poll callback per descriptor, ready or not.
+func (pl *Poller) collect(firstPass bool, max int) []core.Event {
+	pl.stats.Waits++
+	cost := pl.k.Cost
+	n := pl.table.Len()
+	if firstPass {
+		pl.p.Charge(cost.SyscallEntry)
+		// The entire pollfd array is copied into the kernel and parsed.
+		pl.p.Charge(cost.PollCopyIn.Scale(float64(n)))
+		pl.stats.CopiedIn += int64(n)
+	} else {
+		// Wakeup path: the process is rescheduled and the wait queues it
+		// joined are torn down.
+		pl.p.Charge(cost.SchedWakeup)
+		pl.p.Charge(cost.WaitQueueOp.Scale(float64(n)))
+	}
 	var ready []core.Event
-	pl.p.Batch(now, func() {
-		pl.stats.Waits++
-		cost := pl.k.Cost
-		if firstPass {
-			pl.p.Charge(cost.SyscallEntry)
-			// The entire pollfd array is copied into the kernel and parsed.
-			pl.p.Charge(cost.PollCopyIn.Scale(float64(len(pl.order))))
-			pl.stats.CopiedIn += int64(len(pl.order))
-		} else {
-			// Wakeup path: the process is rescheduled and the wait queues it
-			// joined are torn down.
-			pl.p.Charge(cost.SchedWakeup)
-			pl.p.Charge(cost.WaitQueueOp.Scale(float64(len(pl.order))))
-		}
-		// Every descriptor's driver poll callback is invoked, ready or not.
-		for _, fd := range pl.order {
-			want := pl.interests[fd]
-			entry, ok := pl.p.Get(fd)
-			if !ok {
-				ready = appendEvent(ready, pl.curMax, core.Event{FD: fd, Ready: core.POLLNVAL})
-				continue
-			}
-			revents := entry.DriverPoll()
-			pl.stats.DriverPolls++
-			revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
-			if revents != 0 {
-				ready = appendEvent(ready, pl.curMax, core.Event{FD: fd, Ready: revents})
-			}
-		}
-		if len(ready) > 0 {
-			// Results are copied back to user space.
-			pl.p.Charge(cost.PollCopyOut.Scale(float64(len(ready))))
-			// The non-amortising part of the 2.2 poll path: for each readiness
-			// transition that woke us, the wait queues and interest set were
-			// re-walked (see CostModel.PollReadyRescan). This is the cost the
-			// /dev/poll hints eliminate.
-			pl.p.Charge(cost.PollReadyRescan.Scale(float64(len(pl.order)) * float64(len(ready))))
-			pl.stats.CopiedOut += int64(len(ready))
-			pl.stats.EventsReturned += int64(len(ready))
+	pl.table.Each(func(e *interest.Entry) {
+		entry, ok := pl.p.Get(e.FD)
+		if !ok {
+			ready = interest.AppendEvent(ready, max, core.Event{FD: e.FD, Ready: core.POLLNVAL})
 			return
 		}
-		if timeout == 0 {
-			return
-		}
-		// Nothing ready: join each file's wait queue before sleeping.
-		if firstPass {
-			pl.p.Charge(cost.WaitQueueOp.Scale(float64(len(pl.order))))
-		}
-		pl.arm()
-	}, func(done core.Time) {
-		if len(ready) > 0 || timeout == 0 {
-			pl.finish(ready, done)
-			return
-		}
-		if pl.pendWake {
-			// A readiness notification raced with the scan; poll loops again.
-			pl.pendWake = false
-			pl.scan(false, timeout)
-			return
-		}
-		pl.state = stateBlocked
-		if timeout > 0 {
-			pl.timeoutID++
-			id := pl.timeoutID
-			pl.k.Sim.At(done.Add(timeout), func(t core.Time) {
-				if pl.state == stateBlocked && pl.timeoutID == id {
-					pl.finishTimeout(t)
-				}
-			})
+		revents := entry.DriverPoll()
+		pl.stats.DriverPolls++
+		revents &= e.Events | core.POLLERR | core.POLLHUP | core.POLLNVAL
+		if revents != 0 {
+			ready = interest.AppendEvent(ready, max, core.Event{FD: e.FD, Ready: revents})
 		}
 	})
-}
-
-// finish tears down the wait and delivers results.
-func (pl *Poller) finish(events []core.Event, now core.Time) {
-	pl.disarm()
-	pl.state = stateIdle
-	pl.timeoutID++
-	h := pl.curHand
-	pl.curHand = nil
-	if h != nil {
-		h(events, now)
+	if len(ready) > 0 {
+		// Results are copied back to user space.
+		pl.p.Charge(cost.PollCopyOut.Scale(float64(len(ready))))
+		// The non-amortising part of the 2.2 poll path: for each readiness
+		// transition that woke us, the wait queues and interest set were
+		// re-walked (see CostModel.PollReadyRescan). This is the cost the
+		// /dev/poll hints eliminate.
+		pl.p.Charge(cost.PollReadyRescan.Scale(float64(n) * float64(len(ready))))
+		pl.stats.CopiedOut += int64(len(ready))
+		pl.stats.EventsReturned += int64(len(ready))
 	}
-}
-
-// finishTimeout delivers an empty result after the timeout expires; the
-// wait-queue teardown costs one batch.
-func (pl *Poller) finishTimeout(now core.Time) {
-	pl.p.Batch(now, func() {
-		pl.p.Charge(pl.k.Cost.WaitQueueOp.Scale(float64(len(pl.order))))
-	}, func(done core.Time) {
-		pl.finish(nil, done)
-	})
+	return ready
 }
 
 // arm registers the poller as a watcher on every descriptor in the interest
 // set, modelling the per-descriptor wait-queue entries poll() creates when it
 // blocks.
 func (pl *Poller) arm() {
-	for _, fd := range pl.order {
-		if _, ok := pl.armed[fd]; ok {
-			continue
-		}
-		if entry, ok := pl.p.Get(fd); ok {
+	pl.armed = true
+	pl.table.Each(func(e *interest.Entry) {
+		if entry, ok := pl.p.Get(e.FD); ok {
 			entry.AddWatcher(pl)
-			pl.armed[fd] = entry
+			e.File = entry
 		}
-	}
+	})
 }
 
 // disarm removes all wait-queue entries.
 func (pl *Poller) disarm() {
-	for fd, entry := range pl.armed {
-		entry.RemoveWatcher(pl)
-		delete(pl.armed, fd)
+	if !pl.armed {
+		return
 	}
+	pl.armed = false
+	pl.table.Each(func(e *interest.Entry) {
+		if e.File != nil {
+			e.File.RemoveWatcher(pl)
+			e.File = nil
+		}
+	})
 }
 
 // ReadinessChanged implements simkernel.Watcher: a driver woke one of the wait
-// queues poll() is sleeping on.
+// queues poll() is sleeping on. The rescan batch begins immediately;
+// SchedWakeup is charged inside it.
 func (pl *Poller) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.EventMask) {
-	switch pl.state {
-	case stateScanning:
-		pl.pendWake = true
-	case stateBlocked:
-		pl.state = stateScanning
-		pl.scanAfterWakeup()
-	}
-}
-
-// scanAfterWakeup re-runs the scan once the sleeping process has been
-// rescheduled.
-func (pl *Poller) scanAfterWakeup() {
-	// The rescan batch begins immediately; SchedWakeup is charged inside it.
-	pl.scan(false, core.Forever)
-}
-
-// appendEvent appends e unless the result cap has been reached.
-func appendEvent(events []core.Event, max int, e core.Event) []core.Event {
-	if len(events) >= max {
-		return events
-	}
-	return append(events, e)
+	pl.eng.Wake()
 }
 
 // SortEvents orders events by descriptor, which keeps golden outputs stable in
