@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt-check vet build test bench-smoke ci
+.PHONY: all fmt-check vet build test test-race bench-smoke ablation-smoke ci
 
 all: ci
 
@@ -19,9 +19,20 @@ build:
 test:
 	$(GO) test ./...
 
+# The simulation is single-goroutine by design, but the race detector still
+# catches unsynchronised state sneaking into the event machinery.
+test-race:
+	$(GO) test -race ./...
+
 # One fast benchmark iteration per figure family: exercises the benchmark
 # plumbing end to end without the full sweep.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501' -benchtime 1x -figconns 800 .
 
-ci: fmt-check vet build test bench-smoke
+# Every ablation at a small connection count: a fast end-to-end pass through
+# all server families and both dual-mechanism switching paths, so
+# dispatch-loop regressions fail the workflow even when unit tests miss them.
+ablation-smoke:
+	$(GO) run ./cmd/sweep -ablation -connections 600 -quiet > /dev/null
+
+ci: fmt-check vet build test bench-smoke ablation-smoke

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/eventlib"
 	"repro/internal/experiments"
 )
 
@@ -26,6 +27,8 @@ func main() {
 	list := flag.Bool("list", false, "list available figures and exit")
 	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
 	rates := flag.String("rates", "", "comma-separated request rates overriding the default 500..1100 sweep")
+	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid curves on this eventlib backend (see -list-backends)")
+	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
 	flag.Parse()
@@ -35,6 +38,18 @@ func main() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return
+	}
+	if *listBackends {
+		for _, b := range eventlib.Backends() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+	if *backend != "" {
+		if _, ok := eventlib.Lookup(*backend); !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", eventlib.UnknownBackendError(*backend))
+			os.Exit(2)
+		}
 	}
 	if *fig == "" {
 		fmt.Fprintln(os.Stderr, "benchfig: -fig is required (use -list to see figures)")
@@ -46,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.SweepOptions{Connections: *connections, Seed: *seed}
+	opts := experiments.SweepOptions{Connections: *connections, Seed: *seed, Backend: *backend}
 	if !*quiet {
 		opts.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

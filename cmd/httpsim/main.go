@@ -17,7 +17,8 @@ import (
 
 func main() {
 	server := flag.String("server", string(experiments.ServerThttpdDevPoll),
-		"server under test: thttpd-poll, thttpd-devpoll, phhttpd or hybrid")
+		"server under test (see -list-servers)")
+	listServers := flag.Bool("list-servers", false, "list selectable server kinds and exit")
 	rate := flag.Float64("rate", 800, "targeted request rate (requests/second)")
 	inactive := flag.Int("inactive", 251, "inactive (idle, high-latency) connections")
 	connections := flag.Int("connections", 4000, "benchmark connections (paper: 35000)")
@@ -26,15 +27,16 @@ func main() {
 	queueLimit := flag.Int("queue-limit", 0, "override the RT signal queue limit (phhttpd, hybrid)")
 	flag.Parse()
 
-	kind := experiments.ServerKind(*server)
-	valid := false
-	for _, k := range experiments.ServerKinds() {
-		if k == kind {
-			valid = true
+	if *listServers {
+		for _, k := range experiments.ServerKinds() {
+			fmt.Println(k)
 		}
+		return
 	}
-	if !valid {
-		fmt.Fprintf(os.Stderr, "httpsim: unknown server %q (want one of %v)\n", *server, experiments.ServerKinds())
+
+	kind := experiments.ServerKind(*server)
+	if err := experiments.ValidateServerKind(kind); err != nil {
+		fmt.Fprintf(os.Stderr, "httpsim: %v\n", err)
 		os.Exit(2)
 	}
 

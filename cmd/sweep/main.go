@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/eventlib"
 	"repro/internal/experiments"
 )
 
@@ -25,9 +26,17 @@ func main() {
 	figs := flag.String("figs", "", "comma-separated figure numbers to run (default: all)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
 	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
+	backend := flag.String("backend", "", "re-run the figures' thttpd/hybrid curves on this eventlib backend")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
 	flag.Parse()
+
+	if *backend != "" {
+		if _, ok := eventlib.Lookup(*backend); !ok {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", eventlib.UnknownBackendError(*backend))
+			os.Exit(2)
+		}
+	}
 
 	progress := func(format string, args ...interface{}) {
 		if !*quiet {
@@ -60,6 +69,7 @@ func main() {
 		res := experiments.RunFigure(fig, experiments.SweepOptions{
 			Connections: *connections,
 			Seed:        *seed,
+			Backend:     *backend,
 			Progress:    progress,
 		})
 		fmt.Println(experiments.Format(res))

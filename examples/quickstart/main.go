@@ -1,10 +1,11 @@
-// Quickstart: the /dev/poll event API in isolation.
+// Quickstart: the eventlib callback API in five minutes.
 //
 // This example builds the smallest possible simulation — a kernel, one
-// process, a handful of simulated sockets — and drives the /dev/poll interface
-// exactly as §3 of the paper describes: interests are written incrementally
-// (including a POLLREMOVE), readiness is collected with DP_POLL, and the
-// mechanism statistics show driver hints doing their job.
+// process, a handful of simulated sockets — and drives it through eventlib,
+// the libevent-style API the servers use: an EventBase opened on a registry
+// backend (here /dev/poll, the paper's §3 mechanism), persistent read events,
+// and a timer, all dispatched by callbacks while every operation still
+// charges the calibrated cost model.
 package main
 
 import (
@@ -12,7 +13,7 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/devpoll"
+	"repro/internal/eventlib"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
 )
@@ -24,61 +25,91 @@ func main() {
 	proc := k.NewProc("quickstart")
 	api := netsim.NewSockAPI(k, proc, net)
 
-	// Open /dev/poll with the paper's full option set (hints + mmap results).
-	dp := devpoll.Open(k, proc, devpoll.DefaultOptions())
+	// The backend registry replaces per-mechanism constructors: ask for
+	// /dev/poll by name, or pass "" for the preferred backend (epoll).
+	fmt.Print("registered backends (preference order):")
+	for _, b := range eventlib.Backends() {
+		fmt.Printf(" %s", b.Name)
+	}
+	fmt.Println()
+	base, err := eventlib.New(k, proc, eventlib.Config{Backend: "devpoll"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("event base running on %q\n", base.Poller().Name())
 
-	// A listening socket plus three client connections: one sends a request
-	// immediately, one stays idle, one will be removed from the interest set.
+	// The listener: a persistent read event whose callback accepts and, for
+	// each new connection, registers another persistent read event. This is
+	// the whole server pattern — no hand-rolled wait loop, no readiness
+	// iteration.
 	var lfd *simkernel.FD
+	served := 0
 	proc.Batch(k.Now(), func() {
 		lfd, _ = api.Listen()
-		if err := dp.Add(lfd.Num, core.POLLIN); err != nil {
+		acceptEv := base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist,
+			func(_ int, _ eventlib.What, now core.Time) {
+				for {
+					fd, _, ok := api.Accept(lfd)
+					if !ok {
+						return
+					}
+					fmt.Printf("at %v accepted fd %d\n", now, fd.Num)
+					var ev *eventlib.Event
+					ev = base.NewEvent(fd.Num, eventlib.EvRead|eventlib.EvPersist,
+						func(cfd int, what eventlib.What, now core.Time) {
+							data, eof := api.Read(fd, 0)
+							if len(data) > 0 {
+								fmt.Printf("at %v fd %d %v: read %d bytes, replying\n", now, cfd, what, len(data))
+								api.Write(fd, 128)
+								served++
+							}
+							if eof {
+								// Deleting from inside the callback is safe and
+								// deterministic: this event never fires again.
+								_ = ev.Del()
+								fmt.Printf("at %v fd %d closed by peer\n", now, cfd)
+								api.Close(fd)
+							}
+						})
+					if err := ev.Add(0); err != nil {
+						log.Fatal(err)
+					}
+				}
+			})
+		if err := acceptEv.Add(0); err != nil {
 			log.Fatal(err)
 		}
 	}, nil)
 
-	active := net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
-	net.Connect(k.Now(), netsim.ConnectOptions{RTT: 100 * core.Millisecond}, netsim.Handlers{})
-	net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
-	k.Sim.Run()
-
-	// Accept everything and register interest in each connection.
-	var fds []int
-	proc.Batch(k.Now(), func() {
-		for {
-			fd, _, ok := api.Accept(lfd)
-			if !ok {
-				break
-			}
-			if err := dp.Add(fd.Num, core.POLLIN); err != nil {
-				log.Fatal(err)
-			}
-			fds = append(fds, fd.Num)
-		}
-		// Drop interest in the last connection with a POLLREMOVE write.
-		if err := dp.Update([]core.PollFD{{FD: fds[len(fds)-1], Events: core.POLLREMOVE}}); err != nil {
-			log.Fatal(err)
-		}
-	}, nil)
-	k.Sim.Run()
-	fmt.Printf("interest set holds %d descriptors (listener + connections - POLLREMOVE)\n", dp.Len())
-
-	// The first client sends 64 bytes of request data.
-	active.Send(k.Now(), make([]byte, 64))
-	k.Sim.Run()
-
-	// DP_POLL returns exactly the descriptor that became ready.
-	dp.Wait(16, core.Forever, func(events []core.Event, now core.Time) {
-		fmt.Printf("at %v DP_POLL returned %d event(s):\n", now, len(events))
-		for _, ev := range events {
-			fmt.Printf("  fd %d ready for %v\n", ev.FD, ev.Ready)
+	// A periodic timer shares the loop with the I/O events; the base derives
+	// its poll timeouts from the timer heap.
+	ticks := 0
+	tick := base.NewTimer(eventlib.EvPersist, func(_ int, _ eventlib.What, now core.Time) {
+		ticks++
+		fmt.Printf("at %v timer tick %d (%d events registered)\n", now, ticks, base.NumEvents())
+		if ticks == 3 {
+			base.Stop()
 		}
 	})
+	if err := tick.Add(20 * core.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two clients connect; one sends a request, one stays idle.
+	active := net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
+	net.Connect(k.Now(), netsim.ConnectOptions{RTT: 100 * core.Millisecond}, netsim.Handlers{})
+	k.Sim.After(5*core.Millisecond, func(now core.Time) {
+		active.Send(now, make([]byte, 64))
+	})
+
+	base.Dispatch()
 	k.Sim.Run()
 
-	stats := dp.MechanismStats()
-	fmt.Printf("mechanism stats: waits=%d driver-polls=%d hint-hits=%d copied-out=%d\n",
-		stats.Waits, stats.DriverPolls, stats.HintHits, stats.CopiedOut)
-	fmt.Printf("interest table: %d entries in %d hash buckets\n", dp.Table().Len(), dp.Table().Buckets())
+	fmt.Printf("served %d requests over %d dispatch iterations\n", served, base.Iterations())
+	if src, ok := base.Poller().(core.StatsSource); ok {
+		st := src.MechanismStats()
+		fmt.Printf("mechanism stats: waits=%d events=%d driver-polls=%d hint-hits=%d\n",
+			st.Waits, st.EventsReturned, st.DriverPolls, st.HintHits)
+	}
 	fmt.Printf("simulated CPU time consumed: %v\n", k.CPU.Busy)
 }

@@ -12,19 +12,18 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/devpoll"
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/servers/thttpd"
 	"repro/internal/simkernel"
 )
 
-func run(label string, mech thttpd.Mechanism) loadgen.Result {
+func run(label, backend string) loadgen.Result {
 	k := simkernel.NewKernel(nil)
 	net := netsim.New(k, netsim.DefaultConfig())
 
 	cfg := thttpd.DefaultConfig()
-	cfg.Mechanism = mech
+	cfg.Backend = backend
 	server := thttpd.New(k, net, cfg)
 	server.Start()
 
@@ -48,8 +47,8 @@ func run(label string, mech thttpd.Mechanism) loadgen.Result {
 
 func main() {
 	fmt.Println("thttpd at 1000 req/s with 251 inactive connections (3000 benchmark connections)")
-	stock := run("stock poll()", thttpd.StockPoll())
-	dev := run("/dev/poll", thttpd.DevPoll(devpoll.DefaultOptions()))
+	stock := run("stock poll()", "poll")
+	dev := run("/dev/poll", "devpoll")
 
 	fmt.Printf("\n/dev/poll delivered %.2fx the reply rate at %.0fx lower median latency than stock poll()\n",
 		dev.ReplyRate.Mean/stock.ReplyRate.Mean, stock.MedianLatencyMs/dev.MedianLatencyMs)

@@ -1,0 +1,135 @@
+package eventlib
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/devpoll"
+	"repro/internal/epoll"
+	"repro/internal/rtsig"
+	"repro/internal/simkernel"
+	"repro/internal/stockpoll"
+)
+
+// Backend describes one registered event-notification mechanism: how to
+// construct it and the delivery quirks a generic consumer must know about.
+type Backend struct {
+	// Name is the registry key ("epoll", "devpoll", "rtsig", "poll", ...).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Open constructs a fresh poller instance with the backend's default
+	// options.
+	Open func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
+	// EdgeStyle marks transition-driven backends: readiness that existed
+	// before interest was registered is never reported, so a server must
+	// perform one unprompted read on each freshly accepted descriptor (the
+	// paper's RT-signal servers do exactly this).
+	EdgeStyle bool
+}
+
+// backends holds the registry in preference order: the mechanism history
+// converged on first, the paper's extension, the paper's asynchronous
+// mechanism, the baseline last.
+var backends = []Backend{
+	{
+		Name:        "epoll",
+		Description: "epoll, level-triggered (the mechanism Linux adopted)",
+		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+			return epoll.Open(k, p, epoll.DefaultOptions())
+		},
+	},
+	{
+		Name:        "epoll-et",
+		Description: "epoll, edge-triggered (EPOLLET on every descriptor)",
+		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+			opts := epoll.DefaultOptions()
+			opts.EdgeTriggered = true
+			return epoll.Open(k, p, opts)
+		},
+	},
+	{
+		Name:        "devpoll",
+		Description: "/dev/poll with driver hints and the mmap result area (the paper's §3)",
+		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+			return devpoll.Open(k, p, devpoll.DefaultOptions())
+		},
+	},
+	{
+		Name:        "rtsig",
+		Description: "POSIX RT signal queue, one siginfo per sigwaitinfo (the paper's §2)",
+		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+			return rtsig.New(k, p, rtsig.DefaultOptions())
+		},
+		EdgeStyle: true,
+	},
+	{
+		Name:        "poll",
+		Description: "stock poll(), the paper's baseline",
+		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+			return stockpoll.New(k, p)
+		},
+	},
+}
+
+// Backends returns the registered backends in preference order (epoll first,
+// stock poll last). The slice is a copy; mutate freely.
+func Backends() []Backend {
+	out := make([]Backend, len(backends))
+	copy(out, backends)
+	return out
+}
+
+// BackendNames returns the registered names in preference order.
+func BackendNames() []string {
+	out := make([]string, len(backends))
+	for i, b := range backends {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Register appends a backend to the registry (lowest preference). It replaces
+// an existing backend with the same name in place, preserving its preference
+// rank.
+func Register(b Backend) {
+	for i, existing := range backends {
+		if existing.Name == b.Name {
+			backends[i] = b
+			return
+		}
+	}
+	backends = append(backends, b)
+}
+
+// Lookup finds a backend by name; the empty name selects the
+// highest-preference backend.
+func Lookup(name string) (Backend, bool) {
+	if name == "" {
+		return backends[0], true
+	}
+	for _, b := range backends {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Backend{}, false
+}
+
+// UnknownBackendError is the single source of the listed-choices error for a
+// backend name that is not registered.
+func UnknownBackendError(name string) error {
+	return fmt.Errorf("eventlib: unknown backend %q (choices: %s)",
+		name, strings.Join(BackendNames(), ", "))
+}
+
+// OpenBackend constructs the named backend's poller, with the listed-choices
+// error for unknown names.
+func OpenBackend(k *simkernel.Kernel, p *simkernel.Proc, name string) (core.Poller, Backend, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, Backend{}, UnknownBackendError(name)
+	}
+	return b.Open(k, p), b, nil
+}

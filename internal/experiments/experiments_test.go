@@ -261,17 +261,42 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 	if _, ok := FigureByID("nope"); ok {
 		t.Fatal("FigureByID(nope) should fail")
 	}
-	if len(ServerKinds()) != 7 {
-		t.Fatalf("ServerKinds = %d, want the paper's four plus the three epoll kinds", len(ServerKinds()))
+	if len(ServerKinds()) != 9 {
+		t.Fatalf("ServerKinds = %d, want the paper's four plus the registry-derived extensions", len(ServerKinds()))
 	}
 	kinds := map[ServerKind]bool{}
 	for _, k := range ServerKinds() {
 		kinds[k] = true
+		if err := ValidateServerKind(k); err != nil {
+			t.Fatalf("listed kind %q does not validate: %v", k, err)
+		}
 	}
-	for _, want := range []ServerKind{ServerThttpdEpoll, ServerThttpdEpollET, ServerHybridEpoll} {
+	for _, want := range []ServerKind{
+		ServerThttpdEpoll, ServerThttpdEpollET, ServerThttpdRtsig,
+		ServerHybridEpoll, ServerHybridEpollET,
+	} {
 		if !kinds[want] {
 			t.Fatalf("ServerKinds missing %q", want)
 		}
+	}
+	if err := ValidateServerKind("thttpd-kqueue"); err == nil ||
+		!strings.Contains(err.Error(), "choices") {
+		t.Fatalf("unknown kind error = %v, want listed choices", err)
+	}
+	if _, err := RunE(RunSpec{Server: "nope"}); err == nil {
+		t.Fatal("RunE with an unknown kind should fail")
+	}
+	if kind, err := RetargetKind(ServerThttpdPoll, "epoll-et"); err != nil || kind != ServerThttpdEpollET {
+		t.Fatalf("RetargetKind = %v, %v", kind, err)
+	}
+	if kind, err := RetargetKind(ServerHybridEpoll, "devpoll"); err != nil || kind != ServerHybrid {
+		t.Fatalf("RetargetKind(hybrid-epoll, devpoll) = %v, %v", kind, err)
+	}
+	if kind, err := RetargetKind(ServerPhhttpd, "epoll"); err != nil || kind != ServerPhhttpd {
+		t.Fatalf("RetargetKind(phhttpd, epoll) = %v, %v", kind, err)
+	}
+	if _, err := RetargetKind(ServerThttpdPoll, "kqueue"); err == nil {
+		t.Fatal("RetargetKind with an unknown backend should fail")
 	}
 	if len(ExtensionFigures()) == 0 || len(AllFigures()) != len(Figures())+len(ExtensionFigures()) {
 		t.Fatal("extension figures not wired into AllFigures")

@@ -187,6 +187,11 @@ type SweepOptions struct {
 	Connections int
 	// Rates overrides the figure's request-rate sweep (useful for quick runs).
 	Rates []float64
+	// Backend, when non-empty, re-parameterises each curve's server onto the
+	// named eventlib backend (see RetargetKind): thttpd curves switch their
+	// event backend, hybrid curves their bulk poller. The name must be valid —
+	// callers validate it against the registry first.
+	Backend string
 	// Seed for the load generator.
 	Seed int64
 	// Progress, when non-nil, receives a line per completed point.
@@ -222,6 +227,25 @@ func RunFigure(fig Figure, opts SweepOptions) FigureResult {
 	}
 	out := FigureResult{Figure: fig}
 	for _, curve := range fig.Curves {
+		if opts.Backend != "" {
+			kind, err := RetargetKind(curve.Server, opts.Backend)
+			if err != nil {
+				// The backend name is documented as caller-validated; running
+				// the wrong configuration while claiming the requested one
+				// would silently corrupt results, so fail loudly like Run.
+				panic(err)
+			}
+			if kind != curve.Server {
+				// The label must name what actually ran, not the figure's
+				// original mechanism.
+				if curve.Label == string(curve.Server) {
+					curve.Label = string(kind)
+				} else {
+					curve.Label += " [" + string(kind) + "]"
+				}
+				curve.Server = kind
+			}
+		}
 		var avg, min, max, series metrics.Series
 		label := curve.Label
 		avg = metrics.Series{Label: label + " (avg)", XLabel: "request rate", YLabel: fig.Metric.String()}

@@ -1,5 +1,5 @@
 // Package experiments ties the substrate together into the paper's
-// evaluation: it builds a simulated testbed (kernel, network, one of the four
+// evaluation: it builds a simulated testbed (kernel, network, one of the
 // servers, the httperf-like load generator), runs one benchmark point, and
 // provides the figure definitions and sweep drivers that regenerate every
 // figure of the paper plus the ablation studies described in DESIGN.md.
@@ -7,13 +7,14 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
+	"repro/internal/eventlib"
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
-	"repro/internal/rtsig"
 	"repro/internal/servers/httpcore"
 	"repro/internal/servers/hybrid"
 	"repro/internal/servers/phhttpd"
@@ -21,11 +22,13 @@ import (
 	"repro/internal/simkernel"
 )
 
-// ServerKind selects the server under test.
+// ServerKind selects the server under test: a server family, optionally
+// parameterised by an eventlib backend name ("thttpd-epoll-et",
+// "hybrid-epoll"). The set of valid kinds derives from the backend registry —
+// see ServerKinds — rather than a hard-coded enumeration.
 type ServerKind string
 
-// The servers the repository can benchmark: the paper's four, plus the epoll
-// extensions (the mechanism Linux ultimately adopted).
+// The paper's four servers plus the backend-parameterised extensions.
 const (
 	ServerThttpdPoll    ServerKind = "thttpd-poll"     // stock thttpd on stock poll()
 	ServerThttpdDevPoll ServerKind = "thttpd-devpoll"  // thttpd modified to use /dev/poll
@@ -33,15 +36,119 @@ const (
 	ServerHybrid        ServerKind = "hybrid"          // the paper's hypothetical hybrid
 	ServerThttpdEpoll   ServerKind = "thttpd-epoll"    // thttpd on level-triggered epoll
 	ServerThttpdEpollET ServerKind = "thttpd-epoll-et" // thttpd on edge-triggered epoll
+	ServerThttpdRtsig   ServerKind = "thttpd-rtsig"    // thttpd on the RT signal queue
 	ServerHybridEpoll   ServerKind = "hybrid-epoll"    // hybrid with epoll as the bulk poller
+	ServerHybridEpollET ServerKind = "hybrid-epoll-et" // hybrid with edge-triggered epoll bulk
 )
 
-// ServerKinds lists all selectable servers.
-func ServerKinds() []ServerKind {
-	return []ServerKind{
-		ServerThttpdPoll, ServerThttpdDevPoll, ServerPhhttpd, ServerHybrid,
-		ServerThttpdEpoll, ServerThttpdEpollET, ServerHybridEpoll,
+// bulkCapable lists backends able to serve as the hybrid's bulk poller: the
+// mechanisms that keep a kernel-resident interest set the server can maintain
+// concurrently with RT signal activity (§6's requirement for a cheap switch).
+func bulkCapable(name string) bool {
+	switch name {
+	case "devpoll", "epoll", "epoll-et":
+		return true
 	}
+	return false
+}
+
+// ServerKinds lists all selectable servers: the paper's four first, then the
+// extensions generated from the backend registry.
+func ServerKinds() []ServerKind {
+	kinds := []ServerKind{ServerThttpdPoll, ServerThttpdDevPoll, ServerPhhttpd, ServerHybrid}
+	for _, b := range eventlib.Backends() {
+		if b.Name == "poll" || b.Name == "devpoll" {
+			continue // already listed as the paper's thttpd configurations
+		}
+		kinds = append(kinds, ServerKind("thttpd-"+b.Name))
+	}
+	for _, b := range eventlib.Backends() {
+		if b.Name == "devpoll" || !bulkCapable(b.Name) {
+			continue // plain "hybrid" is the devpoll-bulk configuration
+		}
+		kinds = append(kinds, ServerKind("hybrid-"+b.Name))
+	}
+	return kinds
+}
+
+// resolvedKind is a parsed ServerKind: the family plus the backend that
+// parameterises it (the event backend for thttpd, the bulk poller for hybrid).
+type resolvedKind struct {
+	family  string
+	backend string
+}
+
+// resolveKind parses and validates kind against the family set and the
+// eventlib backend registry. The empty kind selects the paper's baseline,
+// thttpd on stock poll().
+func resolveKind(kind ServerKind) (resolvedKind, error) {
+	s := string(kind)
+	if s == "" {
+		s = string(ServerThttpdPoll)
+	}
+	switch {
+	case s == "phhttpd":
+		return resolvedKind{family: "phhttpd"}, nil
+	case s == "hybrid":
+		return resolvedKind{family: "hybrid", backend: "devpoll"}, nil
+	case strings.HasPrefix(s, "thttpd-"):
+		name := strings.TrimPrefix(s, "thttpd-")
+		if _, ok := eventlib.Lookup(name); ok {
+			return resolvedKind{family: "thttpd", backend: name}, nil
+		}
+	case strings.HasPrefix(s, "hybrid-"):
+		name := strings.TrimPrefix(s, "hybrid-")
+		if _, ok := eventlib.Lookup(name); ok && bulkCapable(name) {
+			return resolvedKind{family: "hybrid", backend: name}, nil
+		}
+	}
+	return resolvedKind{}, unknownServerKindError(kind)
+}
+
+// unknownServerKindError is the single source of the listed-choices error for
+// server kinds, mirroring eventlib's for backends.
+func unknownServerKindError(kind ServerKind) error {
+	names := make([]string, 0, len(ServerKinds()))
+	for _, k := range ServerKinds() {
+		names = append(names, string(k))
+	}
+	return fmt.Errorf("experiments: unknown server kind %q (choices: %s)",
+		kind, strings.Join(names, ", "))
+}
+
+// ValidateServerKind reports whether kind names a runnable server, returning
+// the listed-choices error otherwise. Command-line tools call it before
+// building specs.
+func ValidateServerKind(kind ServerKind) error {
+	_, err := resolveKind(kind)
+	return err
+}
+
+// RetargetKind re-parameterises kind onto the named eventlib backend: thttpd
+// kinds switch their event backend, hybrid kinds switch their bulk poller
+// when the backend is bulk-capable, and other kinds (phhttpd, a hybrid asked
+// for a non-bulk backend) are returned unchanged. Unknown backend names
+// produce the registry's listed-choices error.
+func RetargetKind(kind ServerKind, backend string) (ServerKind, error) {
+	if _, ok := eventlib.Lookup(backend); !ok {
+		return kind, eventlib.UnknownBackendError(backend)
+	}
+	rk, err := resolveKind(kind)
+	if err != nil {
+		return kind, err
+	}
+	switch rk.family {
+	case "thttpd":
+		return ServerKind("thttpd-" + backend), nil
+	case "hybrid":
+		if backend == "devpoll" {
+			return ServerHybrid, nil
+		}
+		if bulkCapable(backend) {
+			return ServerKind("hybrid-" + backend), nil
+		}
+	}
+	return kind, nil
 }
 
 // RunSpec describes one benchmark point: one server, one offered rate, one
@@ -113,15 +220,121 @@ type RunResult struct {
 	EventLoops     int64
 }
 
-// server is the minimal control surface shared by all four servers.
-type serverControl interface {
+// benchServer is the control surface a family builder returns: server
+// lifecycle plus the family-specific result extraction.
+type benchServer interface {
 	Start()
 	Stop()
 	Stats() httpcore.Stats
+	fill(res *RunResult)
 }
 
-// Run executes one benchmark point to completion and returns its results.
+type thttpdRun struct{ *thttpd.Server }
+
+func (r thttpdRun) fill(res *RunResult) {
+	if src, ok := r.Poller().(core.StatsSource); ok {
+		res.Primary = src.MechanismStats()
+	}
+	res.EventLoops = r.Loops()
+	res.FinalMode = r.Poller().Name()
+}
+
+type phhttpdRun struct{ *phhttpd.Server }
+
+func (r phhttpdRun) fill(res *RunResult) {
+	res.Primary = r.SignalQueue().MechanismStats()
+	res.Secondary = r.PollSet().MechanismStats()
+	res.EventLoops = r.Loops()
+	res.FinalMode = r.Mode().String()
+	res.Overflows = r.Overflows
+	res.Handoffs = r.Handoffs
+}
+
+type hybridRun struct{ *hybrid.Server }
+
+func (r hybridRun) fill(res *RunResult) {
+	if src, ok := r.DevPollSet().(core.StatsSource); ok {
+		res.Primary = src.MechanismStats()
+	}
+	res.Secondary = r.SignalQueue().MechanismStats()
+	res.EventLoops = r.Loops()
+	res.FinalMode = r.ModeName()
+	res.SwitchesToPoll = r.SwitchesToPoll
+	res.SwitchesToSignal = r.SwitchesToSignal
+}
+
+// buildServer constructs the server a resolved kind names.
+func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim.Network) benchServer {
+	switch rk.family {
+	case "phhttpd":
+		cfg := phhttpd.DefaultConfig()
+		cfg.BatchDequeue = spec.PhhttpdBatchDequeue
+		if spec.RTQueueLimit > 0 {
+			cfg.QueueLimit = spec.RTQueueLimit
+		}
+		return phhttpdRun{phhttpd.New(k, net, cfg)}
+	case "hybrid":
+		cfg := hybrid.DefaultConfig()
+		if spec.HybridConfig != nil {
+			cfg = *spec.HybridConfig
+		}
+		if spec.DevPollOptions != nil {
+			cfg.DevPoll = *spec.DevPollOptions
+		}
+		switch {
+		case rk.backend == "" || rk.backend == "devpoll":
+			// /dev/poll bulk poller from cfg.DevPoll.
+		case spec.EpollOptions != nil && strings.HasPrefix(rk.backend, "epoll"):
+			opts := *spec.EpollOptions
+			opts.EdgeTriggered = rk.backend == "epoll-et"
+			cfg.Bulk = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+				return epoll.Open(k, p, opts)
+			}
+		default:
+			cfg.BulkBackend = rk.backend
+		}
+		if spec.RTQueueLimit > 0 {
+			cfg.QueueLimit = spec.RTQueueLimit
+		}
+		return hybridRun{hybrid.New(k, net, cfg)}
+	default: // thttpd
+		cfg := thttpd.DefaultConfig()
+		cfg.Backend = rk.backend
+		switch {
+		case spec.DevPollOptions != nil && rk.backend == "devpoll":
+			opts := *spec.DevPollOptions
+			cfg.OpenPoller = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+				return devpoll.Open(k, p, opts)
+			}
+		case spec.EpollOptions != nil && strings.HasPrefix(rk.backend, "epoll"):
+			opts := *spec.EpollOptions
+			opts.EdgeTriggered = rk.backend == "epoll-et"
+			cfg.OpenPoller = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+				return epoll.Open(k, p, opts)
+			}
+		}
+		return thttpdRun{thttpd.New(k, net, cfg)}
+	}
+}
+
+// Run executes one benchmark point to completion and returns its results. The
+// spec's ServerKind must be valid; Run panics with the listed-choices error
+// otherwise. Callers handling user input use RunE or ValidateServerKind.
 func Run(spec RunSpec) RunResult {
+	res, err := RunE(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE executes one benchmark point, returning the registry's listed-choices
+// error for an unknown ServerKind.
+func RunE(spec RunSpec) (RunResult, error) {
+	rk, err := resolveKind(spec.Server)
+	if err != nil {
+		return RunResult{}, err
+	}
 	if spec.Connections <= 0 {
 		spec.Connections = 4000
 	}
@@ -135,68 +348,7 @@ func Run(spec RunSpec) RunResult {
 	}
 	net := netsim.New(k, netCfg)
 
-	var (
-		ctl        serverControl
-		thttpdSrv  *thttpd.Server
-		phhttpdSrv *phhttpd.Server
-		hybridSrv  *hybrid.Server
-	)
-	switch spec.Server {
-	case ServerThttpdDevPoll:
-		cfg := thttpd.DefaultConfig()
-		opts := devpoll.DefaultOptions()
-		if spec.DevPollOptions != nil {
-			opts = *spec.DevPollOptions
-		}
-		cfg.Mechanism = thttpd.DevPoll(opts)
-		thttpdSrv = thttpd.New(k, net, cfg)
-		ctl = thttpdSrv
-	case ServerThttpdEpoll, ServerThttpdEpollET:
-		cfg := thttpd.DefaultConfig()
-		opts := epoll.DefaultOptions()
-		if spec.EpollOptions != nil {
-			opts = *spec.EpollOptions
-		}
-		opts.EdgeTriggered = spec.Server == ServerThttpdEpollET
-		cfg.Mechanism = thttpd.Epoll(opts)
-		thttpdSrv = thttpd.New(k, net, cfg)
-		ctl = thttpdSrv
-	case ServerPhhttpd:
-		cfg := phhttpd.DefaultConfig()
-		cfg.BatchDequeue = spec.PhhttpdBatchDequeue
-		if spec.RTQueueLimit > 0 {
-			cfg.QueueLimit = spec.RTQueueLimit
-		}
-		phhttpdSrv = phhttpd.New(k, net, cfg)
-		ctl = phhttpdSrv
-	case ServerHybrid, ServerHybridEpoll:
-		cfg := hybrid.DefaultConfig()
-		if spec.HybridConfig != nil {
-			cfg = *spec.HybridConfig
-		}
-		if spec.DevPollOptions != nil {
-			cfg.DevPoll = *spec.DevPollOptions
-		}
-		if spec.Server == ServerHybridEpoll {
-			opts := epoll.DefaultOptions()
-			if spec.EpollOptions != nil {
-				opts = *spec.EpollOptions
-			}
-			cfg.Bulk = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
-				return epoll.Open(k, p, opts)
-			}
-		}
-		if spec.RTQueueLimit > 0 {
-			cfg.QueueLimit = spec.RTQueueLimit
-		}
-		hybridSrv = hybrid.New(k, net, cfg)
-		ctl = hybridSrv
-	default: // ServerThttpdPoll
-		cfg := thttpd.DefaultConfig()
-		cfg.Mechanism = thttpd.StockPoll()
-		thttpdSrv = thttpd.New(k, net, cfg)
-		ctl = thttpdSrv
-	}
+	srv := buildServer(spec, rk, k, net)
 
 	lcfg := loadgen.DefaultConfig(spec.RequestRate, spec.Inactive)
 	lcfg.Connections = spec.Connections
@@ -223,11 +375,11 @@ func Run(spec RunSpec) RunResult {
 	}
 	gen := loadgen.New(k, net, lcfg)
 	gen.OnDone(func(loadgen.Result) {
-		ctl.Stop()
+		srv.Stop()
 		k.Sim.Stop()
 	})
 
-	ctl.Start()
+	srv.Start()
 	gen.Start(k.Now())
 
 	deadline := spec.MaxVirtualTime
@@ -241,35 +393,12 @@ func Run(spec RunSpec) RunResult {
 	res := RunResult{
 		Spec:           spec,
 		Load:           gen.Result(),
-		Server:         ctl.Stats(),
+		Server:         srv.Stats(),
 		VirtualTime:    k.Now().Sub(0),
 		CPUUtilization: k.CPU.Utilization(k.Now().Sub(0)),
 	}
-	switch spec.Server {
-	case ServerThttpdPoll, ServerThttpdDevPoll, ServerThttpdEpoll, ServerThttpdEpollET:
-		if src, ok := thttpdSrv.Poller().(core.StatsSource); ok {
-			res.Primary = src.MechanismStats()
-		}
-		res.EventLoops = thttpdSrv.Loops
-		res.FinalMode = thttpdSrv.Poller().Name()
-	case ServerPhhttpd:
-		res.Primary = phhttpdSrv.SignalQueue().MechanismStats()
-		res.Secondary = phhttpdSrv.PollSet().MechanismStats()
-		res.EventLoops = phhttpdSrv.Loops
-		res.FinalMode = phhttpdSrv.Mode().String()
-		res.Overflows = phhttpdSrv.Overflows
-		res.Handoffs = phhttpdSrv.Handoffs
-	case ServerHybrid, ServerHybridEpoll:
-		if src, ok := hybridSrv.DevPollSet().(core.StatsSource); ok {
-			res.Primary = src.MechanismStats()
-		}
-		res.Secondary = hybridSrv.SignalQueue().MechanismStats()
-		res.EventLoops = hybridSrv.Loops
-		res.FinalMode = hybridSrv.ModeName()
-		res.SwitchesToPoll = hybridSrv.SwitchesToPoll
-		res.SwitchesToSignal = hybridSrv.SwitchesToSignal
-	}
-	return res
+	srv.fill(&res)
+	return res, nil
 }
 
 // Describe renders a short human-readable summary of one run.
@@ -277,7 +406,3 @@ func Describe(r RunResult) string {
 	return fmt.Sprintf("%-15s %s cpu=%4.0f%% loops=%d mode=%s",
 		r.Spec.Server, r.Load.String(), 100*r.CPUUtilization, r.EventLoops, r.FinalMode)
 }
-
-// ensure referenced packages stay linked even if a server kind is unused in a
-// particular build of the experiments (keeps the import set stable).
-var _ = rtsig.DefaultQueueLimit

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
+	"repro/internal/eventlib"
 	"repro/internal/rtsig"
 	"repro/internal/simtest"
 	"repro/internal/stockpoll"
@@ -270,5 +271,140 @@ func TestConformanceConcurrentWaitPanics(t *testing.T) {
 			}
 		}()
 		p.Wait(0, core.Forever, func([]core.Event, core.Time) {})
+	})
+}
+
+// --- EventBase conformance -------------------------------------------------
+//
+// The eventlib redesign moved every server's dispatch loop into
+// eventlib.Base; these tests re-run the readiness and timeout contract with
+// each mechanism wrapped in a Base, pinning that the callback API preserves
+// the two properties the hand-rolled loops guaranteed: no lost wakeups
+// (readiness arriving after registration is always delivered, whether the
+// loop is blocked or between iterations) and timeout semantics (timers fire
+// at their virtual deadline, and I/O beats a later deadline).
+
+// baseFire records one eventlib callback delivery.
+type baseFire struct {
+	what eventlib.What
+	at   core.Time
+}
+
+func TestConformanceEventBaseNoLostWakeup(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		base := eventlib.NewWithPoller(env.K, env.P, p, eventlib.Config{})
+		fd, file := env.NewFD(0)
+		var fires []baseFire
+		ev := base.NewEvent(fd.Num, eventlib.EvRead|eventlib.EvPersist,
+			func(_ int, what eventlib.What, now core.Time) {
+				fires = append(fires, baseFire{what, now})
+				base.Stop()
+			})
+		if err := ev.Add(0); err != nil {
+			t.Fatal(err)
+		}
+		base.Dispatch()
+		// Readiness arrives while the loop is blocked waiting.
+		env.K.Sim.At(core.Time(2*core.Millisecond), func(now core.Time) {
+			file.SetReady(now, core.POLLIN)
+		})
+		env.Run()
+		if len(fires) != 1 || !fires[0].what.Has(eventlib.EvRead) {
+			t.Fatalf("fires = %+v, want one EvRead", fires)
+		}
+		if fires[0].at < core.Time(2*core.Millisecond) {
+			t.Fatalf("callback ran before the readiness existed: %v", fires[0].at)
+		}
+	})
+}
+
+func TestConformanceEventBaseWakeupBeforeDispatch(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		base := eventlib.NewWithPoller(env.K, env.P, p, eventlib.Config{})
+		fd, file := env.NewFD(0)
+		var fires []baseFire
+		ev := base.NewEvent(fd.Num, eventlib.EvRead|eventlib.EvPersist,
+			func(_ int, what eventlib.What, now core.Time) {
+				fires = append(fires, baseFire{what, now})
+				base.Stop()
+			})
+		if err := ev.Add(0); err != nil {
+			t.Fatal(err)
+		}
+		// The readiness transition lands after registration but before the
+		// loop starts: every mechanism must have latched it (the RT queue as
+		// a pending siginfo, the ready-list mechanisms in their ledgers, the
+		// scanning mechanisms by re-polling), so the first wait delivers it.
+		file.SetReady(env.K.Now(), core.POLLIN)
+		base.Dispatch()
+		env.Run()
+		if len(fires) != 1 || !fires[0].what.Has(eventlib.EvRead) {
+			t.Fatalf("fires = %+v, want one EvRead", fires)
+		}
+	})
+}
+
+func TestConformanceEventBaseTimeoutSemantics(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		base := eventlib.NewWithPoller(env.K, env.P, p, eventlib.Config{})
+		// An I/O event that never fires keeps the loop waiting; a timer must
+		// still fire at its deadline, driving the poll timeout computation.
+		fd, _ := env.NewFD(0)
+		idle := base.NewEvent(fd.Num, eventlib.EvRead|eventlib.EvPersist,
+			func(int, eventlib.What, core.Time) { t.Error("idle descriptor fired") })
+		if err := idle.Add(0); err != nil {
+			t.Fatal(err)
+		}
+		const deadline = 10 * core.Millisecond
+		var fires []baseFire
+		timer := base.NewTimer(0, func(_ int, what eventlib.What, now core.Time) {
+			fires = append(fires, baseFire{what, now})
+			base.Stop()
+		})
+		if err := timer.Add(deadline); err != nil {
+			t.Fatal(err)
+		}
+		base.Dispatch()
+		env.Run()
+		if len(fires) != 1 || !fires[0].what.Has(eventlib.EvTimeout) {
+			t.Fatalf("fires = %+v, want one EvTimeout", fires)
+		}
+		if fires[0].at < core.Time(deadline) {
+			t.Fatalf("timer fired early: %v", fires[0].at)
+		}
+		if fires[0].at > core.Time(deadline).Add(2*core.Millisecond) {
+			t.Fatalf("timer fired far past its deadline: %v", fires[0].at)
+		}
+	})
+}
+
+func TestConformanceEventBaseReadinessBeatsLaterDeadline(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		base := eventlib.NewWithPoller(env.K, env.P, p, eventlib.Config{})
+		fd, file := env.NewFD(0)
+		var fires []baseFire
+		// One event carrying both interests: readable, with a 50 ms timeout.
+		ev := base.NewEvent(fd.Num, eventlib.EvRead|eventlib.EvPersist,
+			func(_ int, what eventlib.What, now core.Time) {
+				fires = append(fires, baseFire{what, now})
+				base.Stop()
+			})
+		if err := ev.Add(50 * core.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		base.Dispatch()
+		env.K.Sim.At(core.Time(3*core.Millisecond), func(now core.Time) {
+			file.SetReady(now, core.POLLIN)
+		})
+		env.Run()
+		if len(fires) != 1 {
+			t.Fatalf("fires = %+v", fires)
+		}
+		if !fires[0].what.Has(eventlib.EvRead) || fires[0].what.Has(eventlib.EvTimeout) {
+			t.Fatalf("what = %v, want EvRead without EvTimeout", fires[0].what)
+		}
+		if fires[0].at > core.Time(10*core.Millisecond) {
+			t.Fatalf("readiness delivered late: %v", fires[0].at)
+		}
 	})
 }

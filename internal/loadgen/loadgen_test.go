@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/devpoll"
 	"repro/internal/netsim"
 	"repro/internal/servers/thttpd"
 	"repro/internal/simkernel"
@@ -17,7 +16,7 @@ func testbed(t *testing.T) (*simkernel.Kernel, *netsim.Network, *thttpd.Server) 
 	k := simkernel.NewKernel(nil)
 	n := netsim.New(k, netsim.DefaultConfig())
 	cfg := thttpd.DefaultConfig()
-	cfg.Mechanism = thttpd.DevPoll(devpoll.DefaultOptions())
+	cfg.Backend = "devpoll"
 	cfg.IdleTimeout = 10 * core.Second
 	cfg.WaitTimeout = core.Second
 	s := thttpd.New(k, n, cfg)
@@ -105,7 +104,7 @@ func TestInactiveClientsReopenAfterServerTimeout(t *testing.T) {
 	k := simkernel.NewKernel(nil)
 	n := netsim.New(k, netsim.DefaultConfig())
 	cfg := thttpd.DefaultConfig()
-	cfg.Mechanism = thttpd.DevPoll(devpoll.DefaultOptions())
+	cfg.Backend = "devpoll"
 	cfg.IdleTimeout = 2 * core.Second // aggressive idle timeout
 	cfg.WaitTimeout = 500 * core.Millisecond
 	s := thttpd.New(k, n, cfg)
@@ -184,7 +183,7 @@ func TestConservationInvariant(t *testing.T) {
 	netCfg.ListenBacklog = 4
 	n := netsim.New(k, netCfg)
 	cfg := thttpd.DefaultConfig()
-	cfg.Mechanism = thttpd.StockPoll()
+	cfg.Backend = "poll"
 	s := thttpd.New(k, n, cfg)
 	s.Start()
 

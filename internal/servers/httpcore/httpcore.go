@@ -3,9 +3,12 @@
 // connections, incrementally parsing HTTP/1.0 requests, serving static
 // documents from a content store, closing connections and sweeping idle ones.
 //
-// The event-delivery policy — which descriptors to wait on and how — is what
-// differentiates the servers, so it stays in the server packages; they plug
-// into this handler through the OnConnOpen/OnConnClose callbacks.
+// Handler.Attach (serve.go) wires this logic onto an eventlib.Base — the
+// listener's accept event, a persistent read event per connection, the
+// idle-sweep timer — so the servers own no dispatch loops of their own. What
+// still differentiates them (which mechanism backs the base, per-event cost
+// wrappers, post-accept reads for edge-style delivery, mode-switch policy)
+// plugs in through ServeConfig and the base's configuration.
 package httpcore
 
 import (

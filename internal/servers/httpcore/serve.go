@@ -1,0 +1,123 @@
+package httpcore
+
+import (
+	"repro/internal/core"
+	"repro/internal/eventlib"
+	"repro/internal/simkernel"
+)
+
+// ServeConfig customises how a Handler is wired onto an eventlib.Base. The
+// zero value serves the plain thttpd shape: every readable connection goes
+// through HandleReadable and idle sweeping follows Handler.IdleTimeout.
+type ServeConfig struct {
+	// Read handles readability on one connection; nil selects
+	// Handler.HandleReadable. phhttpd wraps it with its per-connection
+	// bookkeeping charge.
+	Read func(now core.Time, fd int)
+	// AfterAccept, when non-nil, runs after each accept burst with the new
+	// descriptors. Edge-style backends (RT signals) must read each freshly
+	// accepted connection once here, since request data that arrived before
+	// registration produces no completion event.
+	AfterAccept func(now core.Time, fds []int)
+	// SweepInterval is the period of the idle-sweep timer (thttpd's one-second
+	// timer granularity). Zero selects one second. The timer is only armed
+	// when Handler.IdleTimeout is positive.
+	SweepInterval core.Duration
+}
+
+// EventLoop is a Handler bound to an eventlib.Base: the listener's accept
+// event, one persistent read event per open connection, and the idle-sweep
+// timer. It replaces the readiness-iteration and timeout loops the servers
+// used to hand-roll — they now consume only eventlib callbacks.
+type EventLoop struct {
+	h    *Handler
+	base *eventlib.Base
+	cfg  ServeConfig
+	lfd  *simkernel.FD
+
+	accept *eventlib.Event
+	sweep  *eventlib.Event
+	conns  map[int]*eventlib.Event
+}
+
+// Attach wires the handler onto base: it registers a persistent accept event
+// on the listener, installs OnConnOpen/OnConnClose so each accepted
+// connection gets a persistent read event (deleted again on close), and arms
+// the periodic idle-sweep timer. It must be called from inside a process
+// batch, like every other socket operation; the caller then starts
+// base.Dispatch once the batch completes.
+func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig) *EventLoop {
+	if cfg.Read == nil {
+		cfg.Read = h.HandleReadable
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = core.Second
+	}
+	loop := &EventLoop{h: h, base: base, cfg: cfg, lfd: lfd, conns: make(map[int]*eventlib.Event)}
+
+	loop.accept = base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist, loop.onAcceptable)
+	if err := loop.accept.Add(0); err != nil {
+		panic("httpcore: registering the listener: " + err.Error())
+	}
+
+	h.OnConnOpen = loop.openConn
+	h.OnConnClose = loop.closeConn
+
+	if h.IdleTimeout > 0 {
+		loop.sweep = base.NewTimer(eventlib.EvPersist, func(_ int, _ eventlib.What, now core.Time) {
+			h.SweepIdle(now)
+		})
+		if err := loop.sweep.Add(cfg.SweepInterval); err != nil {
+			panic("httpcore: arming the sweep timer: " + err.Error())
+		}
+	}
+	return loop
+}
+
+// Base returns the event base the loop runs on.
+func (l *EventLoop) Base() *eventlib.Base { return l.base }
+
+// ConnEvent returns the read event registered for a connection (tests).
+func (l *EventLoop) ConnEvent(fd int) *eventlib.Event { return l.conns[fd] }
+
+// onAcceptable is the listener callback: drain the accept queue, then let the
+// server perform its post-accept work (the edge-style immediate read).
+func (l *EventLoop) onAcceptable(_ int, _ eventlib.What, now core.Time) {
+	fds := l.h.AcceptAll(now, l.lfd)
+	if l.cfg.AfterAccept != nil && len(fds) > 0 {
+		l.cfg.AfterAccept(now, fds)
+	}
+}
+
+// openConn registers a persistent read event for a freshly accepted
+// connection.
+func (l *EventLoop) openConn(fd int) {
+	ev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvPersist, func(fd int, _ eventlib.What, now core.Time) {
+		l.cfg.Read(now, fd)
+	})
+	l.conns[fd] = ev
+	_ = ev.Add(0)
+}
+
+// Rescan drains the accept queue and reads every open connection once, as if
+// each had just reported readable. Servers on transition-driven backends call
+// it after a lost notification (an RT-signal queue overflow): activity the
+// dropped signals announced produces no further transitions, so only an
+// explicit scan rediscovers it. The AfterAccept hook is deliberately skipped —
+// freshly accepted connections are read by the sweep below, and reading them
+// twice would inflate the recovery's simulated cost.
+func (l *EventLoop) Rescan(now core.Time) {
+	l.h.AcceptAll(now, l.lfd)
+	for _, fd := range l.h.OpenConns() {
+		l.cfg.Read(now, fd)
+	}
+}
+
+// closeConn deletes the connection's event; a pending activation in the
+// current dispatch batch is discarded by eventlib's Del semantics.
+func (l *EventLoop) closeConn(fd int) {
+	if ev, ok := l.conns[fd]; ok {
+		delete(l.conns, fd)
+		_ = ev.Del()
+	}
+}

@@ -6,12 +6,15 @@
 // Following §6's prescription, the /dev/poll interest set is maintained
 // concurrently with RT signal activity, so a mode switch costs almost nothing:
 // no per-connection handoff and no rebuilding of interest state — the
-// weaknesses that doom phhttpd's overflow recovery.
+// weaknesses that doom phhttpd's overflow recovery. On the eventlib.Base this
+// is the MirrorInterest configuration: every Add and Del applies to both
+// mechanisms, and a mode switch merely activates the other wait target.
 package hybrid
 
 import (
 	"repro/internal/core"
 	"repro/internal/devpoll"
+	"repro/internal/eventlib"
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
 	"repro/internal/rtsig"
@@ -36,12 +39,6 @@ func (m Mode) String() string {
 	return "devpoll"
 }
 
-// BulkMechanism constructs the bulk-notification poller the server switches
-// to under load. The default is /dev/poll, as the paper prescribes; epoll (the
-// mechanism history converged on) plugs in the same way because both maintain
-// their kernel-resident interest set concurrently with RT signal activity.
-type BulkMechanism func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
-
 // Config parameterises the hybrid server.
 type Config struct {
 	// Content is the static document tree; nil selects the default store.
@@ -63,14 +60,19 @@ type Config struct {
 	ConsecutiveLow int
 	// BatchDequeue enables sigtimedwait4-style batch dequeue in signal mode.
 	BatchDequeue bool
-	// Bulk constructs the bulk poller used in polling mode; nil selects
-	// /dev/poll with the DevPoll options below.
-	Bulk BulkMechanism
-	// DevPoll configures the /dev/poll instance used when Bulk is nil.
+	// BulkBackend names the eventlib backend used as the bulk poller in
+	// polling mode ("devpoll", "epoll", "epoll-et"); empty selects /dev/poll
+	// with the DevPoll options below.
+	BulkBackend string
+	// Bulk, when non-nil, overrides BulkBackend with a custom-configured bulk
+	// poller.
+	Bulk func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
+	// DevPoll configures the /dev/poll instance used when Bulk and BulkBackend
+	// are unset.
 	DevPoll devpoll.Options
-	// MaxEventsPerWait caps events per /dev/poll wait.
+	// MaxEventsPerWait caps events per bulk-poller wait.
 	MaxEventsPerWait int
-	// WaitTimeout bounds each wait so timers can run.
+	// WaitTimeout is the idle-sweep timer period bounding each wait.
 	WaitTimeout core.Duration
 }
 
@@ -100,18 +102,17 @@ type Server struct {
 	api     *netsim.SockAPI
 	rtq     *rtsig.Queue
 	dp      core.Poller
+	base    *eventlib.Base
 	handler *httpcore.Handler
 	lfd     *simkernel.FD
 
-	mode      Mode
-	lowRuns   int
-	started   bool
-	stopped   bool
-	lastSweep core.Time
+	mode    Mode
+	lowRuns int
+	started bool
+	stopped bool
 
-	// Loops counts event-loop iterations. SwitchesToPoll and SwitchesToSignal
-	// count mode transitions; ModeTime accumulates virtual time per mode.
-	Loops            int64
+	// SwitchesToPoll and SwitchesToSignal count mode transitions; ModeTime
+	// accumulates virtual time per mode.
 	SwitchesToPoll   int64
 	SwitchesToSignal int64
 	lastModeChange   core.Time
@@ -145,28 +146,33 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 	api := netsim.NewSockAPI(k, p, net)
 	s := &Server{K: k, Net: net, P: p, cfg: cfg, api: api, mode: ModeSignal}
 	s.rtq = rtsig.New(k, p, rtsig.Options{QueueLimit: cfg.QueueLimit, Signo: core.SIGRTMIN, BatchDequeue: cfg.BatchDequeue})
-	if cfg.Bulk != nil {
+	switch {
+	case cfg.Bulk != nil:
 		s.dp = cfg.Bulk(k, p)
-	} else {
+	case cfg.BulkBackend != "":
+		poller, _, err := eventlib.OpenBackend(k, p, cfg.BulkBackend)
+		if err != nil {
+			panic("hybrid: " + err.Error())
+		}
+		s.dp = poller
+	default:
 		s.dp = devpoll.Open(k, p, cfg.DevPoll)
 	}
+	// Both interest sets are kept up to date on every connection open/close
+	// (MirrorInterest), which is what makes switching modes nearly free.
+	s.base = eventlib.NewWithPoller(k, p, s.rtq, eventlib.Config{
+		MaxEventsPerWait: cfg.MaxEventsPerWait,
+		MirrorInterest:   true,
+		AfterDispatch:    s.evaluateSwitch,
+	})
+	s.base.AttachPoller(s.dp)
 	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
 	s.handler.IdleTimeout = cfg.IdleTimeout
-	// Both event sources are kept up to date on every connection open/close,
-	// which is what makes switching modes nearly free.
-	s.handler.OnConnOpen = func(fd int) {
-		_ = s.rtq.Add(fd, core.POLLIN)
-		_ = s.dp.Add(fd, core.POLLIN)
-	}
-	s.handler.OnConnClose = func(fd int) {
-		_ = s.rtq.Remove(fd)
-		_ = s.dp.Remove(fd)
-	}
 	return s
 }
 
 // Start opens the listening socket, registers it with both mechanisms and
-// enters the event loop.
+// starts dispatching.
 func (s *Server) Start() {
 	if s.started {
 		return
@@ -174,20 +180,55 @@ func (s *Server) Start() {
 	s.started = true
 	s.P.Batch(s.K.Now(), func() {
 		s.lfd, _ = s.api.Listen()
-		_ = s.rtq.Add(s.lfd.Num, core.POLLIN)
-		_ = s.dp.Add(s.lfd.Num, core.POLLIN)
+		s.handler.Attach(s.base, s.lfd, httpcore.ServeConfig{
+			SweepInterval: s.cfg.WaitTimeout,
+			// As in phhttpd: data that arrived before registration never
+			// raises a signal, so read freshly accepted connections once
+			// while in signal mode.
+			AfterAccept: func(now core.Time, fds []int) {
+				if s.mode != ModeSignal {
+					return
+				}
+				for _, fd := range fds {
+					s.handler.HandleReadable(now, fd)
+				}
+			},
+		})
+		// Overflow is simply an early, emphatic load signal; the devpoll
+		// interest set is already current, so recovery is one Recover plus
+		// the next devpoll scan.
+		ovf := s.base.NewEvent(rtsig.OverflowFD, eventlib.EvSignal|eventlib.EvPersist,
+			func(_ int, _ eventlib.What, now core.Time) {
+				s.rtq.Recover()
+				s.switchMode(now, ModePolling)
+			})
+		if err := ovf.Add(0); err != nil {
+			panic("hybrid: arming the overflow event: " + err.Error())
+		}
+		if s.cfg.IdleTimeout <= 0 {
+			// The switch policy (AfterDispatch) needs the loop to wake at
+			// least every WaitTimeout even with no I/O, as the hand-rolled
+			// loop's bounded waits guaranteed; without idle sweeping there is
+			// no sweep timer to drive that, so arm a policy tick.
+			tick := s.base.NewTimer(eventlib.EvPersist, func(int, eventlib.What, core.Time) {})
+			if err := tick.Add(s.cfg.WaitTimeout); err != nil {
+				panic("hybrid: arming the policy tick: " + err.Error())
+			}
+		}
 	}, func(done core.Time) {
-		s.lastSweep = done
 		s.lastModeChange = done
-		s.loop()
+		s.base.Dispatch()
 	})
 }
 
 // Stop halts the event loop after the current iteration.
 func (s *Server) Stop() {
-	s.stopped = true
-	s.ModeTime[s.mode] += s.K.Now().Sub(s.lastModeChange)
-	s.lastModeChange = s.K.Now()
+	if !s.stopped {
+		s.stopped = true
+		s.ModeTime[s.mode] += s.K.Now().Sub(s.lastModeChange)
+		s.lastModeChange = s.K.Now()
+	}
+	s.base.Stop()
 }
 
 // Mode reports the current event-delivery mode.
@@ -209,71 +250,25 @@ func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
 func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
 
 // DevPollSet exposes the bulk poller — /dev/poll by default, or whatever
-// Config.Bulk selected (for tests and experiments).
+// Config.Bulk/BulkBackend selected (for tests and experiments).
 func (s *Server) DevPollSet() core.Poller { return s.dp }
+
+// Base exposes the event base (for tests).
+func (s *Server) Base() *eventlib.Base { return s.base }
 
 // OpenConnections reports how many connections the server currently holds.
 func (s *Server) OpenConnections() int { return len(s.handler.Conns) }
 
-// loop performs one wait-and-dispatch iteration in the current mode.
-func (s *Server) loop() {
+// Loops counts event-loop iterations.
+func (s *Server) Loops() int64 { return s.base.Iterations() }
+
+// evaluateSwitch applies the crossover policy of §4 after every dispatch
+// batch: the RT signal queue length is the load indicator, the number of
+// events the bulk scan delivered the sign that load has subsided.
+func (s *Server) evaluateSwitch(delivered int, now core.Time) {
 	if s.stopped {
 		return
 	}
-	if s.mode == ModeSignal {
-		max := 1
-		if s.cfg.BatchDequeue {
-			max = s.cfg.MaxEventsPerWait
-		}
-		s.rtq.Wait(max, s.cfg.WaitTimeout, s.handleEvents)
-		return
-	}
-	s.dp.Wait(s.cfg.MaxEventsPerWait, s.cfg.WaitTimeout, s.handleEvents)
-}
-
-// handleEvents processes one delivery as a single scheduling quantum and then
-// evaluates the mode-switch policy.
-func (s *Server) handleEvents(events []core.Event, now core.Time) {
-	if s.stopped {
-		return
-	}
-	s.Loops++
-	s.P.Batch(now, func() {
-		for _, ev := range events {
-			if ev.FD == rtsig.OverflowFD {
-				// Overflow is simply an early, emphatic load signal; the
-				// devpoll interest set is already current, so recovery is one
-				// Recover plus the next devpoll scan.
-				s.rtq.Recover()
-				s.switchMode(now, ModePolling)
-				continue
-			}
-			if s.lfd != nil && ev.FD == s.lfd.Num {
-				newConns := s.handler.AcceptAll(now, s.lfd)
-				if s.mode == ModeSignal {
-					// As in phhttpd: data that arrived before registration never
-					// raises a signal, so read freshly accepted connections once.
-					for _, fd := range newConns {
-						s.handler.HandleReadable(now, fd)
-					}
-				}
-				continue
-			}
-			s.handler.HandleReadable(now, ev.FD)
-		}
-		if s.cfg.IdleTimeout > 0 && now.Sub(s.lastSweep) >= s.cfg.WaitTimeout {
-			s.handler.SweepIdle(now)
-			s.lastSweep = now
-		}
-		s.evaluateSwitch(now, len(events))
-	}, func(core.Time) {
-		s.loop()
-	})
-}
-
-// evaluateSwitch applies the crossover policy of §4: the RT signal queue
-// length is the load indicator.
-func (s *Server) evaluateSwitch(now core.Time, delivered int) {
 	switch s.mode {
 	case ModeSignal:
 		if s.rtq.QueueLength() >= s.cfg.HighWater || s.rtq.Overflowed() {
@@ -298,7 +293,8 @@ func (s *Server) evaluateSwitch(now core.Time, delivered int) {
 	}
 }
 
-// switchMode records a mode transition.
+// switchMode records a mode transition and activates the corresponding wait
+// target; both interest sets are already current, so nothing is re-registered.
 func (s *Server) switchMode(now core.Time, to Mode) {
 	if s.mode == to {
 		return
@@ -308,8 +304,10 @@ func (s *Server) switchMode(now core.Time, to Mode) {
 	s.lowRuns = 0
 	if to == ModePolling {
 		s.SwitchesToPoll++
+		_ = s.base.Activate(s.dp, false)
 	} else {
 		s.SwitchesToSignal++
+		_ = s.base.Activate(s.rtq, false)
 	}
 	s.mode = to
 }

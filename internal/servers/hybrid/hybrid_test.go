@@ -149,3 +149,33 @@ func TestOverflowSentinelTriggersCheapRecovery(t *testing.T) {
 		t.Fatalf("served = %d, want %d", s.Stats().Served, burst)
 	}
 }
+
+// With idle sweeping disabled there is no sweep timer, but the mode-switch
+// policy still needs the loop to wake every WaitTimeout (the hand-rolled loop
+// bounded every wait unconditionally): the policy tick keeps iterations
+// coming, so a server stuck in polling mode with no traffic can still count
+// consecutive quiet scans and switch back to signals.
+func TestPolicyTickRunsWithoutIdleSweeping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = 0
+	cfg.WaitTimeout = 100 * core.Millisecond
+	k, _, s := start(t, cfg)
+
+	// Force polling mode with no pending work, then go completely quiet.
+	k.Sim.At(k.Now().Add(20*core.Millisecond), func(now core.Time) {
+		s.rtq.Recover()
+		s.switchMode(now, ModePolling)
+	})
+	k.Sim.RunUntil(core.Time(2 * core.Second))
+	s.Stop()
+
+	if s.Mode() != ModeSignal {
+		t.Fatalf("mode = %v, want the policy to have switched back to signals with no load", s.Mode())
+	}
+	if s.SwitchesToSignal == 0 {
+		t.Fatal("no switch back recorded")
+	}
+	if s.Loops() < 5 {
+		t.Fatalf("loop iterations = %d; the policy tick should keep the loop waking", s.Loops())
+	}
+}

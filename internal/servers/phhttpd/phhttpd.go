@@ -9,10 +9,16 @@
 // a poll sibling, rebuilds the pollfd array from scratch, and then runs in
 // polling mode for the rest of its life ("the current phhttpd server does not
 // switch from polling mode back to RT signal queue mode").
+//
+// The server runs on an eventlib.Base whose wait target starts as the RT
+// signal queue; overflow recovery re-registers every pending event on the
+// poll sibling and activates it. The overflow sentinel itself arrives through
+// an eventlib signal event on rtsig.OverflowFD.
 package phhttpd
 
 import (
 	"repro/internal/core"
+	"repro/internal/eventlib"
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
 	"repro/internal/rtsig"
@@ -51,8 +57,8 @@ type Config struct {
 	// BatchDequeue enables the sigtimedwait4() extension (§6 future work); the
 	// faithful phhttpd configuration leaves it off.
 	BatchDequeue bool
-	// WaitTimeout bounds each sigwaitinfo()/poll() wait so timers (idle sweeps)
-	// can run.
+	// WaitTimeout is the idle-sweep timer period bounding each
+	// sigwaitinfo()/poll() wait.
 	WaitTimeout core.Duration
 	// MaxEventsPerWait caps events per wait in polling mode and, with
 	// BatchDequeue, per sigtimedwait4 call.
@@ -90,18 +96,15 @@ type Server struct {
 	api     *netsim.SockAPI
 	rtq     *rtsig.Queue
 	pollset *stockpoll.Poller
+	base    *eventlib.Base
 	handler *httpcore.Handler
 	lfd     *simkernel.FD
 
-	mode      Mode
-	started   bool
-	stopped   bool
-	lastSweep core.Time
+	mode    Mode
+	started bool
 
-	// Loops counts event-loop iterations; Overflows counts queue overflows;
-	// Handoffs counts connections transferred to the poll sibling during
-	// overflow recovery.
-	Loops     int64
+	// Overflows counts queue overflows; Handoffs counts connections
+	// transferred to the poll sibling during overflow recovery.
 	Overflows int64
 	Handoffs  int64
 }
@@ -129,28 +132,21 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 		BatchDequeue: cfg.BatchDequeue,
 	})
 	s.pollset = stockpoll.New(k, p)
+	// The base waits on the RT queue; the poll sibling is attached but
+	// receives no interests until overflow recovery re-registers everything
+	// (phhttpd does not maintain the pollfd array concurrently — the
+	// weakness §6 calls out).
+	s.base = eventlib.NewWithPoller(k, p, s.rtq, eventlib.Config{
+		MaxEventsPerWait: cfg.MaxEventsPerWait,
+	})
+	s.base.AttachPoller(s.pollset)
 	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
 	s.handler.IdleTimeout = cfg.IdleTimeout
-	s.handler.OnConnOpen = func(fd int) {
-		if s.mode == ModeSignal {
-			_ = s.rtq.Add(fd, core.POLLIN)
-		} else {
-			_ = s.pollset.Add(fd, core.POLLIN)
-		}
-	}
-	s.handler.OnConnClose = func(fd int) {
-		if s.rtq.Interested(fd) {
-			_ = s.rtq.Remove(fd)
-		}
-		if s.pollset.Interested(fd) {
-			_ = s.pollset.Remove(fd)
-		}
-	}
 	return s
 }
 
-// Start opens the listening socket, registers it for RT signals and enters the
-// event loop.
+// Start opens the listening socket, wires the handler onto the event base and
+// starts dispatching.
 func (s *Server) Start() {
 	if s.started {
 		return
@@ -158,15 +154,37 @@ func (s *Server) Start() {
 	s.started = true
 	s.P.Batch(s.K.Now(), func() {
 		s.lfd, _ = s.api.Listen()
-		_ = s.rtq.Add(s.lfd.Num, core.POLLIN)
-	}, func(done core.Time) {
-		s.lastSweep = done
-		s.loop()
+		s.handler.Attach(s.base, s.lfd, httpcore.ServeConfig{
+			Read:          s.handleReadable,
+			SweepInterval: s.cfg.WaitTimeout,
+			// Request data that arrived before F_SETSIG was issued never
+			// generates a completion signal, so the signal-driven server must
+			// read each freshly accepted connection once. In polling mode the
+			// poll sibling reports it instead.
+			AfterAccept: func(now core.Time, fds []int) {
+				if s.mode != ModeSignal {
+					return
+				}
+				for _, fd := range fds {
+					s.handleReadable(now, fd)
+				}
+			},
+		})
+		// The queue-overflow sentinel (SIGIO) arrives as an event on the
+		// reserved OverflowFD descriptor; a signal event routes it to the
+		// recovery path without registering any poller interest.
+		ovf := s.base.NewEvent(rtsig.OverflowFD, eventlib.EvSignal|eventlib.EvPersist,
+			func(_ int, _ eventlib.What, now core.Time) { s.recoverFromOverflow(now) })
+		if err := ovf.Add(0); err != nil {
+			panic("phhttpd: arming the overflow event: " + err.Error())
+		}
+	}, func(core.Time) {
+		s.base.Dispatch()
 	})
 }
 
 // Stop halts the event loop after the current iteration.
-func (s *Server) Stop() { s.stopped = true }
+func (s *Server) Stop() { s.base.Stop() }
 
 // Mode reports the current event-delivery mode.
 func (s *Server) Mode() Mode { return s.mode }
@@ -180,63 +198,14 @@ func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
 // PollSet exposes the overflow sibling's poll set (for tests).
 func (s *Server) PollSet() *stockpoll.Poller { return s.pollset }
 
+// Base exposes the event base (for tests).
+func (s *Server) Base() *eventlib.Base { return s.base }
+
 // OpenConnections reports how many connections the server currently holds.
 func (s *Server) OpenConnections() int { return len(s.handler.Conns) }
 
-// loop performs one wait-and-dispatch iteration in the current mode.
-func (s *Server) loop() {
-	if s.stopped {
-		return
-	}
-	if s.mode == ModeSignal {
-		max := 1
-		if s.cfg.BatchDequeue {
-			max = s.cfg.MaxEventsPerWait
-		}
-		s.rtq.Wait(max, s.cfg.WaitTimeout, s.handleEvents)
-		return
-	}
-	s.pollset.Wait(s.cfg.MaxEventsPerWait, s.cfg.WaitTimeout, s.handleEvents)
-}
-
-// handleEvents processes one delivery (a single siginfo in signal mode, a
-// batch of pollfd results in polling mode) as one scheduling quantum.
-func (s *Server) handleEvents(events []core.Event, now core.Time) {
-	if s.stopped {
-		return
-	}
-	s.Loops++
-	s.P.Batch(now, func() {
-		for _, ev := range events {
-			if ev.FD == rtsig.OverflowFD {
-				s.recoverFromOverflow(now)
-				continue
-			}
-			if s.lfd != nil && ev.FD == s.lfd.Num {
-				newConns := s.handler.AcceptAll(now, s.lfd)
-				if s.mode == ModeSignal {
-					// Request data that arrived before F_SETSIG was issued never
-					// generates a completion signal, so a signal-driven server
-					// must read each freshly accepted connection once.
-					for _, fd := range newConns {
-						s.handleReadable(now, fd)
-					}
-				}
-				continue
-			}
-			// Events are only hints: the connection may already be gone
-			// (HandleReadable ignores unknown descriptors), or may have more
-			// state changes queued behind this one.
-			s.handleReadable(now, ev.FD)
-		}
-		if s.cfg.IdleTimeout > 0 && now.Sub(s.lastSweep) >= s.cfg.WaitTimeout {
-			s.handler.SweepIdle(now)
-			s.lastSweep = now
-		}
-	}, func(core.Time) {
-		s.loop()
-	})
-}
+// Loops counts event-loop iterations.
+func (s *Server) Loops() int64 { return s.base.Iterations() }
 
 // handleReadable wraps the shared HTTP engine with phhttpd's per-connection
 // bookkeeping cost: the experimental server walks structures proportional to
@@ -248,7 +217,7 @@ func (s *Server) handleReadable(now core.Time, fd int) {
 }
 
 // recoverFromOverflow implements phhttpd's expensive overflow recovery. It
-// must be called from inside a batch.
+// runs inside the dispatch batch.
 func (s *Server) recoverFromOverflow(now core.Time) {
 	if s.mode == ModePolling {
 		// Already recovered; a stale SIGIO indication needs no further work.
@@ -259,19 +228,19 @@ func (s *Server) recoverFromOverflow(now core.Time) {
 	s.rtq.Recover()
 
 	// Hand every connection, plus the listener, to the poll sibling one at a
-	// time over a UNIX-domain socket, and rebuild the pollfd array from
-	// scratch — precisely the work §6 identifies as likely to melt the server
-	// down under the very load that caused the overflow.
+	// time over a UNIX-domain socket — precisely the work §6 identifies as
+	// likely to melt the server down under the very load that caused the
+	// overflow. Activate then rebuilds the pollfd array from scratch by
+	// re-registering every pending event.
 	cost := s.K.Cost
 	if s.lfd != nil {
 		s.P.Charge(cost.ConnHandoff)
 		s.Handoffs++
-		_ = s.pollset.Add(s.lfd.Num, core.POLLIN)
 	}
-	for _, fd := range s.handler.OpenConns() {
+	for range s.handler.OpenConns() {
 		s.P.Charge(cost.ConnHandoff)
 		s.Handoffs++
-		_ = s.pollset.Add(fd, core.POLLIN)
 	}
+	_ = s.base.Activate(s.pollset, true)
 	s.mode = ModePolling
 }

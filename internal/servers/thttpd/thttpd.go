@@ -1,43 +1,40 @@
 // Package thttpd simulates the paper's thttpd: a simple single-process,
-// event-driven static web server. The event mechanism is pluggable — the stock
-// poll() baseline or the modified /dev/poll build — which mirrors the two
-// thttpd configurations measured in Figures 4 through 10.
+// event-driven static web server. The event backend is pluggable through the
+// eventlib registry — the stock poll() baseline, the modified /dev/poll build
+// (the two configurations measured in Figures 4 through 10), epoll in either
+// trigger mode, or even the RT signal queue.
+//
+// The server owns no dispatch loop of its own: it registers callbacks on an
+// eventlib.Base (accept on the listener, read per connection, a periodic
+// idle-sweep timer) and lets the base compute poll timeouts and iterate
+// readiness.
 package thttpd
 
 import (
 	"repro/internal/core"
-	"repro/internal/devpoll"
-	"repro/internal/epoll"
+	"repro/internal/eventlib"
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
+	"repro/internal/rtsig"
 	"repro/internal/servers/httpcore"
 	"repro/internal/simkernel"
-	"repro/internal/stockpoll"
 )
-
-// Mechanism constructs the event-notification backend for a server process.
-type Mechanism func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
-
-// StockPoll selects the unmodified poll() event core.
-func StockPoll() Mechanism {
-	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return stockpoll.New(k, p) }
-}
-
-// DevPoll selects the /dev/poll event core with the given options.
-func DevPoll(opts devpoll.Options) Mechanism {
-	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return devpoll.Open(k, p, opts) }
-}
-
-// Epoll selects the epoll event core with the given options (level- or
-// edge-triggered).
-func Epoll(opts epoll.Options) Mechanism {
-	return func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller { return epoll.Open(k, p, opts) }
-}
 
 // Config parameterises a thttpd instance.
 type Config struct {
-	// Mechanism chooses the event backend; nil selects stock poll().
-	Mechanism Mechanism
+	// Backend names the eventlib backend ("poll", "devpoll", "epoll",
+	// "epoll-et", "rtsig"); empty selects stock poll(), the paper's baseline
+	// configuration.
+	Backend string
+	// OpenPoller, when non-nil, overrides Backend with a custom-configured
+	// poller (the ablations disable individual /dev/poll optimisations this
+	// way). EdgeStyle declares its delivery semantics when they differ from
+	// level-triggered.
+	OpenPoller func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller
+	// EdgeStyle marks an OpenPoller mechanism as transition-driven (freshly
+	// accepted connections are read once unprompted). Registry backends carry
+	// this flag themselves.
+	EdgeStyle bool
 	// Content is the static document tree; nil selects the default store with
 	// the paper's 6 KB index.html.
 	Content *httpsim.ContentStore
@@ -46,8 +43,8 @@ type Config struct {
 	IdleTimeout core.Duration
 	// MaxEventsPerWait caps how many events one wait delivers.
 	MaxEventsPerWait int
-	// WaitTimeout is the poll timeout used to drive timer processing (idle
-	// sweeps); it mirrors thttpd's one-second timer granularity.
+	// WaitTimeout is the idle-sweep timer period, mirroring thttpd's
+	// one-second timer granularity.
 	WaitTimeout core.Duration
 }
 
@@ -55,7 +52,7 @@ type Config struct {
 // poll(), the 6 KB document, a 60-second connection timeout.
 func DefaultConfig() Config {
 	return Config{
-		Mechanism:        StockPoll(),
+		Backend:          "poll",
 		IdleTimeout:      60 * core.Second,
 		MaxEventsPerWait: 1024,
 		WaitTimeout:      core.Second,
@@ -68,24 +65,23 @@ type Server struct {
 	Net *netsim.Network
 	P   *simkernel.Proc
 
-	cfg     Config
-	api     *netsim.SockAPI
-	poller  core.Poller
-	handler *httpcore.Handler
-	lfd     *simkernel.FD
+	cfg       Config
+	api       *netsim.SockAPI
+	base      *eventlib.Base
+	edgeStyle bool
+	handler   *httpcore.Handler
+	lfd       *simkernel.FD
 
-	started   bool
-	stopped   bool
-	lastSweep core.Time
-
-	// Loops counts completed event-loop iterations.
-	Loops int64
+	started bool
 }
 
-// New creates a thttpd instance bound to the kernel and network.
+// New creates a thttpd instance bound to the kernel and network. An unknown
+// Backend name panics with the registry's listed-choices error; callers that
+// take backend names from user input validate them through the registry (or
+// the experiments kind resolver) first.
 func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
-	if cfg.Mechanism == nil {
-		cfg.Mechanism = StockPoll()
+	if cfg.Backend == "" {
+		cfg.Backend = "poll"
 	}
 	if cfg.MaxEventsPerWait <= 0 {
 		cfg.MaxEventsPerWait = 1024
@@ -96,16 +92,32 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 	p := k.NewProc("thttpd")
 	api := netsim.NewSockAPI(k, p, net)
 	s := &Server{K: k, Net: net, P: p, cfg: cfg, api: api}
-	s.poller = cfg.Mechanism(k, p)
+
+	baseCfg := eventlib.Config{
+		MaxEventsPerWait: cfg.MaxEventsPerWait,
+		// thttpd's per-iteration bookkeeping: timer list scan, connection
+		// table management, fdwatch setup.
+		LoopCost: k.Cost.ServerLoopOverhead,
+	}
+	if cfg.OpenPoller != nil {
+		s.base = eventlib.NewWithPoller(k, p, cfg.OpenPoller(k, p), baseCfg)
+		s.edgeStyle = cfg.EdgeStyle
+	} else {
+		poller, backend, err := eventlib.OpenBackend(k, p, cfg.Backend)
+		if err != nil {
+			panic("thttpd: " + err.Error())
+		}
+		s.base = eventlib.NewWithPoller(k, p, poller, baseCfg)
+		s.edgeStyle = backend.EdgeStyle
+	}
+
 	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
 	s.handler.IdleTimeout = cfg.IdleTimeout
-	s.handler.OnConnOpen = func(fd int) { _ = s.poller.Add(fd, core.POLLIN) }
-	s.handler.OnConnClose = func(fd int) { _ = s.poller.Remove(fd) }
 	return s
 }
 
-// Start opens the listening socket, registers it with the event mechanism and
-// enters the event loop. It may be called once.
+// Start opens the listening socket, wires the handler onto the event base and
+// starts dispatching. It may be called once.
 func (s *Server) Start() {
 	if s.started {
 		return
@@ -113,21 +125,46 @@ func (s *Server) Start() {
 	s.started = true
 	s.P.Batch(s.K.Now(), func() {
 		s.lfd, _ = s.api.Listen()
-		_ = s.poller.Add(s.lfd.Num, core.POLLIN)
-	}, func(done core.Time) {
-		s.lastSweep = done
-		s.loop()
+		serveCfg := httpcore.ServeConfig{SweepInterval: s.cfg.WaitTimeout}
+		if s.edgeStyle {
+			serveCfg.AfterAccept = func(now core.Time, fds []int) {
+				for _, fd := range fds {
+					s.handler.HandleReadable(now, fd)
+				}
+			}
+		}
+		loop := s.handler.Attach(s.base, s.lfd, serveCfg)
+		if q, ok := s.base.Poller().(*rtsig.Queue); ok {
+			// On the RT-signal backend the queue can overflow; dropped signals
+			// are gone for good (delivery is transition-driven), so the server
+			// must do what the paper says applications must: flush the queue
+			// and re-scan every descriptor it watches for activity the lost
+			// signals would have announced.
+			ovf := s.base.NewEvent(rtsig.OverflowFD, eventlib.EvSignal|eventlib.EvPersist,
+				func(_ int, _ eventlib.What, now core.Time) {
+					q.Recover()
+					loop.Rescan(now)
+				})
+			if err := ovf.Add(0); err != nil {
+				panic("thttpd: arming the overflow event: " + err.Error())
+			}
+		}
+	}, func(core.Time) {
+		s.base.Dispatch()
 	})
 }
 
 // Stop halts the event loop after the current iteration.
-func (s *Server) Stop() { s.stopped = true }
+func (s *Server) Stop() { s.base.Stop() }
 
 // Stats returns the application-level counters.
 func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
 
+// Base exposes the event base (for tests).
+func (s *Server) Base() *eventlib.Base { return s.base }
+
 // Poller exposes the event mechanism (for experiment statistics).
-func (s *Server) Poller() core.Poller { return s.poller }
+func (s *Server) Poller() core.Poller { return s.base.Poller() }
 
 // Handler exposes the shared HTTP engine (for tests).
 func (s *Server) Handler() *httpcore.Handler { return s.handler }
@@ -135,46 +172,5 @@ func (s *Server) Handler() *httpcore.Handler { return s.handler }
 // OpenConnections reports how many connections the server currently holds.
 func (s *Server) OpenConnections() int { return len(s.handler.Conns) }
 
-// loop performs one wait-and-dispatch iteration.
-func (s *Server) loop() {
-	if s.stopped {
-		return
-	}
-	s.poller.Wait(s.cfg.MaxEventsPerWait, s.waitTimeout(), s.handleEvents)
-}
-
-// waitTimeout returns the poll timeout: bounded by the timer tick when idle
-// sweeping is enabled, otherwise indefinite.
-func (s *Server) waitTimeout() core.Duration {
-	if s.cfg.IdleTimeout > 0 {
-		return s.cfg.WaitTimeout
-	}
-	return core.Forever
-}
-
-// handleEvents processes one batch of readiness events as a single scheduling
-// quantum of the server process.
-func (s *Server) handleEvents(events []core.Event, now core.Time) {
-	if s.stopped {
-		return
-	}
-	s.Loops++
-	s.P.Batch(now, func() {
-		// thttpd's per-iteration bookkeeping: timer list scan, connection table
-		// management, fdwatch setup.
-		s.P.Charge(s.K.Cost.ServerLoopOverhead)
-		for _, ev := range events {
-			if s.lfd != nil && ev.FD == s.lfd.Num {
-				s.handler.AcceptAll(now, s.lfd)
-				continue
-			}
-			s.handler.HandleReadable(now, ev.FD)
-		}
-		if s.cfg.IdleTimeout > 0 && now.Sub(s.lastSweep) >= s.cfg.WaitTimeout {
-			s.handler.SweepIdle(now)
-			s.lastSweep = now
-		}
-	}, func(core.Time) {
-		s.loop()
-	})
-}
+// Loops counts completed event-loop iterations.
+func (s *Server) Loops() int64 { return s.base.Iterations() }

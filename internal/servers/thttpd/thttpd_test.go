@@ -4,19 +4,19 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/devpoll"
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
+	"repro/internal/rtsig"
 	"repro/internal/simkernel"
 )
 
-// start builds a kernel, network and running thttpd with the given mechanism.
-func start(t *testing.T, mech Mechanism, idle core.Duration) (*simkernel.Kernel, *netsim.Network, *Server) {
+// start builds a kernel, network and running thttpd on the given backend.
+func start(t *testing.T, backend string, idle core.Duration) (*simkernel.Kernel, *netsim.Network, *Server) {
 	t.Helper()
 	k := simkernel.NewKernel(nil)
 	n := netsim.New(k, netsim.DefaultConfig())
 	cfg := DefaultConfig()
-	cfg.Mechanism = mech
+	cfg.Backend = backend
 	cfg.IdleTimeout = idle
 	s := New(k, n, cfg)
 	s.Start()
@@ -44,7 +44,7 @@ func get(k *simkernel.Kernel, n *netsim.Network, path string) *probe {
 }
 
 func TestServesRequestsOnStockPoll(t *testing.T) {
-	k, n, s := start(t, StockPoll(), 0)
+	k, n, s := start(t, "poll", 0)
 	probes := []*probe{get(k, n, "/index.html"), get(k, n, "/small.html"), get(k, n, "/index.html")}
 	k.Sim.RunUntil(core.Time(2 * core.Second))
 	s.Stop()
@@ -72,7 +72,7 @@ func TestServesRequestsOnStockPoll(t *testing.T) {
 }
 
 func TestServesRequestsOnDevPoll(t *testing.T) {
-	k, n, s := start(t, DevPoll(devpoll.DefaultOptions()), 0)
+	k, n, s := start(t, "devpoll", 0)
 	p := get(k, n, "/index.html")
 	k.Sim.RunUntil(core.Time(2 * core.Second))
 	s.Stop()
@@ -139,19 +139,19 @@ func TestIdleTimeoutClosesInactiveConnections(t *testing.T) {
 }
 
 func TestStopHaltsTheLoop(t *testing.T) {
-	k, _, s := start(t, StockPoll(), core.Second)
+	k, _, s := start(t, "poll", core.Second)
 	s.Stop()
-	loopsAtStop := s.Loops
+	loopsAtStop := s.Loops()
 	// With the loop stopped the simulation drains (pending timers fire once and
 	// no new waits are scheduled).
 	k.Sim.RunUntil(core.Time(30 * core.Second))
-	if s.Loops > loopsAtStop+2 {
-		t.Fatalf("loop kept running after Stop: %d -> %d", loopsAtStop, s.Loops)
+	if s.Loops() > loopsAtStop+2 {
+		t.Fatalf("loop kept running after Stop: %d -> %d", loopsAtStop, s.Loops())
 	}
 }
 
 func TestManyConcurrentConnections(t *testing.T) {
-	k, n, s := start(t, DevPoll(devpoll.DefaultOptions()), 0)
+	k, n, s := start(t, "devpoll", 0)
 	const conns = 200
 	probes := make([]*probe, conns)
 	for i := range probes {
@@ -170,6 +170,45 @@ func TestManyConcurrentConnections(t *testing.T) {
 	for i, p := range probes {
 		if !p.closed {
 			t.Fatalf("probe %d incomplete", i)
+		}
+	}
+}
+
+// thttpd on the RT-signal backend must survive a signal-queue overflow: the
+// overflow sentinel triggers a queue flush plus a full rescan (accept drain +
+// one read per open connection), because the dropped signals will never be
+// re-delivered. Without that recovery the server wedges and serves nothing
+// after the first overflow.
+func TestRtsigBackendRecoversFromOverflow(t *testing.T) {
+	k := simkernel.NewKernel(nil)
+	n := netsim.New(k, netsim.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.OpenPoller = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+		return rtsig.New(k, p, rtsig.Options{QueueLimit: 4})
+	}
+	cfg.EdgeStyle = true
+	s := New(k, n, cfg)
+	s.Start()
+	k.Sim.RunUntil(core.Time(10 * core.Millisecond))
+
+	const conns = 30
+	probes := make([]*probe, conns)
+	for i := range probes {
+		probes[i] = get(k, n, "/index.html")
+	}
+	k.Sim.RunUntil(core.Time(20 * core.Second))
+	s.Stop()
+
+	q := s.Poller().(*rtsig.Queue)
+	if q.MechanismStats().Overflows == 0 {
+		t.Fatal("burst never overflowed the 4-entry queue; the test exercises nothing")
+	}
+	if got := s.Stats().Served; got != conns {
+		t.Fatalf("served = %d, want %d despite queue overflows", got, conns)
+	}
+	for i, p := range probes {
+		if !p.closed {
+			t.Fatalf("probe %d incomplete after overflow recovery", i)
 		}
 	}
 }
