@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt-check vet build test test-race bench-smoke ablation-smoke ci
+.PHONY: all fmt-check vet build test test-race bench-smoke ablation-smoke determinism ci
 
 all: ci
 
@@ -35,4 +35,16 @@ bench-smoke:
 ablation-smoke:
 	$(GO) run ./cmd/sweep -ablation -connections 600 -quiet > /dev/null
 
-ci: fmt-check vet build test bench-smoke ablation-smoke
+# The simulation promises byte-identical output for identical inputs; run one
+# rate figure and one multi-worker scaling figure twice and diff. Any map
+# iteration or wall-clock dependency sneaking into the event machinery fails
+# this before it can corrupt a figure comparison.
+determinism:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $$tmp/a.txt; \
+	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $$tmp/b.txt; \
+	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $$tmp/c.txt; \
+	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $$tmp/d.txt; \
+	diff $$tmp/a.txt $$tmp/b.txt && diff $$tmp/c.txt $$tmp/d.txt && rm -rf $$tmp && echo "determinism: OK"
+
+ci: fmt-check vet build test bench-smoke ablation-smoke determinism

@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/servers/prefork"
 )
 
 var figConns = flag.Int("figconns", 2500, "benchmark connections per figure point in bench runs")
@@ -133,6 +134,36 @@ func BenchmarkExtThttpdEpollETLoad501(b *testing.B) {
 }
 func BenchmarkExtHybridEpollLoad501(b *testing.B) {
 	benchFigure(b, experiments.ServerHybridEpoll, 501)
+}
+
+// Extension: the prefork multi-worker server (figure-17 family). Each
+// sub-benchmark runs N epoll workers on N simulated CPUs under an offered
+// load well above single-worker capacity, in both accept-distribution modes;
+// replies/s is the scaling curve's y value.
+func BenchmarkExtPreforkScaling(b *testing.B) {
+	for _, mode := range []prefork.Mode{prefork.ModeReuseport, prefork.ModeHandoff} {
+		mode := mode
+		for _, workers := range []int{1, 2, 4} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(b *testing.B) {
+				var last experiments.RunResult
+				for i := 0; i < b.N; i++ {
+					spec := experiments.RunSpec{
+						Server:      experiments.PreforkKind(workers),
+						RequestRate: 3000,
+						Inactive:    1500,
+						Connections: *figConns,
+						Seed:        int64(i + 1),
+						PreforkMode: mode,
+					}
+					last = experiments.Run(spec)
+				}
+				b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+				b.ReportMetric(last.Load.ErrorPercent, "err%")
+				b.ReportMetric(100*last.CPUUtilization, "cpu%")
+			})
+		}
+	}
 }
 
 // Ablation benchmarks: one sub-benchmark per variant, so `-bench Ablation`

@@ -7,6 +7,8 @@
 //
 //	benchfig -fig 8                 # quick, scaled-down run of Figure 8
 //	benchfig -fig 16                # extension: all four mechanisms incl. epoll
+//	benchfig -fig 17                # extension: prefork worker scaling
+//	benchfig -fig 18 -workers 1,2,4 # accept-sharding ablation, custom sweep
 //	benchfig -fig 10 -connections 35000   # the paper's full-size procedure
 //	benchfig -list                  # list available figures
 package main
@@ -23,11 +25,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (4..14 or fig04..fig14)")
+	fig := flag.String("fig", "", "figure to regenerate (4..18 or fig04..fig18)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
 	rates := flag.String("rates", "", "comma-separated request rates overriding the default 500..1100 sweep")
-	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid curves on this eventlib backend (see -list-backends)")
+	workers := flag.String("workers", "", "comma-separated worker counts overriding the scaling figures' 1,2,4,8 sweep")
+	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid/prefork curves on this eventlib backend (see -list-backends)")
 	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
@@ -35,6 +38,9 @@ func main() {
 
 	if *list {
 		for _, f := range experiments.AllFigures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		for _, f := range experiments.WorkerFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return
@@ -55,6 +61,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfig: -fig is required (use -list to see figures)")
 		os.Exit(2)
 	}
+
+	progress := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	workerCounts, err := experiments.ParseWorkerCounts(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(2)
+	}
+
+	if wf, ok := experiments.WorkerFigureByID(*fig); ok {
+		wopts := experiments.WorkerSweepOptions{
+			Connections: *connections, Workers: workerCounts,
+			Seed: *seed, Backend: *backend, Progress: progress,
+		}
+		fmt.Print(experiments.FormatWorkers(experiments.RunWorkerFigure(wf, wopts)))
+		return
+	}
+
 	figure, ok := experiments.FigureByID(*fig)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
@@ -63,9 +91,7 @@ func main() {
 
 	opts := experiments.SweepOptions{Connections: *connections, Seed: *seed, Backend: *backend}
 	if !*quiet {
-		opts.Progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+		opts.Progress = progress
 	}
 	if *rates != "" {
 		for _, part := range strings.Split(*rates, ",") {

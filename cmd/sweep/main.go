@@ -8,6 +8,7 @@
 //	sweep                          # all figures, scaled-down runs
 //	sweep -connections 35000       # the paper's full procedure (slow)
 //	sweep -figs 8,9,10             # a subset of figures
+//	sweep -figs 17,18 -workers 1,2,4   # just the prefork scaling figures
 //	sweep -ablation                # the ablation studies instead of figures
 package main
 
@@ -26,7 +27,8 @@ func main() {
 	figs := flag.String("figs", "", "comma-separated figure numbers to run (default: all)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
 	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
-	backend := flag.String("backend", "", "re-run the figures' thttpd/hybrid curves on this eventlib backend")
+	backend := flag.String("backend", "", "re-run the figures' thttpd/hybrid/prefork curves on this eventlib backend")
+	workers := flag.String("workers", "", "comma-separated worker counts for the scaling figures (default 1,2,4,8)")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
 	flag.Parse()
@@ -36,6 +38,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", eventlib.UnknownBackendError(*backend))
 			os.Exit(2)
 		}
+	}
+	workerCounts, err := experiments.ParseWorkerCounts(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
 	}
 
 	progress := func(format string, args ...interface{}) {
@@ -73,5 +80,19 @@ func main() {
 			Progress:    progress,
 		})
 		fmt.Println(experiments.Format(res))
+	}
+
+	for _, fig := range experiments.WorkerFigures() {
+		if len(wanted) > 0 && !wanted[fmt.Sprintf("%d", fig.Number)] && !wanted[fig.ID] {
+			continue
+		}
+		res := experiments.RunWorkerFigure(fig, experiments.WorkerSweepOptions{
+			Connections: *connections,
+			Workers:     workerCounts,
+			Seed:        *seed,
+			Backend:     *backend,
+			Progress:    progress,
+		})
+		fmt.Println(experiments.FormatWorkers(res))
 	}
 }

@@ -143,10 +143,17 @@ type PollFD struct {
 }
 
 // Event is a single readiness report delivered to a server: descriptor FD is
-// ready for the operations in Ready.
+// ready for the operations in Ready. Gen identifies which open of the
+// descriptor number the report is about (the generation the kernel stamped on
+// the descriptor at open; see simkernel.FD): descriptor numbers are recycled,
+// so a report that was in flight when a connection closed carries the same FD
+// as a newly accepted connection, and only the generation tells them apart.
+// Zero means the mechanism could not attribute the report to a particular
+// open (sentinel events such as the RT-signal overflow indication).
 type Event struct {
 	FD    int
 	Ready EventMask
+	Gen   uint64
 }
 
 // DVPoll mirrors struct dvpoll from Figure 3 of the paper. It is the argument
@@ -162,12 +169,18 @@ type DVPoll struct {
 
 // Siginfo mirrors the simplified siginfo struct from Figure 2 of the paper:
 // the signal number and the sigpoll payload carrying the descriptor and the
-// band (event mask) that changed.
+// band (event mask) that changed. Gen records the generation of the descriptor
+// the completion was queued for; the real kernel has no such field, which is
+// exactly why the paper warns that "events queued before an application closes
+// a connection will remain on the RT signal queue, and must be processed
+// and/or ignored by applications" — the simulation carries it so the
+// application layer can do that ignoring reliably.
 type Siginfo struct {
 	Signo int
 	Code  int
 	Band  EventMask // si_band: same information as pollfd.revents
 	FD    int       // si_fd: the descriptor whose state changed
+	Gen   uint64    // generation of the descriptor at enqueue time
 }
 
 // Signal numbers used by the RT-signal mechanism. SIGIO is raised when the

@@ -170,11 +170,13 @@ func (d *DevPoll) Update(changes []core.PollFD) error {
 			// Establish the driver backmap for hints and prime the descriptor
 			// so its current state is examined on the next DP_POLL even though
 			// no hint has been posted yet.
+			var gen uint64
 			if entry, ok := d.p.Get(ch.FD); ok {
 				entry.AddWatcher(d)
 				e.File = entry
+				gen = entry.Gen
 			}
-			d.hinted.Mark(ch.FD, 0)
+			d.hinted.Mark(ch.FD, 0, gen)
 		}
 	}
 	return nil
@@ -274,7 +276,7 @@ func (d *DevPoll) collect(firstPass bool, max int) []core.Event {
 		d.hinted.Clear(fd)
 		revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
 		if revents != 0 {
-			ready = interest.AppendEvent(ready, max, core.Event{FD: fd, Ready: revents})
+			ready = interest.AppendEvent(ready, max, core.Event{FD: fd, Ready: revents, Gen: entry.Gen})
 		}
 	})
 
@@ -296,7 +298,7 @@ func (d *DevPoll) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Ev
 		return
 	}
 	if d.opts.UseHints {
-		if d.hinted.Mark(fd.Num, mask) {
+		if d.hinted.Mark(fd.Num, mask, fd.Gen) {
 			d.k.Interrupt(now, d.k.Cost.HintPost, nil)
 		}
 	}

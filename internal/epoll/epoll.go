@@ -214,7 +214,7 @@ func (ep *Epoll) primeReadiness(e *interest.Entry) {
 	revents := e.File.DriverPoll()
 	ep.stats.DriverPolls++
 	if revents.Any(e.Events | core.POLLERR | core.POLLHUP) {
-		ep.ready.Mark(e.FD, revents)
+		ep.ready.Mark(e.FD, revents, e.File.Gen)
 	}
 }
 
@@ -230,7 +230,7 @@ func (ep *Epoll) collect(firstPass bool, max int) []core.Event {
 		ep.p.Charge(cost.SchedWakeup)
 	}
 	var events []core.Event
-	ep.ready.Scan(func(fd int, pending core.EventMask) (keep bool) {
+	ep.ready.Scan(func(fd int, pending core.EventMask, gen uint64) (keep bool) {
 		if len(events) >= max {
 			// Result buffer full: leave the rest queued for the next wait.
 			return true
@@ -243,19 +243,20 @@ func (ep *Epoll) collect(firstPass bool, max int) []core.Event {
 		want := e.Events | core.POLLERR | core.POLLHUP | core.POLLNVAL
 		if ep.opts.EdgeTriggered {
 			// EPOLLET: the recorded transition is the event; deliver it once
-			// and drop the mark. No driver re-validation happens.
+			// and drop the mark. No driver re-validation happens, so the
+			// report keeps the generation of the transition it records.
 			revents := pending & want
 			if revents == 0 {
 				return false
 			}
-			events = append(events, core.Event{FD: fd, Ready: revents})
+			events = append(events, core.Event{FD: fd, Ready: revents, Gen: gen})
 			return false
 		}
 		// Level-triggered: re-validate with the driver, exactly like
 		// ep_send_events re-polling each ready-list entry.
 		entry, ok := ep.p.Get(fd)
 		if !ok {
-			events = append(events, core.Event{FD: fd, Ready: core.POLLNVAL})
+			events = append(events, core.Event{FD: fd, Ready: core.POLLNVAL, Gen: gen})
 			return false
 		}
 		revents := entry.DriverPoll() & want
@@ -264,7 +265,7 @@ func (ep *Epoll) collect(firstPass bool, max int) []core.Event {
 			// No longer ready (consumed since it was queued): off the list.
 			return false
 		}
-		events = append(events, core.Event{FD: fd, Ready: revents})
+		events = append(events, core.Event{FD: fd, Ready: revents, Gen: entry.Gen})
 		// Still ready: it stays on the ready list, so the next level-triggered
 		// wait reports it again until the application drains it.
 		return true
@@ -292,7 +293,7 @@ func (ep *Epoll) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Eve
 	if !mask.Any(e.Events | core.POLLERR | core.POLLHUP) {
 		return
 	}
-	if ep.ready.Mark(fd.Num, mask) {
+	if ep.ready.Mark(fd.Num, mask, fd.Gen) {
 		ep.k.Interrupt(now, ep.k.Cost.HintPost, nil)
 	}
 	ep.eng.Wake()

@@ -316,7 +316,12 @@ func (b *Base) Close() error {
 		_ = ev.Del()
 	}
 	for b.timers.Len() > 0 {
-		ev := b.timers.events[0]
+		// Pop unconditionally rather than trusting Del to remove the heap
+		// head: Del is a no-op for events it considers not pending, and
+		// relying on it for loop progress would turn Close into an infinite
+		// loop the moment any such event reached the heap.
+		ev := heap.Pop(&b.timers).(*Event)
+		ev.heapIdx = -1
 		_ = ev.Del()
 	}
 	if b.owned {
@@ -389,6 +394,14 @@ func (b *Base) onWait(events []core.Event, now core.Time) {
 				// Stale: the event was deleted while the readiness report was
 				// in flight (an RT signal for a closed connection, for
 				// example). Real servers must ignore these, says the paper.
+				continue
+			}
+			if pe.Gen != 0 && ev.gen != 0 && pe.Gen != ev.gen {
+				// Stale, and worse: the descriptor number was recycled, so the
+				// raw fd now names a different connection than the one this
+				// report is about. Without the generation check the report
+				// would fire the new event's callback — the fd-reuse aliasing
+				// the paper's stale-signal warning is really about.
 				continue
 			}
 			b.activate(ev, ev.firedWhat(pe.Ready))
@@ -471,6 +484,13 @@ type Event struct {
 	timeout  core.Duration
 	deadline core.Time
 	heapIdx  int
+
+	// gen is the generation of the descriptor instance the event was armed
+	// for (simkernel.FD.Gen, captured at Add). Readiness reports carrying a
+	// different generation are about a previous open of the same descriptor
+	// number and are dropped instead of dispatched. Zero for signal events and
+	// for descriptors the process does not hold.
+	gen uint64
 
 	activeWhat What
 }
@@ -560,6 +580,13 @@ func (ev *Event) Add(timeout core.Duration) error {
 				if err := p.Add(ev.fd, ev.interestMask()); err != nil {
 					return err
 				}
+			}
+			// Bind the registration to this particular open of the descriptor
+			// number, so a report still in flight for a previous open (which
+			// carries the same raw fd) cannot fire this event's callback.
+			ev.gen = 0
+			if entry, ok := b.P.Get(ev.fd); ok {
+				ev.gen = entry.Gen
 			}
 			b.events[ev.fd] = ev
 		} else if !ev.timerOnly {

@@ -1,0 +1,205 @@
+package eventlib_test
+
+// Regression tests for stale-readiness fd-reuse aliasing: POSIX recycles a
+// closed descriptor number on the very next open, so a readiness report that
+// was already in flight when a connection closed carries the same raw fd as a
+// brand-new connection. eventlib used to resolve reports by raw fd alone,
+// which let such a report fire the callback of the NEW event registered on
+// the recycled descriptor — precisely the hazard the paper's stale-signal
+// discussion (§4) warns applications about. Registrations and reports are now
+// generation-tagged and mismatches are dropped.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventlib"
+	"repro/internal/simkernel"
+	"repro/internal/simtest"
+)
+
+// inFlightPoller delegates to a real mechanism but lets the test run a hook at
+// the instant between the kernel collecting a wait's results and the
+// application dispatching them — the report-in-flight window that exists on
+// real hardware (results already copied out / signal dequeued, callbacks not
+// yet run) and that a close-plus-reuse can race into.
+type inFlightPoller struct {
+	core.Poller
+	targetFD int
+	hook     func()
+}
+
+func (w *inFlightPoller) Wait(max int, timeout core.Duration, handler func(events []core.Event, now core.Time)) {
+	w.Poller.Wait(max, timeout, func(events []core.Event, now core.Time) {
+		if w.hook != nil {
+			for _, e := range events {
+				if e.FD == w.targetFD {
+					hook := w.hook
+					w.hook = nil
+					hook()
+					break
+				}
+			}
+		}
+		handler(events, now)
+	})
+}
+
+// TestFDReuseAliasingAllMechanisms drives the aliasing window through every
+// registered backend: a connection's readiness report is in flight when the
+// connection closes, its descriptor number is recycled by a new connection,
+// and a new event is registered on the recycled number. The stale report must
+// not fire the new event's callback.
+func TestFDReuseAliasingAllMechanisms(t *testing.T) {
+	for _, b := range eventlib.Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			env := simtest.NewEnv()
+			inner, _, err := eventlib.OpenBackend(env.K, env.P, b.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fd, oldFile := env.NewFD(0)
+			wrapped := &inFlightPoller{Poller: inner, targetFD: fd.Num}
+			base := eventlib.NewWithPoller(env.K, env.P, wrapped, eventlib.Config{})
+			defer base.Close()
+
+			oldFired, newFired := 0, 0
+			oldEv := base.NewEvent(fd.Num, eventlib.EvRead|eventlib.EvPersist,
+				func(int, eventlib.What, core.Time) { oldFired++ })
+			if err := oldEv.Add(0); err != nil {
+				t.Fatal(err)
+			}
+
+			// While the report for the old connection is in flight: close it,
+			// let a new connection recycle its descriptor number, and register
+			// a fresh event there.
+			wrapped.hook = func() {
+				if err := oldEv.Del(); err != nil {
+					t.Fatal(err)
+				}
+				if err := env.P.CloseFD(env.K.Now(), fd.Num); err != nil {
+					t.Fatal(err)
+				}
+				newFD, _ := env.NewFD(0) // new connection, not ready
+				if newFD.Num != fd.Num {
+					t.Fatalf("descriptor not recycled: got %d, want %d", newFD.Num, fd.Num)
+				}
+				newEv := base.NewEvent(newFD.Num, eventlib.EvRead|eventlib.EvPersist,
+					func(int, eventlib.What, core.Time) { newFired++ })
+				if err := newEv.Add(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			base.Dispatch()
+			oldFile.SetReady(env.K.Now(), core.POLLIN) // the report that goes stale
+			env.Run()
+
+			if newFired != 0 {
+				t.Fatalf("stale report for the closed connection fired the recycled descriptor's new event %d time(s)", newFired)
+			}
+			if oldFired != 0 {
+				t.Fatalf("deleted event fired %d time(s)", oldFired)
+			}
+		})
+	}
+}
+
+// TestFDReuseStaleSignalRTSig exercises the paper's own stale-signal case with
+// no test interposition at all: the RT signal queue dequeues one siginfo per
+// wait, so a completion queued for a connection survives on the queue across
+// the wait in which the server closes that connection. When the descriptor
+// number has been recycled by then, the stale siginfo must not fire the new
+// connection's event.
+func TestFDReuseStaleSignalRTSig(t *testing.T) {
+	env := simtest.NewEnv()
+	poller, _, err := eventlib.OpenBackend(env.K, env.P, "rtsig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := eventlib.NewWithPoller(env.K, env.P, poller, eventlib.Config{})
+	defer base.Close()
+
+	fdA, fileA := env.NewFD(0)
+	fdN, fileN := env.NewFD(0)
+
+	newFired := 0
+	var reused *simkernel.FD
+
+	evN := base.NewEvent(fdN.Num, eventlib.EvRead|eventlib.EvPersist,
+		func(int, eventlib.What, core.Time) { t.Fatal("old event fired") })
+	evA := base.NewEvent(fdA.Num, eventlib.EvRead|eventlib.EvPersist,
+		func(_ int, _ eventlib.What, now core.Time) {
+			// First delivery: the server closes connection N (whose own
+			// completion signal is still queued behind this one) and accepts a
+			// new connection that recycles N's descriptor number.
+			if reused != nil {
+				return
+			}
+			if err := evN.Del(); err != nil {
+				t.Fatal(err)
+			}
+			if err := env.P.CloseFD(now, fdN.Num); err != nil {
+				t.Fatal(err)
+			}
+			reused, _ = env.NewFD(0)
+			if reused.Num != fdN.Num {
+				t.Fatalf("descriptor not recycled: got %d, want %d", reused.Num, fdN.Num)
+			}
+			newEv := base.NewEvent(reused.Num, eventlib.EvRead|eventlib.EvPersist,
+				func(int, eventlib.What, core.Time) { newFired++ })
+			if err := newEv.Add(0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	if err := evA.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := evN.Add(0); err != nil {
+		t.Fatal(err)
+	}
+
+	base.Dispatch()
+	// Queue A's completion first, then N's: sigwaitinfo dequeues one per
+	// wait, so N's siginfo is still pending when A's callback closes N.
+	fileA.SetReady(env.K.Now(), core.POLLIN)
+	fileN.SetReady(env.K.Now(), core.POLLIN)
+	env.Run()
+
+	if reused == nil {
+		t.Fatal("test never reached the close-and-recycle step")
+	}
+	if newFired != 0 {
+		t.Fatalf("stale siginfo fired the recycled descriptor's new event %d time(s)", newFired)
+	}
+}
+
+// TestInstallRecyclesLowestDescriptor pins the POSIX allocation rule the
+// aliasing hazard depends on: a closed descriptor number is reused by the next
+// open, and the recycled descriptor carries a fresh generation.
+func TestInstallRecyclesLowestDescriptor(t *testing.T) {
+	env := simtest.NewEnv()
+	fds := make([]*simkernel.FD, 4)
+	for i := range fds {
+		fds[i], _ = env.NewFD(0)
+		if fds[i].Num != 3+i {
+			t.Fatalf("fd %d allocated as %d", i, fds[i].Num)
+		}
+	}
+	oldGen := fds[1].Gen
+	if err := env.P.CloseFD(0, fds[1].Num); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := env.NewFD(0)
+	if re.Num != fds[1].Num {
+		t.Fatalf("lowest unused descriptor not recycled: got %d, want %d", re.Num, fds[1].Num)
+	}
+	if re.Gen == oldGen || re.Gen == 0 {
+		t.Fatalf("recycled descriptor generation %d not distinct from %d", re.Gen, oldGen)
+	}
+	next, _ := env.NewFD(0)
+	if next.Num != 7 {
+		t.Fatalf("next allocation = %d, want 7", next.Num)
+	}
+}

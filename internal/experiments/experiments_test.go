@@ -261,8 +261,8 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 	if _, ok := FigureByID("nope"); ok {
 		t.Fatal("FigureByID(nope) should fail")
 	}
-	if len(ServerKinds()) != 9 {
-		t.Fatalf("ServerKinds = %d, want the paper's four plus the registry-derived extensions", len(ServerKinds()))
+	if len(ServerKinds()) != 13 {
+		t.Fatalf("ServerKinds = %d, want the paper's four plus the registry-derived extensions and the prefork sizes", len(ServerKinds()))
 	}
 	kinds := map[ServerKind]bool{}
 	for _, k := range ServerKinds() {

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/servers/httpcore"
 	"repro/internal/servers/hybrid"
 	"repro/internal/servers/phhttpd"
+	"repro/internal/servers/prefork"
 	"repro/internal/servers/thttpd"
 	"repro/internal/simkernel"
 )
@@ -40,6 +42,13 @@ const (
 	ServerHybridEpoll   ServerKind = "hybrid-epoll"    // hybrid with epoll as the bulk poller
 	ServerHybridEpollET ServerKind = "hybrid-epoll-et" // hybrid with edge-triggered epoll bulk
 )
+
+// PreforkKind names the N-worker prefork server: "prefork-N" runs N workers
+// on epoll, "prefork-N-<backend>" on the named eventlib backend. Any N >= 1
+// resolves; ServerKinds lists the power-of-two sizes.
+func PreforkKind(workers int) ServerKind {
+	return ServerKind(fmt.Sprintf("prefork-%d", workers))
+}
 
 // bulkCapable lists backends able to serve as the hybrid's bulk poller: the
 // mechanisms that keep a kernel-resident interest set the server can maintain
@@ -68,14 +77,19 @@ func ServerKinds() []ServerKind {
 		}
 		kinds = append(kinds, ServerKind("hybrid-"+b.Name))
 	}
+	for _, n := range []int{1, 2, 4, 8} {
+		kinds = append(kinds, PreforkKind(n))
+	}
 	return kinds
 }
 
 // resolvedKind is a parsed ServerKind: the family plus the backend that
-// parameterises it (the event backend for thttpd, the bulk poller for hybrid).
+// parameterises it (the event backend for thttpd, the bulk poller for hybrid,
+// the per-worker backend for prefork) and, for prefork, the worker count.
 type resolvedKind struct {
 	family  string
 	backend string
+	workers int
 }
 
 // resolveKind parses and validates kind against the family set and the
@@ -100,6 +114,19 @@ func resolveKind(kind ServerKind) (resolvedKind, error) {
 		name := strings.TrimPrefix(s, "hybrid-")
 		if _, ok := eventlib.Lookup(name); ok && bulkCapable(name) {
 			return resolvedKind{family: "hybrid", backend: name}, nil
+		}
+	case strings.HasPrefix(s, "prefork-"):
+		rest := strings.TrimPrefix(s, "prefork-")
+		count, backend := rest, "epoll"
+		if i := strings.IndexByte(rest, '-'); i >= 0 {
+			count, backend = rest[:i], rest[i+1:]
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil || n < 1 || n > 64 {
+			break
+		}
+		if _, ok := eventlib.Lookup(backend); ok {
+			return resolvedKind{family: "prefork", backend: backend, workers: n}, nil
 		}
 	}
 	return resolvedKind{}, unknownServerKindError(kind)
@@ -147,6 +174,11 @@ func RetargetKind(kind ServerKind, backend string) (ServerKind, error) {
 		if bulkCapable(backend) {
 			return ServerKind("hybrid-" + backend), nil
 		}
+	case "prefork":
+		if backend == "epoll" {
+			return PreforkKind(rk.workers), nil
+		}
+		return ServerKind(fmt.Sprintf("prefork-%d-%s", rk.workers, backend)), nil
 	}
 	return kind, nil
 }
@@ -175,6 +207,12 @@ type RunSpec struct {
 	PhhttpdBatchDequeue bool
 	// HybridConfig optionally overrides the hybrid server configuration.
 	HybridConfig *hybrid.Config
+	// PreforkMode selects the prefork accept-distribution architecture
+	// (reuseport by default; handoff for the single-acceptor comparison).
+	PreforkMode prefork.Mode
+	// PreforkConfig optionally overrides the prefork configuration wholesale;
+	// Workers and Backend still come from the ServerKind.
+	PreforkConfig *prefork.Config
 	// RTQueueLimit overrides the RT signal queue limit (phhttpd, hybrid).
 	RTQueueLimit int
 
@@ -215,9 +253,17 @@ type RunResult struct {
 	SwitchesToPoll   int64
 	SwitchesToSignal int64
 
-	CPUUtilization float64
-	VirtualTime    core.Duration
-	EventLoops     int64
+	// CPUUtilization is the mean per-CPU utilisation over each CPU's work
+	// window — identical to the single CPU's utilisation on a uniprocessor
+	// run. PerCPUUtilization holds the per-core values; Workers the prefork
+	// worker count (1 for the single-process servers); PerWorkerServed the
+	// served-request balance the accept sharding achieved.
+	CPUUtilization    float64
+	PerCPUUtilization []float64
+	Workers           int
+	PerWorkerServed   []int64
+	VirtualTime       core.Duration
+	EventLoops        int64
 }
 
 // benchServer is the control surface a family builder returns: server
@@ -250,6 +296,18 @@ func (r phhttpdRun) fill(res *RunResult) {
 	res.Handoffs = r.Handoffs
 }
 
+type preforkRun struct{ *prefork.Server }
+
+func (r preforkRun) fill(res *RunResult) {
+	res.Primary = r.MechanismStats()
+	res.EventLoops = r.Loops()
+	res.FinalMode = fmt.Sprintf("prefork-%d/%s/%s",
+		r.Config().Workers, r.Config().Backend, r.Config().Mode)
+	res.Workers = r.Config().Workers
+	res.PerWorkerServed = r.PerWorkerServed()
+	res.Handoffs = r.Handoffs
+}
+
 type hybridRun struct{ *hybrid.Server }
 
 func (r hybridRun) fill(res *RunResult) {
@@ -266,6 +324,17 @@ func (r hybridRun) fill(res *RunResult) {
 // buildServer constructs the server a resolved kind names.
 func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim.Network) benchServer {
 	switch rk.family {
+	case "prefork":
+		cfg := prefork.DefaultConfig(rk.workers)
+		if spec.PreforkConfig != nil {
+			cfg = *spec.PreforkConfig
+		}
+		cfg.Workers = rk.workers
+		cfg.Backend = rk.backend
+		if spec.PreforkConfig == nil {
+			cfg.Mode = spec.PreforkMode
+		}
+		return preforkRun{prefork.New(k, net, cfg)}
 	case "phhttpd":
 		cfg := phhttpd.DefaultConfig()
 		cfg.BatchDequeue = spec.PhhttpdBatchDequeue
@@ -341,7 +410,11 @@ func RunE(spec RunSpec) (RunResult, error) {
 	if spec.RequestRate <= 0 {
 		spec.RequestRate = 500
 	}
-	k := simkernel.NewKernel(spec.Cost)
+	ncpu := rk.workers
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	k := simkernel.NewKernelSMP(spec.Cost, ncpu)
 	netCfg := netsim.DefaultConfig()
 	if spec.Network != nil {
 		netCfg = *spec.Network
@@ -391,12 +464,24 @@ func RunE(spec RunSpec) (RunResult, error) {
 	k.Sim.RunUntil(core.Time(deadline))
 
 	res := RunResult{
-		Spec:           spec,
-		Load:           gen.Result(),
-		Server:         srv.Stats(),
-		VirtualTime:    k.Now().Sub(0),
-		CPUUtilization: k.CPU.Utilization(k.Now().Sub(0)),
+		Spec:              spec,
+		Load:              gen.Result(),
+		Server:            srv.Stats(),
+		VirtualTime:       k.Now().Sub(0),
+		PerCPUUtilization: k.Sched.Utilizations(k.Now()),
+		Workers:           1,
 	}
+	for _, u := range res.PerCPUUtilization {
+		// CPU.Utilization no longer clamps, so a ratio above 1 over the work
+		// window can only mean a batch was charged twice — fail loudly rather
+		// than report corrupted utilisation alongside otherwise-plausible
+		// throughput numbers.
+		if u > 1 {
+			panic(fmt.Sprintf("experiments: CPU utilisation %.6f > 1 — a batch was double-charged", u))
+		}
+		res.CPUUtilization += u
+	}
+	res.CPUUtilization /= float64(len(res.PerCPUUtilization))
 	srv.fill(&res)
 	return res, nil
 }

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/servers/prefork"
+)
+
+// WorkerCurve is one plotted configuration of a worker-scaling figure: an
+// accept-distribution architecture plus a sharding policy.
+type WorkerCurve struct {
+	Label string
+	Mode  prefork.Mode
+	Shard netsim.ShardPolicy
+	// Backend names the per-worker eventlib backend; empty selects epoll.
+	Backend string
+}
+
+// WorkerFigure describes a figure whose x axis is the worker count rather
+// than the request rate: the SMP extension the paper's uniprocessor testbed
+// could not measure.
+type WorkerFigure struct {
+	ID     string
+	Number int
+	Title  string
+	Paper  string
+	// Rate is the offered request rate, chosen well above a single worker's
+	// capacity so scaling is visible; Inactive is the idle-connection load.
+	Rate     float64
+	Inactive int
+	Workers  []int
+	Curves   []WorkerCurve
+	// PlotUtilization adds a mean per-CPU utilisation series per curve.
+	PlotUtilization bool
+}
+
+// DefaultWorkerCounts is the worker sweep used by the scaling figures.
+func DefaultWorkerCounts() []int { return []int{1, 2, 4, 8} }
+
+// ParseWorkerCounts parses a comma-separated worker-count list ("1,2,4,8")
+// against the same bounds resolveKind enforces for prefork kinds. An empty
+// string returns nil (use the figure's default sweep). Both CLI tools share
+// this so their -workers flags cannot drift apart.
+func ParseWorkerCounts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 || v > 64 {
+			return nil, fmt.Errorf("experiments: bad worker count %q (want 1..64)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// WorkerFigures returns the figure-17 family: reply-rate and utilisation
+// scaling with worker count, and the accept-sharding ablation. Numbers
+// continue after the extension figures so identifiers stay unambiguous.
+func WorkerFigures() []WorkerFigure {
+	return []WorkerFigure{
+		{
+			ID:     "fig17",
+			Number: 17,
+			Title:  "Extension: prefork worker scaling, 1500 inactive connections, 3000 req/s offered",
+			Paper: "Not in the paper, whose testbed is a uniprocessor. N epoll workers on N CPUs " +
+				"(SO_REUSEPORT sharding) should lift the single-worker saturation point near-linearly " +
+				"until capacity meets the offered load; per-CPU utilisation falls once it does.",
+			Rate:            3000,
+			Inactive:        1500,
+			Workers:         DefaultWorkerCounts(),
+			Curves:          []WorkerCurve{{Label: "reuseport-hash", Mode: prefork.ModeReuseport, Shard: netsim.ShardHash}},
+			PlotUtilization: true,
+		},
+		{
+			ID:     "fig18",
+			Number: 18,
+			Title:  "Extension: accept-sharding policy ablation, 1500 inactive connections, 3000 req/s offered",
+			Paper: "Not in the paper. SO_REUSEPORT hash sharding versus idealised round-robin dispatch " +
+				"versus the classic single-acceptor handoff: the handoff's serialised accept path and " +
+				"per-connection descriptor passing cost it the scaling the in-stack policies keep.",
+			Rate:     3000,
+			Inactive: 1500,
+			Workers:  DefaultWorkerCounts(),
+			Curves: []WorkerCurve{
+				{Label: "reuseport-hash", Mode: prefork.ModeReuseport, Shard: netsim.ShardHash},
+				{Label: "reuseport-rr", Mode: prefork.ModeReuseport, Shard: netsim.ShardRoundRobin},
+				{Label: "handoff", Mode: prefork.ModeHandoff, Shard: netsim.ShardHash},
+			},
+		},
+	}
+}
+
+// WorkerFigureByID looks a worker-scaling figure up by identifier ("fig17")
+// or bare number ("17").
+func WorkerFigureByID(id string) (WorkerFigure, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, f := range WorkerFigures() {
+		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
+			return f, true
+		}
+	}
+	return WorkerFigure{}, false
+}
+
+// WorkerSweepOptions control how a worker-scaling figure is regenerated.
+type WorkerSweepOptions struct {
+	// Connections per point; zero selects 4000.
+	Connections int
+	// Workers overrides the figure's worker-count sweep.
+	Workers []int
+	// Backend, when non-empty, re-parameterises every curve's per-worker
+	// event backend. The name must be registry-valid.
+	Backend string
+	// Seed for the load generator.
+	Seed int64
+	// Progress, when non-nil, receives a line per completed point.
+	Progress func(format string, args ...interface{})
+}
+
+// WorkerFigureResult holds one regenerated worker-scaling figure.
+type WorkerFigureResult struct {
+	Figure WorkerFigure
+	Series []metrics.Series
+	Runs   []RunResult
+}
+
+// RunWorkerFigure regenerates one worker-scaling figure by sweeping the
+// worker count for each of its curves at the figure's fixed offered rate.
+func RunWorkerFigure(fig WorkerFigure, opts WorkerSweepOptions) WorkerFigureResult {
+	workers := fig.Workers
+	if len(opts.Workers) > 0 {
+		workers = opts.Workers
+	}
+	connections := opts.Connections
+	if connections <= 0 {
+		connections = 4000
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	out := WorkerFigureResult{Figure: fig}
+	for _, curve := range fig.Curves {
+		backend := curve.Backend
+		if opts.Backend != "" {
+			backend = opts.Backend
+		}
+		label := curve.Label
+		if backend != "" && backend != "epoll" {
+			label += " [" + backend + "]"
+		}
+		avg := metrics.Series{Label: label + " (avg)", XLabel: "workers", YLabel: MetricReplyRate.String()}
+		min := metrics.Series{Label: label + " (min)", XLabel: "workers", YLabel: MetricReplyRate.String()}
+		max := metrics.Series{Label: label + " (max)", XLabel: "workers", YLabel: MetricReplyRate.String()}
+		util := metrics.Series{Label: label + " (cpu%)", XLabel: "workers", YLabel: "mean per-CPU utilisation (percent)"}
+		for _, n := range workers {
+			kind := PreforkKind(n)
+			if backend != "" && backend != "epoll" {
+				kind = ServerKind(fmt.Sprintf("prefork-%d-%s", n, backend))
+			}
+			netCfg := netsim.DefaultConfig()
+			netCfg.Shard = curve.Shard
+			spec := RunSpec{
+				Server:      kind,
+				RequestRate: fig.Rate,
+				Inactive:    fig.Inactive,
+				Connections: connections,
+				Seed:        seed,
+				Network:     &netCfg,
+				PreforkMode: curve.Mode,
+			}
+			res := Run(spec)
+			out.Runs = append(out.Runs, res)
+			x := float64(n)
+			avg.Append(x, res.Load.ReplyRate.Mean)
+			min.Append(x, res.Load.ReplyRate.Min)
+			max.Append(x, res.Load.ReplyRate.Max)
+			util.Append(x, 100*res.CPUUtilization)
+			if opts.Progress != nil {
+				opts.Progress("%s workers=%d %s", fig.ID, n, Describe(res))
+			}
+		}
+		out.Series = append(out.Series, avg, min, max)
+		if fig.PlotUtilization {
+			out.Series = append(out.Series, util)
+		}
+	}
+	return out
+}
+
+// FormatWorkers renders a worker-scaling figure result as an aligned text
+// table, the shape Format gives the rate figures.
+func FormatWorkers(res WorkerFigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE %d (%s): %s\n", res.Figure.Number, res.Figure.ID, res.Figure.Title)
+	fmt.Fprintf(&b, "paper: %s\n", res.Figure.Paper)
+	fmt.Fprintf(&b, "metric: %s vs workers at %.0f req/s, %d inactive\n",
+		MetricReplyRate, res.Figure.Rate, res.Figure.Inactive)
+
+	xs := map[float64]bool{}
+	for _, s := range res.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	counts := make([]float64, 0, len(xs))
+	for x := range xs {
+		counts = append(counts, x)
+	}
+	sort.Float64s(counts)
+
+	fmt.Fprintf(&b, "%-12s", "workers")
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, "%28s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, n := range counts {
+		fmt.Fprintf(&b, "%-12.0f", n)
+		for _, s := range res.Series {
+			if y, ok := s.YAt(n); ok {
+				fmt.Fprintf(&b, "%28.1f", y)
+			} else {
+				fmt.Fprintf(&b, "%28s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import "repro/internal/core"
 type ledgerNode struct {
 	fd         int
 	mask       core.EventMask
+	gen        uint64
 	prev, next *ledgerNode
 }
 
@@ -35,12 +36,23 @@ func NewLedger() *Ledger {
 // and reports whether fd was newly marked. The bool lets callers charge the
 // interrupt-context posting cost once per transition to ready, as the
 // /dev/poll hint system does.
-func (l *Ledger) Mark(fd int, mask core.EventMask) bool {
+//
+// gen is the generation of the descriptor the readiness belongs to (see
+// simkernel.FD.Gen). A mark carrying a different generation than one already
+// pending replaces it rather than merging: the old mark described a previous
+// open of the same descriptor number, whose readiness means nothing for the
+// new one. The replacement counts as a new transition.
+func (l *Ledger) Mark(fd int, mask core.EventMask, gen uint64) bool {
 	if n, ok := l.nodes[fd]; ok {
+		if n.gen != gen {
+			n.gen = gen
+			n.mask = mask
+			return true
+		}
 		n.mask |= mask
 		return false
 	}
-	n := &ledgerNode{fd: fd, mask: mask}
+	n := &ledgerNode{fd: fd, mask: mask, gen: gen}
 	l.nodes[fd] = n
 	if l.tail == nil {
 		l.head, l.tail = n, n
@@ -62,6 +74,15 @@ func (l *Ledger) Ready(fd int) bool {
 func (l *Ledger) Mask(fd int) core.EventMask {
 	if n, ok := l.nodes[fd]; ok {
 		return n.mask
+	}
+	return 0
+}
+
+// Gen returns the generation recorded for fd's pending readiness (zero if
+// none is pending).
+func (l *Ledger) Gen(fd int) uint64 {
+	if n, ok := l.nodes[fd]; ok {
+		return n.gen
 	}
 	return 0
 }
@@ -89,10 +110,10 @@ func (l *Ledger) Reset() {
 // descriptor should stay marked: a level-triggered consumer keeps descriptors
 // that remain ready, an edge-triggered one drops each mark as it is delivered.
 // fn must not call Mark or Clear during the scan.
-func (l *Ledger) Scan(fn func(fd int, mask core.EventMask) (keep bool)) {
+func (l *Ledger) Scan(fn func(fd int, mask core.EventMask, gen uint64) (keep bool)) {
 	for n := l.head; n != nil; {
 		next := n.next
-		if !fn(n.fd, n.mask) {
+		if !fn(n.fd, n.mask, n.gen) {
 			l.unlink(n)
 		}
 		n = next

@@ -8,10 +8,10 @@ import (
 
 func TestLedgerMarkAccumulatesAndReportsNewness(t *testing.T) {
 	l := NewLedger()
-	if !l.Mark(4, core.POLLIN) {
+	if !l.Mark(4, core.POLLIN, 1) {
 		t.Fatal("first Mark should report newly marked")
 	}
-	if l.Mark(4, core.POLLOUT) {
+	if l.Mark(4, core.POLLOUT, 1) {
 		t.Fatal("second Mark of same fd should not be new")
 	}
 	if l.Mask(4) != core.POLLIN|core.POLLOUT {
@@ -30,13 +30,13 @@ func TestLedgerMarkAccumulatesAndReportsNewness(t *testing.T) {
 
 func TestLedgerScanOrderAndKeepSemantics(t *testing.T) {
 	l := NewLedger()
-	l.Mark(7, core.POLLIN)
-	l.Mark(3, core.POLLIN)
-	l.Mark(9, core.POLLOUT)
+	l.Mark(7, core.POLLIN, 1)
+	l.Mark(3, core.POLLIN, 1)
+	l.Mark(9, core.POLLOUT, 1)
 
 	// Drop fd 3, keep the others: arrival order must be preserved.
 	var visited []int
-	l.Scan(func(fd int, mask core.EventMask) bool {
+	l.Scan(func(fd int, mask core.EventMask, gen uint64) bool {
 		visited = append(visited, fd)
 		return fd != 3
 	})
@@ -48,7 +48,7 @@ func TestLedgerScanOrderAndKeepSemantics(t *testing.T) {
 	}
 
 	visited = nil
-	l.Scan(func(fd int, mask core.EventMask) bool {
+	l.Scan(func(fd int, mask core.EventMask, gen uint64) bool {
 		visited = append(visited, fd)
 		return false
 	})
@@ -62,14 +62,14 @@ func TestLedgerScanOrderAndKeepSemantics(t *testing.T) {
 
 func TestLedgerRemarkAfterClearKeepsSingleEntry(t *testing.T) {
 	l := NewLedger()
-	l.Mark(1, core.POLLIN)
-	l.Mark(2, core.POLLIN)
+	l.Mark(1, core.POLLIN, 1)
+	l.Mark(2, core.POLLIN, 1)
 	l.Clear(1)
-	if !l.Mark(1, core.POLLOUT) {
+	if !l.Mark(1, core.POLLOUT, 1) {
 		t.Fatal("re-mark after clear should be new")
 	}
 	var visited []int
-	l.Scan(func(fd int, mask core.EventMask) bool {
+	l.Scan(func(fd int, mask core.EventMask, gen uint64) bool {
 		visited = append(visited, fd)
 		return false
 	})
@@ -81,14 +81,33 @@ func TestLedgerRemarkAfterClearKeepsSingleEntry(t *testing.T) {
 
 func TestLedgerReset(t *testing.T) {
 	l := NewLedger()
-	l.Mark(1, core.POLLIN)
-	l.Mark(2, core.POLLIN)
+	l.Mark(1, core.POLLIN, 1)
+	l.Mark(2, core.POLLIN, 1)
 	l.Reset()
 	if l.Len() != 0 || l.Ready(1) {
 		t.Fatal("Reset did not empty the ledger")
 	}
-	l.Mark(3, core.POLLIN)
+	l.Mark(3, core.POLLIN, 1)
 	if l.Len() != 1 {
 		t.Fatal("ledger unusable after Reset")
+	}
+}
+
+func TestLedgerMarkNewGenerationReplacesStaleMask(t *testing.T) {
+	l := NewLedger()
+	l.Mark(5, core.POLLIN, 1)
+	// The descriptor number was recycled: readiness for generation 2 must not
+	// inherit generation 1's pending mask, and counts as a fresh transition.
+	if !l.Mark(5, core.POLLOUT, 2) {
+		t.Fatal("mark with a new generation should report newly marked")
+	}
+	if l.Mask(5) != core.POLLOUT {
+		t.Fatalf("stale generation's mask leaked through: %v", l.Mask(5))
+	}
+	if l.Gen(5) != 2 {
+		t.Fatalf("Gen = %d, want 2", l.Gen(5))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
 	}
 }

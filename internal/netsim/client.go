@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"repro/internal/core"
+	"repro/internal/simkernel"
 )
 
 // RefuseReason explains why a connection attempt failed.
@@ -105,13 +106,19 @@ func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *Clien
 	// SYN reaches the server half an RTT from now; the handshake completes (or
 	// the refusal is learned) another half RTT later.
 	n.K.Sim.At(now.Add(rtt/2), func(t core.Time) {
-		// Receiving the SYN costs the server an interrupt.
-		n.K.Interrupt(t, n.K.Cost.NetRxIRQ, nil)
+		// The sharding decision is made in the NIC/stack before the interrupt
+		// is raised, so the SYN's interrupt cost lands on the CPU of the
+		// worker whose accept queue receives the connection (IRQ steering).
+		l := n.pickListener(c.ID)
+		var irq *simkernel.CPU
+		if l != nil && l.owner != nil {
+			irq = l.owner.CPU()
+		}
+		n.K.InterruptOn(irq, t, n.K.Cost.NetRxIRQ, nil)
 		n.stats.SegmentsRx++
-		l := n.listener
 		reason := RefusedClosed
 		if l != nil {
-			sc := &ServerConn{net: n, ID: c.ID, rtt: rtt, peer: c}
+			sc := &ServerConn{net: n, ID: c.ID, rtt: rtt, peer: c, owner: l.owner}
 			if l.deliverSYN(t, sc) {
 				c.server = sc
 				n.stats.ConnEstablished++
@@ -161,7 +168,7 @@ func (c *ClientConn) Send(now core.Time, data []byte) {
 		if c.server == nil {
 			return
 		}
-		net.K.Interrupt(t, net.K.Cost.NetRxIRQ, nil)
+		net.K.InterruptOn(c.server.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
 		net.stats.SegmentsRx++
 		net.stats.BytesToServer += int64(n)
 		c.server.deliverData(t, payload)
@@ -186,7 +193,7 @@ func (c *ClientConn) Close(now core.Time) {
 	}
 	net := c.net
 	net.K.Sim.At(now.Add(c.rtt/2), func(t core.Time) {
-		net.K.Interrupt(t, net.K.Cost.NetRxIRQ, nil)
+		net.K.InterruptOn(server.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
 		net.stats.SegmentsRx++
 		server.deliverFIN(t)
 	})

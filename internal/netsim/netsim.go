@@ -38,6 +38,35 @@ type Config struct {
 	// MaxServerFDs bounds the server process's descriptor table; 0 means
 	// unlimited. thttpd/phhttpd in the paper run with a large limit.
 	MaxServerFDs int
+	// Shard selects how new connections are distributed when several
+	// listeners share the port SO_REUSEPORT-style (a prefork server's
+	// workers). With a single listener the policy is irrelevant and the
+	// behaviour is exactly the paper's single accept queue.
+	Shard ShardPolicy
+}
+
+// ShardPolicy distributes incoming connections across the listeners sharing
+// the served port.
+type ShardPolicy int
+
+// Sharding policies.
+const (
+	// ShardHash hashes the connection onto a listener, as the kernel's
+	// SO_REUSEPORT four-tuple hash does: stateless, and a connection's queue
+	// is fixed at SYN time.
+	ShardHash ShardPolicy = iota
+	// ShardRoundRobin deals connections to listeners in rotation — an
+	// idealised perfectly-balanced dispatch, the comparison point for the
+	// hash's statistical balance.
+	ShardRoundRobin
+)
+
+// String names the policy.
+func (s ShardPolicy) String() string {
+	if s == ShardRoundRobin {
+		return "rr"
+	}
+	return "hash"
 }
 
 // DefaultConfig returns the testbed configuration used by the paper's
@@ -91,8 +120,9 @@ type Network struct {
 	K   *simkernel.Kernel
 	Cfg Config
 
-	listener *Listener
-	stats    Stats
+	listeners []*Listener
+	rrNext    int
+	stats     Stats
 
 	portsInUse int
 	timewait   timewaitHeap
@@ -125,8 +155,42 @@ func New(k *simkernel.Kernel, cfg Config) *Network {
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// Listener returns the registered listening socket, if any.
-func (n *Network) Listener() *Listener { return n.listener }
+// Listener returns the first registered listening socket, if any — the only
+// one on every single-worker server.
+func (n *Network) Listener() *Listener {
+	if len(n.listeners) == 0 {
+		return nil
+	}
+	return n.listeners[0]
+}
+
+// Listeners returns all listening sockets sharing the served port, in
+// registration order (worker order for a prefork server).
+func (n *Network) Listeners() []*Listener { return n.listeners }
+
+// pickListener selects the accept queue for a new connection according to the
+// sharding policy. With one listener (the paper's topology) every policy
+// degenerates to that listener. Closed listeners still occupy their slot so
+// worker indexes stay stable; a SYN sharded onto one is refused, as a real
+// dead SO_REUSEPORT socket would refuse it.
+func (n *Network) pickListener(connID int64) *Listener {
+	switch len(n.listeners) {
+	case 0:
+		return nil
+	case 1:
+		return n.listeners[0]
+	}
+	switch n.Cfg.Shard {
+	case ShardRoundRobin:
+		l := n.listeners[n.rrNext]
+		n.rrNext = (n.rrNext + 1) % len(n.listeners)
+		return l
+	default:
+		// Fibonacci hash of the connection id stands in for the kernel's
+		// four-tuple hash: deterministic per connection, statistically even.
+		return n.listeners[int((uint64(connID)*2654435761)%uint64(len(n.listeners)))]
+	}
+}
 
 // TransmitDelay returns the serialisation delay for sending size bytes over
 // the link (excluding propagation, which is covered by the RTT).

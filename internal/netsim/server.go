@@ -8,9 +8,12 @@ import (
 // Listener is the server's listening socket ("port 80"). It implements
 // simkernel.File so it can live in the server's descriptor table and be polled
 // by any of the event mechanisms: it is readable whenever its accept queue is
-// non-empty.
+// non-empty. Several listeners may share the served port SO_REUSEPORT-style
+// (one per prefork worker); the network shards new connections across them
+// (Config.Shard).
 type Listener struct {
 	net     *Network
+	owner   *simkernel.Proc // the process that opened the socket (IRQ target)
 	backlog int
 
 	acceptQ []*ServerConn
@@ -84,10 +87,11 @@ func (l *Listener) pop() (*ServerConn, bool) {
 // implements simkernel.File: readable when request bytes are buffered or the
 // peer has closed, writable while open.
 type ServerConn struct {
-	net  *Network
-	ID   int64
-	rtt  core.Duration
-	peer *ClientConn
+	net   *Network
+	ID    int64
+	rtt   core.Duration
+	peer  *ClientConn
+	owner *simkernel.Proc // whose CPU receives this connection's interrupts
 
 	rcvBuf      []byte // request bytes buffered, not yet read by the server
 	peerClosed  bool   // client sent FIN
@@ -136,6 +140,20 @@ func (c *ServerConn) Accepted() bool { return c.accepted }
 
 // Peer returns the client endpoint (used by tests and the load generator).
 func (c *ServerConn) Peer() *ClientConn { return c.peer }
+
+// Owner returns the process whose CPU this connection's interrupts are
+// steered to (the accepting worker once accepted, its listener's owner before
+// that).
+func (c *ServerConn) Owner() *simkernel.Proc { return c.owner }
+
+// irqCPU resolves the CPU that receives this connection's interrupts; nil
+// selects the kernel's default (CPU 0), the uniprocessor behaviour.
+func (c *ServerConn) irqCPU() *simkernel.CPU {
+	if c.owner == nil {
+		return nil
+	}
+	return c.owner.CPU()
+}
 
 func (c *ServerConn) notify(now core.Time, mask core.EventMask) {
 	if c.notifier != nil {
@@ -188,12 +206,14 @@ func NewSockAPI(k *simkernel.Kernel, p *simkernel.Proc, net *Network) *SockAPI {
 }
 
 // Listen creates the listening socket, installs it in the descriptor table and
-// registers it with the network so client SYNs can reach it.
+// registers it with the network so client SYNs can reach it. A second Listen —
+// from another worker's SockAPI — joins the SO_REUSEPORT group: the network
+// shards new connections across all registered listeners.
 func (a *SockAPI) Listen() (*simkernel.FD, *Listener) {
 	a.P.ChargeSyscall(a.K.Cost.Accept) // socket+bind+listen lumped together
-	l := &Listener{net: a.Net, backlog: a.Net.Cfg.ListenBacklog}
+	l := &Listener{net: a.Net, owner: a.P, backlog: a.Net.Cfg.ListenBacklog}
 	fd := a.P.Install(l)
-	a.Net.listener = l
+	a.Net.listeners = append(a.Net.listeners, l)
 	return fd, l
 }
 
@@ -217,9 +237,49 @@ func (a *SockAPI) Accept(lfd *simkernel.FD) (fd *simkernel.FD, conn *ServerConn,
 		return nil, nil, false
 	}
 	c.accepted = true
+	c.owner = a.P
 	a.Net.stats.Accepted++
 	fd = a.P.Install(c)
 	return fd, c, true
+}
+
+// AcceptDetach pops one pending connection without installing a descriptor
+// for it: the single-acceptor half of a prefork handoff, where the accepting
+// worker immediately passes the connection to a sibling over a UNIX-domain
+// socket (the sendmsg side is charged here as ConnHandoff). ok is false when
+// the queue is empty. The connection's interrupts stay steered to the
+// acceptor's CPU until a sibling Adopts it.
+func (a *SockAPI) AcceptDetach(lfd *simkernel.FD) (conn *ServerConn, ok bool) {
+	a.P.ChargeSyscall(a.K.Cost.Accept)
+	l, isListener := lfd.File().(*Listener)
+	if !isListener {
+		return nil, false
+	}
+	c, ok := l.pop()
+	if !ok {
+		return nil, false
+	}
+	c.accepted = true
+	c.owner = a.P
+	a.Net.stats.Accepted++
+	a.P.Charge(a.K.Cost.ConnHandoff)
+	return c, true
+}
+
+// Adopt installs a connection obtained from a sibling's AcceptDetach into this
+// process's descriptor table — the recvmsg side of descriptor passing. The
+// connection's interrupts are re-steered to the adopting worker's CPU. ok is
+// false when the adopting process is out of descriptors (the connection is
+// reset, as in Accept).
+func (a *SockAPI) Adopt(conn *ServerConn) (fd *simkernel.FD, ok bool) {
+	a.P.ChargeSyscall(0) // recvmsg collecting the passed descriptor
+	if a.Net.Cfg.MaxServerFDs > 0 && a.P.NumFDs() >= a.Net.Cfg.MaxServerFDs {
+		a.EMFILECount++
+		conn.resetFromServer(a.K.Now())
+		return nil, false
+	}
+	conn.owner = a.P
+	return a.P.Install(conn), true
 }
 
 // Read consumes up to max buffered request bytes from the connection,

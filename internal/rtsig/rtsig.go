@@ -271,7 +271,7 @@ func (q *Queue) collect(firstPass bool, max int) []core.Event {
 		} else {
 			q.p.Charge(cost.SigDequeueBatch)
 		}
-		events = append(events, core.Event{FD: si.FD, Ready: si.Band})
+		events = append(events, core.Event{FD: si.FD, Ready: si.Band, Gen: si.Gen})
 		q.stats.EventsReturned++
 	}
 	return events
@@ -338,7 +338,11 @@ func (q *Queue) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Even
 			q.k.Interrupt(now, cost.SigOverflow, nil)
 		}
 	} else {
-		q.push(core.Siginfo{Signo: int(reg.Data), Band: mask, FD: fd.Num})
+		// The generation records which open of fd.Num this completion belongs
+		// to: the siginfo outlives a close of the descriptor (it "remains on
+		// the RT signal queue", §4), and by the time it is dequeued the number
+		// may name a different connection.
+		q.push(core.Siginfo{Signo: int(reg.Data), Band: mask, FD: fd.Num, Gen: fd.Gen})
 		q.stats.Enqueued++
 	}
 

@@ -122,6 +122,21 @@ func (h *Handler) AcceptAll(now core.Time, lfd *simkernel.FD) []int {
 	return accepted
 }
 
+// AdoptConn installs state for a connection accepted by a sibling worker and
+// passed over (netsim.SockAPI.AcceptDetach / Adopt): the receiving half of a
+// prefork handoff. Like AcceptAll it must run inside the adopting process's
+// batch, and it invokes OnConnOpen so the worker's event loop registers the
+// descriptor. The caller is responsible for the one unprompted read that
+// covers request data delivered before the registration existed.
+func (h *Handler) AdoptConn(now core.Time, fd *simkernel.FD, sc *netsim.ServerConn) {
+	h.Stats.Accepted++
+	c := &Conn{FD: fd, SC: sc, Parser: httpsim.NewParser(), OpenedAt: now, LastActivity: now}
+	h.Conns[fd.Num] = c
+	if h.OnConnOpen != nil {
+		h.OnConnOpen(fd.Num)
+	}
+}
+
 // HandleReadable processes a readability event on a connection: it reads
 // whatever is buffered, advances the request parser and, when a complete
 // request has arrived, serves it and closes the connection (HTTP/1.0). Events

@@ -14,6 +14,11 @@ type ServeConfig struct {
 	// Handler.HandleReadable. phhttpd wraps it with its per-connection
 	// bookkeeping charge.
 	Read func(now core.Time, fd int)
+	// Accept, when non-nil, replaces the whole listener-readable callback:
+	// the prefork server's single-acceptor mode drains the queue with
+	// AcceptDetach and hands connections to sibling workers instead of
+	// installing them locally. AfterAccept is not invoked for it.
+	Accept func(now core.Time)
 	// AfterAccept, when non-nil, runs after each accept burst with the new
 	// descriptors. Edge-style backends (RT signals) must read each freshly
 	// accepted connection once here, since request data that arrived before
@@ -43,8 +48,10 @@ type EventLoop struct {
 // Attach wires the handler onto base: it registers a persistent accept event
 // on the listener, installs OnConnOpen/OnConnClose so each accepted
 // connection gets a persistent read event (deleted again on close), and arms
-// the periodic idle-sweep timer. It must be called from inside a process
-// batch, like every other socket operation; the caller then starts
+// the periodic idle-sweep timer. A nil lfd wires a loop with no listener —
+// a prefork worker that only adopts connections accepted by a sibling — with
+// everything but the accept event intact. It must be called from inside a
+// process batch, like every other socket operation; the caller then starts
 // base.Dispatch once the batch completes.
 func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig) *EventLoop {
 	if cfg.Read == nil {
@@ -55,9 +62,11 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 	}
 	loop := &EventLoop{h: h, base: base, cfg: cfg, lfd: lfd, conns: make(map[int]*eventlib.Event)}
 
-	loop.accept = base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist, loop.onAcceptable)
-	if err := loop.accept.Add(0); err != nil {
-		panic("httpcore: registering the listener: " + err.Error())
+	if lfd != nil {
+		loop.accept = base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist, loop.onAcceptable)
+		if err := loop.accept.Add(0); err != nil {
+			panic("httpcore: registering the listener: " + err.Error())
+		}
 	}
 
 	h.OnConnOpen = loop.openConn
@@ -83,6 +92,10 @@ func (l *EventLoop) ConnEvent(fd int) *eventlib.Event { return l.conns[fd] }
 // onAcceptable is the listener callback: drain the accept queue, then let the
 // server perform its post-accept work (the edge-style immediate read).
 func (l *EventLoop) onAcceptable(_ int, _ eventlib.What, now core.Time) {
+	if l.cfg.Accept != nil {
+		l.cfg.Accept(now)
+		return
+	}
 	fds := l.h.AcceptAll(now, l.lfd)
 	if l.cfg.AfterAccept != nil && len(fds) > 0 {
 		l.cfg.AfterAccept(now, fds)
@@ -107,7 +120,9 @@ func (l *EventLoop) openConn(fd int) {
 // freshly accepted connections are read by the sweep below, and reading them
 // twice would inflate the recovery's simulated cost.
 func (l *EventLoop) Rescan(now core.Time) {
-	l.h.AcceptAll(now, l.lfd)
+	if l.lfd != nil {
+		l.h.AcceptAll(now, l.lfd)
+	}
 	for _, fd := range l.h.OpenConns() {
 		l.cfg.Read(now, fd)
 	}

@@ -1,0 +1,332 @@
+// Package prefork scales the thttpd shape across processors: N identical
+// single-threaded workers, each with its own process (descriptor table,
+// eventlib.Base, kernel-resident interest set) pinned to its own CPU — the
+// architecture the descendants of this paper's work (nginx, libevent-based
+// servers) converged on once multiprocessor hosts became the norm. The paper
+// itself measures a uniprocessor only; this package is the axis it could not
+// explore, built so that one worker degenerates exactly to the thttpd model.
+//
+// Two accept-distribution modes are provided, because how connections reach
+// workers is the interesting design choice:
+//
+//   - ModeReuseport: every worker opens its own listening socket on the shared
+//     port (SO_REUSEPORT) and the simulated stack shards new connections
+//     across the accept queues (netsim.Config.Shard: four-tuple hash or
+//     idealised round-robin). No worker ever touches another's connections.
+//   - ModeHandoff: worker 0 alone listens and accepts, then deals connections
+//     to workers in rotation, passing each descriptor over a UNIX-domain
+//     socket (netsim.SockAPI.AcceptDetach / Adopt). This is the classic
+//     pre-SO_REUSEPORT architecture; its single accept path and per-connection
+//     handoff cost are what the reuseport comparison quantifies.
+package prefork
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eventlib"
+	"repro/internal/httpsim"
+	"repro/internal/netsim"
+	"repro/internal/rtsig"
+	"repro/internal/servers/httpcore"
+	"repro/internal/simkernel"
+)
+
+// Mode selects how connections are distributed to workers.
+type Mode int
+
+// Accept-distribution modes.
+const (
+	// ModeReuseport shards connections across per-worker listeners in the
+	// stack (SO_REUSEPORT).
+	ModeReuseport Mode = iota
+	// ModeHandoff funnels all accepts through worker 0, which passes
+	// connections to workers round-robin over a UNIX-domain socket.
+	ModeHandoff
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeHandoff {
+		return "handoff"
+	}
+	return "reuseport"
+}
+
+// Config parameterises a prefork server.
+type Config struct {
+	// Workers is the number of worker processes (and the number of CPUs the
+	// kernel should have been built with); zero selects 1, the thttpd shape.
+	Workers int
+	// Mode selects the accept-distribution architecture.
+	Mode Mode
+	// Backend names the eventlib backend each worker runs on; empty selects
+	// epoll, the mechanism this architecture historically paired with.
+	Backend string
+	// Content is the static document tree; nil selects the default store.
+	Content *httpsim.ContentStore
+	// IdleTimeout closes connections with no activity for this long.
+	IdleTimeout core.Duration
+	// MaxEventsPerWait caps how many events one wait delivers per worker.
+	MaxEventsPerWait int
+	// WaitTimeout is the per-worker idle-sweep timer period.
+	WaitTimeout core.Duration
+}
+
+// DefaultConfig returns an N-worker configuration matching thttpd's defaults
+// per worker, on epoll, with SO_REUSEPORT-style sharding.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:          workers,
+		Mode:             ModeReuseport,
+		Backend:          "epoll",
+		IdleTimeout:      60 * core.Second,
+		MaxEventsPerWait: 1024,
+		WaitTimeout:      core.Second,
+	}
+}
+
+// Worker is one of the server's identical single-threaded processes.
+type Worker struct {
+	Index int
+	P     *simkernel.Proc
+
+	api       *netsim.SockAPI
+	base      *eventlib.Base
+	edgeStyle bool
+	handler   *httpcore.Handler
+	loop      *httpcore.EventLoop
+	lfd       *simkernel.FD
+}
+
+// Base exposes the worker's event base (for tests and experiments).
+func (w *Worker) Base() *eventlib.Base { return w.base }
+
+// Handler exposes the worker's HTTP engine (for tests and experiments).
+func (w *Worker) Handler() *httpcore.Handler { return w.handler }
+
+// Stats returns the worker's application-level counters.
+func (w *Worker) Stats() httpcore.Stats { return w.handler.Stats }
+
+// OpenConnections reports how many connections the worker currently holds.
+func (w *Worker) OpenConnections() int { return len(w.handler.Conns) }
+
+// Server is a running prefork instance inside the simulation.
+type Server struct {
+	K   *simkernel.Kernel
+	Net *netsim.Network
+
+	cfg     Config
+	workers []*Worker
+	rrNext  int
+	started bool
+
+	// Handoffs counts connections passed from worker 0 to a sibling in
+	// ModeHandoff.
+	Handoffs int64
+}
+
+// New creates a prefork server bound to the kernel and network. Workers are
+// pinned to CPUs round-robin (worker i to CPU i mod NumCPU), so a kernel built
+// with NewKernelSMP(cost, workers) gives each worker its own core, and a
+// uniprocessor kernel serialises them all — the degenerate case the paper
+// measured. An unknown Backend name panics with the registry's listed-choices
+// error, as thttpd does.
+func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = "epoll"
+	}
+	if cfg.MaxEventsPerWait <= 0 {
+		cfg.MaxEventsPerWait = 1024
+	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = core.Second
+	}
+	s := &Server{K: k, Net: net, cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		p := k.NewProcOn(fmt.Sprintf("worker%d", i), k.Sched.CPU(i%k.Sched.NumCPU()))
+		w := &Worker{Index: i, P: p, api: netsim.NewSockAPI(k, p, net)}
+		poller, backend, err := eventlib.OpenBackend(k, p, cfg.Backend)
+		if err != nil {
+			panic("prefork: " + err.Error())
+		}
+		w.base = eventlib.NewWithPoller(k, p, poller, eventlib.Config{
+			MaxEventsPerWait: cfg.MaxEventsPerWait,
+			LoopCost:         k.Cost.ServerLoopOverhead,
+		})
+		w.edgeStyle = backend.EdgeStyle
+		w.handler = httpcore.NewHandler(k, p, w.api, cfg.Content)
+		w.handler.IdleTimeout = cfg.IdleTimeout
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// Config returns the active configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Workers returns the worker processes in index order.
+func (s *Server) Workers() []*Worker { return s.workers }
+
+// Start opens the listening socket(s), wires each worker's handler onto its
+// event base and starts all dispatch loops. It may be called once.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, w := range s.workers {
+		w := w
+		listens := s.cfg.Mode == ModeReuseport || w.Index == 0
+		w.P.Batch(s.K.Now(), func() {
+			serveCfg := httpcore.ServeConfig{SweepInterval: s.cfg.WaitTimeout}
+			if w.edgeStyle {
+				serveCfg.AfterAccept = func(now core.Time, fds []int) {
+					for _, fd := range fds {
+						w.handler.HandleReadable(now, fd)
+					}
+				}
+			}
+			if s.cfg.Mode == ModeHandoff && w.Index == 0 {
+				serveCfg.Accept = func(now core.Time) { s.acceptAndDeal(w, now) }
+			}
+			if listens {
+				w.lfd, _ = w.api.Listen()
+			}
+			// Non-listening handoff workers attach with a nil listener: the
+			// same per-connection events, idle sweep and Rescan recovery,
+			// minus the accept event.
+			w.loop = w.handler.Attach(w.base, w.lfd, serveCfg)
+			if q, ok := w.base.Poller().(*rtsig.Queue); ok {
+				s.armOverflowRecovery(w, q)
+			}
+		}, func(core.Time) {
+			w.base.Dispatch()
+		})
+	}
+}
+
+// armOverflowRecovery mirrors thttpd's RT-signal overflow handling per
+// worker: flush the queue and rescan every connection the lost signals might
+// have announced (for a non-listening worker, Rescan skips the accept drain).
+func (s *Server) armOverflowRecovery(w *Worker, q *rtsig.Queue) {
+	ovf := w.base.NewEvent(rtsig.OverflowFD, eventlib.EvSignal|eventlib.EvPersist,
+		func(_ int, _ eventlib.What, now core.Time) {
+			q.Recover()
+			w.loop.Rescan(now)
+		})
+	if err := ovf.Add(0); err != nil {
+		panic("prefork: arming the overflow event: " + err.Error())
+	}
+}
+
+// acceptAndDeal is worker 0's listener callback in ModeHandoff: drain the
+// accept queue with AcceptDetach and deal each connection to a worker in
+// rotation. The adoption runs in the receiving worker's own batch — the
+// recvmsg side of descriptor passing happens in that process — and is
+// deferred to the instant the acceptor's batch completes: the passed
+// descriptor only becomes visible to the sibling once the CPU has actually
+// finished the accept and sendmsg work that produced it.
+func (s *Server) acceptAndDeal(w0 *Worker, now core.Time) {
+	for {
+		conn, ok := w0.api.AcceptDetach(w0.lfd)
+		if !ok {
+			return
+		}
+		target := s.workers[s.rrNext]
+		s.rrNext = (s.rrNext + 1) % len(s.workers)
+		s.Handoffs++
+		w0.P.Defer(func(done core.Time) {
+			target.P.Batch(done, func() {
+				fd, ok := target.api.Adopt(conn)
+				if !ok {
+					return
+				}
+				target.handler.AdoptConn(done, fd, conn)
+				// Request data may have arrived before the registration
+				// existed; one unprompted read covers it, exactly like the
+				// edge-style post-accept read.
+				target.handler.HandleReadable(done, fd.Num)
+			}, nil)
+		})
+	}
+}
+
+// Stop halts every worker's event loop after its current iteration.
+func (s *Server) Stop() {
+	for _, w := range s.workers {
+		w.base.Stop()
+	}
+}
+
+// Stats returns the application-level counters aggregated across workers.
+func (s *Server) Stats() httpcore.Stats {
+	var total httpcore.Stats
+	for _, w := range s.workers {
+		st := w.handler.Stats
+		total.Accepted += st.Accepted
+		total.Served += st.Served
+		total.NotFound += st.NotFound
+		total.BadRequests += st.BadRequests
+		total.EOFCloses += st.EOFCloses
+		total.IdleCloses += st.IdleCloses
+		total.Closed += st.Closed
+		total.BytesSent += st.BytesSent
+	}
+	return total
+}
+
+// MechanismStats aggregates the workers' poller statistics.
+func (s *Server) MechanismStats() core.Stats {
+	var total core.Stats
+	for _, w := range s.workers {
+		if src, ok := w.base.Poller().(core.StatsSource); ok {
+			st := src.MechanismStats()
+			total.Waits += st.Waits
+			total.EventsReturned += st.EventsReturned
+			total.DriverPolls += st.DriverPolls
+			total.HintHits += st.HintHits
+			total.CacheHits += st.CacheHits
+			total.CopiedIn += st.CopiedIn
+			total.CopiedOut += st.CopiedOut
+			total.Overflows += st.Overflows
+			total.Enqueued += st.Enqueued
+			total.Dropped += st.Dropped
+		}
+	}
+	return total
+}
+
+// Loops counts completed event-loop iterations across all workers.
+func (s *Server) Loops() int64 {
+	var total int64
+	for _, w := range s.workers {
+		total += w.base.Iterations()
+	}
+	return total
+}
+
+// OpenConnections reports how many connections the server currently holds
+// across all workers.
+func (s *Server) OpenConnections() int {
+	total := 0
+	for _, w := range s.workers {
+		total += len(w.handler.Conns)
+	}
+	return total
+}
+
+// PerWorkerServed reports each worker's served-request count, in worker
+// order: the balance the sharding policy achieved.
+func (s *Server) PerWorkerServed() []int64 {
+	out := make([]int64, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.handler.Stats.Served
+	}
+	return out
+}
+
+var _ core.StatsSource = (*Server)(nil)

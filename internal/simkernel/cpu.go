@@ -2,16 +2,21 @@ package simkernel
 
 import "repro/internal/core"
 
-// CPU models the single processor of the simulated server host (the paper's
+// CPU models one processor of the simulated server host (the paper's
 // 400 MHz AMD K6-2). Work is serialised first-come first-served: a request for
 // `cost` of processing that arrives at time `now` starts no earlier than the
 // completion of previously accepted work and finishes `cost` later.
 //
 // Interrupt-context work (network arrivals, signal enqueueing) and process
 // context work (the server's event loop) share the same processor, which is
-// exactly the contention the paper's overload experiments exercise.
+// exactly the contention the paper's overload experiments exercise. An SMP
+// host is a Scheduler over several CPUs: work bound to different CPUs overlaps
+// in virtual time, while contention within one core still serialises.
 type CPU struct {
 	sim *Simulator
+
+	// Index is the CPU's position in its Scheduler (0 on a uniprocessor).
+	Index int
 
 	// busyUntil is the instant at which all currently accepted work completes.
 	busyUntil core.Time
@@ -54,16 +59,27 @@ func (c *CPU) BusyUntil() core.Time { return c.busyUntil }
 
 // Utilization reports the fraction of virtual time the CPU has been busy,
 // measured against the supplied elapsed window. It returns 0 for an empty
-// window.
+// window. The ratio is deliberately not clamped: because the CPU serialises
+// work, Busy can never exceed the makespan of the accepted work (BusyUntil),
+// so a ratio above 1 against a window covering that makespan means a batch was
+// double-charged — a bug the old clamp used to mask. Callers measuring
+// mid-run, against a window the accepted work overruns, should widen the
+// window to BusyUntil (see WorkWindow).
 func (c *CPU) Utilization(elapsed core.Duration) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	u := float64(c.Busy) / float64(elapsed)
-	if u > 1 {
-		u = 1
+	return float64(c.Busy) / float64(elapsed)
+}
+
+// WorkWindow returns the wall window that is guaranteed to contain all
+// accepted work as of virtual time now: Utilization(WorkWindow(now)) <= 1
+// holds for a correctly charging simulation even while work is still queued.
+func (c *CPU) WorkWindow(now core.Time) core.Duration {
+	if c.busyUntil > now {
+		now = c.busyUntil
 	}
-	return u
+	return now.Sub(0)
 }
 
 // QueueDelay reports how long newly submitted work would wait before starting

@@ -30,25 +30,37 @@ type Watcher interface {
 	ReadinessChanged(now core.Time, fd *FD, mask core.EventMask)
 }
 
-// Kernel bundles the simulation clock, the server CPU and the cost model. All
-// server-side packages share one Kernel per experiment.
+// Kernel bundles the simulation clock, the server CPUs and the cost model.
+// All server-side packages share one Kernel per experiment. CPU is processor 0
+// — the whole machine on the paper's uniprocessor testbed, and the default
+// interrupt target on an SMP kernel.
 type Kernel struct {
 	Sim   *Simulator
+	Sched *Scheduler
 	CPU   *CPU
 	Cost  *CostModel
 	Trace Tracer
 }
 
-// NewKernel creates a kernel with a fresh simulator and CPU. A nil cost model
-// selects DefaultCostModel.
+// NewKernel creates a uniprocessor kernel with a fresh simulator, the paper's
+// testbed. A nil cost model selects DefaultCostModel.
 func NewKernel(cost *CostModel) *Kernel {
+	return NewKernelSMP(cost, 1)
+}
+
+// NewKernelSMP creates a kernel with ncpu processors (at least one). With
+// ncpu == 1 it is exactly NewKernel: the uniprocessor model the paper
+// measured.
+func NewKernelSMP(cost *CostModel, ncpu int) *Kernel {
 	if cost == nil {
 		cost = DefaultCostModel()
 	}
 	sim := NewSimulator()
+	sched := NewScheduler(sim, ncpu)
 	return &Kernel{
 		Sim:   sim,
-		CPU:   NewCPU(sim),
+		Sched: sched,
+		CPU:   sched.CPU(0),
 		Cost:  cost,
 		Trace: NopTracer{},
 	}
@@ -58,10 +70,21 @@ func NewKernel(cost *CostModel) *Kernel {
 func (k *Kernel) Now() core.Time { return k.Sim.Now() }
 
 // Interrupt charges interrupt-context work (packet reception, signal
-// enqueueing) to the CPU at time now, invoking done at its completion if it is
-// non-nil. It returns the completion instant.
+// enqueueing) to CPU 0 at time now, invoking done at its completion if it is
+// non-nil. It returns the completion instant. Work that belongs to a specific
+// core (steered IRQs on an SMP host) uses InterruptOn.
 func (k *Kernel) Interrupt(now core.Time, cost core.Duration, done func(now core.Time)) core.Time {
 	return k.CPU.Exec(now, cost, done)
+}
+
+// InterruptOn charges interrupt-context work to the given CPU, modelling IRQ
+// steering: on an SMP host the NIC delivers a connection's interrupts to the
+// core its worker runs on. A nil cpu selects CPU 0, the uniprocessor default.
+func (k *Kernel) InterruptOn(cpu *CPU, now core.Time, cost core.Duration, done func(now core.Time)) core.Time {
+	if cpu == nil {
+		cpu = k.CPU
+	}
+	return cpu.Exec(now, cost, done)
 }
 
 // Tracef emits a trace record if tracing is enabled.
@@ -71,9 +94,16 @@ func (k *Kernel) Tracef(now core.Time, component, format string, args ...interfa
 	}
 }
 
-// FD is an entry in a process's descriptor table.
+// FD is an entry in a process's descriptor table. Gen identifies this
+// particular open: because POSIX allocates the lowest unused descriptor
+// number, a closed number is recycled by the very next open, and a readiness
+// report that was in flight when the old descriptor closed carries the same
+// number as the new one. The generation is what lets event mechanisms and
+// consumers tell the two opens apart — the stale-report hazard the paper warns
+// RT-signal applications about (§4).
 type FD struct {
 	Num  int
+	Gen  uint64
 	Proc *Proc
 
 	file     File
@@ -142,13 +172,17 @@ func (fd *FD) notify(now core.Time, mask core.EventMask) {
 
 // Proc is a simulated process: a descriptor table plus the batch accounting
 // used to charge the cost of a run of system calls to the CPU as one
-// scheduling quantum.
+// scheduling quantum. Each process is pinned to one CPU for its lifetime (hard
+// affinity, as a prefork worker in practice); all its batches serialise there.
 type Proc struct {
 	K    *Kernel
 	Name string
 
-	fds    map[int]*FD
-	nextFD int
+	cpu *CPU
+
+	fds     map[int]*FD
+	freeFD  int    // lowest descriptor number that may be unused
+	nextGen uint64 // generation counter stamped onto installed descriptors
 
 	inBatch   bool
 	batchCost core.Duration
@@ -158,27 +192,41 @@ type Proc struct {
 	TotalCharged core.Duration
 }
 
-// NewProc creates a process with an empty descriptor table. Descriptor numbers
-// start at 3, leaving room for the conventional stdin/stdout/stderr.
+// NewProc creates a process with an empty descriptor table, pinned to CPU 0.
+// Descriptor numbers start at 3, leaving room for the conventional
+// stdin/stdout/stderr.
 func (k *Kernel) NewProc(name string) *Proc {
-	return &Proc{K: k, Name: name, fds: make(map[int]*FD), nextFD: 3}
+	return k.NewProcOn(name, k.CPU)
 }
 
+// NewProcOn creates a process pinned to the given CPU (nil selects CPU 0).
+func (k *Kernel) NewProcOn(name string, cpu *CPU) *Proc {
+	if cpu == nil {
+		cpu = k.CPU
+	}
+	return &Proc{K: k, Name: name, cpu: cpu, fds: make(map[int]*FD), freeFD: 3}
+}
+
+// CPU returns the processor the process is pinned to.
+func (p *Proc) CPU() *CPU { return p.cpu }
+
 // Install allocates the lowest unused descriptor number for f and returns the
-// new table entry, mirroring POSIX descriptor allocation.
+// new table entry, mirroring POSIX descriptor allocation: a closed number is
+// recycled by the next open. Every install gets a fresh generation so stale
+// readiness reports for a previous open of the same number remain
+// distinguishable.
 func (p *Proc) Install(f File) *FD {
-	num := p.nextFD
+	num := p.freeFD
 	for {
 		if _, used := p.fds[num]; !used {
 			break
 		}
 		num++
 	}
-	fd := &FD{Num: num, Proc: p, file: f}
+	p.freeFD = num + 1
+	p.nextGen++
+	fd := &FD{Num: num, Gen: p.nextGen, Proc: p, file: f}
 	p.fds[num] = fd
-	if num >= p.nextFD {
-		p.nextFD = num + 1
-	}
 	f.SetNotifier(func(now core.Time, mask core.EventMask) { fd.notify(now, mask) })
 	return fd
 }
@@ -210,6 +258,9 @@ func (p *Proc) CloseFD(now core.Time, fd int) error {
 		return core.ErrBadFD
 	}
 	delete(p.fds, fd)
+	if fd < p.freeFD {
+		p.freeFD = fd
+	}
 	e.closed = true
 	e.watchers = nil
 	e.file.SetNotifier(nil)
@@ -269,7 +320,7 @@ func (p *Proc) Batch(now core.Time, fn func(), done func(now core.Time)) {
 	p.inBatch = false
 	p.batchCost = 0
 	p.deferred = nil
-	p.K.CPU.Exec(now, cost, func(t core.Time) {
+	p.cpu.Exec(now, cost, func(t core.Time) {
 		for _, d := range deferred {
 			d(t)
 		}

@@ -108,8 +108,15 @@ func TestCPUUtilization(t *testing.T) {
 	if u := cpu.Utilization(0); u != 0 {
 		t.Fatalf("Utilization(0) = %v", u)
 	}
-	if u := cpu.Utilization(100 * core.Millisecond); u != 1 {
-		t.Fatalf("Utilization should clamp at 1, got %v", u)
+	// No clamping: a ratio above 1 against a window the work does not fit in
+	// is reported as-is, so double-charged batches cannot hide behind "100%".
+	if u := cpu.Utilization(100 * core.Millisecond); u != 5 {
+		t.Fatalf("Utilization must not clamp, got %v", u)
+	}
+	// Against the work window the ratio is a true utilisation, <= 1 whenever
+	// charging is correct.
+	if u := cpu.Utilization(cpu.WorkWindow(0)); u != 1 {
+		t.Fatalf("Utilization over WorkWindow = %v, want 1", u)
 	}
 }
 
@@ -231,23 +238,19 @@ func TestProcDescriptorReuseLowestFree(t *testing.T) {
 	if err := p.CloseFD(0, a.Num); err != nil {
 		t.Fatal(err)
 	}
-	// Next install may reuse any free slot; POSIX requires the lowest.
+	// POSIX requires the lowest unused number: the very next install must
+	// recycle a's slot — the behaviour the stale-readiness generation
+	// machinery exists to make safe — and carry a fresh generation.
 	d := p.Install(&fakeFile{})
-	if d.Num >= c.Num && d.Num != a.Num {
-		// nextFD-based allocation is acceptable as long as numbers do not
-		// collide; but we implement lowest-free via the retry loop, so assert
-		// there is no collision with open descriptors.
-		for _, n := range p.FDs() {
-			count := 0
-			for _, m := range p.FDs() {
-				if n == m {
-					count++
-				}
-			}
-			if count != 1 {
-				t.Fatalf("duplicate descriptor %d", n)
-			}
-		}
+	if d.Num != a.Num {
+		t.Fatalf("Install allocated %d, want recycled lowest free %d", d.Num, a.Num)
+	}
+	if d.Gen == a.Gen || d.Gen == 0 {
+		t.Fatalf("recycled descriptor generation %d not distinct from %d", d.Gen, a.Gen)
+	}
+	e := p.Install(&fakeFile{})
+	if e.Num != c.Num+1 {
+		t.Fatalf("next install allocated %d, want %d", e.Num, c.Num+1)
 	}
 }
 

@@ -1,0 +1,93 @@
+package simkernel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSchedulerUniprocessorIsDefault(t *testing.T) {
+	k := NewKernel(nil)
+	if k.Sched.NumCPU() != 1 {
+		t.Fatalf("NumCPU = %d, want 1", k.Sched.NumCPU())
+	}
+	if k.CPU != k.Sched.CPU(0) {
+		t.Fatal("Kernel.CPU is not scheduler CPU 0")
+	}
+	p := k.NewProc("p")
+	if p.CPU() != k.CPU {
+		t.Fatal("default proc not pinned to CPU 0")
+	}
+}
+
+// Two processes pinned to different CPUs execute their batches concurrently
+// in virtual time: both finish as if they had the machine to themselves.
+func TestSchedulerBatchesOverlapAcrossCPUs(t *testing.T) {
+	k := NewKernelSMP(nil, 2)
+	p0 := k.NewProcOn("w0", k.Sched.CPU(0))
+	p1 := k.NewProcOn("w1", k.Sched.CPU(1))
+
+	cost := 10 * core.Millisecond
+	var done0, done1 core.Time
+	p0.Batch(0, func() { p0.Charge(cost) }, func(now core.Time) { done0 = now })
+	p1.Batch(0, func() { p1.Charge(cost) }, func(now core.Time) { done1 = now })
+	k.Sim.Run()
+
+	if done0 != core.Time(cost) || done1 != core.Time(cost) {
+		t.Fatalf("batches serialised across CPUs: done0=%v done1=%v, want both %v", done0, done1, core.Time(cost))
+	}
+}
+
+// The same two batches on one CPU serialise first-come first-served — the
+// uniprocessor contention the paper measures, preserved per core.
+func TestSchedulerSameCPUStillSerialises(t *testing.T) {
+	k := NewKernelSMP(nil, 2)
+	p0 := k.NewProcOn("w0", k.Sched.CPU(0))
+	p1 := k.NewProcOn("w1", k.Sched.CPU(0))
+
+	cost := 10 * core.Millisecond
+	var done0, done1 core.Time
+	p0.Batch(0, func() { p0.Charge(cost) }, func(now core.Time) { done0 = now })
+	p1.Batch(0, func() { p1.Charge(cost) }, func(now core.Time) { done1 = now })
+	k.Sim.Run()
+
+	if done0 != core.Time(cost) || done1 != core.Time(2*cost) {
+		t.Fatalf("same-CPU batches did not serialise: done0=%v done1=%v", done0, done1)
+	}
+	if k.Sched.CPU(1).Jobs != 0 {
+		t.Fatal("work leaked onto the idle CPU")
+	}
+}
+
+func TestInterruptOnSteersToCPU(t *testing.T) {
+	k := NewKernelSMP(nil, 2)
+	k.InterruptOn(k.Sched.CPU(1), 0, core.Millisecond, nil)
+	k.Interrupt(0, core.Millisecond, nil) // default target: CPU 0
+	k.InterruptOn(nil, 0, core.Millisecond, nil)
+	if k.Sched.CPU(0).Jobs != 2 || k.Sched.CPU(1).Jobs != 1 {
+		t.Fatalf("jobs = %d,%d; want 2,1", k.Sched.CPU(0).Jobs, k.Sched.CPU(1).Jobs)
+	}
+}
+
+// Utilisation over the work window is a true ratio: <= 1 on every CPU for any
+// correctly charged run, with no clamp hiding violations.
+func TestSchedulerUtilizationInvariant(t *testing.T) {
+	k := NewKernelSMP(nil, 3)
+	p0 := k.NewProcOn("w0", k.Sched.CPU(0))
+	for i := 0; i < 10; i++ {
+		p0.Batch(k.Now(), func() { p0.Charge(3 * core.Millisecond) }, nil)
+		k.Sim.Run()
+	}
+	k.InterruptOn(k.Sched.CPU(1), k.Now(), 40*core.Millisecond, nil)
+	for i, u := range k.Sched.Utilizations(k.Now()) {
+		if u < 0 || u > 1 {
+			t.Fatalf("CPU %d utilisation %v outside [0,1]", i, u)
+		}
+	}
+	if us := k.Sched.Utilizations(k.Now()); us[2] != 0 {
+		t.Fatalf("idle CPU utilisation = %v, want 0", us[2])
+	}
+	if got := k.Sched.BusyUntil(); got != k.Sched.CPU(1).BusyUntil() {
+		t.Fatalf("Scheduler.BusyUntil = %v, want CPU 1's %v", got, k.Sched.CPU(1).BusyUntil())
+	}
+}

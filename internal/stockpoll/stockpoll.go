@@ -176,7 +176,7 @@ func (pl *Poller) collect(firstPass bool, max int) []core.Event {
 		pl.stats.DriverPolls++
 		revents &= e.Events | core.POLLERR | core.POLLHUP | core.POLLNVAL
 		if revents != 0 {
-			ready = interest.AppendEvent(ready, max, core.Event{FD: e.FD, Ready: revents})
+			ready = interest.AppendEvent(ready, max, core.Event{FD: e.FD, Ready: revents, Gen: entry.Gen})
 		}
 	})
 	if len(ready) > 0 {
