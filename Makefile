@@ -1,6 +1,17 @@
 GO ?= go
 
-.PHONY: all fmt-check vet build test test-race bench-smoke ablation-smoke determinism ci
+# Pinned analysis-tool versions: CI installs exactly these; locally the
+# targets run whatever is on PATH and skip (with the install hint) when the
+# tool is absent, so `make ci` works on an offline machine.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# Directory the determinism target writes its paired run outputs into; CI
+# uploads it as a workflow artifact when the diff fails.
+DETERMINISM_OUT ?= determinism-out
+
+.PHONY: all fmt-check vet build test test-race staticcheck govulncheck \
+	bench-smoke ablation-smoke determinism bench-json bench-gate ci
 
 all: ci
 
@@ -24,10 +35,25 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# One fast benchmark iteration per figure family: exercises the benchmark
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not on PATH; skipping (CI installs honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not on PATH; skipping (CI installs golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+# One fast benchmark iteration per figure family — paper figures, extension
+# figures and the overload/adversarial workloads — exercising the benchmark
 # plumbing end to end without the full sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501' -benchtime 1x -figconns 800 .
+	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris' -benchtime 1x -figconns 800 .
 
 # Every ablation at a small connection count: a fast end-to-end pass through
 # all server families and both dual-mechanism switching paths, so
@@ -36,15 +62,41 @@ ablation-smoke:
 	$(GO) run ./cmd/sweep -ablation -connections 600 -quiet > /dev/null
 
 # The simulation promises byte-identical output for identical inputs; run one
-# rate figure and one multi-worker scaling figure twice and diff. Any map
-# iteration or wall-clock dependency sneaking into the event machinery fails
-# this before it can corrupt a figure comparison.
+# rate figure, one multi-worker scaling figure and one overload-workload
+# figure twice each and diff. Any map iteration or wall-clock dependency
+# sneaking into the event machinery fails this before it can corrupt a figure
+# comparison. Outputs stay in $(DETERMINISM_OUT) so CI can attach them to the
+# failed workflow run.
 determinism:
-	@tmp=$$(mktemp -d); \
-	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $$tmp/a.txt; \
-	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $$tmp/b.txt; \
-	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $$tmp/c.txt; \
-	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $$tmp/d.txt; \
-	diff $$tmp/a.txt $$tmp/b.txt && diff $$tmp/c.txt $$tmp/d.txt && rm -rf $$tmp && echo "determinism: OK"
+	@rm -rf $(DETERMINISM_OUT) && mkdir -p $(DETERMINISM_OUT)
+	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $(DETERMINISM_OUT)/fig12-a.txt
+	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $(DETERMINISM_OUT)/fig12-b.txt
+	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $(DETERMINISM_OUT)/fig17-a.txt
+	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $(DETERMINISM_OUT)/fig17-b.txt
+	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -quiet > $(DETERMINISM_OUT)/fig20-a.txt
+	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -quiet > $(DETERMINISM_OUT)/fig20-b.txt
+	@diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-b.txt \
+		&& diff $(DETERMINISM_OUT)/fig17-a.txt $(DETERMINISM_OUT)/fig17-b.txt \
+		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-b.txt \
+		&& echo "determinism: OK"
 
-ci: fmt-check vet build test bench-smoke ablation-smoke determinism
+# Refresh the committed benchmark baseline: the key figure points' reply
+# rates, p99 latencies and ns/op. Run this (and commit the result) in any PR
+# that intentionally moves performance.
+bench-json:
+	$(GO) run ./cmd/benchgate -emit BENCH_PR4.json
+
+# Gate the working tree against the committed baseline: emit a fresh
+# candidate and fail on >5% regression in any simulated metric (reply rate,
+# p99). Wall-clock ns/op is a gross-slowdown tripwire only (fail past 2x —
+# wall clock jitters even same-machine), and it only means anything when the
+# baseline was emitted on this machine; CI runs
+# `make bench-gate TIME_TOLERANCE=0` to disable it (different hardware).
+TIME_TOLERANCE ?= 1.0
+bench-gate:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/benchgate -emit $$tmp -quiet && \
+	$(GO) run ./cmd/benchgate -baseline BENCH_PR4.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
+	status=$$?; rm -f $$tmp; exit $$status
+
+ci: fmt-check vet staticcheck govulncheck build test bench-smoke ablation-smoke determinism

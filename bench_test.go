@@ -41,6 +41,7 @@ func benchPoint(b *testing.B, server experiments.ServerKind, rate float64, inact
 	b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
 	b.ReportMetric(last.Load.ErrorPercent, "err%")
 	b.ReportMetric(last.Load.MedianLatencyMs, "median-ms")
+	b.ReportMetric(last.Latency.P99, "p99-ms")
 	b.ReportMetric(100*last.CPUUtilization, "cpu%")
 }
 
@@ -161,6 +162,62 @@ func BenchmarkExtPreforkScaling(b *testing.B) {
 				b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
 				b.ReportMetric(last.Load.ErrorPercent, "err%")
 				b.ReportMetric(100*last.CPUUtilization, "cpu%")
+			})
+		}
+	}
+}
+
+// Extension: the overload figure family (19+). One sub-benchmark per
+// mechanism at a rate below and one past the uniprocessor knee, under the
+// paper's constant workload; replies/s and p99-ms are the overload figures'
+// two y values.
+func BenchmarkExtOverloadKnee(b *testing.B) {
+	servers := []experiments.ServerKind{
+		experiments.ServerThttpdPoll,
+		experiments.ServerThttpdDevPoll,
+		experiments.ServerPhhttpd,
+		experiments.ServerHybrid,
+	}
+	for _, server := range servers {
+		server := server
+		for _, rate := range []float64{700, 1300} {
+			rate := rate
+			b.Run(fmt.Sprintf("%s/rate=%.0f", server, rate), func(b *testing.B) {
+				benchPoint(b, server, rate, 251)
+			})
+		}
+	}
+}
+
+// Extension: the adversarial workload scenarios (figures 20-24). Each
+// sub-benchmark runs one mechanism at a fixed mid-sweep rate under a named
+// loadgen workload; the spread between a mechanism's constant-workload
+// replies/s and its slowloris/stalled numbers is the adversarial tax.
+func BenchmarkExtWorkloads(b *testing.B) {
+	for _, workload := range []string{"flashcrowd", "pareto", "slowloris", "stalled", "wan"} {
+		workload := workload
+		for _, server := range []experiments.ServerKind{
+			experiments.ServerThttpdPoll,
+			experiments.ServerThttpdDevPoll,
+		} {
+			server := server
+			b.Run(fmt.Sprintf("%s/%s", workload, server), func(b *testing.B) {
+				var last experiments.RunResult
+				for i := 0; i < b.N; i++ {
+					spec := experiments.RunSpec{
+						Server:      server,
+						RequestRate: 1000,
+						Inactive:    251,
+						Connections: *figConns,
+						Seed:        int64(i + 1),
+						Workload:    workload,
+					}
+					last = experiments.Run(spec)
+				}
+				b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+				b.ReportMetric(last.Load.ErrorPercent, "err%")
+				b.ReportMetric(last.Latency.P99, "p99-ms")
+				b.ReportMetric(last.ServiceLatency.P99, "svc-p99-ms")
 			})
 		}
 	}

@@ -1,14 +1,17 @@
-// Command benchfig regenerates one of the paper's figures (4 through 14), or
-// one of the extension figures (15+, the epoll curves), by sweeping the
-// request rate for the figure's server/inactive-load configuration and
-// printing the resulting data series as a text table.
+// Command benchfig regenerates one of the paper's figures (4 through 14), an
+// extension figure (15+: epoll, prefork scaling) or an overload figure (19+:
+// reply rate and p99 latency past saturation under a named workload), by
+// sweeping the request rate (or worker count) for the figure's configuration
+// and printing the resulting data series as a text table.
 //
 // Usage:
 //
 //	benchfig -fig 8                 # quick, scaled-down run of Figure 8
 //	benchfig -fig 16                # extension: all four mechanisms incl. epoll
 //	benchfig -fig 17                # extension: prefork worker scaling
-//	benchfig -fig 18 -workers 1,2,4 # accept-sharding ablation, custom sweep
+//	benchfig -fig 20                # overload: flash-crowd bursts, four mechanisms
+//	benchfig -fig 12 -workload slowloris  # re-run a paper figure under an adversarial workload
+//	benchfig -fig 19 -percentiles   # append the per-point latency percentile table
 //	benchfig -fig 10 -connections 35000   # the paper's full-size procedure
 //	benchfig -list                  # list available figures
 package main
@@ -22,18 +25,22 @@ import (
 
 	"repro/internal/eventlib"
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (4..18 or fig04..fig18)")
+	fig := flag.String("fig", "", "figure to regenerate (4..25 or fig04..fig25)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
-	rates := flag.String("rates", "", "comma-separated request rates overriding the default 500..1100 sweep")
+	rates := flag.String("rates", "", "comma-separated request rates overriding the figure's sweep")
 	workers := flag.String("workers", "", "comma-separated worker counts overriding the scaling figures' 1,2,4,8 sweep")
 	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid/prefork curves on this eventlib backend (see -list-backends)")
+	workload := flag.String("workload", "", "run every point under this loadgen workload (see -list-workloads)")
+	percentiles := flag.Bool("percentiles", false, "append the per-point latency percentile table (p50/p90/p99/p999, client and service side)")
 	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list registered workload scenarios and exit")
 	seed := flag.Int64("seed", 1, "load generator seed")
-	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
+	quiet := flag.Bool("quiet", false, "suppress all progress output on stderr")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +48,9 @@ func main() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		for _, f := range experiments.WorkerFigures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		for _, f := range experiments.OverloadFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return
@@ -51,9 +61,21 @@ func main() {
 		}
 		return
 	}
+	if *listWorkloads {
+		for _, w := range loadgen.Workloads() {
+			fmt.Printf("%-11s %s\n", w.Name, w.Description)
+		}
+		return
+	}
 	if *backend != "" {
 		if _, ok := eventlib.Lookup(*backend); !ok {
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", eventlib.UnknownBackendError(*backend))
+			os.Exit(2)
+		}
+	}
+	if *workload != "" {
+		if _, ok := loadgen.LookupWorkload(*workload); !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", loadgen.UnknownWorkloadError(*workload))
 			os.Exit(2)
 		}
 	}
@@ -62,8 +84,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	progress := func(format string, args ...interface{}) {
-		if !*quiet {
+	// With -quiet the progress callback stays nil everywhere, so nothing can
+	// reach stderr; without it every point prints one line.
+	var progress func(format string, args ...interface{})
+	if !*quiet {
+		progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
@@ -77,21 +102,19 @@ func main() {
 	if wf, ok := experiments.WorkerFigureByID(*fig); ok {
 		wopts := experiments.WorkerSweepOptions{
 			Connections: *connections, Workers: workerCounts,
-			Seed: *seed, Backend: *backend, Progress: progress,
+			Seed: *seed, Backend: *backend, Workload: *workload, Progress: progress,
 		}
-		fmt.Print(experiments.FormatWorkers(experiments.RunWorkerFigure(wf, wopts)))
+		res := experiments.RunWorkerFigure(wf, wopts)
+		fmt.Print(experiments.FormatWorkers(res))
+		if *percentiles {
+			fmt.Print(experiments.FormatPercentiles(res.Runs))
+		}
 		return
 	}
 
-	figure, ok := experiments.FigureByID(*fig)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
-		os.Exit(2)
-	}
-
-	opts := experiments.SweepOptions{Connections: *connections, Seed: *seed, Backend: *backend}
-	if !*quiet {
-		opts.Progress = progress
+	opts := experiments.SweepOptions{
+		Connections: *connections, Seed: *seed,
+		Backend: *backend, Workload: *workload, Progress: progress,
 	}
 	if *rates != "" {
 		for _, part := range strings.Split(*rates, ",") {
@@ -104,6 +127,24 @@ func main() {
 		}
 	}
 
+	if of, ok := experiments.OverloadFigureByID(*fig); ok {
+		res := experiments.RunOverloadFigure(of.WithWorkerCounts(workerCounts), opts)
+		fmt.Print(experiments.FormatOverload(res))
+		if *percentiles {
+			fmt.Print(experiments.FormatPercentiles(res.Runs))
+		}
+		return
+	}
+
+	figure, ok := experiments.FigureByID(*fig)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
 	result := experiments.RunFigure(figure, opts)
 	fmt.Print(experiments.Format(result))
+	if *percentiles {
+		fmt.Print(experiments.FormatPercentiles(result.Runs))
+	}
 }

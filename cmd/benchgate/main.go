@@ -1,0 +1,262 @@
+// Command benchgate records and gates the repository's benchmark trajectory.
+//
+// In emit mode it runs the key figure benchmarks — representative points of
+// the paper's figures, the extension figures and one overload point per
+// workload scenario — and writes one JSON entry per point: the simulated
+// reply rate and p99 connection latency (bit-deterministic for a given seed
+// and connection count) plus the measured wall-clock cost of the run
+// (ns/op, noisy). In gate mode it compares a candidate file against the
+// committed baseline and exits non-zero on regression: a reply rate more
+// than -tolerance below the baseline, a p99 more than -tolerance above it,
+// or a ns/op more than -time-tolerance above it. The simulated gates are
+// tight because those numbers only move when the simulation's behavior
+// moves; the wall-clock gate is looser, and only meaningful when baseline
+// and candidate ran on the same machine — pass -time-tolerance 0 to disable
+// it when comparing a committed baseline on different hardware (CI does).
+//
+// Usage:
+//
+//	benchgate -emit BENCH_PR4.json          # refresh the baseline
+//	benchgate -baseline BENCH_PR4.json -candidate new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+)
+
+// Entry is one gated benchmark point.
+type Entry struct {
+	ID        string  `json:"id"`
+	RepliesPS float64 `json:"replies_per_sec"`
+	P99Ms     float64 `json:"p99_ms"`
+	ErrPct    float64 `json:"err_pct"`
+	NsPerOp   int64   `json:"ns_per_op"`
+}
+
+// File is the benchmark baseline schema.
+type File struct {
+	Schema      int     `json:"schema"`
+	Connections int     `json:"connections"`
+	Seed        int64   `json:"seed"`
+	Entries     []Entry `json:"entries"`
+}
+
+// points returns the gated benchmark set: the id names the figure point, the
+// spec runs it. The set mirrors bench_test.go's key benchmarks at a size that
+// keeps the whole emit run under a minute.
+func points(connections int, seed int64) []struct {
+	id   string
+	spec experiments.RunSpec
+} {
+	var out []struct {
+		id   string
+		spec experiments.RunSpec
+	}
+	add := func(id string, spec experiments.RunSpec) {
+		spec.Connections = connections
+		spec.Seed = seed
+		out = append(out, struct {
+			id   string
+			spec experiments.RunSpec
+		}{id, spec})
+	}
+
+	// The paper's figure families: each mechanism at its heaviest inactive
+	// load, mid-sweep rate (the knee region is where regressions show).
+	for _, p := range []struct {
+		name     string
+		server   experiments.ServerKind
+		inactive int
+	}{
+		{"fig08-poll-load501", experiments.ServerThttpdPoll, 501},
+		{"fig09-devpoll-load501", experiments.ServerThttpdDevPoll, 501},
+		{"fig13-phhttpd-load501", experiments.ServerPhhttpd, 501},
+		{"ext-hybrid-load501", experiments.ServerHybrid, 501},
+		{"ext-epoll-load501", experiments.ServerThttpdEpoll, 501},
+		{"ext-epoll-et-load501", experiments.ServerThttpdEpollET, 501},
+	} {
+		add(p.name+"-rate1000", experiments.RunSpec{
+			Server: p.server, RequestRate: 1000, Inactive: p.inactive,
+		})
+	}
+
+	// Prefork worker scaling (figure 17): the multi-CPU speedup.
+	for _, workers := range []int{1, 2, 4} {
+		add(fmt.Sprintf("ext-prefork%d-rate3000", workers), experiments.RunSpec{
+			Server: experiments.PreforkKind(workers), RequestRate: 3000, Inactive: 500,
+		})
+	}
+
+	// One overload point per workload scenario (figures 19-24), past the
+	// knee, where the latency distribution carries the signal. Most run on
+	// devpoll; the stalled-reader scenario runs on poll(), the mechanism that
+	// rescans the write-parked background entries every loop (on devpoll the
+	// jammed connections are invisible after their one pre-benchmark serve).
+	for _, w := range loadgen.Workloads() {
+		server := experiments.ServerThttpdDevPoll
+		if w.Name == "stalled" {
+			server = experiments.ServerThttpdPoll
+		}
+		add(fmt.Sprintf("overload-%s-%s-rate1300", w.Name, server), experiments.RunSpec{
+			Server: server, RequestRate: 1300, Inactive: 251,
+			Workload: w.Name,
+		})
+	}
+	return out
+}
+
+// emit runs every gated point and writes the baseline file.
+func emit(path string, connections int, seed int64, quiet bool) error {
+	f := File{Schema: 1, Connections: connections, Seed: seed}
+	for _, p := range points(connections, seed) {
+		// Three timed runs, keeping the fastest: the first pass pays cache
+		// warmup, and the gate wants the run's cost, not the machine's mood.
+		var res experiments.RunResult
+		best := int64(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res = experiments.Run(p.spec)
+			if ns := time.Since(start).Nanoseconds(); ns < best {
+				best = ns
+			}
+		}
+		e := Entry{
+			ID:        p.id,
+			RepliesPS: res.Load.ReplyRate.Mean,
+			P99Ms:     res.Latency.P99,
+			ErrPct:    res.Load.ErrorPercent,
+			NsPerOp:   best,
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "%-40s %8.1f replies/s %8.2f p99-ms %12d ns/op\n",
+				e.ID, e.RepliesPS, e.P99Ms, e.NsPerOp)
+		}
+		f.Entries = append(f.Entries, e)
+	}
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].ID < f.Entries[j].ID })
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// gate compares candidate against baseline, printing one line per entry and
+// returning the number of regressions.
+func gate(baseline, candidate File, tol, timeTol float64) int {
+	if baseline.Connections != candidate.Connections || baseline.Seed != candidate.Seed {
+		fmt.Printf("benchgate: WARNING: baseline ran %d conns seed %d, candidate %d conns seed %d — "+
+			"simulated metrics are only comparable at identical parameters\n",
+			baseline.Connections, baseline.Seed, candidate.Connections, candidate.Seed)
+	}
+	cand := map[string]Entry{}
+	for _, e := range candidate.Entries {
+		cand[e.ID] = e
+	}
+	regressions := 0
+	fail := func(id, format string, args ...interface{}) {
+		regressions++
+		fmt.Printf("FAIL %-40s %s\n", id, fmt.Sprintf(format, args...))
+	}
+	for _, base := range baseline.Entries {
+		c, ok := cand[base.ID]
+		if !ok {
+			fail(base.ID, "missing from candidate")
+			continue
+		}
+		ok = true
+		if c.RepliesPS < base.RepliesPS*(1-tol) {
+			fail(base.ID, "reply rate %.1f fell >%.0f%% below baseline %.1f", c.RepliesPS, tol*100, base.RepliesPS)
+			ok = false
+		}
+		// Sub-millisecond p99s sit at the histogram's resolution floor; only
+		// gate meaningful values.
+		if base.P99Ms > 0.1 && c.P99Ms > base.P99Ms*(1+tol) {
+			fail(base.ID, "p99 %.2fms rose >%.0f%% above baseline %.2fms", c.P99Ms, tol*100, base.P99Ms)
+			ok = false
+		}
+		// The wall-clock gate only means something when baseline and
+		// candidate ran on the same machine; -time-tolerance 0 disables it
+		// (CI compares a committed baseline against different hardware).
+		if timeTol > 0 && base.NsPerOp > 0 && float64(c.NsPerOp) > float64(base.NsPerOp)*(1+timeTol) {
+			fail(base.ID, "ns/op %d rose >%.0f%% above baseline %d", c.NsPerOp, timeTol*100, base.NsPerOp)
+			ok = false
+		}
+		if ok {
+			fmt.Printf("ok   %-40s %8.1f replies/s (base %8.1f)  %7.2f p99-ms (base %7.2f)\n",
+				base.ID, c.RepliesPS, base.RepliesPS, c.P99Ms, base.P99Ms)
+		}
+	}
+	for _, e := range candidate.Entries {
+		found := false
+		for _, base := range baseline.Entries {
+			if base.ID == e.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("new  %-40s (not in baseline — refresh with make bench-json)\n", e.ID)
+		}
+	}
+	return regressions
+}
+
+func main() {
+	emitPath := flag.String("emit", "", "run the gated benchmark set and write the JSON baseline to this path")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
+	candidatePath := flag.String("candidate", "", "freshly emitted JSON to compare")
+	connections := flag.Int("connections", 1500, "benchmark connections per point")
+	seed := flag.Int64("seed", 1, "load generator seed")
+	tol := flag.Float64("tolerance", 0.05, "allowed fractional regression for simulated metrics (reply rate, p99)")
+	timeTol := flag.Float64("time-tolerance", 1.0, "allowed fractional regression for wall-clock ns/op (1.0 = fail past 2x: a gross-slowdown tripwire, since wall clock jitters even same-machine); 0 disables the wall-clock gate (use when baseline and candidate ran on different machines)")
+	quiet := flag.Bool("quiet", false, "suppress per-point progress output on stderr")
+	flag.Parse()
+
+	switch {
+	case *emitPath != "":
+		if err := emit(*emitPath, *connections, *seed, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+	case *baselinePath != "" && *candidatePath != "":
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		candidate, err := load(*candidatePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if n := gate(baseline, candidate, *tol, *timeTol); n > 0 {
+			fmt.Printf("benchgate: %d regression(s) against %s\n", n, *baselinePath)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: no regressions against %s (%d entries)\n", *baselinePath, len(baseline.Entries))
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: use -emit OUT.json, or -baseline BASE.json -candidate NEW.json")
+		os.Exit(2)
+	}
+}

@@ -1,7 +1,9 @@
 // Command sweep runs the full evaluation: every figure of the paper (4-14),
-// the extension figures (15+, the epoll curves) and, optionally, the ablation
-// studies described in DESIGN.md. It prints each figure/ablation as a text
-// table, suitable for pasting into EXPERIMENTS.md.
+// the extension figures (15+, epoll and prefork scaling), the overload
+// figures (19+, reply rate and p99 latency past saturation under each
+// workload scenario) and, optionally, the ablation studies described in
+// DESIGN.md. It prints each figure/ablation as a text table, suitable for
+// pasting into EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	sweep -connections 35000       # the paper's full procedure (slow)
 //	sweep -figs 8,9,10             # a subset of figures
 //	sweep -figs 17,18 -workers 1,2,4   # just the prefork scaling figures
+//	sweep -figs 20,22 -percentiles     # overload figures with percentile tables
+//	sweep -workload slowloris -figs 12 # a paper figure under an adversarial workload
 //	sweep -ablation                # the ablation studies instead of figures
 package main
 
@@ -20,6 +24,7 @@ import (
 
 	"repro/internal/eventlib"
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 )
 
 func main() {
@@ -28,14 +33,22 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
 	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
 	backend := flag.String("backend", "", "re-run the figures' thttpd/hybrid/prefork curves on this eventlib backend")
+	workload := flag.String("workload", "", "run every point under this loadgen workload (see benchfig -list-workloads)")
+	percentiles := flag.Bool("percentiles", false, "append the per-point latency percentile table to every figure")
 	workers := flag.String("workers", "", "comma-separated worker counts for the scaling figures (default 1,2,4,8)")
 	seed := flag.Int64("seed", 1, "load generator seed")
-	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
+	quiet := flag.Bool("quiet", false, "suppress all progress output on stderr")
 	flag.Parse()
 
 	if *backend != "" {
 		if _, ok := eventlib.Lookup(*backend); !ok {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", eventlib.UnknownBackendError(*backend))
+			os.Exit(2)
+		}
+	}
+	if *workload != "" {
+		if _, ok := loadgen.LookupWorkload(*workload); !ok {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", loadgen.UnknownWorkloadError(*workload))
 			os.Exit(2)
 		}
 	}
@@ -45,8 +58,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	progress := func(format string, args ...interface{}) {
-		if !*quiet {
+	// With -quiet the progress callback stays nil everywhere, so nothing can
+	// reach stderr; without it every point prints one line.
+	var progress func(format string, args ...interface{})
+	if !*quiet {
+		progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
@@ -69,21 +85,28 @@ func main() {
 			wanted[part] = true
 		}
 	}
+	selected := func(id string, number int) bool {
+		return len(wanted) == 0 || wanted[fmt.Sprintf("%d", number)] || wanted[id]
+	}
 	for _, fig := range experiments.AllFigures() {
-		if len(wanted) > 0 && !wanted[fmt.Sprintf("%d", fig.Number)] && !wanted[fig.ID] {
+		if !selected(fig.ID, fig.Number) {
 			continue
 		}
 		res := experiments.RunFigure(fig, experiments.SweepOptions{
 			Connections: *connections,
 			Seed:        *seed,
 			Backend:     *backend,
+			Workload:    *workload,
 			Progress:    progress,
 		})
 		fmt.Println(experiments.Format(res))
+		if *percentiles {
+			fmt.Println(experiments.FormatPercentiles(res.Runs))
+		}
 	}
 
 	for _, fig := range experiments.WorkerFigures() {
-		if len(wanted) > 0 && !wanted[fmt.Sprintf("%d", fig.Number)] && !wanted[fig.ID] {
+		if !selected(fig.ID, fig.Number) {
 			continue
 		}
 		res := experiments.RunWorkerFigure(fig, experiments.WorkerSweepOptions{
@@ -91,8 +114,29 @@ func main() {
 			Workers:     workerCounts,
 			Seed:        *seed,
 			Backend:     *backend,
+			Workload:    *workload,
 			Progress:    progress,
 		})
 		fmt.Println(experiments.FormatWorkers(res))
+		if *percentiles {
+			fmt.Println(experiments.FormatPercentiles(res.Runs))
+		}
+	}
+
+	for _, fig := range experiments.OverloadFigures() {
+		if !selected(fig.ID, fig.Number) {
+			continue
+		}
+		res := experiments.RunOverloadFigure(fig.WithWorkerCounts(workerCounts), experiments.SweepOptions{
+			Connections: *connections,
+			Seed:        *seed,
+			Backend:     *backend,
+			Workload:    *workload,
+			Progress:    progress,
+		})
+		fmt.Println(experiments.FormatOverload(res))
+		if *percentiles {
+			fmt.Println(experiments.FormatPercentiles(res.Runs))
+		}
 	}
 }

@@ -192,6 +192,11 @@ type SweepOptions struct {
 	// event backend, hybrid curves their bulk poller. The name must be valid —
 	// callers validate it against the registry first.
 	Backend string
+	// Workload, when non-empty, re-runs every point under the named loadgen
+	// workload scenario (arrival process, background behavior, RTT mix). The
+	// name must be valid — callers validate it via loadgen.LookupWorkload
+	// first; Run panics on an unknown name, like Backend.
+	Workload string
 	// Seed for the load generator.
 	Seed int64
 	// Progress, when non-nil, receives a line per completed point.
@@ -259,6 +264,7 @@ func RunFigure(fig Figure, opts SweepOptions) FigureResult {
 				Inactive:    curve.Inactive,
 				Connections: connections,
 				Seed:        seed,
+				Workload:    opts.Workload,
 			}
 			res := Run(spec)
 			out.Runs = append(out.Runs, res)

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// OverloadFigure is a figure of the overload family: the request-rate sweep
+// is driven well past every mechanism's saturation point, each curve is
+// plotted as reply rate *and* p99 connection latency, and the whole figure
+// runs under one named workload scenario (loadgen.Workloads). This is the
+// measurement the paper's Figures 4-13 gesture at — reply rate flat, then
+// declining past the knee — extended with the latency-distribution lens and
+// the adversarial client behaviors the original testbed could not produce.
+type OverloadFigure struct {
+	ID     string
+	Number int
+	Title  string
+	Paper  string
+	// Workload names the loadgen scenario every point runs under.
+	Workload string
+	Rates    []float64
+	Curves   []Curve
+}
+
+// OverloadRates is the default overload sweep: from comfortably below a
+// uniprocessor's capacity to well past it, so the knee falls inside the
+// figure for every mechanism.
+func OverloadRates() []float64 {
+	return []float64{400, 700, 1000, 1300, 1600}
+}
+
+// overloadMechanismCurves returns the paper's four servers at the given
+// inactive load, the fixed curve set of the per-workload overload figures.
+func overloadMechanismCurves(inactive int) []Curve {
+	return []Curve{
+		{Label: "normal poll", Server: ServerThttpdPoll, Inactive: inactive},
+		{Label: "devpoll", Server: ServerThttpdDevPoll, Inactive: inactive},
+		{Label: "phhttpd", Server: ServerPhhttpd, Inactive: inactive},
+		{Label: "hybrid", Server: ServerHybrid, Inactive: inactive},
+	}
+}
+
+// OverloadFigures returns the overload figure family: one figure per
+// workload scenario over the paper's four mechanisms, plus the prefork
+// worker-count figure. Numbers continue after the worker-scaling figures so
+// identifiers stay unambiguous.
+func OverloadFigures() []OverloadFigure {
+	return []OverloadFigure{
+		{
+			ID:     "fig19",
+			Number: 19,
+			Title:  "Overload: constant arrivals past saturation, 251 inactive connections",
+			Paper: "The shape Figures 4-13 imply but never draw in full: reply rate tracks the offered " +
+				"load, flattens at each mechanism's capacity, then declines as retries and timeouts eat " +
+				"useful work, while p99 latency explodes at the knee.",
+			Workload: "constant",
+			Rates:    OverloadRates(),
+			Curves:   overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig20",
+			Number: 20,
+			Title:  "Overload: flash-crowd burst trains, 251 inactive connections",
+			Paper: "Not in the paper. Bursts at three times the nominal rate saturate every mechanism " +
+				"well before its constant-rate knee; the interest-set-scanning servers degrade soonest " +
+				"because each burst arrives on top of the idle-connection scan.",
+			Workload: "flashcrowd",
+			Rates:    OverloadRates(),
+			Curves:   overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig21",
+			Number: 21,
+			Title:  "Overload: heavy-tailed (Pareto) arrivals, 251 inactive connections",
+			Paper: "Not in the paper. Clumped arrivals with the same mean rate raise tail latency at " +
+				"every load; mechanisms with O(ready) waits absorb the clumps, poll() pays the full " +
+				"interest-set scan per clump.",
+			Workload: "pareto",
+			Rates:    OverloadRates(),
+			Curves:   overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig22",
+			Number: 22,
+			Title:  "Adversarial: slow-loris background population (251 tricklers)",
+			Paper: "Not in the paper. Unlike silent inactive connections, tricklers generate a steady " +
+				"event stream and defeat the idle sweep: every dribbled byte costs an interrupt, a " +
+				"readiness event and a read, so the background load taxes the event path itself.",
+			Workload: "slowloris",
+			Rates:    OverloadRates(),
+			Curves:   overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig23",
+			Number: 23,
+			Title:  "Adversarial: stalled-reader background population (251 stalled)",
+			Paper: "Not in the paper. Stalled readers make the server do the full accept/parse/serve " +
+				"work, then jam its response against a closed receive window: each one holds a " +
+				"descriptor, an interest-set entry and a blocked write until the idle sweep evicts it.",
+			Workload: "stalled",
+			Rates:    OverloadRates(),
+			Curves:   overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig24",
+			Number: 24,
+			Title:  "Overload: WAN RTT mix, 251 inactive connections",
+			Paper: "Not in the paper, whose clients sit on a uniform LAN. Wide-area RTTs stretch " +
+				"connection lifetimes, so the server holds many more concurrent connections at the " +
+				"same offered rate and the p99 is dominated by the slow-path tail.",
+			Workload: "wan",
+			Rates:    OverloadRates(),
+			Curves:   overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig25",
+			Number: 25,
+			Title:  "Overload: prefork worker counts under flash-crowd bursts, 500 inactive connections",
+			Paper: "Not in the paper. Adding workers moves the knee to the right near-linearly: the " +
+				"offered rate at which reply rate departs the diagonal and p99 departs the floor " +
+				"roughly doubles from one to two to four workers.",
+			Workload: "flashcrowd",
+			Rates:    []float64{1000, 2000, 3000, 4000},
+			Curves: []Curve{
+				{Label: "prefork-1", Server: PreforkKind(1), Inactive: 500},
+				{Label: "prefork-2", Server: PreforkKind(2), Inactive: 500},
+				{Label: "prefork-4", Server: PreforkKind(4), Inactive: 500},
+			},
+		},
+	}
+}
+
+// OverloadFigureByID looks an overload figure up by identifier ("fig19") or
+// bare number ("19").
+func OverloadFigureByID(id string) (OverloadFigure, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, f := range OverloadFigures() {
+		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
+			return f, true
+		}
+	}
+	return OverloadFigure{}, false
+}
+
+// WithWorkerCounts rebuilds the figure's curves for the given worker counts,
+// honoring the tools' -workers flag on the prefork overload figure; figures
+// without prefork curves (and empty counts) pass through unchanged.
+func (f OverloadFigure) WithWorkerCounts(counts []int) OverloadFigure {
+	if len(counts) == 0 {
+		return f
+	}
+	inactive := -1
+	for _, c := range f.Curves {
+		if strings.HasPrefix(string(c.Server), "prefork-") {
+			inactive = c.Inactive
+			break
+		}
+	}
+	if inactive < 0 {
+		return f
+	}
+	curves := make([]Curve, 0, len(counts))
+	for _, n := range counts {
+		curves = append(curves, Curve{
+			Label:    fmt.Sprintf("prefork-%d", n),
+			Server:   PreforkKind(n),
+			Inactive: inactive,
+		})
+	}
+	f.Curves = curves
+	return f
+}
+
+// OverloadFigureResult holds one regenerated overload figure: two series per
+// curve (reply-rate average and p99 latency) plus the raw runs.
+type OverloadFigureResult struct {
+	Figure OverloadFigure
+	Series []metrics.Series
+	Runs   []RunResult
+}
+
+// RunOverloadFigure regenerates one overload figure. SweepOptions are honored
+// as for RunFigure; opts.Workload, when non-empty, overrides the figure's own
+// workload (re-running fig19's curves under another scenario).
+func RunOverloadFigure(fig OverloadFigure, opts SweepOptions) OverloadFigureResult {
+	rates := fig.Rates
+	if len(opts.Rates) > 0 {
+		rates = opts.Rates
+	}
+	connections := opts.Connections
+	if connections <= 0 {
+		connections = 4000
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	workload := fig.Workload
+	if opts.Workload != "" {
+		workload = opts.Workload
+	}
+	out := OverloadFigureResult{Figure: fig}
+	for _, curve := range fig.Curves {
+		if opts.Backend != "" {
+			kind, err := RetargetKind(curve.Server, opts.Backend)
+			if err != nil {
+				panic(err)
+			}
+			if kind != curve.Server {
+				curve.Label += " [" + string(kind) + "]"
+				curve.Server = kind
+			}
+		}
+		reply := metrics.Series{Label: curve.Label + " (reply avg)", XLabel: "request rate", YLabel: MetricReplyRate.String()}
+		p99 := metrics.Series{Label: curve.Label + " (p99 ms)", XLabel: "request rate", YLabel: "p99 connection time (ms)"}
+		for _, rate := range rates {
+			spec := RunSpec{
+				Server:      curve.Server,
+				RequestRate: rate,
+				Inactive:    curve.Inactive,
+				Connections: connections,
+				Seed:        seed,
+				Workload:    workload,
+			}
+			res := Run(spec)
+			out.Runs = append(out.Runs, res)
+			reply.Append(rate, res.Load.ReplyRate.Mean)
+			p99.Append(rate, res.Latency.P99)
+			if opts.Progress != nil {
+				opts.Progress("%s [%s] %s", fig.ID, workload, Describe(res))
+			}
+		}
+		out.Series = append(out.Series, reply, p99)
+	}
+	return out
+}
+
+// FormatOverload renders an overload figure result as an aligned text table,
+// the shape Format gives the paper's figures.
+func FormatOverload(res OverloadFigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE %d (%s): %s\n", res.Figure.Number, res.Figure.ID, res.Figure.Title)
+	fmt.Fprintf(&b, "paper: %s\n", res.Figure.Paper)
+	workload := res.Figure.Workload
+	if len(res.Runs) > 0 && res.Runs[0].Spec.Workload != "" {
+		workload = res.Runs[0].Spec.Workload
+	}
+	fmt.Fprintf(&b, "metric: reply rate and p99 connection time vs offered load, workload %s\n", workload)
+
+	xs := map[float64]bool{}
+	for _, s := range res.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	rates := make([]float64, 0, len(xs))
+	for x := range xs {
+		rates = append(rates, x)
+	}
+	sort.Float64s(rates)
+
+	// Backend retargeting lengthens curve labels; widen every column to the
+	// longest so the header stays over its data.
+	width := 26
+	for _, s := range res.Series {
+		if len(s.Label)+2 > width {
+			width = len(s.Label) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-12s", "rate")
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, "%*s", width, s.Label)
+	}
+	b.WriteString("\n")
+	for _, rate := range rates {
+		fmt.Fprintf(&b, "%-12.0f", rate)
+		for _, s := range res.Series {
+			if y, ok := s.YAt(rate); ok {
+				fmt.Fprintf(&b, "%*.1f", width, y)
+			} else {
+				fmt.Fprintf(&b, "%*s", width, "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatPercentiles renders the per-point latency-percentile table the
+// -percentiles flag appends below a figure: the client-observed connection
+// distribution next to the server-side service distribution for every run.
+func FormatPercentiles(runs []RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %6s %6s %10s | %9s %9s %9s %9s %9s | %9s %9s\n",
+		"server", "rate", "load", "workload",
+		"p50 ms", "p90 ms", "p99 ms", "p999 ms", "max ms", "svc p99", "svc p999")
+	for _, r := range runs {
+		wl := r.Spec.Workload
+		if wl == "" {
+			wl = "constant"
+		}
+		fmt.Fprintf(&b, "%-18s %6.0f %6d %10s | %9.2f %9.2f %9.2f %9.2f %9.2f | %9.2f %9.2f\n",
+			r.Spec.Server, r.Spec.RequestRate, r.Spec.Inactive, wl,
+			r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999, r.Latency.Max,
+			r.ServiceLatency.P99, r.ServiceLatency.P999)
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/epoll"
 	"repro/internal/eventlib"
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/servers/httpcore"
 	"repro/internal/servers/hybrid"
@@ -194,6 +195,10 @@ type RunSpec struct {
 	// curve shapes because the run is long enough to reach steady state).
 	Connections int
 	Seed        int64
+	// Workload names the loadgen workload scenario (arrival process,
+	// background-population behavior, RTT distribution); empty selects the
+	// paper's constant workload. See loadgen.Workloads.
+	Workload string
 
 	// Cost optionally overrides the calibrated cost model (ablations).
 	Cost *simkernel.CostModel
@@ -253,6 +258,14 @@ type RunResult struct {
 	SwitchesToPoll   int64
 	SwitchesToSignal int64
 
+	// Latency is the client-observed connection-latency percentile summary
+	// (identical to Load.Latency, surfaced here so figure and gate tooling
+	// need not reach into the loadgen result); ServiceLatency is the
+	// server-side accept-to-response-written distribution measured inside
+	// the dispatch path, merged across prefork workers.
+	Latency        metrics.LatencyPercentiles
+	ServiceLatency metrics.LatencyPercentiles
+
 	// CPUUtilization is the mean per-CPU utilisation over each CPU's work
 	// window — identical to the single CPU's utilisation on a uniprocessor
 	// run. PerCPUUtilization holds the per-core values; Workers the prefork
@@ -283,6 +296,7 @@ func (r thttpdRun) fill(res *RunResult) {
 	}
 	res.EventLoops = r.Loops()
 	res.FinalMode = r.Poller().Name()
+	res.ServiceLatency = r.Handler().ServiceLatency.Percentiles()
 }
 
 type phhttpdRun struct{ *phhttpd.Server }
@@ -294,6 +308,7 @@ func (r phhttpdRun) fill(res *RunResult) {
 	res.FinalMode = r.Mode().String()
 	res.Overflows = r.Overflows
 	res.Handoffs = r.Handoffs
+	res.ServiceLatency = r.Handler().ServiceLatency.Percentiles()
 }
 
 type preforkRun struct{ *prefork.Server }
@@ -306,6 +321,8 @@ func (r preforkRun) fill(res *RunResult) {
 	res.Workers = r.Config().Workers
 	res.PerWorkerServed = r.PerWorkerServed()
 	res.Handoffs = r.Handoffs
+	merged := r.ServiceLatency()
+	res.ServiceLatency = merged.Percentiles()
 }
 
 type hybridRun struct{ *hybrid.Server }
@@ -319,6 +336,7 @@ func (r hybridRun) fill(res *RunResult) {
 	res.FinalMode = r.ModeName()
 	res.SwitchesToPoll = r.SwitchesToPoll
 	res.SwitchesToSignal = r.SwitchesToSignal
+	res.ServiceLatency = r.Handler().ServiceLatency.Percentiles()
 }
 
 // buildServer constructs the server a resolved kind names.
@@ -404,6 +422,10 @@ func RunE(spec RunSpec) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	workload, ok := loadgen.LookupWorkload(spec.Workload)
+	if !ok {
+		return RunResult{}, loadgen.UnknownWorkloadError(spec.Workload)
+	}
 	if spec.Connections <= 0 {
 		spec.Connections = 4000
 	}
@@ -426,6 +448,7 @@ func RunE(spec RunSpec) (RunResult, error) {
 	lcfg := loadgen.DefaultConfig(spec.RequestRate, spec.Inactive)
 	lcfg.Connections = spec.Connections
 	lcfg.Seed = spec.Seed
+	lcfg.Workload = workload
 	// Scaled-down runs (fewer than the paper's 35000 connections) shrink the
 	// sampling interval and the client timeout proportionally, so that the
 	// ratio of queue-buildup time to client patience — which is what turns an
@@ -482,6 +505,7 @@ func RunE(spec RunSpec) (RunResult, error) {
 		res.CPUUtilization += u
 	}
 	res.CPUUtilization /= float64(len(res.PerCPUUtilization))
+	res.Latency = res.Load.Latency
 	srv.fill(&res)
 	return res, nil
 }

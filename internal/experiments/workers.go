@@ -119,6 +119,9 @@ type WorkerSweepOptions struct {
 	// Backend, when non-empty, re-parameterises every curve's per-worker
 	// event backend. The name must be registry-valid.
 	Backend string
+	// Workload, when non-empty, runs every point under the named loadgen
+	// workload scenario; the name must be valid (loadgen.LookupWorkload).
+	Workload string
 	// Seed for the load generator.
 	Seed int64
 	// Progress, when non-nil, receives a line per completed point.
@@ -174,6 +177,7 @@ func RunWorkerFigure(fig WorkerFigure, opts WorkerSweepOptions) WorkerFigureResu
 				Inactive:    fig.Inactive,
 				Connections: connections,
 				Seed:        seed,
+				Workload:    opts.Workload,
 				Network:     &netCfg,
 				PreforkMode: curve.Mode,
 			}

@@ -12,6 +12,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -64,6 +65,10 @@ type Config struct {
 	Seed int64
 	// Jitter is the fraction of the inter-arrival gap randomised (0..1).
 	Jitter float64
+	// Workload selects the arrival process, the background-population
+	// behavior and the client RTT distribution. The zero value is the
+	// paper's workload (constant arrivals, silent inactive clients, LAN).
+	Workload Workload
 }
 
 // DefaultConfig returns the paper's workload shape at the given request rate
@@ -106,6 +111,12 @@ type Result struct {
 	P90LatencyMs    float64
 	MaxLatencyMs    float64
 
+	// Latency is the percentile summary (p50/p90/p99/p999) of the same
+	// completed-connection latencies, derived from the generator's fixed
+	// bucket histogram — the distribution lens the overload figures plot
+	// next to reply rate.
+	Latency metrics.LatencyPercentiles
+
 	// ErrorPercent is the percentage of benchmark connections that failed
 	// (Figure 10).
 	ErrorPercent float64
@@ -139,6 +150,7 @@ type Generator struct {
 	errorsBy  map[ErrorReason]int
 
 	latenciesMs []float64
+	hist        metrics.LatencyHist
 	sampler     *metrics.RateSampler
 
 	inactive []*inactiveClient
@@ -210,7 +222,7 @@ func (g *Generator) Start(now core.Time) {
 	g.running = true
 
 	for i := 0; i < g.cfg.InactiveConnections; i++ {
-		ic := &inactiveClient{gen: g, id: i}
+		ic := &inactiveClient{gen: g, id: i, kind: g.cfg.Workload.Background}
 		g.inactive = append(g.inactive, ic)
 		// Stagger inactive connection setup over the first 200 ms so the
 		// listener backlog is not hit by a synchronised burst.
@@ -218,7 +230,6 @@ func (g *Generator) Start(now core.Time) {
 		g.k.Sim.At(now.Add(delay), ic.open)
 	}
 
-	interval := core.Duration(float64(core.Second) / g.cfg.RequestRate)
 	at := now
 	if g.cfg.InactiveConnections > 0 {
 		// The paper's procedure establishes the inactive population before the
@@ -230,13 +241,22 @@ func (g *Generator) Start(now core.Time) {
 	// the benchmark load begins, not when the inactive population is set up.
 	g.started = at
 	g.sampler.Start(at)
+	switch g.cfg.Workload.Arrival {
+	case ArrivalFlashCrowd:
+		g.scheduleFlashCrowd(now, at)
+	case ArrivalPareto:
+		g.schedulePareto(now, at)
+	default:
+		g.scheduleConstant(now, at)
+	}
+}
+
+// scheduleConstant is the paper's open-loop schedule: fixed inter-arrival
+// interval with uniform jitter.
+func (g *Generator) scheduleConstant(now, at core.Time) {
+	interval := core.Duration(float64(core.Second) / g.cfg.RequestRate)
 	for i := 0; i < g.cfg.Connections; i++ {
-		jitter := core.Duration(0)
-		if g.cfg.Jitter > 0 {
-			span := float64(interval) * g.cfg.Jitter
-			jitter = core.Duration((g.rng.Float64() - 0.5) * span)
-		}
-		launch := at.Add(jitter)
+		launch := at.Add(g.jitterFor(interval))
 		if launch < now {
 			launch = now
 		}
@@ -245,11 +265,93 @@ func (g *Generator) Start(now core.Time) {
 	}
 }
 
+// scheduleFlashCrowd issues burst trains: BurstFactor times the configured
+// rate for BurstDuration out of every BurstPeriod, with the quiet phase
+// derated so the long-run mean rate is preserved.
+func (g *Generator) scheduleFlashCrowd(now, at core.Time) {
+	wl := g.cfg.Workload
+	period := wl.BurstPeriod
+	if period <= 0 {
+		period = 2 * core.Second
+	}
+	burst := wl.BurstDuration
+	if burst <= 0 || burst >= period {
+		burst = period / 4
+	}
+	factor := wl.BurstFactor
+	if factor <= 1 {
+		factor = 3
+	}
+	rate := g.cfg.RequestRate
+	burstRate := rate * factor
+	// Solve rate*period = burstRate*burst + quietRate*(period-burst); a
+	// factor too large for the period leaves nothing for the quiet phase, so
+	// clamp it to a trickle rather than schedule backwards.
+	quietRate := rate * (period.Seconds() - factor*burst.Seconds()) / (period.Seconds() - burst.Seconds())
+	if quietRate < rate/100 {
+		quietRate = rate / 100
+	}
+	offset := core.Duration(0)
+	for i := 0; i < g.cfg.Connections; i++ {
+		r := burstRate
+		if offset%period >= burst {
+			r = quietRate
+		}
+		interval := core.Duration(float64(core.Second) / r)
+		launch := at.Add(offset).Add(g.jitterFor(interval))
+		if launch < now {
+			launch = now
+		}
+		g.k.Sim.At(launch, g.launchOne)
+		offset += interval
+	}
+}
+
+// schedulePareto draws inter-arrival gaps from a Pareto distribution with
+// shape alpha and scale chosen so the mean gap is 1/rate: the heavy-tailed
+// clumping of real web traffic. Gaps are capped at one hundred mean gaps so a
+// single extreme draw cannot stall the run.
+func (g *Generator) schedulePareto(now, at core.Time) {
+	alpha := g.cfg.Workload.ParetoAlpha
+	if alpha <= 1.05 {
+		alpha = 1.5
+	}
+	mean := 1 / g.cfg.RequestRate // seconds
+	xm := mean * (alpha - 1) / alpha
+	offset := core.Duration(0)
+	for i := 0; i < g.cfg.Connections; i++ {
+		launch := at.Add(offset)
+		if launch < now {
+			launch = now
+		}
+		g.k.Sim.At(launch, g.launchOne)
+		u := 1 - g.rng.Float64() // (0, 1]
+		gap := xm / math.Pow(u, 1/alpha)
+		if gap > 100*mean {
+			gap = 100 * mean
+		}
+		offset += core.Duration(gap * float64(core.Second))
+	}
+}
+
+// jitterFor draws the uniform schedule jitter for one inter-arrival interval.
+func (g *Generator) jitterFor(interval core.Duration) core.Duration {
+	if g.cfg.Jitter <= 0 {
+		return 0
+	}
+	span := float64(interval) * g.cfg.Jitter
+	return core.Duration((g.rng.Float64() - 0.5) * span)
+}
+
 // launchOne starts a single benchmark connection.
 func (g *Generator) launchOne(now core.Time) {
 	g.issued++
+	rtt := g.cfg.ActiveRTT
+	if len(g.cfg.Workload.RTTMix) > 0 {
+		rtt = netsim.SampleRTT(g.cfg.Workload.RTTMix, g.rng.Float64())
+	}
 	ac := &activeConn{gen: g, started: now}
-	ac.conn = g.net.Connect(now, netsim.ConnectOptions{RTT: g.cfg.ActiveRTT}, netsim.Handlers{
+	ac.conn = g.net.Connect(now, netsim.ConnectOptions{RTT: rtt}, netsim.Handlers{
 		OnConnected:  ac.onConnected,
 		OnRefused:    ac.onRefused,
 		OnData:       ac.onData,
@@ -265,6 +367,7 @@ func (g *Generator) recordCompletion(started, now core.Time) {
 	g.resolved++
 	g.sampler.Record(now)
 	g.latenciesMs = append(g.latenciesMs, now.Sub(started).Milliseconds())
+	g.hist.Observe(now.Sub(started))
 	g.maybeFinish(now)
 }
 
@@ -325,8 +428,13 @@ func (g *Generator) Result() Result {
 		sort.Float64s(sorted)
 		res.MaxLatencyMs = sorted[len(sorted)-1]
 	}
+	res.Latency = g.hist.Percentiles()
 	return res
 }
+
+// LatencyHistogram exposes the completed-connection latency histogram (for
+// tests and percentile tooling).
+func (g *Generator) LatencyHistogram() *metrics.LatencyHist { return &g.hist }
 
 func copyReasons(m map[ErrorReason]int) map[ErrorReason]int {
 	out := make(map[ErrorReason]int, len(m))
@@ -395,12 +503,17 @@ func (a *activeConn) onTimeout(now core.Time) {
 	a.gen.recordError(ErrTimeout, now)
 }
 
-// inactiveClient keeps one perpetually incomplete connection open against the
-// server, reopening it whenever it is refused or timed out, so the server's
-// interest set always contains the configured number of idle descriptors.
+// inactiveClient keeps one perpetually unserviceable connection open against
+// the server, reopening it whenever it is refused or timed out, so the
+// adversarial population stays constant. Its behavior after connecting
+// depends on the workload's BackgroundKind: stay silent with a partial
+// request (the paper's inactive load), trickle request bytes forever
+// (slow-loris), or request the document and never drain the response
+// (stalled reader).
 type inactiveClient struct {
 	gen     *Generator
 	id      int
+	kind    BackgroundKind
 	conn    *netsim.ClientConn
 	reopens int
 }
@@ -409,7 +522,16 @@ func (ic *inactiveClient) open(now core.Time) {
 	if ic.gen.done {
 		return
 	}
-	ic.conn = ic.gen.net.Connect(now, netsim.ConnectOptions{RTT: ic.gen.cfg.InactiveRTT}, netsim.Handlers{
+	opts := netsim.ConnectOptions{RTT: ic.gen.cfg.InactiveRTT}
+	if ic.kind == BackgroundStalledReader {
+		window := ic.gen.cfg.Workload.StallWindow
+		if window <= 0 {
+			window = 512
+		}
+		opts.RecvWindow = window
+		opts.StallReads = true
+	}
+	ic.conn = ic.gen.net.Connect(now, opts, netsim.Handlers{
 		OnConnected:  ic.onConnected,
 		OnRefused:    ic.onClosedOrRefused,
 		OnPeerClosed: func(t core.Time) { ic.onClosedOrRefused(t, netsim.RefusedReset) },
@@ -417,10 +539,44 @@ func (ic *inactiveClient) open(now core.Time) {
 }
 
 func (ic *inactiveClient) onConnected(now core.Time) {
-	// Send a deliberately incomplete request so the server parks the
-	// connection in its interest set.
-	ic.conn.Send(now, httpsim.FormatPartialRequest(ic.gen.cfg.DocumentPath))
+	switch ic.kind {
+	case BackgroundSlowLoris:
+		// Open with the incomplete request, then keep dribbling bytes so the
+		// idle sweep never reclaims the connection.
+		ic.conn.Send(now, httpsim.FormatPartialRequest(ic.gen.cfg.DocumentPath))
+		ic.scheduleTrickle(now, ic.conn)
+	case BackgroundStalledReader:
+		// A complete request: the server does the full parse-and-serve work,
+		// then its response jams against the never-draining window.
+		ic.conn.Send(now, ic.gen.request)
+	default:
+		// Send a deliberately incomplete request so the server parks the
+		// connection in its interest set.
+		ic.conn.Send(now, httpsim.FormatPartialRequest(ic.gen.cfg.DocumentPath))
+	}
 }
+
+// scheduleTrickle arms the next slow-loris byte for the given connection. The
+// loop is bound to one connection instance: after a reopen, the stale loop
+// notices the connection changed and dies, and onConnected starts a new one.
+func (ic *inactiveClient) scheduleTrickle(now core.Time, conn *netsim.ClientConn) {
+	interval := ic.gen.cfg.Workload.TrickleInterval
+	if interval <= 0 {
+		interval = 250 * core.Millisecond
+	}
+	ic.gen.k.Sim.At(now.Add(interval), func(t core.Time) {
+		if ic.gen.done || ic.conn != conn || conn.State() != netsim.StateEstablished {
+			return
+		}
+		conn.Send(t, trickleByte)
+		ic.scheduleTrickle(t, conn)
+	})
+}
+
+// trickleByte is the one-byte payload a slow-loris client dribbles: header
+// filler that never completes the request (the parser only gives up at its
+// request-size cap, which takes tens of virtual minutes at trickle pace).
+var trickleByte = []byte("a")
 
 func (ic *inactiveClient) onClosedOrRefused(now core.Time, _ netsim.RefuseReason) {
 	if ic.gen.done {

@@ -1,0 +1,51 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRegistry(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 6 || ws[0].Name != "constant" {
+		t.Fatalf("registry malformed: %+v", ws)
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if w.Name == "" || w.Description == "" {
+			t.Fatalf("unnamed workload: %+v", w)
+		}
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestLookupWorkload(t *testing.T) {
+	if w, ok := LookupWorkload(""); !ok || w.Arrival != ArrivalConstant || w.Background != BackgroundInactive {
+		t.Fatalf("empty name must select the paper's workload, got %+v ok=%v", w, ok)
+	}
+	if w, ok := LookupWorkload("slowloris"); !ok || w.Background != BackgroundSlowLoris {
+		t.Fatalf("slowloris lookup failed: %+v ok=%v", w, ok)
+	}
+	if _, ok := LookupWorkload("nope"); ok {
+		t.Fatal("unknown workload resolved")
+	}
+	err := UnknownWorkloadError("nope")
+	msg := err.Error()
+	for _, w := range Workloads() {
+		if !strings.Contains(msg, w.Name) {
+			t.Fatalf("error %q does not list workload %s", msg, w.Name)
+		}
+	}
+}
+
+func TestWorkloadKindStrings(t *testing.T) {
+	if ArrivalConstant.String() != "constant" || ArrivalFlashCrowd.String() != "flash-crowd" || ArrivalPareto.String() != "pareto" {
+		t.Fatal("ArrivalKind strings wrong")
+	}
+	if BackgroundInactive.String() != "inactive" || BackgroundSlowLoris.String() != "slow-loris" || BackgroundStalledReader.String() != "stalled-reader" {
+		t.Fatal("BackgroundKind strings wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestHistIndexBoundaries pins the log-linear layout: exact buckets below 32,
+// 32 sub-buckets per power of two above, contiguous and monotone.
+func TestHistIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		us  int64
+		idx int
+	}{
+		{0, 0}, {1, 1}, {31, 31}, // exact region
+		{32, 32}, {63, 63}, // first binary order: one µs per bucket
+		{64, 64}, {65, 64}, {66, 65}, // second order: 2 µs per bucket
+		{127, 95}, {128, 96}, // order boundary
+		{1 << 20, 16 * histSubs},     // 1 s region lower bound
+		{1<<20 + 1, 16 * histSubs},   // same bucket
+		{1<<21 - 1, 17*histSubs - 1}, // last bucket of that order
+	}
+	for _, c := range cases {
+		if got := histIndex(c.us); got != c.idx {
+			t.Errorf("histIndex(%d) = %d, want %d", c.us, got, c.idx)
+		}
+	}
+}
+
+// TestHistIndexMonotoneContiguous sweeps a wide range and checks the mapping
+// never decreases and never skips more than one bucket.
+func TestHistIndexMonotoneContiguous(t *testing.T) {
+	prev := histIndex(0)
+	for us := int64(1); us < 1<<22; us++ {
+		idx := histIndex(us)
+		if idx < prev || idx > prev+1 {
+			t.Fatalf("histIndex not contiguous at %d µs: %d -> %d", us, prev, idx)
+		}
+		prev = idx
+	}
+}
+
+// TestHistBoundsRoundTrip verifies every value maps into a bucket whose
+// bounds contain it, and that bucket bounds tile the axis without gaps.
+func TestHistBoundsRoundTrip(t *testing.T) {
+	for idx := 0; idx < histBuckets-1; idx++ {
+		lo, hi := histBoundsUs(idx)
+		if hi <= lo {
+			t.Fatalf("bucket %d: empty range [%d,%d)", idx, lo, hi)
+		}
+		if got := histIndex(lo); got != idx {
+			t.Fatalf("histIndex(lo=%d) = %d, want %d", lo, got, idx)
+		}
+		if got := histIndex(hi - 1); got != idx {
+			t.Fatalf("histIndex(hi-1=%d) = %d, want %d", hi-1, got, idx)
+		}
+		nlo, _ := histBoundsUs(idx + 1)
+		if nlo != hi {
+			t.Fatalf("gap between bucket %d (hi=%d) and %d (lo=%d)", idx, hi, idx+1, nlo)
+		}
+	}
+}
+
+// TestHistRelativeError confirms the layout's ~3% relative-resolution claim:
+// a bucket's width never exceeds 1/32 of its lower bound (above the exact
+// region).
+func TestHistRelativeError(t *testing.T) {
+	for idx := histSubs; idx < histBuckets-1; idx++ {
+		lo, hi := histBoundsUs(idx)
+		if (hi-lo)*histSubs > lo {
+			t.Fatalf("bucket %d [%d,%d): width %d exceeds lo/32", idx, lo, hi, hi-lo)
+		}
+	}
+}
+
+func TestHistQuantileEdgeCases(t *testing.T) {
+	var h LatencyHist
+	if h.QuantileMs(0.5) != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram must report zero quantiles")
+	}
+
+	h.Observe(7 * core.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.QuantileMs(q)
+		if got < 6.9 || got > 7.1 {
+			t.Fatalf("single-sample quantile(%v) = %v, want ~7ms", q, got)
+		}
+	}
+
+	// Out-of-range q clamps to the exact extremes.
+	h.Observe(1 * core.Millisecond)
+	if got := h.QuantileMs(-3); got != h.MinMs() {
+		t.Fatalf("quantile(-3) = %v, want min %v", got, h.MinMs())
+	}
+	if got := h.QuantileMs(42); got != h.MaxMs() {
+		t.Fatalf("quantile(42) = %v, want max %v", got, h.MaxMs())
+	}
+}
+
+func TestHistQuantileOrdering(t *testing.T) {
+	var h LatencyHist
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		h.Observe(core.Duration(rng.Int63n(int64(2 * core.Second))))
+	}
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		v := h.QuantileMs(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+	p := h.Percentiles()
+	if p.Count != 10000 || p.P50 > p.P90 || p.P90 > p.P99 || p.P99 > p.P999 || p.P999 > p.Max {
+		t.Fatalf("percentile summary not ordered: %+v", p)
+	}
+}
+
+// TestHistQuantileAccuracy checks the interpolated quantile lands within the
+// layout's relative-error bound of the exact empirical quantile.
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h LatencyHist
+	n := 5000
+	for i := 1; i <= n; i++ {
+		h.Observe(core.Duration(i) * core.Millisecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := float64(int(q * float64(n))) // ms, to within one sample
+		got := h.QuantileMs(q)
+		if got < exact*0.95 || got > exact*1.05 {
+			t.Fatalf("quantile(%v) = %.2fms, want within 5%% of %.0fms", q, got, exact)
+		}
+	}
+}
+
+// TestHistMerge verifies merging two histograms is exactly equivalent to
+// observing every sample into one.
+func TestHistMerge(t *testing.T) {
+	var all, a, b LatencyHist
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		d := core.Duration(rng.Int63n(int64(10 * core.Second)))
+		all.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if !reflect.DeepEqual(&all, &a) {
+		t.Fatalf("merge(a,b) differs from observing all samples directly:\nall=%+v\n  a=%+v", all.Percentiles(), a.Percentiles())
+	}
+
+	// Merging an empty or nil histogram changes nothing.
+	before := a
+	a.Merge(&LatencyHist{})
+	a.Merge(nil)
+	if !reflect.DeepEqual(before, a) {
+		t.Fatalf("merging an empty histogram changed state")
+	}
+}
+
+func TestHistObserveClampsNegative(t *testing.T) {
+	var h LatencyHist
+	h.Observe(-5 * core.Second)
+	if h.Count() != 1 || h.MaxMs() != 0 || h.QuantileMs(0.5) != 0 {
+		t.Fatalf("negative observation must clamp to zero: %+v", h.Percentiles())
+	}
+}
+
+// TestHistDeterminism: two histograms fed the same sequence are DeepEqual —
+// the property the experiment determinism suite relies on.
+func TestHistDeterminism(t *testing.T) {
+	run := func() *LatencyHist {
+		var h LatencyHist
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 1000; i++ {
+			h.Observe(core.Duration(rng.Int63n(int64(core.Minute))))
+		}
+		return &h
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical observation sequences produced different histograms")
+	}
+}

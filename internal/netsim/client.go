@@ -59,6 +59,20 @@ type ConnectOptions struct {
 	// selects the network's default (LAN) RTT. The paper's inactive clients
 	// use a large RTT to model modem-attached users.
 	RTT core.Duration
+	// RecvWindow is the client's advertised receive window in bytes; zero
+	// means unlimited (the paper's workload, where clients always drain).
+	// With a finite window the server's writes only progress as fast as the
+	// client application consumes: each delivered byte occupies the window
+	// until the client reads it, and the window update travels half an RTT
+	// back before the server sees POLLOUT again.
+	RecvWindow int
+	// StallReads makes the client application never consume delivered bytes:
+	// the receive window, once filled, never reopens. Combined with a small
+	// RecvWindow this is the classic stalled-reader (slow-read) adversary —
+	// the server's response jams after RecvWindow bytes and the connection
+	// occupies a descriptor, an interest-set entry and a blocked write until
+	// the server's idle sweep gives up on it.
+	StallReads bool
 }
 
 // ClientConn is the client-side endpoint of a simulated TCP connection.
@@ -76,6 +90,7 @@ type ClientConn struct {
 	portHeld      bool
 	peerClosed    bool
 	closedLocal   bool
+	stallReads    bool
 
 	// StartedAt is when Connect was called; loadgen uses it for latency.
 	StartedAt core.Time
@@ -88,7 +103,7 @@ func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *Clien
 	if rtt <= 0 {
 		rtt = n.Cfg.DefaultRTT
 	}
-	c := &ClientConn{net: n, ID: n.connID(), rtt: rtt, handlers: h, state: StateConnecting, StartedAt: now}
+	c := &ClientConn{net: n, ID: n.connID(), rtt: rtt, handlers: h, state: StateConnecting, StartedAt: now, stallReads: opts.StallReads}
 	n.stats.ConnAttempts++
 
 	if !n.allocPort(now) {
@@ -118,7 +133,9 @@ func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *Clien
 		n.stats.SegmentsRx++
 		reason := RefusedClosed
 		if l != nil {
-			sc := &ServerConn{net: n, ID: c.ID, rtt: rtt, peer: c, owner: l.owner}
+			// The client's receive window is advertised in the handshake.
+			sc := &ServerConn{net: n, ID: c.ID, rtt: rtt, peer: c, owner: l.owner,
+				sndWindow: opts.RecvWindow, sndAvail: opts.RecvWindow}
 			if l.deliverSYN(t, sc) {
 				c.server = sc
 				n.stats.ConnEstablished++
@@ -212,6 +229,9 @@ func (c *ClientConn) refuse(now core.Time, reason RefuseReason) {
 }
 
 // scheduleData delivers response bytes to the client at the given instant.
+// A draining client (the normal case) consumes the bytes on arrival, and the
+// window update announcing the freed space reaches the server half an RTT
+// later; a stalled reader leaves the window occupied forever.
 func (c *ClientConn) scheduleData(at core.Time, n int) {
 	c.net.K.Sim.At(at, func(t core.Time) {
 		if c.closedLocal {
@@ -220,6 +240,17 @@ func (c *ClientConn) scheduleData(at core.Time, n int) {
 		c.bytesReceived += n
 		if c.handlers.OnData != nil {
 			c.handlers.OnData(t, n)
+		}
+		if !c.stallReads && c.server != nil && c.server.sndWindow > 0 {
+			server := c.server
+			net := c.net
+			c.net.K.Sim.At(t.Add(c.rtt/2), func(t2 core.Time) {
+				// The window update is an ACK segment: it costs the server an
+				// RX interrupt like any other arriving segment.
+				net.K.InterruptOn(server.irqCPU(), t2, net.K.Cost.NetRxIRQ, nil)
+				net.stats.SegmentsRx++
+				server.windowOpen(t2, n)
+			})
 		}
 	})
 }

@@ -1,0 +1,50 @@
+package netsim
+
+import "repro/internal/core"
+
+// RTTBand is one class of client path in an RTT mix: a relative weight and
+// the round-trip time clients in that band experience. The paper's testbed is
+// a uniform LAN; real WAN populations mix LAN-fast proxies, cable/DSL users
+// and intercontinental or modem paths, which is what stretches a server's
+// connection lifetimes and interest-set residency.
+type RTTBand struct {
+	Weight float64
+	RTT    core.Duration
+}
+
+// DefaultWANMix returns a deterministic wide-area RTT population, roughly the
+// shape of late-90s server logs: a fifth of clients nearby, a broad middle,
+// and a heavy slow tail.
+func DefaultWANMix() []RTTBand {
+	return []RTTBand{
+		{Weight: 0.20, RTT: 5 * core.Millisecond},   // regional/proxy
+		{Weight: 0.35, RTT: 40 * core.Millisecond},  // same-continent
+		{Weight: 0.30, RTT: 120 * core.Millisecond}, // intercontinental
+		{Weight: 0.15, RTT: 300 * core.Millisecond}, // modem / congested tail
+	}
+}
+
+// SampleRTT maps u (a uniform variate in [0,1), drawn by the caller from its
+// own seeded source so the choice stays deterministic) onto a band of the
+// mix. An empty mix returns zero, selecting the network's default RTT.
+func SampleRTT(mix []RTTBand, u float64) core.Duration {
+	if len(mix) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, b := range mix {
+		total += b.Weight
+	}
+	if total <= 0 {
+		return mix[0].RTT
+	}
+	target := u * total
+	acc := 0.0
+	for _, b := range mix {
+		acc += b.Weight
+		if target < acc {
+			return b.RTT
+		}
+	}
+	return mix[len(mix)-1].RTT
+}

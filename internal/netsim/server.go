@@ -66,6 +66,7 @@ func (l *Listener) deliverSYN(now core.Time, conn *ServerConn) bool {
 		l.Overflows++
 		return false
 	}
+	conn.EstablishedAt = now
 	l.acceptQ = append(l.acceptQ, conn)
 	if len(l.acceptQ) == 1 {
 		l.notify(now, core.POLLIN)
@@ -98,9 +99,22 @@ type ServerConn struct {
 	closedLocal bool   // server closed its end
 	accepted    bool
 
+	// sndWindow is the peer's advertised receive window (0 = unlimited, the
+	// paper's always-draining clients); sndAvail is how much of it is free.
+	// Writes only accept up to sndAvail bytes, POLLOUT is withheld while the
+	// window is closed, and window updates from a draining client reopen it.
+	sndWindow int
+	sndAvail  int
+
 	// lastDeliveryAt is the client-side arrival time of the last response data
 	// scheduled, used to keep FIN delivery ordered after the data.
 	lastDeliveryAt core.Time
+
+	// EstablishedAt is when the SYN was placed on the accept queue: the
+	// anchor for server-side service latency, so that time spent waiting in
+	// the backlog counts the same whether a server accepts eagerly (poll
+	// loops) or only once request data has arrived (edge-style RT signals).
+	EstablishedAt core.Time
 
 	notifier func(now core.Time, mask core.EventMask)
 }
@@ -117,7 +131,9 @@ func (c *ServerConn) Poll() core.EventMask {
 	if c.peerClosed {
 		m |= core.POLLIN | core.POLLHUP
 	}
-	m |= core.POLLOUT
+	if c.sndWindow == 0 || c.sndAvail > 0 {
+		m |= core.POLLOUT
+	}
 	return m
 }
 
@@ -168,6 +184,32 @@ func (c *ServerConn) deliverData(now core.Time, data []byte) {
 	}
 	c.rcvBuf = append(c.rcvBuf, data...)
 	c.notify(now, core.POLLIN)
+}
+
+// SendWindowAvail reports the free send-window space (-1 for an unlimited
+// window), exposed for tests.
+func (c *ServerConn) SendWindowAvail() int {
+	if c.sndWindow == 0 {
+		return -1
+	}
+	return c.sndAvail
+}
+
+// windowOpen is called by the network when a window update arrives: the
+// draining peer consumed n bytes. Reopening a fully closed window raises
+// POLLOUT, waking any write-interested poller.
+func (c *ServerConn) windowOpen(now core.Time, n int) {
+	if c.sndWindow == 0 || c.closedLocal {
+		return
+	}
+	was := c.sndAvail
+	c.sndAvail += n
+	if c.sndAvail > c.sndWindow {
+		c.sndAvail = c.sndWindow
+	}
+	if was == 0 && c.sndAvail > 0 {
+		c.notify(now, core.POLLOUT)
+	}
 }
 
 // deliverFIN is called by the network when the client's FIN arrives.
@@ -305,27 +347,43 @@ func (a *SockAPI) Read(fd *simkernel.FD, max int) (data []byte, eof bool) {
 	return data, eof
 }
 
-// Write queues n response bytes for transmission to the client. The CPU cost
-// is charged now; the bytes arrive at the client one link-transmission plus
-// half an RTT after the batch completes.
-func (a *SockAPI) Write(fd *simkernel.FD, n int) {
-	a.P.ChargeSyscall(a.K.Cost.WriteCost(n))
+// Write queues up to n response bytes for transmission to the client,
+// returning how many the socket accepted: all n with an unlimited peer window
+// (the paper's workload), only what fits in the free window otherwise — the
+// partial write a server must retry when POLLOUT returns. The CPU cost of the
+// accepted bytes is charged now; they arrive at the client one
+// link-transmission plus half an RTT after the batch completes.
+func (a *SockAPI) Write(fd *simkernel.FD, n int) int {
 	conn, isConn := fd.File().(*ServerConn)
 	if !isConn || fd.Closed() || n <= 0 || conn.closedLocal {
-		return
+		// The kernel still walks the write path before failing the call.
+		a.P.ChargeSyscall(a.K.Cost.WriteCost(n))
+		return 0
+	}
+	accepted := n
+	if conn.sndWindow > 0 {
+		if accepted > conn.sndAvail {
+			accepted = conn.sndAvail
+		}
+		conn.sndAvail -= accepted
+	}
+	a.P.ChargeSyscall(a.K.Cost.WriteCost(accepted))
+	if accepted <= 0 {
+		return 0 // window closed: EAGAIN
 	}
 	net := a.Net
 	a.P.Defer(func(done core.Time) {
-		arrival := done.Add(net.TransmitDelay(n)).Add(conn.rtt / 2)
+		arrival := done.Add(net.TransmitDelay(accepted)).Add(conn.rtt / 2)
 		if arrival < conn.lastDeliveryAt {
 			arrival = conn.lastDeliveryAt
 		}
 		conn.lastDeliveryAt = arrival
-		net.stats.BytesToClient += int64(n)
+		net.stats.BytesToClient += int64(accepted)
 		if conn.peer != nil {
-			conn.peer.scheduleData(arrival, n)
+			conn.peer.scheduleData(arrival, accepted)
 		}
 	})
+	return accepted
 }
 
 // Close releases the descriptor and sends a FIN to the client after the

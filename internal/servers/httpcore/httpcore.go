@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/httpsim"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
 )
@@ -52,6 +53,14 @@ type Conn struct {
 
 	OpenedAt     core.Time
 	LastActivity core.Time
+
+	// PendingWrite is how many response bytes the socket has not yet accepted
+	// (the peer's receive window closed mid-response). While positive the
+	// connection is parked on write interest; finishReason records how the
+	// connection should be closed once the response finally drains.
+	PendingWrite int
+	writeBlocked bool
+	finishReason CloseReason
 }
 
 // Handler implements the application layer of a static-content HTTP/1.0
@@ -76,9 +85,21 @@ type Handler struct {
 	// OnConnClose is called (inside the batch) just before a connection's
 	// descriptor is closed; the server unregisters it here.
 	OnConnClose func(fd int)
+	// OnWriteBlocked is called (inside the batch) when a response write could
+	// not complete because the peer's receive window closed; the event loop
+	// adds write interest for the descriptor so HandleWritable runs when the
+	// window reopens.
+	OnWriteBlocked func(fd int)
 
 	Conns map[int]*Conn
 	Stats Stats
+
+	// ServiceLatency is the server-side request-latency histogram: accept to
+	// response-fully-written, observed inside the dispatch batch that
+	// completes each request. The histogram is embedded (fixed buckets, no
+	// allocation per observation) so measuring it never perturbs the run it
+	// measures; prefork merges the per-worker histograms into one.
+	ServiceLatency metrics.LatencyHist
 }
 
 // NewHandler builds a handler with an empty connection table.
@@ -153,12 +174,12 @@ func (h *Handler) HandleReadable(now core.Time, fd int) {
 		complete, err := c.Parser.Feed(data)
 		if err != nil {
 			h.respondError(c, httpsim.StatusBadReq)
-			h.closeConn(c, CloseBadRequest)
+			h.finishResponse(now, c, CloseBadRequest)
 			return
 		}
 		if complete {
 			h.serve(c)
-			h.closeConn(c, CloseServed)
+			h.finishResponse(now, c, CloseServed)
 			return
 		}
 	}
@@ -166,6 +187,60 @@ func (h *Handler) HandleReadable(now core.Time, fd int) {
 		// The client went away before completing its request.
 		h.closeConn(c, CloseEOF)
 	}
+}
+
+// HandleWritable processes a writability event on a connection whose response
+// jammed against the peer's receive window: it retries the blocked tail and,
+// once the response has fully drained, closes the connection with the reason
+// recorded when the write first blocked. Events for unknown descriptors or
+// connections with nothing pending are ignored.
+func (h *Handler) HandleWritable(now core.Time, fd int) {
+	c, ok := h.Conns[fd]
+	if !ok || c.PendingWrite <= 0 {
+		return
+	}
+	wrote := h.API.Write(c.FD, c.PendingWrite)
+	if wrote <= 0 {
+		return
+	}
+	h.Stats.BytesSent += int64(wrote)
+	c.PendingWrite -= wrote
+	c.LastActivity = now
+	if c.PendingWrite <= 0 && c.writeBlocked {
+		c.writeBlocked = false
+		h.completeResponse(now, c, c.finishReason)
+	}
+}
+
+// finishResponse closes the connection if its response was fully accepted by
+// the socket, or parks it on write interest until the peer's window reopens.
+func (h *Handler) finishResponse(now core.Time, c *Conn, reason CloseReason) {
+	if c.PendingWrite > 0 {
+		c.writeBlocked = true
+		c.finishReason = reason
+		if h.OnWriteBlocked != nil {
+			h.OnWriteBlocked(c.FD.Num)
+		}
+		return
+	}
+	h.completeResponse(now, c, reason)
+}
+
+// completeResponse books the end of a request-response exchange: the
+// service-latency observation (accept to response-fully-written) and the
+// HTTP/1.0 close.
+func (h *Handler) completeResponse(now core.Time, c *Conn, reason CloseReason) {
+	if reason == CloseServed {
+		// Anchor at connection establishment (SYN queued), not accept: time
+		// spent in the listener backlog counts the same for a server that
+		// accepts eagerly and one that accepts only once data has arrived.
+		since := c.OpenedAt
+		if c.SC != nil && c.SC.EstablishedAt > 0 {
+			since = c.SC.EstablishedAt
+		}
+		h.ServiceLatency.Observe(now.Sub(since))
+	}
+	h.closeConn(c, reason)
 }
 
 // serve writes the response for the parsed request.
@@ -181,20 +256,28 @@ func (h *Handler) serve(c *Conn) {
 		return
 	}
 	total := httpsim.ResponseSize(httpsim.StatusOK, size)
-	h.API.Write(c.FD, total)
+	h.startResponse(c, total)
 	h.Stats.Served++
-	h.Stats.BytesSent += int64(total)
 }
 
 // respondError writes a minimal error response.
 func (h *Handler) respondError(c *Conn, status int) {
 	h.P.Charge(h.K.Cost.HTTPService / 4)
 	total := httpsim.ResponseSize(status, 0)
-	h.API.Write(c.FD, total)
+	h.startResponse(c, total)
 	if status == httpsim.StatusBadReq {
 		h.Stats.BadRequests++
 	}
-	h.Stats.BytesSent += int64(total)
+}
+
+// startResponse writes as much of a total-byte response as the socket
+// accepts, recording the blocked remainder on the connection. With the
+// paper's always-draining clients the whole response is accepted in one call
+// and PendingWrite stays zero.
+func (h *Handler) startResponse(c *Conn, total int) {
+	wrote := h.API.Write(c.FD, total)
+	h.Stats.BytesSent += int64(wrote)
+	c.PendingWrite = total - wrote
 }
 
 // CloseConn closes the connection for descriptor fd with the given reason, if

@@ -71,6 +71,7 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 
 	h.OnConnOpen = loop.openConn
 	h.OnConnClose = loop.closeConn
+	h.OnWriteBlocked = loop.blockOnWrite
 
 	if h.IdleTimeout > 0 {
 		loop.sweep = base.NewTimer(eventlib.EvPersist, func(_ int, _ eventlib.What, now core.Time) {
@@ -102,14 +103,40 @@ func (l *EventLoop) onAcceptable(_ int, _ eventlib.What, now core.Time) {
 	}
 }
 
+// connReady is the shared per-connection callback. Write readiness is served
+// first — draining a blocked response may close the connection, after which
+// the read branch finds no state and does nothing.
+func (l *EventLoop) connReady(fd int, what eventlib.What, now core.Time) {
+	if what.Has(eventlib.EvWrite) {
+		l.h.HandleWritable(now, fd)
+	}
+	if what.Has(eventlib.EvRead) {
+		l.cfg.Read(now, fd)
+	}
+}
+
 // openConn registers a persistent read event for a freshly accepted
 // connection.
 func (l *EventLoop) openConn(fd int) {
-	ev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvPersist, func(fd int, _ eventlib.What, now core.Time) {
-		l.cfg.Read(now, fd)
-	})
+	ev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvPersist, l.connReady)
 	l.conns[fd] = ev
 	_ = ev.Add(0)
+}
+
+// blockOnWrite upgrades a connection's event to read+write interest: the
+// handler's response jammed against the peer's receive window, and only a
+// writability event (the window update) can resume it. The base allows one
+// event per descriptor, so the read event is replaced rather than augmented —
+// the same re-registration a real server performs with epoll_ctl(MOD).
+func (l *EventLoop) blockOnWrite(fd int) {
+	ev, ok := l.conns[fd]
+	if !ok {
+		return
+	}
+	_ = ev.Del()
+	nev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvWrite|eventlib.EvPersist, l.connReady)
+	l.conns[fd] = nev
+	_ = nev.Add(0)
 }
 
 // Rescan drains the accept queue and reads every open connection once, as if
@@ -124,6 +151,11 @@ func (l *EventLoop) Rescan(now core.Time) {
 		l.h.AcceptAll(now, l.lfd)
 	}
 	for _, fd := range l.h.OpenConns() {
+		// A lost writability transition (window update) is recovered the same
+		// way as lost readability: retry the blocked write, then read. The
+		// write may close the connection; HandleWritable and the read handler
+		// both ignore unknown descriptors.
+		l.h.HandleWritable(now, fd)
 		l.cfg.Read(now, fd)
 	}
 }

@@ -246,6 +246,9 @@ func (s *Server) ModeName() string {
 // Stats returns the application-level counters.
 func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
 
+// Handler exposes the shared HTTP engine (service-latency histogram, tests).
+func (s *Server) Handler() *httpcore.Handler { return s.handler }
+
 // SignalQueue exposes the RT signal queue (for tests and experiments).
 func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
 

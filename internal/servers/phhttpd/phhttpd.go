@@ -192,6 +192,9 @@ func (s *Server) Mode() Mode { return s.mode }
 // Stats returns the application-level counters.
 func (s *Server) Stats() httpcore.Stats { return s.handler.Stats }
 
+// Handler exposes the shared HTTP engine (service-latency histogram, tests).
+func (s *Server) Handler() *httpcore.Handler { return s.handler }
+
 // SignalQueue exposes the RT signal queue (for experiments and tests).
 func (s *Server) SignalQueue() *rtsig.Queue { return s.rtq }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventlib"
 	"repro/internal/httpsim"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rtsig"
 	"repro/internal/servers/httpcore"
@@ -298,6 +299,17 @@ func (s *Server) MechanismStats() core.Stats {
 		}
 	}
 	return total
+}
+
+// ServiceLatency merges the workers' request-latency histograms into one
+// server-wide distribution, in worker order (the fixed bucket layout makes
+// the merge an exact bucket-wise sum).
+func (s *Server) ServiceLatency() metrics.LatencyHist {
+	var merged metrics.LatencyHist
+	for _, w := range s.workers {
+		merged.Merge(&w.handler.ServiceLatency)
+	}
+	return merged
 }
 
 // Loops counts completed event-loop iterations across all workers.
