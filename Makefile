@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 DETERMINISM_OUT ?= determinism-out
 
 .PHONY: all fmt-check vet build test test-race staticcheck govulncheck \
-	bench-smoke ablation-smoke determinism bench-json bench-gate ci
+	bench-smoke ablation-smoke determinism bench-json bench-gate profile ci
 
 all: ci
 
@@ -50,10 +50,11 @@ govulncheck:
 	fi
 
 # One fast benchmark iteration per figure family — paper figures, extension
-# figures and the overload/adversarial workloads — exercising the benchmark
-# plumbing end to end without the full sweep.
+# figures, the overload/adversarial workloads and the scale family's
+# 10000-connection point — exercising the benchmark plumbing end to end
+# without the full sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris' -benchtime 1x -figconns 800 .
+	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris|ExtScale/conns=10000' -benchtime 1x -figconns 800 .
 
 # Every ablation at a small connection count: a fast end-to-end pass through
 # all server families and both dual-mechanism switching paths, so
@@ -84,7 +85,7 @@ determinism:
 # rates, p99 latencies and ns/op. Run this (and commit the result) in any PR
 # that intentionally moves performance.
 bench-json:
-	$(GO) run ./cmd/benchgate -emit BENCH_PR4.json
+	$(GO) run ./cmd/benchgate -emit BENCH_PR5.json
 
 # Gate the working tree against the committed baseline: emit a fresh
 # candidate and fail on >5% regression in any simulated metric (reply rate,
@@ -96,7 +97,20 @@ TIME_TOLERANCE ?= 1.0
 bench-gate:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/benchgate -emit $$tmp -quiet && \
-	$(GO) run ./cmd/benchgate -baseline BENCH_PR4.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
+	$(GO) run ./cmd/benchgate -baseline BENCH_PR5.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# Profile the hot paths: regenerate a representative figure under the CPU
+# and heap profilers and leave the pprof files (plus the figure output) in
+# $(PROFILE_OUT). Inspect with `go tool pprof $(PROFILE_OUT)/cpu.pprof`.
+# CI runs this after a bench-gate failure and uploads the directory, so a
+# regression report always ships with the evidence needed to chase it.
+PROFILE_OUT ?= profile-out
+profile:
+	@rm -rf $(PROFILE_OUT) && mkdir -p $(PROFILE_OUT)
+	$(GO) run ./cmd/benchfig -fig 16 -connections 2000 -quiet \
+		-cpuprofile $(PROFILE_OUT)/cpu.pprof -memprofile $(PROFILE_OUT)/mem.pprof \
+		> $(PROFILE_OUT)/fig16.txt
+	@echo "profiles written to $(PROFILE_OUT)/ (cpu.pprof, mem.pprof)"
 
 ci: fmt-check vet staticcheck govulncheck build test bench-smoke ablation-smoke determinism

@@ -223,6 +223,39 @@ func BenchmarkExtWorkloads(b *testing.B) {
 	}
 }
 
+// Extension: the scale family (figures 26-28). One sub-benchmark per
+// connection count at a mid-sweep rate for a representative mechanism pair:
+// the figures the optimized hot paths exist to make routine. Unlike the other
+// benchmarks these ignore -figconns — the connection count IS the x axis.
+func BenchmarkExtScale(b *testing.B) {
+	for _, conns := range []int{10000, 20000, 30000} {
+		conns := conns
+		for _, server := range []experiments.ServerKind{
+			experiments.ServerThttpdPoll,
+			experiments.ServerThttpdEpoll,
+		} {
+			server := server
+			b.Run(fmt.Sprintf("conns=%d/%s", conns, server), func(b *testing.B) {
+				var last experiments.RunResult
+				for i := 0; i < b.N; i++ {
+					spec := experiments.RunSpec{
+						Server:      server,
+						RequestRate: 1000,
+						Inactive:    251,
+						Connections: conns,
+						Seed:        int64(i + 1),
+					}
+					last = experiments.Run(spec)
+				}
+				b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+				b.ReportMetric(last.Load.ErrorPercent, "err%")
+				b.ReportMetric(last.Latency.P99, "p99-ms")
+				b.ReportMetric(100*last.CPUUtilization, "cpu%")
+			})
+		}
+	}
+}
+
 // Ablation benchmarks: one sub-benchmark per variant, so `-bench Ablation`
 // prints the design-choice comparisons from DESIGN.md.
 func BenchmarkAblation(b *testing.B) {

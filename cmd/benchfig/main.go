@@ -26,12 +26,15 @@ import (
 	"repro/internal/eventlib"
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
+	"repro/internal/profiling"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (4..25 or fig04..fig25)")
+	fig := flag.String("fig", "", "figure to regenerate (4..28 or fig04..fig28)")
 	list := flag.Bool("list", false, "list available figures and exit")
-	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
+	connections := flag.Int("connections", 0, "benchmark connections per point (0 = the figure's own default: 4000 for most figures, 10000-30000 for the scale family; paper: 35000)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	rates := flag.String("rates", "", "comma-separated request rates overriding the figure's sweep")
 	workers := flag.String("workers", "", "comma-separated worker counts overriding the scaling figures' 1,2,4,8 sweep")
 	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid/prefork curves on this eventlib backend (see -list-backends)")
@@ -51,6 +54,9 @@ func main() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		for _, f := range experiments.OverloadFigures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		for _, f := range experiments.ScaleFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return
@@ -99,19 +105,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	if wf, ok := experiments.WorkerFigureByID(*fig); ok {
-		wopts := experiments.WorkerSweepOptions{
-			Connections: *connections, Workers: workerCounts,
-			Seed: *seed, Backend: *backend, Workload: *workload, Progress: progress,
-		}
-		res := experiments.RunWorkerFigure(wf, wopts)
-		fmt.Print(experiments.FormatWorkers(res))
-		if *percentiles {
-			fmt.Print(experiments.FormatPercentiles(res.Runs))
-		}
-		return
-	}
-
 	opts := experiments.SweepOptions{
 		Connections: *connections, Seed: *seed,
 		Backend: *backend, Workload: *workload, Progress: progress,
@@ -127,24 +120,40 @@ func main() {
 		}
 	}
 
-	if of, ok := experiments.OverloadFigureByID(*fig); ok {
-		res := experiments.RunOverloadFigure(of.WithWorkerCounts(workerCounts), opts)
-		fmt.Print(experiments.FormatOverload(res))
-		if *percentiles {
-			fmt.Print(experiments.FormatPercentiles(res.Runs))
-		}
-		return
-	}
-
-	figure, ok := experiments.FigureByID(*fig)
-	if !ok {
+	// Resolve the figure before starting the profilers, so an input error
+	// cannot leave a truncated profile behind.
+	workerFig, isWorkerFig := experiments.WorkerFigureByID(*fig)
+	overloadFig, isOverloadFig := experiments.OverloadFigureByID(*fig)
+	figure, isFigure := experiments.FigureByID(*fig)
+	if !isWorkerFig && !isOverloadFig && !isFigure {
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 
-	result := experiments.RunFigure(figure, opts)
-	fmt.Print(experiments.Format(result))
-	if *percentiles {
-		fmt.Print(experiments.FormatPercentiles(result.Runs))
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
+
+	switch {
+	case isWorkerFig:
+		res := experiments.RunWorkerFigure(workerFig, experiments.WorkerSweepOptions{
+			Connections: *connections, Workers: workerCounts,
+			Seed: *seed, Backend: *backend, Workload: *workload, Progress: progress,
+		})
+		fmt.Print(experiments.FormatWorkers(res))
+		if *percentiles {
+			fmt.Print(experiments.FormatPercentiles(res.Runs))
+		}
+	case isOverloadFig:
+		res := experiments.RunOverloadFigure(overloadFig.WithWorkerCounts(workerCounts), opts)
+		fmt.Print(experiments.FormatOverload(res))
+		if *percentiles {
+			fmt.Print(experiments.FormatPercentiles(res.Runs))
+		}
+	default:
+		res := experiments.RunFigure(figure, opts)
+		fmt.Print(experiments.Format(res))
+		if *percentiles {
+			fmt.Print(experiments.FormatPercentiles(res.Runs))
+		}
 	}
 }

@@ -1,23 +1,27 @@
 // Command benchgate records and gates the repository's benchmark trajectory.
 //
 // In emit mode it runs the key figure benchmarks — representative points of
-// the paper's figures, the extension figures and one overload point per
-// workload scenario — and writes one JSON entry per point: the simulated
-// reply rate and p99 connection latency (bit-deterministic for a given seed
-// and connection count) plus the measured wall-clock cost of the run
-// (ns/op, noisy). In gate mode it compares a candidate file against the
-// committed baseline and exits non-zero on regression: a reply rate more
-// than -tolerance below the baseline, a p99 more than -tolerance above it,
-// or a ns/op more than -time-tolerance above it. The simulated gates are
-// tight because those numbers only move when the simulation's behavior
-// moves; the wall-clock gate is looser, and only meaningful when baseline
-// and candidate ran on the same machine — pass -time-tolerance 0 to disable
-// it when comparing a committed baseline on different hardware (CI does).
+// the paper's figures, the extension figures, one overload point per
+// workload scenario and the scale family's 10k-30k-connection points — and
+// writes one JSON entry per point: the simulated reply rate and p99
+// connection latency (bit-deterministic for a given seed and connection
+// count) plus the measured wall-clock cost (ns/op, noisy) and heap
+// allocation count (allocs_per_op, near-deterministic) of the run. In gate
+// mode it compares a candidate file against the committed baseline and exits
+// non-zero on regression: a reply rate more than -tolerance below the
+// baseline, a p99 more than -tolerance above it, an allocation count more
+// than -alloc-tolerance above it, or a ns/op more than -time-tolerance above
+// it. The simulated gates are tight because those numbers only move when
+// the simulation's behavior moves; the allocation gate is nearly as tight
+// (the count is a property of the code path, not the machine); the
+// wall-clock gate is looser, and only meaningful when baseline and candidate
+// ran on the same machine — pass -time-tolerance 0 to disable it when
+// comparing a committed baseline on different hardware (CI does).
 //
 // Usage:
 //
-//	benchgate -emit BENCH_PR4.json          # refresh the baseline
-//	benchgate -baseline BENCH_PR4.json -candidate new.json
+//	benchgate -emit BENCH_PR5.json          # refresh the baseline
+//	benchgate -baseline BENCH_PR5.json -candidate new.json
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -39,6 +44,11 @@ type Entry struct {
 	P99Ms     float64 `json:"p99_ms"`
 	ErrPct    float64 `json:"err_pct"`
 	NsPerOp   int64   `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocation count of one run (the minimum of
+	// the timed repetitions, so one-time warmup does not inflate it). It is
+	// a property of the executed code path, not of the machine, so the gate
+	// holds it to a tight tolerance even in CI.
+	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
 // File is the benchmark baseline schema.
@@ -61,7 +71,9 @@ func points(connections int, seed int64) []struct {
 		spec experiments.RunSpec
 	}
 	add := func(id string, spec experiments.RunSpec) {
-		spec.Connections = connections
+		if spec.Connections == 0 {
+			spec.Connections = connections
+		}
 		spec.Seed = seed
 		out = append(out, struct {
 			id   string
@@ -95,6 +107,20 @@ func points(connections int, seed int64) []struct {
 		})
 	}
 
+	// The scale family (figures 26-28): the 10k/20k/30k-connection points on
+	// the cheapest sustaining mechanism, plus the collapsing baseline at 10k.
+	// These pin their own connection counts — the count is the point.
+	for _, conns := range []int{10000, 20000, 30000} {
+		add(fmt.Sprintf("scale-%d-epoll-rate1000", conns), experiments.RunSpec{
+			Server: experiments.ServerThttpdEpoll, RequestRate: 1000, Inactive: 251,
+			Connections: conns,
+		})
+	}
+	add("scale-10000-poll-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdPoll, RequestRate: 1000, Inactive: 251,
+		Connections: 10000,
+	})
+
 	// One overload point per workload scenario (figures 19-24), past the
 	// knee, where the latency distribution carries the signal. Most run on
 	// devpoll; the stalled-reader scenario runs on poll(), the mechanism that
@@ -117,27 +143,37 @@ func points(connections int, seed int64) []struct {
 func emit(path string, connections int, seed int64, quiet bool) error {
 	f := File{Schema: 1, Connections: connections, Seed: seed}
 	for _, p := range points(connections, seed) {
-		// Three timed runs, keeping the fastest: the first pass pays cache
-		// warmup, and the gate wants the run's cost, not the machine's mood.
+		// Three timed runs, keeping the fastest (and fewest allocations):
+		// the first pass pays cache warmup, and the gate wants the run's
+		// cost, not the machine's mood.
 		var res experiments.RunResult
 		best := int64(1<<63 - 1)
+		bestAllocs := int64(1<<63 - 1)
+		var msBefore, msAfter runtime.MemStats
 		for i := 0; i < 3; i++ {
+			runtime.ReadMemStats(&msBefore)
 			start := time.Now()
 			res = experiments.Run(p.spec)
-			if ns := time.Since(start).Nanoseconds(); ns < best {
+			ns := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&msAfter)
+			if ns < best {
 				best = ns
+			}
+			if allocs := int64(msAfter.Mallocs - msBefore.Mallocs); allocs < bestAllocs {
+				bestAllocs = allocs
 			}
 		}
 		e := Entry{
-			ID:        p.id,
-			RepliesPS: res.Load.ReplyRate.Mean,
-			P99Ms:     res.Latency.P99,
-			ErrPct:    res.Load.ErrorPercent,
-			NsPerOp:   best,
+			ID:          p.id,
+			RepliesPS:   res.Load.ReplyRate.Mean,
+			P99Ms:       res.Latency.P99,
+			ErrPct:      res.Load.ErrorPercent,
+			NsPerOp:     best,
+			AllocsPerOp: bestAllocs,
 		}
 		if !quiet {
-			fmt.Fprintf(os.Stderr, "%-40s %8.1f replies/s %8.2f p99-ms %12d ns/op\n",
-				e.ID, e.RepliesPS, e.P99Ms, e.NsPerOp)
+			fmt.Fprintf(os.Stderr, "%-40s %8.1f replies/s %8.2f p99-ms %12d ns/op %10d allocs/op\n",
+				e.ID, e.RepliesPS, e.P99Ms, e.NsPerOp, e.AllocsPerOp)
 		}
 		f.Entries = append(f.Entries, e)
 	}
@@ -163,7 +199,7 @@ func load(path string) (File, error) {
 
 // gate compares candidate against baseline, printing one line per entry and
 // returning the number of regressions.
-func gate(baseline, candidate File, tol, timeTol float64) int {
+func gate(baseline, candidate File, tol, timeTol, allocTol float64) int {
 	if baseline.Connections != candidate.Connections || baseline.Seed != candidate.Seed {
 		fmt.Printf("benchgate: WARNING: baseline ran %d conns seed %d, candidate %d conns seed %d — "+
 			"simulated metrics are only comparable at identical parameters\n",
@@ -193,6 +229,13 @@ func gate(baseline, candidate File, tol, timeTol float64) int {
 		// gate meaningful values.
 		if base.P99Ms > 0.1 && c.P99Ms > base.P99Ms*(1+tol) {
 			fail(base.ID, "p99 %.2fms rose >%.0f%% above baseline %.2fms", c.P99Ms, tol*100, base.P99Ms)
+			ok = false
+		}
+		// Allocation counts are a property of the code path, not the
+		// machine, so this gate stays on in CI. Baselines predating the
+		// field (zero) are not gated.
+		if allocTol > 0 && base.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(base.AllocsPerOp)*(1+allocTol) {
+			fail(base.ID, "allocs/op %d rose >%.0f%% above baseline %d", c.AllocsPerOp, allocTol*100, base.AllocsPerOp)
 			ok = false
 		}
 		// The wall-clock gate only means something when baseline and
@@ -229,6 +272,7 @@ func main() {
 	connections := flag.Int("connections", 1500, "benchmark connections per point")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	tol := flag.Float64("tolerance", 0.05, "allowed fractional regression for simulated metrics (reply rate, p99)")
+	allocTol := flag.Float64("alloc-tolerance", 0.10, "allowed fractional regression for per-run heap allocation counts; 0 disables the allocation gate")
 	timeTol := flag.Float64("time-tolerance", 1.0, "allowed fractional regression for wall-clock ns/op (1.0 = fail past 2x: a gross-slowdown tripwire, since wall clock jitters even same-machine); 0 disables the wall-clock gate (use when baseline and candidate ran on different machines)")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress output on stderr")
 	flag.Parse()
@@ -250,7 +294,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		if n := gate(baseline, candidate, *tol, *timeTol); n > 0 {
+		if n := gate(baseline, candidate, *tol, *timeTol, *allocTol); n > 0 {
 			fmt.Printf("benchgate: %d regression(s) against %s\n", n, *baselinePath)
 			os.Exit(1)
 		}

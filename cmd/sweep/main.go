@@ -25,10 +25,13 @@ import (
 	"repro/internal/eventlib"
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
+	"repro/internal/profiling"
 )
 
 func main() {
-	connections := flag.Int("connections", 4000, "benchmark connections per point (paper: 35000)")
+	connections := flag.Int("connections", 0, "benchmark connections per point (0 = each figure's own default: 4000 for most figures, 10000-30000 for the scale family; paper: 35000)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	figs := flag.String("figs", "", "comma-separated figure numbers to run (default: all)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
 	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
@@ -57,6 +60,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
 	}
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	// With -quiet the progress callback stays nil everywhere, so nothing can
 	// reach stderr; without it every point prints one line.
@@ -68,7 +73,13 @@ func main() {
 	}
 
 	if *ablation || *ablationID != "" {
-		for _, a := range experiments.Ablations(*connections) {
+		// The ablations' own zero-fallback is 3000; this flag's pre-figure-default
+		// behaviour was 4000, so keep default ablation outputs unchanged.
+		ablConns := *connections
+		if ablConns <= 0 {
+			ablConns = 4000
+		}
+		for _, a := range experiments.Ablations(ablConns) {
 			if *ablationID != "" && a.ID != *ablationID {
 				continue
 			}
@@ -123,8 +134,11 @@ func main() {
 		}
 	}
 
-	for _, fig := range experiments.OverloadFigures() {
-		if !selected(fig.ID, fig.Number) {
+	// The scale family (figs 26-28, fig.Connections > 0) only runs when
+	// selected explicitly: at 10k-30k connections per point it would
+	// dominate the default sweep.
+	for _, fig := range append(experiments.OverloadFigures(), experiments.ScaleFigures()...) {
+		if !selected(fig.ID, fig.Number) || (fig.Connections > 0 && len(wanted) == 0) {
 			continue
 		}
 		res := experiments.RunOverloadFigure(fig.WithWorkerCounts(workerCounts), experiments.SweepOptions{

@@ -55,9 +55,9 @@ type DevPoll struct {
 	p    *simkernel.Proc
 	opts Options
 
-	table  *interest.Table        // kernel-resident interest set; Entry.File is the driver backmap
-	hinted *interest.Ledger       // descriptors whose driver posted a hint since the last scan
-	cache  map[int]core.EventMask // last result returned by the driver poll
+	table  *interest.Table  // kernel-resident interest set; Entry.File is the driver backmap
+	hinted *interest.Ledger // descriptors whose driver posted a hint since the last scan
+	cache  []cachedPoll     // last result returned by the driver poll, fd-indexed
 
 	mmapDone bool
 
@@ -80,7 +80,6 @@ func Open(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *DevPoll {
 		opts:   opts,
 		table:  interest.NewTable(),
 		hinted: interest.NewLedger(),
-		cache:  make(map[int]core.EventMask),
 	}
 	d.eng = interest.Engine{
 		Name:    "devpoll",
@@ -193,7 +192,34 @@ func (d *DevPoll) removeLocked(fd int) {
 	}
 	d.table.Delete(fd)
 	d.hinted.Clear(fd)
-	delete(d.cache, fd)
+	if fd < len(d.cache) {
+		d.cache[fd] = cachedPoll{}
+	}
+}
+
+// cachedPoll is one fd's last driver-poll result. The slice replaces a per-fd
+// hash map: the result cache is consulted for every registered descriptor on
+// every DP_POLL scan, squarely on the hot path.
+type cachedPoll struct {
+	mask  core.EventMask
+	valid bool
+}
+
+// cacheGet returns the cached driver result for fd, if any.
+func (d *DevPoll) cacheGet(fd int) (core.EventMask, bool) {
+	if fd < 0 || fd >= len(d.cache) {
+		return 0, false
+	}
+	c := d.cache[fd]
+	return c.mask, c.valid
+}
+
+// cachePut records the driver result for fd.
+func (d *DevPoll) cachePut(fd int, mask core.EventMask) {
+	for fd >= len(d.cache) {
+		d.cache = append(d.cache, cachedPoll{})
+	}
+	d.cache[fd] = cachedPoll{mask: mask, valid: true}
 }
 
 // Close implements core.Poller: closing /dev/poll releases the interest set.
@@ -231,7 +257,7 @@ func (d *DevPoll) Wait(max int, timeout core.Duration, handler func(events []cor
 // collect performs one DP_POLL pass: it walks the kernel-resident interest
 // table, consulting the hint ledger and the cached results to decide which
 // descriptors need the expensive driver poll callback.
-func (d *DevPoll) collect(firstPass bool, max int) []core.Event {
+func (d *DevPoll) collect(firstPass bool, max int, buf []core.Event) []core.Event {
 	cost := d.k.Cost
 	d.stats.Waits++
 	if firstPass {
@@ -248,7 +274,7 @@ func (d *DevPoll) collect(firstPass bool, max int) []core.Event {
 	// The backmap lock is taken for reading once per scan.
 	d.p.Charge(cost.BackmapLock)
 
-	var ready []core.Event
+	ready := buf
 	d.table.Each(func(e *interest.Entry) {
 		fd, want := e.FD, e.Events
 		entry, ok := d.p.Get(fd)
@@ -256,7 +282,7 @@ func (d *DevPoll) collect(firstPass bool, max int) []core.Event {
 			ready = interest.AppendEvent(ready, max, core.Event{FD: fd, Ready: core.POLLNVAL})
 			return
 		}
-		cached, hasCache := d.cache[fd]
+		cached, hasCache := d.cacheGet(fd)
 		needDriver := d.hinted.Ready(fd) || !d.opts.UseHints
 		if !needDriver && hasCache && cached.Any(want|core.POLLERR|core.POLLHUP) {
 			// A cached result that indicated readiness must be re-validated
@@ -272,7 +298,7 @@ func (d *DevPoll) collect(firstPass bool, max int) []core.Event {
 		}
 		revents := entry.DriverPoll()
 		d.stats.DriverPolls++
-		d.cache[fd] = revents
+		d.cachePut(fd, revents)
 		d.hinted.Clear(fd)
 		revents &= want | core.POLLERR | core.POLLHUP | core.POLLNVAL
 		if revents != 0 {

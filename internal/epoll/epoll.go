@@ -221,7 +221,7 @@ func (ep *Epoll) primeReadiness(e *interest.Entry) {
 // collect performs one epoll_wait pass: it walks the ready list only, never
 // the interest set — the O(ready) scan that distinguishes epoll from both
 // stock poll (O(registered) always) and /dev/poll (O(registered) hint checks).
-func (ep *Epoll) collect(firstPass bool, max int) []core.Event {
+func (ep *Epoll) collect(firstPass bool, max int, buf []core.Event) []core.Event {
 	cost := ep.k.Cost
 	ep.stats.Waits++
 	if firstPass {
@@ -229,7 +229,7 @@ func (ep *Epoll) collect(firstPass bool, max int) []core.Event {
 	} else {
 		ep.p.Charge(cost.SchedWakeup)
 	}
-	var events []core.Event
+	events := buf
 	ep.ready.Scan(func(fd int, pending core.EventMask, gen uint64) (keep bool) {
 		if len(events) >= max {
 			// Result buffer full: leave the rest queued for the next wait.

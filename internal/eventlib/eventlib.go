@@ -128,11 +128,28 @@ type Base struct {
 	active  int
 	owned   bool // Close closes pollers the registry constructed
 
-	events  map[int]*Event // fd -> the I/O or signal event registered on it
+	// evs is the fd -> event table for non-negative descriptors, dense
+	// because the simulated kernel allocates descriptors lowest-unused; the
+	// rare negative descriptors (signal sentinels like the RT-signal overflow
+	// event) live in evNeg. evCount counts entries across both.
+	evs     []*Event
+	evNeg   map[int]*Event
+	evCount int
 	timers  timerHeap
 	nextSeq uint64
 
 	buckets [][]*Event
+	spare   []*Event // recycled bucket backing storage
+
+	// The dispatch loop's per-iteration state and pre-bound callbacks: the
+	// wait completion, the dispatch batch body and its completion are the
+	// three hottest closures in the system, so they are created once here
+	// and the per-iteration values travel through fields.
+	onWaitFn       func(events []core.Event, now core.Time)
+	dispatchFn     func()
+	dispatchDoneFn func(now core.Time)
+	pendingEvents  []core.Event
+	pendingNow     core.Time
 
 	running    bool
 	stopped    bool
@@ -165,13 +182,69 @@ func NewWithPoller(k *simkernel.Kernel, p *simkernel.Proc, poller core.Poller, c
 	if cfg.Priorities <= 0 {
 		cfg.Priorities = 1
 	}
-	return &Base{
+	b := &Base{
 		K:       k,
 		P:       p,
 		cfg:     cfg,
 		pollers: []core.Poller{poller},
-		events:  make(map[int]*Event),
 		buckets: make([][]*Event, cfg.Priorities),
+	}
+	b.onWaitFn = b.onWait
+	b.dispatchFn = b.dispatchBatch
+	b.dispatchDoneFn = b.dispatchDone
+	return b
+}
+
+// eventFor returns the I/O or signal event registered on fd.
+func (b *Base) eventFor(fd int) (*Event, bool) {
+	if fd >= 0 {
+		if fd < len(b.evs) && b.evs[fd] != nil {
+			return b.evs[fd], true
+		}
+		return nil, false
+	}
+	ev, ok := b.evNeg[fd]
+	return ev, ok
+}
+
+// setEvent registers ev as fd's event.
+func (b *Base) setEvent(fd int, ev *Event) {
+	if fd >= 0 {
+		for fd >= len(b.evs) {
+			b.evs = append(b.evs, nil)
+		}
+		b.evs[fd] = ev
+	} else {
+		if b.evNeg == nil {
+			b.evNeg = make(map[int]*Event)
+		}
+		b.evNeg[fd] = ev
+	}
+	b.evCount++
+}
+
+// clearEvent removes fd's event registration.
+func (b *Base) clearEvent(fd int) {
+	if fd >= 0 {
+		if fd < len(b.evs) && b.evs[fd] != nil {
+			b.evs[fd] = nil
+			b.evCount--
+		}
+	} else if _, ok := b.evNeg[fd]; ok {
+		delete(b.evNeg, fd)
+		b.evCount--
+	}
+}
+
+// eachEvent visits every registered fd event (in no particular order).
+func (b *Base) eachEvent(fn func(ev *Event)) {
+	for _, ev := range b.evs {
+		if ev != nil {
+			fn(ev)
+		}
+	}
+	for _, ev := range b.evNeg {
+		fn(ev)
 	}
 }
 
@@ -234,25 +307,22 @@ func (b *Base) Iterations() int64 { return b.iterations }
 // NumEvents reports how many events are currently added (pending I/O, signal
 // and timer events alike).
 func (b *Base) NumEvents() int {
-	n := len(b.events)
-	n += b.timers.Len()
-	// Timers that are also in the fd map (I/O events with timeouts) must not
+	n := b.evCount + b.timers.Len()
+	// Timers that are also in the fd table (I/O events with timeouts) must not
 	// be double-counted.
-	for _, ev := range b.events {
+	b.eachEvent(func(ev *Event) {
 		if ev.heapIdx >= 0 {
 			n--
 		}
-	}
+	})
 	return n
 }
 
 // eventsInOrder returns the fd-mapped events sorted by creation sequence, the
 // deterministic order used for re-registration.
 func (b *Base) eventsInOrder() []*Event {
-	out := make([]*Event, 0, len(b.events))
-	for _, ev := range b.events {
-		out = append(out, ev)
-	}
+	out := make([]*Event, 0, b.evCount)
+	b.eachEvent(func(ev *Event) { out = append(out, ev) })
 	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
@@ -338,12 +408,12 @@ func (b *Base) loop() {
 		b.running = false
 		return
 	}
-	if len(b.events) == 0 && b.timers.Len() == 0 && !b.anyActive() {
+	if b.evCount == 0 && b.timers.Len() == 0 && !b.anyActive() {
 		// Nothing can ever fire: the natural exit of event_base_dispatch.
 		b.running = false
 		return
 	}
-	b.Poller().Wait(b.cfg.MaxEventsPerWait, b.nextTimeout(), b.onWait)
+	b.Poller().Wait(b.cfg.MaxEventsPerWait, b.nextTimeout(), b.onWaitFn)
 }
 
 // anyActive reports whether any bucket still holds activations from a
@@ -374,50 +444,63 @@ func (b *Base) nextTimeout() core.Duration {
 	return remaining
 }
 
-// onWait is the poller wait completion: one dispatch batch.
+// onWait is the poller wait completion: one dispatch batch. The events slice
+// and instant travel through fields so the pre-bound batch closures carry no
+// per-iteration state of their own.
 func (b *Base) onWait(events []core.Event, now core.Time) {
 	if b.stopped || b.closed {
 		b.running = false
 		return
 	}
 	b.iterations++
-	b.P.Batch(now, func() {
-		if b.cfg.LoopCost > 0 {
-			b.P.Charge(b.cfg.LoopCost)
+	b.pendingEvents = events
+	b.pendingNow = now
+	b.P.Batch(now, b.dispatchFn, b.dispatchDoneFn)
+}
+
+// dispatchBatch is the body of one dispatch iteration's batch.
+func (b *Base) dispatchBatch() {
+	events := b.pendingEvents
+	now := b.pendingNow
+	b.pendingEvents = nil
+	if b.cfg.LoopCost > 0 {
+		b.P.Charge(b.cfg.LoopCost)
+	}
+	// Readiness first, then expired timers, so a timer callback (an idle
+	// sweep) observes the batch's I/O effects — the order the hand-rolled
+	// server loops used.
+	for _, pe := range events {
+		ev, ok := b.eventFor(pe.FD)
+		if !ok {
+			// Stale: the event was deleted while the readiness report was
+			// in flight (an RT signal for a closed connection, for
+			// example). Real servers must ignore these, says the paper.
+			continue
 		}
-		// Readiness first, then expired timers, so a timer callback (an idle
-		// sweep) observes the batch's I/O effects — the order the hand-rolled
-		// server loops used.
-		for _, pe := range events {
-			ev, ok := b.events[pe.FD]
-			if !ok {
-				// Stale: the event was deleted while the readiness report was
-				// in flight (an RT signal for a closed connection, for
-				// example). Real servers must ignore these, says the paper.
-				continue
-			}
-			if pe.Gen != 0 && ev.gen != 0 && pe.Gen != ev.gen {
-				// Stale, and worse: the descriptor number was recycled, so the
-				// raw fd now names a different connection than the one this
-				// report is about. Without the generation check the report
-				// would fire the new event's callback — the fd-reuse aliasing
-				// the paper's stale-signal warning is really about.
-				continue
-			}
-			b.activate(ev, ev.firedWhat(pe.Ready))
+		if pe.Gen != 0 && ev.gen != 0 && pe.Gen != ev.gen {
+			// Stale, and worse: the descriptor number was recycled, so the
+			// raw fd now names a different connection than the one this
+			// report is about. Without the generation check the report
+			// would fire the new event's callback — the fd-reuse aliasing
+			// the paper's stale-signal warning is really about.
+			continue
 		}
-		for b.timers.Len() > 0 && b.timers.events[0].deadline <= now {
-			ev := heap.Pop(&b.timers).(*Event)
-			ev.heapIdx = -1
-			b.activate(ev, EvTimeout)
-		}
-		b.processActive(now)
-		if b.cfg.AfterDispatch != nil {
-			b.cfg.AfterDispatch(len(events), now)
-		}
-	}, func(core.Time) {
-		b.loop()
-	})
+		b.activate(ev, ev.firedWhat(pe.Ready))
+	}
+	for b.timers.Len() > 0 && b.timers.events[0].deadline <= now {
+		ev := heap.Pop(&b.timers).(*Event)
+		ev.heapIdx = -1
+		b.activate(ev, EvTimeout)
+	}
+	b.processActive(now)
+	if b.cfg.AfterDispatch != nil {
+		b.cfg.AfterDispatch(len(events), now)
+	}
+}
+
+// dispatchDone runs at the dispatch batch's completion: the next iteration.
+func (b *Base) dispatchDone(core.Time) {
+	b.loop()
 }
 
 // activate queues ev into its priority bucket, or folds the new conditions
@@ -445,7 +528,11 @@ func (b *Base) processActive(now core.Time) {
 			continue
 		}
 		queue := b.buckets[pri]
-		b.buckets[pri] = nil
+		// Swap in the spare backing array instead of nil so activations from
+		// inside the callbacks append without reallocating; the drained queue
+		// becomes the next spare.
+		b.buckets[pri] = b.spare[:0]
+		b.spare = nil
 		for i := 0; i < len(queue); i++ {
 			ev := queue[i]
 			if ev.activeWhat == 0 || !ev.added {
@@ -464,6 +551,10 @@ func (b *Base) processActive(now core.Time) {
 			}
 			ev.cb(ev.fd, what, now)
 		}
+		for i := range queue {
+			queue[i] = nil // release the handles for the collector
+		}
+		b.spare = queue[:0]
 		return
 	}
 }
@@ -573,7 +664,7 @@ func (ev *Event) Add(timeout core.Duration) error {
 	}
 	if !ev.added {
 		if ev.what&EvSignal == 0 {
-			if existing, dup := b.events[ev.fd]; dup && existing != ev {
+			if existing, dup := b.eventFor(ev.fd); dup && existing != ev {
 				return fmt.Errorf("eventlib: descriptor %d already has an event", ev.fd)
 			}
 			for _, p := range b.registrationTargets() {
@@ -588,12 +679,12 @@ func (ev *Event) Add(timeout core.Duration) error {
 			if entry, ok := b.P.Get(ev.fd); ok {
 				ev.gen = entry.Gen
 			}
-			b.events[ev.fd] = ev
+			b.setEvent(ev.fd, ev)
 		} else if !ev.timerOnly {
-			if existing, dup := b.events[ev.fd]; dup && existing != ev {
+			if existing, dup := b.eventFor(ev.fd); dup && existing != ev {
 				return fmt.Errorf("eventlib: descriptor %d already has an event", ev.fd)
 			}
-			b.events[ev.fd] = ev
+			b.setEvent(ev.fd, ev)
 		}
 		ev.added = true
 	}
@@ -643,7 +734,7 @@ func (ev *Event) Del() error {
 		ev.heapIdx = -1
 	}
 	if !ev.timerOnly {
-		delete(b.events, ev.fd)
+		b.clearEvent(ev.fd)
 	}
 	if ev.what&EvSignal == 0 {
 		for _, p := range b.pollers {

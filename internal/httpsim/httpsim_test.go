@@ -175,3 +175,43 @@ func TestFormatParseRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestResponseSizeMatchesFormattedHead pins the arithmetic ResponseSize to
+// the formatted header it replaced: the two must never drift, because the
+// servers charge write costs by the computed size while tests and the wire
+// model measure the formatted bytes.
+func TestResponseSizeMatchesFormattedHead(t *testing.T) {
+	codes := []int{StatusOK, StatusNotFound, StatusBadReq, 999, 1}
+	lengths := []int{0, 1, 9, 10, 99, 512, 6144, 128 * 1024, 1<<20 - 1}
+	for _, code := range codes {
+		for _, n := range lengths {
+			want := len(ResponseHead(code, n)) + n
+			if got := ResponseSize(code, n); got != want {
+				t.Fatalf("ResponseSize(%d, %d) = %d, formatted head gives %d", code, n, got, want)
+			}
+		}
+	}
+}
+
+// TestParserReuse drives two full requests through one parser with a Reset
+// between them, the lifecycle a pooled connection record performs.
+func TestParserReuse(t *testing.T) {
+	p := NewParser()
+	for i, path := range []string{"/index.html", "/large.html"} {
+		complete, err := p.Feed(FormatRequest(path))
+		if err != nil || !complete {
+			t.Fatalf("round %d: complete=%v err=%v", i, complete, err)
+		}
+		req := p.Request()
+		if req.Path != path || req.Method != "GET" || req.Version != "HTTP/1.0" {
+			t.Fatalf("round %d: req = %+v", i, req)
+		}
+		if req.Headers["host"] != "server.citi.umich.edu" {
+			t.Fatalf("round %d: headers = %v", i, req.Headers)
+		}
+		p.Reset()
+		if p.Complete() || p.Buffered() != 0 || p.Request() != nil || p.Err() != nil {
+			t.Fatalf("round %d: Reset left state behind", i)
+		}
+	}
+}

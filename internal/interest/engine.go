@@ -45,8 +45,11 @@ type Engine struct {
 	// Collect runs inside the scan batch and returns the ready events for this
 	// pass, charging all scan CPU costs (syscall entry on the first pass,
 	// scheduler wakeup on rescans, per-descriptor work, copy-out) as it goes.
-	// It must respect max.
-	Collect func(firstPass bool, max int) []core.Event
+	// It must respect max, and it must build its result by appending to buf
+	// (length zero, engine-owned storage): the engine double-buffers the
+	// result area, so one wait's events stay valid while the next wait
+	// collects, and steady-state waits allocate nothing.
+	Collect func(firstPass bool, max int, buf []core.Event) []core.Event
 
 	// OnBlock, if non-nil, runs inside the scan batch when nothing was ready
 	// and the wait is about to block (timeout != 0): the point where a
@@ -69,7 +72,32 @@ type Engine struct {
 	pendExpire bool
 	curMax     int
 	curHand    func(events []core.Event, now core.Time)
-	timeoutID  int64
+
+	// timeoutID is the generation of the live timeout registration; completing
+	// a wait bumps it, so stale registrations still queued in the simulator
+	// become no-ops. Registration records (each carrying its generation and a
+	// once-bound callback) are pooled: a blocking wait with a finite timeout
+	// allocates nothing at steady state.
+	timeoutID   int64
+	timeoutPool []*timeoutReg
+
+	// Per-scan parameters and the pre-bound batch closures: one wait is in
+	// flight at a time, so the parameters live in fields and the two closures
+	// handed to Proc.Batch are created once and reused for every scan —
+	// the wait path performs no allocation of its own.
+	scanFirst   bool
+	scanTimeout core.Duration
+	scanReady   []core.Event
+	scanFn      func()
+	scanDoneFn  func(done core.Time)
+
+	// bufs is the double-buffered result area Collect appends into; cur
+	// selects the buffer the in-flight scan owns. Two buffers make the events
+	// delivered to one handler survive a Wait started from inside that
+	// handler, matching the fresh-slice behaviour the mechanisms had before
+	// the result area was pooled.
+	bufs [2][]core.Event
+	cur  int
 }
 
 // Idle reports whether no Wait is in flight.
@@ -117,57 +145,95 @@ func (e *Engine) Abort(now core.Time) {
 // initial system call (which pays entry and copy-in costs) from a rescan after
 // a wait-queue wakeup (which pays the scheduler wakeup instead).
 func (e *Engine) scan(firstPass bool, timeout core.Duration) {
+	if e.scanFn == nil {
+		e.scanFn = e.runScan
+		e.scanDoneFn = e.scanDone
+	}
 	e.state = stateScanning
-	now := e.K.Now()
-	var ready []core.Event
-	e.P.Batch(now, func() {
-		ready = e.Collect(firstPass, e.curMax)
-		if len(ready) > 0 || timeout == 0 {
-			return
+	e.scanFirst = firstPass
+	e.scanTimeout = timeout
+	e.P.Batch(e.K.Now(), e.scanFn, e.scanDoneFn)
+}
+
+// runScan is the batch body of one scan pass.
+func (e *Engine) runScan() {
+	e.cur ^= 1
+	e.scanReady = e.Collect(e.scanFirst, e.curMax, e.bufs[e.cur][:0])
+	e.bufs[e.cur] = e.scanReady[:0]
+	if len(e.scanReady) > 0 || e.scanTimeout == 0 {
+		return
+	}
+	if e.OnBlock != nil {
+		e.OnBlock(e.scanFirst)
+	}
+}
+
+// scanDone runs at the scan batch's completion instant.
+func (e *Engine) scanDone(done core.Time) {
+	ready := e.scanReady
+	timeout := e.scanTimeout
+	e.scanReady = nil
+	if len(ready) > 0 || timeout == 0 {
+		e.finish(ready, done)
+		return
+	}
+	if e.pendWake {
+		// A readiness notification raced with the scan; rescan immediately.
+		// A deadline that passed meanwhile (pendExpire) stays pending: if
+		// the rescan also finds nothing, the wait times out below instead
+		// of re-blocking forever.
+		e.pendWake = false
+		e.scan(false, timeout)
+		return
+	}
+	if e.pendExpire {
+		// The deadline passed while a rescan was on the CPU and the rescan
+		// found nothing: the wait times out now.
+		e.pendExpire = false
+		e.expire(done)
+		return
+	}
+	e.state = stateBlocked
+	if timeout > 0 {
+		e.timeoutID++
+		var reg *timeoutReg
+		if n := len(e.timeoutPool); n > 0 {
+			reg = e.timeoutPool[n-1]
+			e.timeoutPool[n-1] = nil
+			e.timeoutPool = e.timeoutPool[:n-1]
+		} else {
+			reg = &timeoutReg{e: e}
+			reg.fn = reg.fire
 		}
-		if e.OnBlock != nil {
-			e.OnBlock(firstPass)
-		}
-	}, func(done core.Time) {
-		if len(ready) > 0 || timeout == 0 {
-			e.finish(ready, done)
-			return
-		}
-		if e.pendWake {
-			// A readiness notification raced with the scan; rescan immediately.
-			// A deadline that passed meanwhile (pendExpire) stays pending: if
-			// the rescan also finds nothing, the wait times out below instead
-			// of re-blocking forever.
-			e.pendWake = false
-			e.scan(false, timeout)
-			return
-		}
-		if e.pendExpire {
-			// The deadline passed while a rescan was on the CPU and the rescan
-			// found nothing: the wait times out now.
-			e.pendExpire = false
-			e.expire(done)
-			return
-		}
-		e.state = stateBlocked
-		if timeout > 0 {
-			e.timeoutID++
-			id := e.timeoutID
-			e.K.Sim.At(done.Add(timeout), func(t core.Time) {
-				if e.timeoutID != id {
-					return
-				}
-				switch e.state {
-				case stateBlocked:
-					e.expire(t)
-				case stateScanning:
-					// A rescan is on the CPU as the deadline passes; let it
-					// finish, but remember that the wait's time is up.
-					e.pendExpire = true
-				}
-			})
-		}
-	})
+		reg.id = e.timeoutID
+		e.K.Sim.At(done.Add(timeout), reg.fn)
+	}
+}
+
+// timeoutReg is one scheduled wait deadline: the engine generation it was
+// armed for and a callback bound once for the record's life. It recycles
+// itself after firing (each registration fires exactly once).
+type timeoutReg struct {
+	e  *Engine
+	id int64
+	fn func(t core.Time)
+}
+
+func (r *timeoutReg) fire(t core.Time) {
+	e := r.e
+	live := e.timeoutID == r.id
+	e.timeoutPool = append(e.timeoutPool, r)
+	if !live {
+		return
+	}
+	switch e.state {
+	case stateBlocked:
+		e.expire(t)
+	case stateScanning:
+		// A rescan is on the CPU as the deadline passes; let it finish, but
+		// remember that the wait's time is up.
+		e.pendExpire = true
+	}
 }
 
 // finish tears down the wait and delivers results to the handler.

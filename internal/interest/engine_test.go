@@ -20,7 +20,7 @@ func TestEngineTimeoutTeardownIgnoresRacingWake(t *testing.T) {
 		Name: "racetest",
 		K:    env.K,
 		P:    env.P,
-		Collect: func(firstPass bool, max int) []core.Event {
+		Collect: func(firstPass bool, max int, buf []core.Event) []core.Event {
 			collects++
 			if pending {
 				pending = false
@@ -72,7 +72,7 @@ func TestEngineTimeoutSurvivesRacingRescan(t *testing.T) {
 		Name: "expiretest",
 		K:    env.K,
 		P:    env.P,
-		Collect: func(firstPass bool, max int) []core.Event {
+		Collect: func(firstPass bool, max int, buf []core.Event) []core.Event {
 			collects++
 			// Every scan costs enough CPU that a rescan started just before
 			// the deadline is still running when it passes.
@@ -119,7 +119,7 @@ func TestEngineWakeDuringScanForcesRescan(t *testing.T) {
 		Name: "rescantest",
 		K:    env.K,
 		P:    env.P,
-		Collect: func(firstPass bool, max int) []core.Event {
+		Collect: func(firstPass bool, max int, buf []core.Event) []core.Event {
 			collects++
 			// The scan itself costs CPU time, opening the race window.
 			env.P.Charge(20 * core.Microsecond)

@@ -2,34 +2,67 @@ package interest
 
 import "repro/internal/core"
 
-// ledgerNode is one marked descriptor, linked in arrival order.
+// ledgerNode is one marked descriptor, linked in arrival order. Nodes live in
+// the Ledger's arena and link by index, so marking and clearing recycle
+// storage instead of allocating: the hot interrupt path (every driver
+// notification lands here) performs no allocation at steady state.
 type ledgerNode struct {
 	fd         int
 	mask       core.EventMask
 	gen        uint64
-	prev, next *ledgerNode
+	prev, next int32
 }
+
+// none is the nil value of an arena link.
+const none int32 = -1
 
 // Ledger is the readiness side of the kernel-resident interest engine: the set
 // of registered descriptors that currently have undelivered readiness, in
 // arrival order. Device drivers update it once per readiness notification
 // (Mark), and a mechanism's wait path scans only the marked descriptors —
 // O(ready) work — instead of walking the whole interest set. Mark and Clear
-// are O(1) (map plus intrusive list), so hot paths never pay for the ledger's
-// size.
+// are O(1) (a dense fd-indexed slot table plus an intrusive list over a node
+// arena), so hot paths never pay for the ledger's size, and recycled nodes
+// make both allocation-free after warm-up.
+//
+// Descriptors are non-negative, as POSIX allocates them; the dense slot table
+// is indexed by descriptor number directly, which PR 3's lowest-unused
+// allocation keeps compact.
 //
 // /dev/poll uses it as the §3.2 hint backmap (a marked descriptor is one whose
 // driver posted a hint since the last scan); epoll uses it as the ready list
 // behind epoll_wait.
 type Ledger struct {
-	nodes map[int]*ledgerNode
-	head  *ledgerNode
-	tail  *ledgerNode
+	nodes []ledgerNode // arena; a node id is an index into it
+	slot  []int32      // fd -> node id + 1; 0 = not marked
+	free  []int32      // recycled node ids
+	head  int32
+	tail  int32
+	count int
 }
 
 // NewLedger returns an empty readiness ledger.
 func NewLedger() *Ledger {
-	return &Ledger{nodes: make(map[int]*ledgerNode)}
+	return &Ledger{head: none, tail: none}
+}
+
+// lookup returns the node id marked for fd, or none.
+func (l *Ledger) lookup(fd int) int32 {
+	if fd < 0 || fd >= len(l.slot) {
+		return none
+	}
+	return l.slot[fd] - 1
+}
+
+// alloc returns a free node id, growing the arena if the free list is empty.
+func (l *Ledger) alloc() int32 {
+	if n := len(l.free); n > 0 {
+		id := l.free[n-1]
+		l.free = l.free[:n-1]
+		return id
+	}
+	l.nodes = append(l.nodes, ledgerNode{})
+	return int32(len(l.nodes) - 1)
 }
 
 // Mark records readiness mask for fd, OR-ing it into any mask already pending,
@@ -43,7 +76,8 @@ func NewLedger() *Ledger {
 // open of the same descriptor number, whose readiness means nothing for the
 // new one. The replacement counts as a new transition.
 func (l *Ledger) Mark(fd int, mask core.EventMask, gen uint64) bool {
-	if n, ok := l.nodes[fd]; ok {
+	if id := l.lookup(fd); id >= 0 {
+		n := &l.nodes[id]
 		if n.gen != gen {
 			n.gen = gen
 			n.mask = mask
@@ -52,28 +86,32 @@ func (l *Ledger) Mark(fd int, mask core.EventMask, gen uint64) bool {
 		n.mask |= mask
 		return false
 	}
-	n := &ledgerNode{fd: fd, mask: mask, gen: gen}
-	l.nodes[fd] = n
-	if l.tail == nil {
-		l.head, l.tail = n, n
-	} else {
-		n.prev = l.tail
-		l.tail.next = n
-		l.tail = n
+	if fd < 0 {
+		panic("interest: Ledger.Mark with negative descriptor")
 	}
+	for fd >= len(l.slot) {
+		l.slot = append(l.slot, 0)
+	}
+	id := l.alloc()
+	l.nodes[id] = ledgerNode{fd: fd, mask: mask, gen: gen, prev: l.tail, next: none}
+	if l.tail == none {
+		l.head, l.tail = id, id
+	} else {
+		l.nodes[l.tail].next = id
+		l.tail = id
+	}
+	l.slot[fd] = id + 1
+	l.count++
 	return true
 }
 
 // Ready reports whether fd has undelivered readiness.
-func (l *Ledger) Ready(fd int) bool {
-	_, ok := l.nodes[fd]
-	return ok
-}
+func (l *Ledger) Ready(fd int) bool { return l.lookup(fd) >= 0 }
 
 // Mask returns the accumulated readiness mask pending for fd (zero if none).
 func (l *Ledger) Mask(fd int) core.EventMask {
-	if n, ok := l.nodes[fd]; ok {
-		return n.mask
+	if id := l.lookup(fd); id >= 0 {
+		return l.nodes[id].mask
 	}
 	return 0
 }
@@ -81,29 +119,34 @@ func (l *Ledger) Mask(fd int) core.EventMask {
 // Gen returns the generation recorded for fd's pending readiness (zero if
 // none is pending).
 func (l *Ledger) Gen(fd int) uint64 {
-	if n, ok := l.nodes[fd]; ok {
-		return n.gen
+	if id := l.lookup(fd); id >= 0 {
+		return l.nodes[id].gen
 	}
 	return 0
 }
 
 // Clear drops any pending readiness for fd, reporting whether there was any.
 func (l *Ledger) Clear(fd int) bool {
-	n, ok := l.nodes[fd]
-	if !ok {
+	id := l.lookup(fd)
+	if id < 0 {
 		return false
 	}
-	l.unlink(n)
+	l.unlink(id)
 	return true
 }
 
 // Len reports the number of descriptors with undelivered readiness.
-func (l *Ledger) Len() int { return len(l.nodes) }
+func (l *Ledger) Len() int { return l.count }
 
-// Reset empties the ledger.
+// Reset empties the ledger, keeping the arena, slot table and free list so a
+// reused ledger (phhttpd's recovery flush, repeated experiment runs) does not
+// reallocate its storage.
 func (l *Ledger) Reset() {
-	l.nodes = make(map[int]*ledgerNode)
-	l.head, l.tail = nil, nil
+	l.nodes = l.nodes[:0]
+	l.free = l.free[:0]
+	clear(l.slot)
+	l.head, l.tail = none, none
+	l.count = 0
 }
 
 // Scan visits the marked descriptors in arrival order. fn returns whether the
@@ -111,27 +154,31 @@ func (l *Ledger) Reset() {
 // that remain ready, an edge-triggered one drops each mark as it is delivered.
 // fn must not call Mark or Clear during the scan.
 func (l *Ledger) Scan(fn func(fd int, mask core.EventMask, gen uint64) (keep bool)) {
-	for n := l.head; n != nil; {
+	for id := l.head; id != none; {
+		n := &l.nodes[id]
 		next := n.next
 		if !fn(n.fd, n.mask, n.gen) {
-			l.unlink(n)
+			l.unlink(id)
 		}
-		n = next
+		id = next
 	}
 }
 
-// unlink removes a node from the list and the index.
-func (l *Ledger) unlink(n *ledgerNode) {
-	if n.prev == nil {
+// unlink removes a node from the list and the slot table, recycling its id.
+func (l *Ledger) unlink(id int32) {
+	n := &l.nodes[id]
+	if n.prev == none {
 		l.head = n.next
 	} else {
-		n.prev.next = n.next
+		l.nodes[n.prev].next = n.next
 	}
-	if n.next == nil {
+	if n.next == none {
 		l.tail = n.prev
 	} else {
-		n.next.prev = n.prev
+		l.nodes[n.next].prev = n.prev
 	}
-	n.prev, n.next = nil, nil
-	delete(l.nodes, n.fd)
+	l.slot[n.fd] = 0
+	n.prev, n.next = none, none
+	l.free = append(l.free, id)
+	l.count--
 }

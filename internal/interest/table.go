@@ -10,10 +10,9 @@
 //
 // It provides three pieces:
 //
-//   - Table: the chained hash table of §3.1 (doubling at an average chain of
-//     two, never shrinking), generalized with insertion-order iteration so the
-//     same structure can also stand in for stock poll's user-space pollfd
-//     array;
+//   - Table: the kernel-resident interest set of §3.1, generalized with
+//     insertion-order iteration so the same structure can also stand in for
+//     stock poll's user-space pollfd array;
 //   - Ledger: a readiness ledger recording which registered descriptors have
 //     pending readiness, updated once per driver notification and scanned in
 //     O(ready) rather than O(registered);
@@ -37,23 +36,34 @@ type Entry struct {
 	File   *simkernel.FD
 	Data   int64
 
-	hashNext   *Entry // next entry in the same hash bucket
-	prev, next *Entry // insertion-order list
+	prev, next *Entry // insertion-order list; next doubles as the pool link
 }
 
-// Table is the kernel-resident interest set described in §3.1 of the paper: a
-// chained hash table keyed by descriptor. "For simplicity, when the average
-// bucket size is two, the number of buckets in the hash table is doubled. The
-// hash table is never shrunk."
+// Table is the kernel-resident interest set described in §3.1 of the paper.
+// The paper implements it as a chained hash table ("when the average bucket
+// size is two, the number of buckets in the hash table is doubled. The hash
+// table is never shrunk"); this reproduction stores entries in a dense
+// descriptor-indexed slice instead — PR 3's lowest-unused fd allocation keeps
+// descriptor numbers compact, so the slice is the cache-friendly,
+// allocation-free equivalent — while the paper's bucket-count trajectory is
+// still tracked (Buckets, AverageChain, Grows) so the ablations and tests
+// that observe the §3.1 growth policy see identical values.
 //
 // Iteration (Each, ForEach, FDs) runs in insertion order, which keeps
 // simulation runs deterministic and lets stock poll reuse the table as its
-// ordered pollfd array.
+// ordered pollfd array. Deleted entries return to an internal pool, making
+// Set/Upsert allocation-free at steady state.
 type Table struct {
-	buckets []*Entry
-	head    *Entry
-	tail    *Entry
-	count   int
+	slots []*Entry // fd-indexed; nil = not registered
+	head  *Entry
+	tail  *Entry
+	count int
+	pool  *Entry // recycled entries, linked through next
+
+	// vbuckets is the bucket count the paper's hash table would have: it
+	// doubles whenever the average chain length reaches two and never
+	// shrinks.
+	vbuckets int
 
 	// Grows counts bucket-doubling events, exposed for tests and ablations.
 	Grows int
@@ -65,36 +75,30 @@ const initialBuckets = 8
 
 // NewTable returns an empty interest table.
 func NewTable() *Table {
-	return &Table{buckets: make([]*Entry, initialBuckets)}
-}
-
-// hash spreads descriptor numbers across buckets (Fibonacci hashing).
-func (t *Table) hash(fd int) int {
-	return int(uint32(fd)*2654435761) % len(t.buckets)
+	return &Table{vbuckets: initialBuckets}
 }
 
 // Len reports the number of registered interests.
 func (t *Table) Len() int { return t.count }
 
-// Buckets reports the current bucket count.
-func (t *Table) Buckets() int { return len(t.buckets) }
+// Buckets reports the bucket count of the §3.1 hash table this set models.
+func (t *Table) Buckets() int { return t.vbuckets }
 
-// AverageChain reports the average bucket occupancy.
+// AverageChain reports the average bucket occupancy of the modelled table.
 func (t *Table) AverageChain() float64 {
-	if len(t.buckets) == 0 {
+	if t.vbuckets == 0 {
 		return 0
 	}
-	return float64(t.count) / float64(len(t.buckets))
+	return float64(t.count) / float64(t.vbuckets)
 }
 
-// Lookup returns the entry registered for fd, or nil.
+// Lookup returns the entry registered for fd, or nil. The entry is owned by
+// the table: it is valid until the interest is deleted.
 func (t *Table) Lookup(fd int) *Entry {
-	for e := t.buckets[t.hash(fd)]; e != nil; e = e.hashNext {
-		if e.FD == fd {
-			return e
-		}
+	if fd < 0 || fd >= len(t.slots) {
+		return nil
 	}
-	return nil
+	return t.slots[fd]
 }
 
 // Get returns the interest mask registered for fd.
@@ -114,10 +118,21 @@ func (t *Table) Upsert(fd int) (*Entry, bool) {
 	if e := t.Lookup(fd); e != nil {
 		return e, false
 	}
-	e := &Entry{FD: fd}
-	idx := t.hash(fd)
-	e.hashNext = t.buckets[idx]
-	t.buckets[idx] = e
+	if fd < 0 {
+		panic("interest: Table.Upsert with negative descriptor")
+	}
+	var e *Entry
+	if t.pool != nil {
+		e = t.pool
+		t.pool = e.next
+		*e = Entry{FD: fd}
+	} else {
+		e = &Entry{FD: fd}
+	}
+	for fd >= len(t.slots) {
+		t.slots = append(t.slots, nil)
+	}
+	t.slots[fd] = e
 	if t.tail == nil {
 		t.head, t.tail = e, e
 	} else {
@@ -127,7 +142,8 @@ func (t *Table) Upsert(fd int) (*Entry, bool) {
 	}
 	t.count++
 	if t.AverageChain() >= 2 {
-		t.grow()
+		t.vbuckets *= 2
+		t.Grows++
 	}
 	return e, true
 }
@@ -141,33 +157,27 @@ func (t *Table) Set(fd int, events core.EventMask) bool {
 }
 
 // Delete removes the interest for fd, reporting whether it was present. The
-// table never shrinks.
+// modelled hash table never shrinks; the entry's storage is recycled.
 func (t *Table) Delete(fd int) bool {
-	idx := t.hash(fd)
-	var prev *Entry
-	for e := t.buckets[idx]; e != nil; prev, e = e, e.hashNext {
-		if e.FD != fd {
-			continue
-		}
-		if prev == nil {
-			t.buckets[idx] = e.hashNext
-		} else {
-			prev.hashNext = e.hashNext
-		}
-		if e.prev == nil {
-			t.head = e.next
-		} else {
-			e.prev.next = e.next
-		}
-		if e.next == nil {
-			t.tail = e.prev
-		} else {
-			e.next.prev = e.prev
-		}
-		t.count--
-		return true
+	e := t.Lookup(fd)
+	if e == nil {
+		return false
 	}
-	return false
+	if e.prev == nil {
+		t.head = e.next
+	} else {
+		e.prev.next = e.next
+	}
+	if e.next == nil {
+		t.tail = e.prev
+	} else {
+		e.next.prev = e.prev
+	}
+	t.slots[fd] = nil
+	t.count--
+	*e = Entry{next: t.pool}
+	t.pool = e
+	return true
 }
 
 // Each visits every entry in insertion order. fn must not add or remove table
@@ -189,16 +199,4 @@ func (t *Table) FDs() []int {
 	out := make([]int, 0, t.count)
 	t.Each(func(e *Entry) { out = append(out, e.FD) })
 	return out
-}
-
-// grow doubles the bucket count and rehashes every entry. The insertion-order
-// list is untouched.
-func (t *Table) grow() {
-	t.buckets = make([]*Entry, len(t.buckets)*2)
-	t.Grows++
-	for e := t.head; e != nil; e = e.next {
-		idx := t.hash(e.FD)
-		e.hashNext = t.buckets[idx]
-		t.buckets[idx] = e
-	}
 }

@@ -140,8 +140,9 @@ type Generator struct {
 	cfg Config
 	rng *rand.Rand
 
-	request      []byte
-	expectedSize int
+	request        []byte
+	partialRequest []byte
+	expectedSize   int
 
 	issued    int
 	resolved  int
@@ -192,14 +193,15 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 		cfg.Jitter = 1
 	}
 	return &Generator{
-		k:            k,
-		net:          net,
-		cfg:          cfg,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		request:      httpsim.FormatRequest(cfg.DocumentPath),
-		expectedSize: httpsim.ResponseSize(httpsim.StatusOK, cfg.DocumentSize),
-		errorsBy:     make(map[ErrorReason]int),
-		sampler:      metrics.NewRateSampler(cfg.SampleInterval),
+		k:              k,
+		net:            net,
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		request:        httpsim.FormatRequest(cfg.DocumentPath),
+		partialRequest: httpsim.FormatPartialRequest(cfg.DocumentPath),
+		expectedSize:   httpsim.ResponseSize(httpsim.StatusOK, cfg.DocumentSize),
+		errorsBy:       make(map[ErrorReason]int),
+		sampler:        metrics.NewRateSampler(cfg.SampleInterval),
 	}
 }
 
@@ -351,12 +353,7 @@ func (g *Generator) launchOne(now core.Time) {
 		rtt = netsim.SampleRTT(g.cfg.Workload.RTTMix, g.rng.Float64())
 	}
 	ac := &activeConn{gen: g, started: now}
-	ac.conn = g.net.Connect(now, netsim.ConnectOptions{RTT: rtt}, netsim.Handlers{
-		OnConnected:  ac.onConnected,
-		OnRefused:    ac.onRefused,
-		OnData:       ac.onData,
-		OnPeerClosed: ac.onPeerClosed,
-	})
+	ac.conn = g.net.ConnectWith(now, netsim.ConnectOptions{RTT: rtt}, ac)
 	// httperf's client-side timeout.
 	g.k.Sim.At(now.Add(g.cfg.Timeout), ac.onTimeout)
 }
@@ -444,7 +441,9 @@ func copyReasons(m map[ErrorReason]int) map[ErrorReason]int {
 	return out
 }
 
-// activeConn is one benchmark connection's client-side state machine.
+// activeConn is one benchmark connection's client-side state machine. It
+// implements netsim.ConnHandler directly, so launching a connection costs one
+// interface value instead of a closure per callback.
 type activeConn struct {
 	gen      *Generator
 	conn     *netsim.ClientConn
@@ -453,14 +452,16 @@ type activeConn struct {
 	resolved bool
 }
 
-func (a *activeConn) onConnected(now core.Time) {
+// Connected implements netsim.ConnHandler.
+func (a *activeConn) Connected(now core.Time) {
 	if a.resolved {
 		return
 	}
 	a.conn.Send(now, a.gen.request)
 }
 
-func (a *activeConn) onRefused(now core.Time, reason netsim.RefuseReason) {
+// Refused implements netsim.ConnHandler.
+func (a *activeConn) Refused(now core.Time, reason netsim.RefuseReason) {
 	if a.resolved {
 		return
 	}
@@ -475,11 +476,13 @@ func (a *activeConn) onRefused(now core.Time, reason netsim.RefuseReason) {
 	}
 }
 
-func (a *activeConn) onData(now core.Time, n int) {
+// Data implements netsim.ConnHandler.
+func (a *activeConn) Data(now core.Time, n int) {
 	a.received += n
 }
 
-func (a *activeConn) onPeerClosed(now core.Time) {
+// PeerClosed implements netsim.ConnHandler.
+func (a *activeConn) PeerClosed(now core.Time) {
 	if a.resolved {
 		return
 	}
@@ -531,19 +534,16 @@ func (ic *inactiveClient) open(now core.Time) {
 		opts.RecvWindow = window
 		opts.StallReads = true
 	}
-	ic.conn = ic.gen.net.Connect(now, opts, netsim.Handlers{
-		OnConnected:  ic.onConnected,
-		OnRefused:    ic.onClosedOrRefused,
-		OnPeerClosed: func(t core.Time) { ic.onClosedOrRefused(t, netsim.RefusedReset) },
-	})
+	ic.conn = ic.gen.net.ConnectWith(now, opts, ic)
 }
 
-func (ic *inactiveClient) onConnected(now core.Time) {
+// Connected implements netsim.ConnHandler.
+func (ic *inactiveClient) Connected(now core.Time) {
 	switch ic.kind {
 	case BackgroundSlowLoris:
 		// Open with the incomplete request, then keep dribbling bytes so the
 		// idle sweep never reclaims the connection.
-		ic.conn.Send(now, httpsim.FormatPartialRequest(ic.gen.cfg.DocumentPath))
+		ic.conn.Send(now, ic.gen.partialRequest)
 		ic.scheduleTrickle(now, ic.conn)
 	case BackgroundStalledReader:
 		// A complete request: the server does the full parse-and-serve work,
@@ -552,8 +552,21 @@ func (ic *inactiveClient) onConnected(now core.Time) {
 	default:
 		// Send a deliberately incomplete request so the server parks the
 		// connection in its interest set.
-		ic.conn.Send(now, httpsim.FormatPartialRequest(ic.gen.cfg.DocumentPath))
+		ic.conn.Send(now, ic.gen.partialRequest)
 	}
+}
+
+// Data implements netsim.ConnHandler.
+func (ic *inactiveClient) Data(core.Time, int) {}
+
+// Refused implements netsim.ConnHandler.
+func (ic *inactiveClient) Refused(now core.Time, reason netsim.RefuseReason) {
+	ic.onClosedOrRefused(now, reason)
+}
+
+// PeerClosed implements netsim.ConnHandler.
+func (ic *inactiveClient) PeerClosed(now core.Time) {
+	ic.onClosedOrRefused(now, netsim.RefusedReset)
 }
 
 // scheduleTrickle arms the next slow-loris byte for the given connection. The

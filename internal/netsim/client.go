@@ -43,15 +43,60 @@ const (
 	StateClosed
 )
 
-// Handlers are the client-side callbacks driven by network events. The client
-// host has unbounded CPU, so handlers run exactly at the event's virtual time.
-// Any handler may be nil.
+// ConnHandler receives the client-side connection callbacks. The client host
+// has unbounded CPU, so methods run exactly at the event's virtual time.
+// Implementing the interface directly (rather than populating Handlers with
+// closures) is the allocation-free path the load generator uses: one
+// interface value per connection instead of a closure per callback.
+type ConnHandler interface {
+	Connected(now core.Time)
+	Refused(now core.Time, reason RefuseReason)
+	Data(now core.Time, n int)
+	PeerClosed(now core.Time)
+}
+
+// Handlers are the client-side callbacks driven by network events, the
+// closure-based adapter over ConnHandler. Any handler may be nil.
 type Handlers struct {
 	OnConnected  func(now core.Time)
 	OnRefused    func(now core.Time, reason RefuseReason)
 	OnData       func(now core.Time, n int)
 	OnPeerClosed func(now core.Time)
 }
+
+// handlersShim adapts Handlers to ConnHandler.
+type handlersShim struct{ h Handlers }
+
+func (s *handlersShim) Connected(now core.Time) {
+	if s.h.OnConnected != nil {
+		s.h.OnConnected(now)
+	}
+}
+func (s *handlersShim) Refused(now core.Time, reason RefuseReason) {
+	if s.h.OnRefused != nil {
+		s.h.OnRefused(now, reason)
+	}
+}
+func (s *handlersShim) Data(now core.Time, n int) {
+	if s.h.OnData != nil {
+		s.h.OnData(now, n)
+	}
+}
+func (s *handlersShim) PeerClosed(now core.Time) {
+	if s.h.OnPeerClosed != nil {
+		s.h.OnPeerClosed(now)
+	}
+}
+
+// noopHandler stands in when a caller passes a nil handler.
+type noopHandler struct{}
+
+func (noopHandler) Connected(core.Time)             {}
+func (noopHandler) Refused(core.Time, RefuseReason) {}
+func (noopHandler) Data(core.Time, int)             {}
+func (noopHandler) PeerClosed(core.Time)            {}
+
+var sharedNoopHandler ConnHandler = noopHandler{}
 
 // ConnectOptions parameterise one client connection.
 type ConnectOptions struct {
@@ -81,12 +126,13 @@ type ClientConn struct {
 	ID  int64
 	rtt core.Duration
 
-	handlers Handlers
-	state    ConnState
+	h     ConnHandler
+	state ConnState
 
 	server *ServerConn
 
 	bytesReceived int
+	recvWindow    int
 	portHeld      bool
 	peerClosed    bool
 	closedLocal   bool
@@ -96,65 +142,41 @@ type ClientConn struct {
 	StartedAt core.Time
 }
 
-// Connect starts a connection attempt at virtual time now. The returned
-// ClientConn reports progress through the supplied handlers.
+// Connect starts a connection attempt at virtual time now, reporting progress
+// through the closure-based Handlers. Allocation-sensitive callers use
+// ConnectWith.
 func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *ClientConn {
+	return n.ConnectWith(now, opts, &handlersShim{h: h})
+}
+
+// ConnectWith starts a connection attempt at virtual time now. The returned
+// ClientConn reports progress through h (which may be nil for fire-and-forget
+// connections).
+func (n *Network) ConnectWith(now core.Time, opts ConnectOptions, h ConnHandler) *ClientConn {
+	if h == nil {
+		h = sharedNoopHandler
+	}
 	rtt := opts.RTT
 	if rtt <= 0 {
 		rtt = n.Cfg.DefaultRTT
 	}
-	c := &ClientConn{net: n, ID: n.connID(), rtt: rtt, handlers: h, state: StateConnecting, StartedAt: now, stallReads: opts.StallReads}
+	c := &ClientConn{
+		net: n, ID: n.connID(), rtt: rtt, h: h, state: StateConnecting,
+		StartedAt: now, recvWindow: opts.RecvWindow, stallReads: opts.StallReads,
+	}
 	n.stats.ConnAttempts++
 
 	if !n.allocPort(now) {
 		n.stats.ConnPortFail++
 		c.state = StateRefused
-		n.K.Sim.After(0, func(t core.Time) {
-			if h.OnRefused != nil {
-				h.OnRefused(t, RefusedPorts)
-			}
-		})
+		n.K.Sim.After(0, func(t core.Time) { h.Refused(t, RefusedPorts) })
 		return c
 	}
 	c.portHeld = true
 
 	// SYN reaches the server half an RTT from now; the handshake completes (or
 	// the refusal is learned) another half RTT later.
-	n.K.Sim.At(now.Add(rtt/2), func(t core.Time) {
-		// The sharding decision is made in the NIC/stack before the interrupt
-		// is raised, so the SYN's interrupt cost lands on the CPU of the
-		// worker whose accept queue receives the connection (IRQ steering).
-		l := n.pickListener(c.ID)
-		var irq *simkernel.CPU
-		if l != nil && l.owner != nil {
-			irq = l.owner.CPU()
-		}
-		n.K.InterruptOn(irq, t, n.K.Cost.NetRxIRQ, nil)
-		n.stats.SegmentsRx++
-		reason := RefusedClosed
-		if l != nil {
-			// The client's receive window is advertised in the handshake.
-			sc := &ServerConn{net: n, ID: c.ID, rtt: rtt, peer: c, owner: l.owner,
-				sndWindow: opts.RecvWindow, sndAvail: opts.RecvWindow}
-			if l.deliverSYN(t, sc) {
-				c.server = sc
-				n.stats.ConnEstablished++
-				n.K.Sim.At(t.Add(rtt/2), func(t2 core.Time) {
-					if c.state != StateConnecting {
-						return
-					}
-					c.state = StateEstablished
-					if h.OnConnected != nil {
-						h.OnConnected(t2)
-					}
-				})
-				return
-			}
-			reason = RefusedBacklog
-		}
-		n.stats.ConnRefused++
-		n.K.Sim.At(t.Add(rtt/2), func(t2 core.Time) { c.refuse(t2, reason) })
-	})
+	n.schedule(now.Add(rtt/2), evtSYN, c, nil, 0, 0, nil)
 	return c
 }
 
@@ -167,9 +189,49 @@ func (c *ClientConn) BytesReceived() int { return c.bytesReceived }
 // RTT returns the connection's round-trip time.
 func (c *ClientConn) RTT() core.Duration { return c.rtt }
 
+// synArrive handles the SYN reaching the server host.
+func (c *ClientConn) synArrive(t core.Time) {
+	n := c.net
+	// The sharding decision is made in the NIC/stack before the interrupt
+	// is raised, so the SYN's interrupt cost lands on the CPU of the
+	// worker whose accept queue receives the connection (IRQ steering).
+	l := n.pickListener(c.ID)
+	var irq *simkernel.CPU
+	if l != nil && l.owner != nil {
+		irq = l.owner.CPU()
+	}
+	n.K.InterruptOn(irq, t, n.K.Cost.NetRxIRQ, nil)
+	n.stats.SegmentsRx++
+	reason := RefusedClosed
+	if l != nil {
+		// The client's receive window is advertised in the handshake.
+		sc := &ServerConn{net: n, ID: c.ID, rtt: c.rtt, peer: c, owner: l.owner,
+			sndWindow: c.recvWindow, sndAvail: c.recvWindow}
+		if l.deliverSYN(t, sc) {
+			c.server = sc
+			n.stats.ConnEstablished++
+			n.schedule(t.Add(c.rtt/2), evtEstablished, c, nil, 0, 0, nil)
+			return
+		}
+		reason = RefusedBacklog
+	}
+	n.stats.ConnRefused++
+	n.schedule(t.Add(c.rtt/2), evtRefuse, c, nil, 0, reason, nil)
+}
+
+// established completes the handshake on the client side.
+func (c *ClientConn) established(t core.Time) {
+	if c.state != StateConnecting {
+		return
+	}
+	c.state = StateEstablished
+	c.h.Connected(t)
+}
+
 // Send transmits request bytes toward the server at time now. Bytes arrive
 // after half an RTT plus the link transmission delay and are buffered on the
-// server connection until it reads them.
+// server connection until it reads them. The data slice is retained until
+// delivery and must not be mutated by the caller in the meantime.
 func (c *ClientConn) Send(now core.Time, data []byte) {
 	if c.state != StateEstablished && c.state != StateConnecting {
 		return
@@ -178,18 +240,20 @@ func (c *ClientConn) Send(now core.Time, data []byte) {
 	if n == 0 {
 		return
 	}
-	payload := append([]byte(nil), data...)
+	arrival := now.Add(c.rtt / 2).Add(c.net.TransmitDelay(n))
+	c.net.schedule(arrival, evtDataToServer, c, nil, n, 0, data)
+}
+
+// dataArriveServer delivers sent bytes to the server host.
+func (c *ClientConn) dataArriveServer(t core.Time, data []byte) {
+	if c.server == nil {
+		return
+	}
 	net := c.net
-	arrival := now.Add(c.rtt / 2).Add(net.TransmitDelay(n))
-	net.K.Sim.At(arrival, func(t core.Time) {
-		if c.server == nil {
-			return
-		}
-		net.K.InterruptOn(c.server.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
-		net.stats.SegmentsRx++
-		net.stats.BytesToServer += int64(n)
-		c.server.deliverData(t, payload)
-	})
+	net.K.InterruptOn(c.server.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
+	net.stats.SegmentsRx++
+	net.stats.BytesToServer += int64(len(data))
+	c.server.deliverData(t, data)
 }
 
 // Close closes the client end at time now; the FIN reaches the server half an
@@ -204,16 +268,10 @@ func (c *ClientConn) Close(now core.Time) {
 	}
 	c.net.stats.ClientCloses++
 	c.releasePort(now)
-	server := c.server
-	if server == nil {
+	if c.server == nil {
 		return
 	}
-	net := c.net
-	net.K.Sim.At(now.Add(c.rtt/2), func(t core.Time) {
-		net.K.InterruptOn(server.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
-		net.stats.SegmentsRx++
-		server.deliverFIN(t)
-	})
+	c.net.schedule(now.Add(c.rtt/2), evtFINToServer, c, c.server, 0, 0, nil)
 }
 
 // refuse finalises a failed connection attempt on the client side.
@@ -223,9 +281,7 @@ func (c *ClientConn) refuse(now core.Time, reason RefuseReason) {
 	}
 	c.state = StateRefused
 	c.releasePort(now)
-	if c.handlers.OnRefused != nil {
-		c.handlers.OnRefused(now, reason)
-	}
+	c.h.Refused(now, reason)
 }
 
 // scheduleData delivers response bytes to the client at the given instant.
@@ -233,63 +289,60 @@ func (c *ClientConn) refuse(now core.Time, reason RefuseReason) {
 // window update announcing the freed space reaches the server half an RTT
 // later; a stalled reader leaves the window occupied forever.
 func (c *ClientConn) scheduleData(at core.Time, n int) {
-	c.net.K.Sim.At(at, func(t core.Time) {
-		if c.closedLocal {
-			return
-		}
-		c.bytesReceived += n
-		if c.handlers.OnData != nil {
-			c.handlers.OnData(t, n)
-		}
-		if !c.stallReads && c.server != nil && c.server.sndWindow > 0 {
-			server := c.server
-			net := c.net
-			c.net.K.Sim.At(t.Add(c.rtt/2), func(t2 core.Time) {
-				// The window update is an ACK segment: it costs the server an
-				// RX interrupt like any other arriving segment.
-				net.K.InterruptOn(server.irqCPU(), t2, net.K.Cost.NetRxIRQ, nil)
-				net.stats.SegmentsRx++
-				server.windowOpen(t2, n)
-			})
-		}
-	})
+	c.net.schedule(at, evtDataToClient, c, nil, n, 0, nil)
+}
+
+// dataArriveClient consumes delivered response bytes on the client host.
+func (c *ClientConn) dataArriveClient(t core.Time, n int) {
+	if c.closedLocal {
+		return
+	}
+	c.bytesReceived += n
+	c.h.Data(t, n)
+	if !c.stallReads && c.server != nil && c.server.sndWindow > 0 {
+		// The window update is an ACK segment: it costs the server an RX
+		// interrupt like any other arriving segment.
+		c.net.schedule(t.Add(c.rtt/2), evtWindowUpdate, nil, c.server, n, 0, nil)
+	}
 }
 
 // schedulePeerClose delivers the server's FIN to the client at the given
 // instant.
 func (c *ClientConn) schedulePeerClose(at core.Time) {
-	c.net.K.Sim.At(at, func(t core.Time) {
-		if c.peerClosed || c.closedLocal {
-			return
-		}
-		c.peerClosed = true
-		c.state = StateClosed
-		c.releasePort(t)
-		if c.handlers.OnPeerClosed != nil {
-			c.handlers.OnPeerClosed(t)
-		}
-	})
+	c.net.schedule(at, evtPeerClose, c, nil, 0, 0, nil)
+}
+
+// peerCloseArrive handles the server's FIN on the client host.
+func (c *ClientConn) peerCloseArrive(t core.Time) {
+	if c.peerClosed || c.closedLocal {
+		return
+	}
+	c.peerClosed = true
+	c.state = StateClosed
+	c.releasePort(t)
+	c.h.PeerClosed(t)
 }
 
 // scheduleReset aborts the connection from the server side (listener torn
 // down, descriptor limit, ...), surfacing it to the client as a refusal.
 func (c *ClientConn) scheduleReset(now core.Time) {
-	c.net.K.Sim.At(now.Add(c.rtt/2), func(t core.Time) {
-		if c.closedLocal || c.peerClosed {
-			return
-		}
-		switch c.state {
-		case StateConnecting:
-			c.refuse(t, RefusedReset)
-		case StateEstablished:
-			c.state = StateClosed
-			c.peerClosed = true
-			c.releasePort(t)
-			if c.handlers.OnRefused != nil {
-				c.handlers.OnRefused(t, RefusedReset)
-			}
-		}
-	})
+	c.net.schedule(now.Add(c.rtt/2), evtReset, c, nil, 0, 0, nil)
+}
+
+// resetArrive handles a server-side reset on the client host.
+func (c *ClientConn) resetArrive(t core.Time) {
+	if c.closedLocal || c.peerClosed {
+		return
+	}
+	switch c.state {
+	case StateConnecting:
+		c.refuse(t, RefusedReset)
+	case StateEstablished:
+		c.state = StateClosed
+		c.peerClosed = true
+		c.releasePort(t)
+		c.h.Refused(t, RefusedReset)
+	}
 }
 
 // releasePort returns the client's ephemeral port to TIME-WAIT exactly once.
@@ -299,4 +352,118 @@ func (c *ClientConn) releasePort(now core.Time) {
 	}
 	c.portHeld = false
 	c.net.releasePort(now)
+}
+
+// evtKind identifies what a pooled network event does when it fires.
+type evtKind int
+
+const (
+	evtSYN          evtKind = iota // SYN reaches the server host
+	evtEstablished                 // SYN-ACK reaches the client: handshake done
+	evtRefuse                      // refusal reaches the client
+	evtDataToServer                // request bytes reach the server host
+	evtDataToClient                // response bytes reach the client host
+	evtWindowUpdate                // window-update ACK reaches the server host
+	evtPeerClose                   // server FIN reaches the client host
+	evtFINToServer                 // client FIN reaches the server host
+	evtReset                       // server reset reaches the client host
+	evtXmit                        // server write leaves the host (batch completion)
+	evtSrvClose                    // server close's FIN leaves the host (batch completion)
+)
+
+// connEvt is one scheduled network delivery. Records are pooled on the
+// Network and each carries a callback bound once for its life, so the
+// per-segment traffic of a run — the majority of all scheduled events —
+// allocates nothing at steady state.
+type connEvt struct {
+	net    *Network
+	kind   evtKind
+	c      *ClientConn
+	sc     *ServerConn
+	n      int
+	reason RefuseReason
+	data   []byte
+	fn     func(now core.Time)
+}
+
+// getEvt pops a recycled delivery record (or allocates one with its callback
+// bound) — the single home of the pool discipline.
+func (n *Network) getEvt() *connEvt {
+	if l := len(n.evtPool); l > 0 {
+		e := n.evtPool[l-1]
+		n.evtPool[l-1] = nil
+		n.evtPool = n.evtPool[:l-1]
+		return e
+	}
+	e := &connEvt{net: n}
+	e.fn = e.run
+	return e
+}
+
+// schedule books a pooled delivery event at the given instant.
+func (n *Network) schedule(at core.Time, kind evtKind, c *ClientConn, sc *ServerConn, count int, reason RefuseReason, data []byte) {
+	e := n.getEvt()
+	e.kind, e.c, e.sc, e.n, e.reason, e.data = kind, c, sc, count, reason, data
+	n.K.Sim.At(at, e.fn)
+}
+
+// defer_ books a pooled delivery event as a deferred batch effect of the
+// given process (the transmit side of server syscalls).
+func (n *Network) defer_(p *simkernel.Proc, kind evtKind, sc *ServerConn, count int) {
+	e := n.getEvt()
+	e.kind, e.sc, e.n = kind, sc, count
+	p.Defer(e.fn)
+}
+
+// run dispatches the event and recycles its record. The fields are extracted
+// (and the record returned to the pool) before the work runs, because the
+// work itself may schedule and thus re-issue this very record.
+func (e *connEvt) run(t core.Time) {
+	net, kind, c, sc, n, reason, data := e.net, e.kind, e.c, e.sc, e.n, e.reason, e.data
+	e.c, e.sc, e.data = nil, nil, nil
+	net.evtPool = append(net.evtPool, e)
+	switch kind {
+	case evtSYN:
+		c.synArrive(t)
+	case evtEstablished:
+		c.established(t)
+	case evtRefuse:
+		c.refuse(t, reason)
+	case evtDataToServer:
+		c.dataArriveServer(t, data)
+	case evtDataToClient:
+		c.dataArriveClient(t, n)
+	case evtWindowUpdate:
+		net.K.InterruptOn(sc.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
+		net.stats.SegmentsRx++
+		sc.windowOpen(t, n)
+	case evtPeerClose:
+		c.peerCloseArrive(t)
+	case evtFINToServer:
+		net.K.InterruptOn(sc.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
+		net.stats.SegmentsRx++
+		sc.deliverFIN(t)
+	case evtReset:
+		c.resetArrive(t)
+	case evtXmit:
+		arrival := t.Add(net.TransmitDelay(n)).Add(sc.rtt / 2)
+		if arrival < sc.lastDeliveryAt {
+			arrival = sc.lastDeliveryAt
+		}
+		sc.lastDeliveryAt = arrival
+		net.stats.BytesToClient += int64(n)
+		if sc.peer != nil {
+			sc.peer.scheduleData(arrival, n)
+		}
+	case evtSrvClose:
+		net.stats.ServerCloses++
+		arrival := t.Add(sc.rtt / 2)
+		if arrival < sc.lastDeliveryAt {
+			arrival = sc.lastDeliveryAt
+		}
+		sc.lastDeliveryAt = arrival
+		if sc.peer != nil {
+			sc.peer.schedulePeerClose(arrival)
+		}
+	}
 }

@@ -12,7 +12,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/core"
@@ -96,23 +95,37 @@ type Stats struct {
 	ClientCloses    int64 // client-initiated closes
 }
 
-// timewaitEntry records when a client port becomes available again.
-type timewaitEntry struct {
-	release core.Time
+// timewaitRing holds the release instants of ports waiting out TIME-WAIT.
+// Every port enters with release = now + the fixed TIME-WAIT duration and the
+// clock never runs backwards, so entries arrive already sorted: a FIFO ring
+// (reusing its backing array) replaces the former heap with identical
+// pop order and no per-entry boxing.
+type timewaitRing struct {
+	releases []core.Time
+	head     int
 }
 
-type timewaitHeap []timewaitEntry
+func (r *timewaitRing) len() int { return len(r.releases) - r.head }
 
-func (h timewaitHeap) Len() int            { return len(h) }
-func (h timewaitHeap) Less(i, j int) bool  { return h[i].release < h[j].release }
-func (h timewaitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timewaitHeap) Push(x interface{}) { *h = append(*h, x.(timewaitEntry)) }
-func (h *timewaitHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (r *timewaitRing) push(release core.Time) {
+	r.releases = append(r.releases, release)
+}
+
+// expire drops entries whose release instant has passed, compacting the
+// backing array once the dead prefix outweighs the live suffix so a long run
+// holds O(live TIME-WAIT ports) memory, not O(total connections).
+func (r *timewaitRing) expire(now core.Time) {
+	for r.head < len(r.releases) && r.releases[r.head] <= now {
+		r.head++
+	}
+	if r.head == len(r.releases) {
+		r.releases = r.releases[:0]
+		r.head = 0
+	} else if r.head > 64 && r.head*2 >= len(r.releases) {
+		n := copy(r.releases, r.releases[r.head:])
+		r.releases = r.releases[:n]
+		r.head = 0
+	}
 }
 
 // Network is the simulated wire between the client host and the server host.
@@ -125,7 +138,10 @@ type Network struct {
 	stats     Stats
 
 	portsInUse int
-	timewait   timewaitHeap
+	timewait   timewaitRing
+
+	// evtPool recycles the scheduled-delivery records of client.go.
+	evtPool []*connEvt
 
 	nextConnID int64
 }
@@ -147,9 +163,7 @@ func New(k *simkernel.Kernel, cfg Config) *Network {
 	if cfg.TimeWait < 0 {
 		cfg.TimeWait = 0
 	}
-	n := &Network{K: k, Cfg: cfg}
-	heap.Init(&n.timewait)
-	return n
+	return &Network{K: k, Cfg: cfg}
 }
 
 // Stats returns a snapshot of the network counters.
@@ -205,20 +219,14 @@ func (n *Network) TransmitDelay(size int) core.Duration {
 // PortsAvailable reports how many client ephemeral ports can be allocated at
 // virtual time now, after lazily expiring TIME-WAIT entries.
 func (n *Network) PortsAvailable(now core.Time) int {
-	n.expireTimewait(now)
-	return n.Cfg.PortSpace - n.portsInUse - len(n.timewait)
+	n.timewait.expire(now)
+	return n.Cfg.PortSpace - n.portsInUse - n.timewait.len()
 }
 
 // PortsInTimeWait reports how many ports are currently waiting out TIME-WAIT.
 func (n *Network) PortsInTimeWait(now core.Time) int {
-	n.expireTimewait(now)
-	return len(n.timewait)
-}
-
-func (n *Network) expireTimewait(now core.Time) {
-	for len(n.timewait) > 0 && n.timewait[0].release <= now {
-		heap.Pop(&n.timewait)
-	}
+	n.timewait.expire(now)
+	return n.timewait.len()
 }
 
 // allocPort claims a client ephemeral port; it returns false when the port
@@ -239,7 +247,7 @@ func (n *Network) releasePort(now core.Time) {
 	}
 	n.portsInUse--
 	if n.Cfg.TimeWait > 0 {
-		heap.Push(&n.timewait, timewaitEntry{release: now.Add(n.Cfg.TimeWait)})
+		n.timewait.push(now.Add(n.Cfg.TimeWait))
 	}
 }
 

@@ -19,7 +19,7 @@ type Listener struct {
 	acceptQ []*ServerConn
 	closed  bool
 
-	notifier func(now core.Time, mask core.EventMask)
+	notifier simkernel.Notifier
 
 	// Overflows counts SYNs refused because the accept queue was full.
 	Overflows int64
@@ -37,7 +37,7 @@ func (l *Listener) Poll() core.EventMask {
 }
 
 // SetNotifier implements simkernel.File.
-func (l *Listener) SetNotifier(fn func(now core.Time, mask core.EventMask)) { l.notifier = fn }
+func (l *Listener) SetNotifier(n simkernel.Notifier) { l.notifier = n }
 
 // Close implements simkernel.File.
 func (l *Listener) Close(now core.Time) {
@@ -55,7 +55,7 @@ func (l *Listener) Backlog() int { return len(l.acceptQ) }
 // notify wakes pollers/hints after the queue became non-empty.
 func (l *Listener) notify(now core.Time, mask core.EventMask) {
 	if l.notifier != nil {
-		l.notifier(now, mask)
+		l.notifier.Notify(now, mask)
 	}
 }
 
@@ -116,7 +116,7 @@ type ServerConn struct {
 	// loops) or only once request data has arrived (edge-style RT signals).
 	EstablishedAt core.Time
 
-	notifier func(now core.Time, mask core.EventMask)
+	notifier simkernel.Notifier
 }
 
 // Poll implements simkernel.File.
@@ -138,7 +138,7 @@ func (c *ServerConn) Poll() core.EventMask {
 }
 
 // SetNotifier implements simkernel.File.
-func (c *ServerConn) SetNotifier(fn func(now core.Time, mask core.EventMask)) { c.notifier = fn }
+func (c *ServerConn) SetNotifier(n simkernel.Notifier) { c.notifier = n }
 
 // Close implements simkernel.File. Note that the externally visible FIN is
 // scheduled by SockAPI.Close as a deferred batch effect; this only marks local
@@ -173,7 +173,7 @@ func (c *ServerConn) irqCPU() *simkernel.CPU {
 
 func (c *ServerConn) notify(now core.Time, mask core.EventMask) {
 	if c.notifier != nil {
-		c.notifier(now, mask)
+		c.notifier.Notify(now, mask)
 	}
 }
 
@@ -371,18 +371,7 @@ func (a *SockAPI) Write(fd *simkernel.FD, n int) int {
 	if accepted <= 0 {
 		return 0 // window closed: EAGAIN
 	}
-	net := a.Net
-	a.P.Defer(func(done core.Time) {
-		arrival := done.Add(net.TransmitDelay(accepted)).Add(conn.rtt / 2)
-		if arrival < conn.lastDeliveryAt {
-			arrival = conn.lastDeliveryAt
-		}
-		conn.lastDeliveryAt = arrival
-		net.stats.BytesToClient += int64(accepted)
-		if conn.peer != nil {
-			conn.peer.scheduleData(arrival, accepted)
-		}
-	})
+	a.Net.defer_(a.P, evtXmit, conn, accepted)
 	return accepted
 }
 
@@ -397,18 +386,7 @@ func (a *SockAPI) Close(fd *simkernel.FD) {
 	if !isConn {
 		return
 	}
-	net := a.Net
-	a.P.Defer(func(done core.Time) {
-		net.stats.ServerCloses++
-		arrival := done.Add(conn.rtt / 2)
-		if arrival < conn.lastDeliveryAt {
-			arrival = conn.lastDeliveryAt
-		}
-		conn.lastDeliveryAt = arrival
-		if conn.peer != nil {
-			conn.peer.schedulePeerClose(arrival)
-		}
-	})
+	a.Net.defer_(a.P, evtSrvClose, conn, 0)
 }
 
 // Fcntl models fcntl() calls such as F_SETSIG/F_SETOWN/O_ASYNC, charging their

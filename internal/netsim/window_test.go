@@ -74,11 +74,11 @@ func TestDrainingClientReopensWindow(t *testing.T) {
 	fd, conn := accept(t, k, p, api, lfd)
 
 	var pollout bool
-	conn.SetNotifier(func(_ core.Time, mask core.EventMask) {
+	conn.SetNotifier(simkernel.NotifierFunc(func(_ core.Time, mask core.EventMask) {
 		if mask&core.POLLOUT != 0 {
 			pollout = true
 		}
-	})
+	}))
 
 	var first int
 	p.Batch(k.Now(), func() { first = api.Write(fd, 2048) }, nil)

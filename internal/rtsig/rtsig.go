@@ -69,8 +69,8 @@ type Queue struct {
 	// completions that raise a signal, Entry.Data the assigned signal number,
 	// Entry.File the descriptor whose fasync list we joined.
 	registered *interest.Table
-	bySigno    map[int][]core.Siginfo // pending siginfo, FIFO per signal number
-	signos     []int                  // sorted signal numbers with pending entries
+	bySigno    map[int]*sigFIFO // pending siginfo, FIFO per signal number
+	signos     []int            // sorted signal numbers with pending entries
 	length     int
 
 	overflowed       bool
@@ -95,7 +95,7 @@ func New(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Queue {
 		p:          p,
 		opts:       opts,
 		registered: interest.NewTable(),
-		bySigno:    make(map[int][]core.Siginfo),
+		bySigno:    make(map[int]*sigFIFO),
 	}
 	q.eng = interest.Engine{
 		Name:    "rtsig",
@@ -219,8 +219,12 @@ func (q *Queue) Close() error {
 func (q *Queue) Recover() int {
 	q.p.ChargeSyscall(q.k.Cost.SigMaskChange)
 	flushed := q.length
-	q.bySigno = make(map[int][]core.Siginfo)
-	q.signos = nil
+	// The flush keeps the per-signo ring storage: phhttpd recovers after
+	// every overflow, and reallocating the queue each time was measurable.
+	for _, f := range q.bySigno {
+		f.reset()
+	}
+	q.signos = q.signos[:0]
 	q.length = 0
 	q.overflowed = false
 	q.overflowReported = false
@@ -244,7 +248,7 @@ func (q *Queue) Wait(max int, timeout core.Duration, handler func(events []core.
 }
 
 // collect performs one sigwaitinfo()/sigtimedwait4() dequeue attempt.
-func (q *Queue) collect(firstPass bool, max int) []core.Event {
+func (q *Queue) collect(firstPass bool, max int, buf []core.Event) []core.Event {
 	cost := q.k.Cost
 	q.stats.Waits++
 	if firstPass {
@@ -258,9 +262,9 @@ func (q *Queue) collect(firstPass bool, max int) []core.Event {
 		q.p.Charge(cost.SigDequeue)
 		q.overflowReported = true
 		q.stats.EventsReturned++
-		return []core.Event{OverflowEvent}
+		return append(buf, OverflowEvent)
 	}
-	var events []core.Event
+	events := buf
 	for len(events) < max && q.length > 0 {
 		si, ok := q.pop()
 		if !ok {
@@ -277,23 +281,49 @@ func (q *Queue) collect(firstPass bool, max int) []core.Event {
 	return events
 }
 
+// sigFIFO is one signal number's pending siginfo queue: a ring over a reused
+// backing array, so the enqueue/dequeue churn of a saturated signal path
+// performs no allocation at steady state.
+type sigFIFO struct {
+	buf  []core.Siginfo
+	head int
+}
+
+func (f *sigFIFO) empty() bool          { return f.head >= len(f.buf) }
+func (f *sigFIFO) push(si core.Siginfo) { f.buf = append(f.buf, si) }
+func (f *sigFIFO) pop() core.Siginfo {
+	si := f.buf[f.head]
+	f.head++
+	// Compact once the dead prefix outweighs the live suffix, so a queue
+	// that never fully drains (sustained overload) holds O(pending) memory,
+	// not O(total signals).
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return si
+}
+func (f *sigFIFO) reset() {
+	f.buf = f.buf[:0]
+	f.head = 0
+}
+
 // pop removes the oldest pending siginfo from the lowest pending signal
 // number: "Signals dequeue in order of their assigned signal number".
 func (q *Queue) pop() (core.Siginfo, bool) {
 	for len(q.signos) > 0 {
 		signo := q.signos[0]
-		pending := q.bySigno[signo]
-		if len(pending) == 0 {
-			q.signos = q.signos[1:]
-			delete(q.bySigno, signo)
+		f := q.bySigno[signo]
+		if f == nil || f.empty() {
+			q.signos = append(q.signos[:0], q.signos[1:]...)
 			continue
 		}
-		si := pending[0]
-		q.bySigno[signo] = pending[1:]
+		si := f.pop()
 		q.length--
-		if len(q.bySigno[signo]) == 0 {
-			q.signos = q.signos[1:]
-			delete(q.bySigno, signo)
+		if f.empty() {
+			f.reset()
+			q.signos = append(q.signos[:0], q.signos[1:]...)
 		}
 		return si, true
 	}
@@ -302,11 +332,17 @@ func (q *Queue) pop() (core.Siginfo, bool) {
 
 // push appends a siginfo, keeping the per-signo FIFO and the sorted signo set.
 func (q *Queue) push(si core.Siginfo) {
-	if _, ok := q.bySigno[si.Signo]; !ok {
+	f := q.bySigno[si.Signo]
+	if f == nil {
+		f = &sigFIFO{}
+		q.bySigno[si.Signo] = f
+	}
+	if f.empty() {
+		f.reset()
 		q.signos = append(q.signos, si.Signo)
 		sort.Ints(q.signos)
 	}
-	q.bySigno[si.Signo] = append(q.bySigno[si.Signo], si)
+	f.push(si)
 	q.length++
 }
 

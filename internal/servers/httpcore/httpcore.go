@@ -45,11 +45,14 @@ type Stats struct {
 	BytesSent   int64
 }
 
-// Conn is the per-connection state a server keeps.
+// Conn is the per-connection state a server keeps. Closed connections return
+// to a pool on the handler, and the embedded parser keeps its buffer and
+// header-map storage across reuses, so the accept path allocates nothing at
+// steady state.
 type Conn struct {
 	FD     *simkernel.FD
 	SC     *netsim.ServerConn
-	Parser *httpsim.Parser
+	Parser httpsim.Parser
 
 	OpenedAt     core.Time
 	LastActivity core.Time
@@ -94,6 +97,12 @@ type Handler struct {
 	Conns map[int]*Conn
 	Stats Stats
 
+	// free recycles Conn records (and their parser storage) across the
+	// connection churn of a benchmark run; acceptScratch is AcceptAll's
+	// reused result slice.
+	free          []*Conn
+	acceptScratch []int
+
 	// ServiceLatency is the server-side request-latency histogram: accept to
 	// response-fully-written, observed inside the dispatch batch that
 	// completes each request. The histogram is embedded (fixed buckets, no
@@ -120,26 +129,47 @@ func (h *Handler) OpenConns() []int {
 	return out
 }
 
+// newConn pops a pooled connection record (or allocates one) and initialises
+// it for the given descriptor.
+func (h *Handler) newConn(now core.Time, fd *simkernel.FD, sc *netsim.ServerConn) *Conn {
+	var c *Conn
+	if n := len(h.free); n > 0 {
+		c = h.free[n-1]
+		h.free[n-1] = nil
+		h.free = h.free[:n-1]
+		c.Parser.Reset()
+	} else {
+		c = &Conn{}
+	}
+	c.FD, c.SC = fd, sc
+	c.OpenedAt, c.LastActivity = now, now
+	c.PendingWrite = 0
+	c.writeBlocked = false
+	c.finishReason = CloseServed
+	return c
+}
+
 // AcceptAll drains the listener's accept queue, installing a connection for
 // each pending client and invoking OnConnOpen. It returns the descriptors of
 // the newly accepted connections; edge-style servers (RT signals) use the list
 // to perform an immediate read, since data that arrived before registration
-// produces no completion signal.
+// produces no completion signal. The returned slice is reused by the next
+// AcceptAll call.
 func (h *Handler) AcceptAll(now core.Time, lfd *simkernel.FD) []int {
-	var accepted []int
+	accepted := h.acceptScratch[:0]
 	for {
 		fd, sc, ok := h.API.Accept(lfd)
 		if !ok {
 			break
 		}
 		h.Stats.Accepted++
-		c := &Conn{FD: fd, SC: sc, Parser: httpsim.NewParser(), OpenedAt: now, LastActivity: now}
-		h.Conns[fd.Num] = c
+		h.Conns[fd.Num] = h.newConn(now, fd, sc)
 		accepted = append(accepted, fd.Num)
 		if h.OnConnOpen != nil {
 			h.OnConnOpen(fd.Num)
 		}
 	}
+	h.acceptScratch = accepted
 	return accepted
 }
 
@@ -151,8 +181,7 @@ func (h *Handler) AcceptAll(now core.Time, lfd *simkernel.FD) []int {
 // covers request data delivered before the registration existed.
 func (h *Handler) AdoptConn(now core.Time, fd *simkernel.FD, sc *netsim.ServerConn) {
 	h.Stats.Accepted++
-	c := &Conn{FD: fd, SC: sc, Parser: httpsim.NewParser(), OpenedAt: now, LastActivity: now}
-	h.Conns[fd.Num] = c
+	h.Conns[fd.Num] = h.newConn(now, fd, sc)
 	if h.OnConnOpen != nil {
 		h.OnConnOpen(fd.Num)
 	}
@@ -289,7 +318,10 @@ func (h *Handler) CloseConn(now core.Time, fd int, reason CloseReason) {
 }
 
 func (h *Handler) closeConn(c *Conn, reason CloseReason) {
-	if _, ok := h.Conns[c.FD.Num]; !ok {
+	// The identity check (not just presence) keeps a stale double-close from
+	// tearing down a pooled record that has since been reissued for a new
+	// connection on a recycled descriptor number.
+	if cur, ok := h.Conns[c.FD.Num]; !ok || cur != c {
 		return
 	}
 	if h.OnConnClose != nil {
@@ -297,6 +329,8 @@ func (h *Handler) closeConn(c *Conn, reason CloseReason) {
 	}
 	delete(h.Conns, c.FD.Num)
 	h.API.Close(c.FD)
+	c.FD, c.SC = nil, nil
+	h.free = append(h.free, c)
 	h.Stats.Closed++
 	switch reason {
 	case CloseEOF:

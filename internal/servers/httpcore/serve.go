@@ -42,7 +42,7 @@ type EventLoop struct {
 
 	accept *eventlib.Event
 	sweep  *eventlib.Event
-	conns  map[int]*eventlib.Event
+	conns  []*eventlib.Event // fd-indexed; nil = no event registered
 }
 
 // Attach wires the handler onto base: it registers a persistent accept event
@@ -60,7 +60,7 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = core.Second
 	}
-	loop := &EventLoop{h: h, base: base, cfg: cfg, lfd: lfd, conns: make(map[int]*eventlib.Event)}
+	loop := &EventLoop{h: h, base: base, cfg: cfg, lfd: lfd}
 
 	if lfd != nil {
 		loop.accept = base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist, loop.onAcceptable)
@@ -88,7 +88,20 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 func (l *EventLoop) Base() *eventlib.Base { return l.base }
 
 // ConnEvent returns the read event registered for a connection (tests).
-func (l *EventLoop) ConnEvent(fd int) *eventlib.Event { return l.conns[fd] }
+func (l *EventLoop) ConnEvent(fd int) *eventlib.Event {
+	if fd < 0 || fd >= len(l.conns) {
+		return nil
+	}
+	return l.conns[fd]
+}
+
+// setConn records fd's registered event in the dense table.
+func (l *EventLoop) setConn(fd int, ev *eventlib.Event) {
+	for fd >= len(l.conns) {
+		l.conns = append(l.conns, nil)
+	}
+	l.conns[fd] = ev
+}
 
 // onAcceptable is the listener callback: drain the accept queue, then let the
 // server perform its post-accept work (the edge-style immediate read).
@@ -119,7 +132,7 @@ func (l *EventLoop) connReady(fd int, what eventlib.What, now core.Time) {
 // connection.
 func (l *EventLoop) openConn(fd int) {
 	ev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvPersist, l.connReady)
-	l.conns[fd] = ev
+	l.setConn(fd, ev)
 	_ = ev.Add(0)
 }
 
@@ -129,13 +142,13 @@ func (l *EventLoop) openConn(fd int) {
 // event per descriptor, so the read event is replaced rather than augmented —
 // the same re-registration a real server performs with epoll_ctl(MOD).
 func (l *EventLoop) blockOnWrite(fd int) {
-	ev, ok := l.conns[fd]
-	if !ok {
+	ev := l.ConnEvent(fd)
+	if ev == nil {
 		return
 	}
 	_ = ev.Del()
 	nev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvWrite|eventlib.EvPersist, l.connReady)
-	l.conns[fd] = nev
+	l.setConn(fd, nev)
 	_ = nev.Add(0)
 }
 
@@ -163,8 +176,8 @@ func (l *EventLoop) Rescan(now core.Time) {
 // closeConn deletes the connection's event; a pending activation in the
 // current dispatch batch is discarded by eventlib's Del semantics.
 func (l *EventLoop) closeConn(fd int) {
-	if ev, ok := l.conns[fd]; ok {
-		delete(l.conns, fd)
+	if ev := l.ConnEvent(fd); ev != nil {
+		l.conns[fd] = nil
 		_ = ev.Del()
 	}
 }

@@ -2,7 +2,6 @@ package simkernel
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 )
@@ -16,12 +15,25 @@ import (
 type File interface {
 	// Poll reports the file's current readiness (the driver poll callback).
 	Poll() core.EventMask
-	// SetNotifier installs fn to be invoked whenever the file's readiness
-	// changes. Passing nil removes the notifier.
-	SetNotifier(fn func(now core.Time, mask core.EventMask))
+	// SetNotifier installs n to be invoked whenever the file's readiness
+	// changes. Passing nil removes the notifier. The kernel installs the
+	// descriptor-table entry itself (an *FD is a Notifier), so wiring a
+	// descriptor costs no closure.
+	SetNotifier(n Notifier)
 	// Close releases the underlying object.
 	Close(now core.Time)
 }
+
+// Notifier receives readiness transitions from a File's device driver.
+type Notifier interface {
+	Notify(now core.Time, mask core.EventMask)
+}
+
+// NotifierFunc adapts a function to the Notifier interface (used by tests).
+type NotifierFunc func(now core.Time, mask core.EventMask)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(now core.Time, mask core.EventMask) { f(now, mask) }
 
 // Watcher observes readiness transitions on a descriptor. Event mechanisms
 // register watchers to implement wait-queue wakeups (stock poll), driver hints
@@ -157,16 +169,28 @@ func (fd *FD) RemoveWatcher(w Watcher) {
 // Watchers reports the number of registered watchers (used by tests).
 func (fd *FD) Watchers() int { return len(fd.watchers) }
 
-// notify fans a readiness transition out to all registered watchers.
-func (fd *FD) notify(now core.Time, mask core.EventMask) {
+// Notify implements Notifier: it fans a readiness transition out to all
+// registered watchers. Files call it (via SetNotifier's installed target)
+// whenever their readiness changes.
+func (fd *FD) Notify(now core.Time, mask core.EventMask) {
 	if fd.closed {
 		return
 	}
-	// Copy: watchers may remove themselves during delivery.
-	ws := make([]Watcher, len(fd.watchers))
-	copy(ws, fd.watchers)
-	for _, w := range ws {
-		w.ReadinessChanged(now, fd, mask)
+	switch len(fd.watchers) {
+	case 0:
+	case 1:
+		// The overwhelmingly common case: deliver directly. The watcher may
+		// remove itself — there is no further iteration to disturb.
+		fd.watchers[0].ReadinessChanged(now, fd, mask)
+	default:
+		// Copy: watchers may remove themselves during delivery. A small stack
+		// buffer covers every configuration the servers build (at most one
+		// mechanism per fd plus the hybrid's mirrored pair).
+		var buf [4]Watcher
+		ws := append(buf[:0], fd.watchers...)
+		for _, w := range ws {
+			w.ReadinessChanged(now, fd, mask)
+		}
 	}
 }
 
@@ -180,7 +204,11 @@ type Proc struct {
 
 	cpu *CPU
 
-	fds     map[int]*FD
+	// fds is the descriptor table, indexed by descriptor number (nil = free).
+	// POSIX lowest-unused allocation keeps it dense, so lookups are a bounds
+	// check and an index — no hashing on the per-syscall path.
+	fds     []*FD
+	nfds    int    // open descriptors
 	freeFD  int    // lowest descriptor number that may be unused
 	nextGen uint64 // generation counter stamped onto installed descriptors
 
@@ -188,8 +216,43 @@ type Proc struct {
 	batchCost core.Duration
 	deferred  []func(now core.Time)
 
+	// donePool recycles batch-completion records (and their deferred-effect
+	// slices and pre-bound callbacks), so submitting a batch to the CPU
+	// allocates nothing at steady state. Batches from one process can overlap
+	// in flight (the CPU serialises them), so this is a pool, not a single
+	// slot.
+	donePool []*batchDone
+
 	// TotalCharged accumulates all CPU time charged through this process.
 	TotalCharged core.Duration
+}
+
+// batchDone carries one batch's completion work: the deferred externally
+// visible effects and the caller's done callback. fn is the completion
+// closure handed to the CPU, bound once when the record is created and reused
+// for the record's whole life.
+type batchDone struct {
+	p        *Proc
+	deferred []func(now core.Time)
+	done     func(now core.Time)
+	fn       func(now core.Time)
+}
+
+// run executes the completion at the batch's finish instant and recycles the
+// record.
+func (bd *batchDone) run(t core.Time) {
+	deferred := bd.deferred
+	done := bd.done
+	bd.done = nil
+	for i, d := range deferred {
+		d(t)
+		deferred[i] = nil // release the closure for the collector
+	}
+	bd.deferred = deferred[:0]
+	bd.p.donePool = append(bd.p.donePool, bd)
+	if done != nil {
+		done(t)
+	}
 }
 
 // NewProc creates a process with an empty descriptor table, pinned to CPU 0.
@@ -204,7 +267,7 @@ func (k *Kernel) NewProcOn(name string, cpu *CPU) *Proc {
 	if cpu == nil {
 		cpu = k.CPU
 	}
-	return &Proc{K: k, Name: name, cpu: cpu, fds: make(map[int]*FD), freeFD: 3}
+	return &Proc{K: k, Name: name, cpu: cpu, freeFD: 3}
 }
 
 // CPU returns the processor the process is pinned to.
@@ -217,47 +280,52 @@ func (p *Proc) CPU() *CPU { return p.cpu }
 // distinguishable.
 func (p *Proc) Install(f File) *FD {
 	num := p.freeFD
-	for {
-		if _, used := p.fds[num]; !used {
-			break
-		}
+	for num < len(p.fds) && p.fds[num] != nil {
 		num++
 	}
 	p.freeFD = num + 1
 	p.nextGen++
 	fd := &FD{Num: num, Gen: p.nextGen, Proc: p, file: f}
+	for num >= len(p.fds) {
+		p.fds = append(p.fds, nil)
+	}
 	p.fds[num] = fd
-	f.SetNotifier(func(now core.Time, mask core.EventMask) { fd.notify(now, mask) })
+	p.nfds++
+	f.SetNotifier(fd)
 	return fd
 }
 
 // Get returns the descriptor table entry for fd.
 func (p *Proc) Get(fd int) (*FD, bool) {
-	e, ok := p.fds[fd]
-	return e, ok
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		return nil, false
+	}
+	return p.fds[fd], true
 }
 
 // NumFDs reports the number of open descriptors.
-func (p *Proc) NumFDs() int { return len(p.fds) }
+func (p *Proc) NumFDs() int { return p.nfds }
 
 // FDs returns the open descriptor numbers in ascending order.
 func (p *Proc) FDs() []int {
-	out := make([]int, 0, len(p.fds))
-	for n := range p.fds {
-		out = append(out, n)
+	out := make([]int, 0, p.nfds)
+	for n, e := range p.fds {
+		if e != nil {
+			out = append(out, n)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
 // CloseFD removes fd from the table and closes the underlying file. The caller
 // is responsible for charging the close cost (Cost.SockClose + SyscallEntry).
 func (p *Proc) CloseFD(now core.Time, fd int) error {
-	e, ok := p.fds[fd]
+	e, ok := p.Get(fd)
 	if !ok {
 		return core.ErrBadFD
 	}
-	delete(p.fds, fd)
+	p.fds[fd] = nil
+	p.nfds--
 	if fd < p.freeFD {
 		p.freeFD = fd
 	}
@@ -313,19 +381,23 @@ func (p *Proc) Batch(now core.Time, fn func(), done func(now core.Time)) {
 	}
 	p.inBatch = true
 	p.batchCost = 0
-	p.deferred = nil
 	fn()
 	cost := p.batchCost
-	deferred := p.deferred
 	p.inBatch = false
 	p.batchCost = 0
-	p.deferred = nil
-	p.cpu.Exec(now, cost, func(t core.Time) {
-		for _, d := range deferred {
-			d(t)
-		}
-		if done != nil {
-			done(t)
-		}
-	})
+
+	var bd *batchDone
+	if n := len(p.donePool); n > 0 {
+		bd = p.donePool[n-1]
+		p.donePool[n-1] = nil
+		p.donePool = p.donePool[:n-1]
+	} else {
+		bd = &batchDone{p: p}
+		bd.fn = bd.run
+	}
+	bd.done = done
+	// Hand the accumulated deferred effects to the completion record and take
+	// its (drained) slice back, so both backing arrays recycle.
+	bd.deferred, p.deferred = p.deferred, bd.deferred[:0]
+	p.cpu.Exec(now, cost, bd.fn)
 }

@@ -10,14 +10,14 @@ import (
 // fakeFile is a minimal File implementation for descriptor-table tests.
 type fakeFile struct {
 	ready    core.EventMask
-	notify   func(now core.Time, mask core.EventMask)
+	notify   Notifier
 	closed   bool
 	closedAt core.Time
 }
 
 func (f *fakeFile) Poll() core.EventMask { return f.ready }
-func (f *fakeFile) SetNotifier(fn func(now core.Time, mask core.EventMask)) {
-	f.notify = fn
+func (f *fakeFile) SetNotifier(n Notifier) {
+	f.notify = n
 }
 func (f *fakeFile) Close(now core.Time) { f.closed = true; f.closedAt = now }
 
@@ -25,7 +25,7 @@ func (f *fakeFile) Close(now core.Time) { f.closed = true; f.closedAt = now }
 func (f *fakeFile) setReady(now core.Time, mask core.EventMask) {
 	f.ready = mask
 	if f.notify != nil {
-		f.notify(now, mask)
+		f.notify.Notify(now, mask)
 	}
 }
 
@@ -330,7 +330,7 @@ func TestClosedFDDoesNotNotify(t *testing.T) {
 	}
 	// The notifier was detached by CloseFD; even a direct notify on the FD is
 	// suppressed for a closed descriptor.
-	fd.notify(0, core.POLLIN)
+	fd.Notify(0, core.POLLIN)
 	if len(w.events) != 0 {
 		t.Fatalf("closed fd delivered events: %v", w.events)
 	}

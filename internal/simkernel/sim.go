@@ -11,48 +11,59 @@
 package simkernel
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/core"
 )
 
-// Event is a scheduled callback in the simulation.
+// event is a scheduled callback in the simulation. Events are stored by value
+// inside the Simulator's queues — no per-schedule allocation, no interface
+// boxing — because scheduling is the hottest operation in the whole system
+// (every syscall batch, every network segment and every timer goes through
+// it). Only the callback closure itself may allocate, at the caller's site.
 type event struct {
 	at  core.Time
 	seq uint64
 	fn  func(now core.Time)
 }
 
-// eventHeap orders events by time, breaking ties by insertion order so the
-// simulation is deterministic.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore is the queue ordering: time first, then insertion order, so the
+// simulation is deterministic. Sequence numbers are unique, which makes the
+// order total.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulator is a deterministic discrete-event scheduler over virtual time.
 // The zero value is not usable; call NewSimulator.
+//
+// Internally the pending set is split between a hand-rolled inline-value
+// 4-ary min-heap (ordered by (at, seq)) and a same-instant FIFO ring: events
+// scheduled for exactly the current virtual instant — batch completions on an
+// idle CPU, immediate wakeups, deferred effects — skip the heap entirely.
+// Both structures reuse their backing storage across the run, so steady-state
+// scheduling performs no allocation at all. Pop order is the global (at, seq)
+// minimum across both, bit-identical to a single binary heap.
 type Simulator struct {
 	now     core.Time
-	queue   eventHeap
 	seq     uint64
 	stopped bool
+
+	// heap is the 4-ary min-heap (children of i at 4i+1..4i+4). A 4-ary
+	// layout halves the tree depth of a binary heap and keeps sibling
+	// comparisons inside one or two cache lines of the inline event values.
+	heap []event
+
+	// nowq is the same-instant fast path: a FIFO ring (head index into a
+	// reused slice) of events whose scheduled time equalled the current
+	// virtual time at At-time. The clock only moves forward and sequence
+	// numbers only grow, so the ring is always sorted by (at, seq) and its
+	// head is a valid candidate for the global minimum.
+	nowq     []event
+	nowqHead int
 
 	// Executed counts events dispatched since construction.
 	Executed int64
@@ -60,16 +71,14 @@ type Simulator struct {
 
 // NewSimulator returns an empty simulator positioned at virtual time zero.
 func NewSimulator() *Simulator {
-	s := &Simulator{}
-	heap.Init(&s.queue)
-	return s
+	return &Simulator{}
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() core.Time { return s.now }
 
 // Pending returns the number of scheduled, not yet executed events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) + len(s.nowq) - s.nowqHead }
 
 // At schedules fn to run at the absolute virtual instant t. Scheduling in the
 // past is a programming error and panics, because it would break causality.
@@ -81,7 +90,11 @@ func (s *Simulator) At(t core.Time, fn func(now core.Time)) {
 		panic(fmt.Sprintf("simkernel: scheduling into the past (%v < %v)", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	if t == s.now {
+		s.nowq = append(s.nowq, event{at: t, seq: s.seq, fn: fn})
+		return
+	}
+	s.heapPush(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time. A negative d is
@@ -105,16 +118,14 @@ func (s *Simulator) Run() core.Time { return s.RunUntil(core.Time(1<<62 - 1)) }
 // executed event (or at deadline if it was reached with events remaining).
 func (s *Simulator) RunUntil(deadline core.Time) core.Time {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.at > deadline {
-			s.now = deadline
-			return s.now
+	for !s.stopped {
+		e, ok := s.pop(deadline)
+		if !ok {
+			break
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
+		s.now = e.at
 		s.Executed++
-		next.fn(s.now)
+		e.fn(s.now)
 	}
 	return s.now
 }
@@ -122,12 +133,100 @@ func (s *Simulator) RunUntil(deadline core.Time) core.Time {
 // Step executes exactly one pending event, if any, and reports whether one was
 // executed. It is primarily useful in tests.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	e, ok := s.pop(core.Time(1<<62 - 1))
+	if !ok {
 		return false
 	}
-	next := heap.Pop(&s.queue).(*event)
-	s.now = next.at
+	s.now = e.at
 	s.Executed++
-	next.fn(s.now)
+	e.fn(s.now)
 	return true
+}
+
+// pop removes and returns the globally earliest pending event. If that event
+// lies beyond deadline it is left queued, the clock advances to deadline, and
+// ok is false; ok is also false on an empty queue.
+func (s *Simulator) pop(deadline core.Time) (e event, ok bool) {
+	useNowq := s.nowqHead < len(s.nowq)
+	if len(s.heap) > 0 {
+		if !useNowq || eventBefore(&s.heap[0], &s.nowq[s.nowqHead]) {
+			if s.heap[0].at > deadline {
+				s.now = deadline
+				return event{}, false
+			}
+			return s.heapPop(), true
+		}
+	}
+	if !useNowq {
+		return event{}, false
+	}
+	head := &s.nowq[s.nowqHead]
+	if head.at > deadline {
+		s.now = deadline
+		return event{}, false
+	}
+	e = *head
+	*head = event{} // release the closure for the collector
+	s.nowqHead++
+	if s.nowqHead == len(s.nowq) {
+		// Drained: rewind the ring so the backing array is reused.
+		s.nowq = s.nowq[:0]
+		s.nowqHead = 0
+	}
+	return e, true
+}
+
+// heapPush inserts e, sifting the insertion hole up (moving parents down
+// rather than swapping) until the heap property holds.
+func (s *Simulator) heapPush(e event) {
+	h := append(s.heap, event{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if eventBefore(&h[p], &e) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	s.heap = h
+}
+
+// heapPop removes and returns the minimum, sifting the former last element
+// down from the root.
+func (s *Simulator) heapPop() event {
+	h := s.heap
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the closure for the collector
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if eventBefore(&h[j], &h[m]) {
+					m = j
+				}
+			}
+			if eventBefore(&last, &h[m]) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	s.heap = h
+	return min
 }

@@ -12,7 +12,7 @@ import (
 // the test, standing in for a socket driver.
 type FakeFile struct {
 	ReadyMask core.EventMask
-	notify    func(now core.Time, mask core.EventMask)
+	notify    simkernel.Notifier
 	IsClosed  bool
 	Polls     int
 }
@@ -24,7 +24,7 @@ func (f *FakeFile) Poll() core.EventMask {
 }
 
 // SetNotifier implements simkernel.File.
-func (f *FakeFile) SetNotifier(fn func(now core.Time, mask core.EventMask)) { f.notify = fn }
+func (f *FakeFile) SetNotifier(n simkernel.Notifier) { f.notify = n }
 
 // Close implements simkernel.File.
 func (f *FakeFile) Close(now core.Time) { f.IsClosed = true }
@@ -34,7 +34,7 @@ func (f *FakeFile) Close(now core.Time) { f.IsClosed = true }
 func (f *FakeFile) SetReady(now core.Time, mask core.EventMask) {
 	f.ReadyMask = mask
 	if f.notify != nil {
-		f.notify(now, mask)
+		f.notify.Notify(now, mask)
 	}
 }
 

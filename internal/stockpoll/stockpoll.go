@@ -150,7 +150,7 @@ func (pl *Poller) Wait(max int, timeout core.Duration, handler func(events []cor
 // collect performs one full pass over the pollfd array, charging the per-call
 // copy-in (first pass) or the wakeup and wait-queue teardown (rescan), then a
 // driver poll callback per descriptor, ready or not.
-func (pl *Poller) collect(firstPass bool, max int) []core.Event {
+func (pl *Poller) collect(firstPass bool, max int, buf []core.Event) []core.Event {
 	pl.stats.Waits++
 	cost := pl.k.Cost
 	n := pl.table.Len()
@@ -165,7 +165,7 @@ func (pl *Poller) collect(firstPass bool, max int) []core.Event {
 		pl.p.Charge(cost.SchedWakeup)
 		pl.p.Charge(cost.WaitQueueOp.Scale(float64(n)))
 	}
-	var ready []core.Event
+	ready := buf
 	pl.table.Each(func(e *interest.Entry) {
 		entry, ok := pl.p.Get(e.FD)
 		if !ok {
