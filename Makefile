@@ -11,7 +11,8 @@ GOVULNCHECK_VERSION ?= v1.1.4
 DETERMINISM_OUT ?= determinism-out
 
 .PHONY: all fmt-check vet build test test-race staticcheck govulncheck \
-	bench-smoke ablation-smoke determinism bench-json bench-gate profile ci
+	bench-smoke ablation-smoke determinism bench-json bench-gate \
+	bench-crosscheck profile ci
 
 all: ci
 
@@ -50,11 +51,12 @@ govulncheck:
 	fi
 
 # One fast benchmark iteration per figure family — paper figures, extension
-# figures, the overload/adversarial workloads and the scale family's
-# 10000-connection point — exercising the benchmark plumbing end to end
-# without the full sweep.
+# figures, the overload/adversarial workloads, the scale family's
+# 10000-connection point and the massive-scale family's 100k-connection point
+# (on the sharded parallel kernel with one thread per host core) — exercising
+# the benchmark plumbing end to end without the full sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris|ExtScale/conns=10000' -benchtime 1x -figconns 800 .
+	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris|ExtScale/conns=10000|ExtMassiveScale' -benchtime 1x -figconns 800 .
 
 # Every ablation at a small connection count: a fast end-to-end pass through
 # all server families and both dual-mechanism switching paths, so
@@ -62,12 +64,14 @@ bench-smoke:
 ablation-smoke:
 	$(GO) run ./cmd/sweep -ablation -connections 600 -quiet > /dev/null
 
-# The simulation promises byte-identical output for identical inputs; run one
-# rate figure, one multi-worker scaling figure and one overload-workload
-# figure twice each and diff. Any map iteration or wall-clock dependency
-# sneaking into the event machinery fails this before it can corrupt a figure
-# comparison. Outputs stay in $(DETERMINISM_OUT) so CI can attach them to the
-# failed workflow run.
+# The simulation promises byte-identical output for identical inputs AND for
+# any kernel thread count; run one rate figure, one multi-worker scaling
+# figure and one overload-workload figure twice each and diff, then re-run
+# the rate and overload figures on the sharded parallel kernel at -threads 2
+# and 8 and diff those against the sequential output. Any map iteration,
+# wall-clock dependency or cross-shard ordering leak sneaking into the event
+# machinery fails this before it can corrupt a figure comparison. Outputs
+# stay in $(DETERMINISM_OUT) so CI can attach them to the failed workflow run.
 determinism:
 	@rm -rf $(DETERMINISM_OUT) && mkdir -p $(DETERMINISM_OUT)
 	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -quiet > $(DETERMINISM_OUT)/fig12-a.txt
@@ -76,16 +80,24 @@ determinism:
 	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $(DETERMINISM_OUT)/fig17-b.txt
 	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -quiet > $(DETERMINISM_OUT)/fig20-a.txt
 	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -quiet > $(DETERMINISM_OUT)/fig20-b.txt
+	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -threads 2 -quiet > $(DETERMINISM_OUT)/fig12-t2.txt
+	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -threads 8 -quiet > $(DETERMINISM_OUT)/fig12-t8.txt
+	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -threads 2 -quiet > $(DETERMINISM_OUT)/fig20-t2.txt
+	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -threads 8 -quiet > $(DETERMINISM_OUT)/fig20-t8.txt
 	@diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig17-a.txt $(DETERMINISM_OUT)/fig17-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-b.txt \
-		&& echo "determinism: OK"
+		&& diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-t2.txt \
+		&& diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-t8.txt \
+		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-t2.txt \
+		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-t8.txt \
+		&& echo "determinism: OK (incl. -threads 2/8 matrix)"
 
 # Refresh the committed benchmark baseline: the key figure points' reply
 # rates, p99 latencies and ns/op. Run this (and commit the result) in any PR
 # that intentionally moves performance.
 bench-json:
-	$(GO) run ./cmd/benchgate -emit BENCH_PR5.json
+	$(GO) run ./cmd/benchgate -emit BENCH_PR6.json
 
 # Gate the working tree against the committed baseline: emit a fresh
 # candidate and fail on >5% regression in any simulated metric (reply rate,
@@ -97,20 +109,33 @@ TIME_TOLERANCE ?= 1.0
 bench-gate:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/benchgate -emit $$tmp -quiet && \
-	$(GO) run ./cmd/benchgate -baseline BENCH_PR5.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
+	$(GO) run ./cmd/benchgate -baseline BENCH_PR6.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
 	status=$$?; rm -f $$tmp; exit $$status
 
-# Profile the hot paths: regenerate a representative figure under the CPU
-# and heap profilers and leave the pprof files (plus the figure output) in
-# $(PROFILE_OUT). Inspect with `go tool pprof $(PROFILE_OUT)/cpu.pprof`.
+# Zero-tolerance parallel determinism gate on the benchmark set: every gated
+# point runs once sequentially and once on the sharded kernel with 4 threads,
+# and any difference in a simulated metric (reply rate, p99, err%) fails.
+# This is the benchmark-level counterpart of `make determinism`'s figure-level
+# byte diffs.
+bench-crosscheck:
+	$(GO) run ./cmd/benchgate -crosscheck 4
+
+# Profile the hot paths: regenerate a representative figure under the CPU,
+# heap, mutex-contention and blocking profilers — on the sharded parallel
+# kernel, so shard-barrier and ring contention is visible in the mutex/block
+# profiles — and leave the pprof files (plus the figure output) in
+# $(PROFILE_OUT). Inspect with `go tool pprof $(PROFILE_OUT)/cpu.pprof` (or
+# mutex.pprof / block.pprof for synchronization cost).
 # CI runs this after a bench-gate failure and uploads the directory, so a
 # regression report always ships with the evidence needed to chase it.
 PROFILE_OUT ?= profile-out
+PROFILE_THREADS ?= 2
 profile:
 	@rm -rf $(PROFILE_OUT) && mkdir -p $(PROFILE_OUT)
-	$(GO) run ./cmd/benchfig -fig 16 -connections 2000 -quiet \
+	$(GO) run ./cmd/benchfig -fig 16 -connections 2000 -threads $(PROFILE_THREADS) -quiet \
 		-cpuprofile $(PROFILE_OUT)/cpu.pprof -memprofile $(PROFILE_OUT)/mem.pprof \
+		-mutexprofile $(PROFILE_OUT)/mutex.pprof -blockprofile $(PROFILE_OUT)/block.pprof \
 		> $(PROFILE_OUT)/fig16.txt
-	@echo "profiles written to $(PROFILE_OUT)/ (cpu.pprof, mem.pprof)"
+	@echo "profiles written to $(PROFILE_OUT)/ (cpu.pprof, mem.pprof, mutex.pprof, block.pprof)"
 
 ci: fmt-check vet staticcheck govulncheck build test bench-smoke ablation-smoke determinism

@@ -16,9 +16,11 @@ package repro
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/netsim"
 	"repro/internal/servers/prefork"
 )
 
@@ -254,6 +256,37 @@ func BenchmarkExtScale(b *testing.B) {
 			})
 		}
 	}
+}
+
+// Extension: the massive-scale family's anchor (figures 29-31) — the
+// 100k-connection point on the cheapest sustaining mechanism, run on the
+// sharded parallel kernel with one thread per host core. This is the
+// smoke-level proof that the parallel engine survives a full-size point; the
+// simulated metrics it reports are bit-identical to a -threads 1 run. Like
+// ExtScale it ignores -figconns — the connection count is the point. The
+// port space widens the way the massive-scale figures' own does: TIME-WAIT
+// holds rate x 61s of ports at this size.
+func BenchmarkExtMassiveScale(b *testing.B) {
+	netCfg := netsim.DefaultConfig()
+	netCfg.PortSpace = 2*100000 + 100000
+	b.Run("conns=100000/thttpd-epoll", func(b *testing.B) {
+		var last experiments.RunResult
+		for i := 0; i < b.N; i++ {
+			last = experiments.Run(experiments.RunSpec{
+				Server:      experiments.ServerThttpdEpoll,
+				RequestRate: 1000,
+				Inactive:    251,
+				Connections: 100000,
+				Threads:     runtime.NumCPU(),
+				Network:     &netCfg,
+				Seed:        int64(i + 1),
+			})
+		}
+		b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+		b.ReportMetric(last.Load.ErrorPercent, "err%")
+		b.ReportMetric(last.Latency.P99, "p99-ms")
+		b.ReportMetric(float64(last.Threads), "threads")
+	})
 }
 
 // Ablation benchmarks: one sub-benchmark per variant, so `-bench Ablation`

@@ -30,11 +30,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (4..28 or fig04..fig28)")
+	fig := flag.String("fig", "", "figure to regenerate (4..31 or fig04..fig31)")
 	list := flag.Bool("list", false, "list available figures and exit")
-	connections := flag.Int("connections", 0, "benchmark connections per point (0 = the figure's own default: 4000 for most figures, 10000-30000 for the scale family; paper: 35000)")
+	connections := flag.Int("connections", 0, "benchmark connections per point (0 = the figure's own default: 4000 for most figures, 10000-30000 for the scale family, 100000-1000000 for the massive-scale family; paper: 35000)")
+	threads := flag.Int("threads", 1, "OS threads per simulated point (>=2 shards the event kernel; figures are byte-identical across thread counts)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile (taken at exit) to this file")
+	blockprofile := flag.String("blockprofile", "", "write a pprof blocking profile (taken at exit) to this file")
 	rates := flag.String("rates", "", "comma-separated request rates overriding the figure's sweep")
 	workers := flag.String("workers", "", "comma-separated worker counts overriding the scaling figures' 1,2,4,8 sweep")
 	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid/prefork curves on this eventlib backend (see -list-backends)")
@@ -57,6 +60,9 @@ func main() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		for _, f := range experiments.ScaleFigures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		for _, f := range experiments.MassiveScaleFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return
@@ -106,7 +112,7 @@ func main() {
 	}
 
 	opts := experiments.SweepOptions{
-		Connections: *connections, Seed: *seed,
+		Connections: *connections, Seed: *seed, Threads: *threads,
 		Backend: *backend, Workload: *workload, Progress: progress,
 	}
 	if *rates != "" {
@@ -130,7 +136,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	stopProfiles := profiling.StartAll(profiling.Config{
+		CPU: *cpuprofile, Mem: *memprofile,
+		Mutex: *mutexprofile, Block: *blockprofile,
+	})
 	defer stopProfiles()
 
 	switch {

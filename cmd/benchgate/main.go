@@ -2,7 +2,7 @@
 //
 // In emit mode it runs the key figure benchmarks — representative points of
 // the paper's figures, the extension figures, one overload point per
-// workload scenario and the scale family's 10k-30k-connection points — and
+// workload scenario and the scale family's 10k-100k-connection points — and
 // writes one JSON entry per point: the simulated reply rate and p99
 // connection latency (bit-deterministic for a given seed and connection
 // count) plus the measured wall-clock cost (ns/op, noisy) and heap
@@ -18,10 +18,17 @@
 // ran on the same machine — pass -time-tolerance 0 to disable it when
 // comparing a committed baseline on different hardware (CI does).
 //
+// In cross-check mode (-crosscheck N) it instead runs every point twice —
+// once sequentially and once on the sharded parallel kernel with N threads —
+// and fails if any deterministic metric (reply rate, p99, error percentage)
+// differs at all: the parallel engine promises bit-equal simulation results,
+// so the tolerance there is exactly zero.
+//
 // Usage:
 //
-//	benchgate -emit BENCH_PR5.json          # refresh the baseline
-//	benchgate -baseline BENCH_PR5.json -candidate new.json
+//	benchgate -emit BENCH_PR6.json          # refresh the baseline
+//	benchgate -baseline BENCH_PR6.json -candidate new.json
+//	benchgate -crosscheck 4                 # parallel == sequential, bit for bit
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
+	"repro/internal/netsim"
 )
 
 // Entry is one gated benchmark point.
@@ -43,7 +51,12 @@ type Entry struct {
 	RepliesPS float64 `json:"replies_per_sec"`
 	P99Ms     float64 `json:"p99_ms"`
 	ErrPct    float64 `json:"err_pct"`
-	NsPerOp   int64   `json:"ns_per_op"`
+	// Threads is the kernel thread count the point actually ran with (1 for
+	// the sequential engine). The simulated metrics are bit-identical across
+	// thread counts — that invariant is what -crosscheck enforces — so the
+	// field documents the run, it does not shift the gate.
+	Threads int   `json:"threads"`
+	NsPerOp int64 `json:"ns_per_op"`
 	// AllocsPerOp is the heap allocation count of one run (the minimum of
 	// the timed repetitions, so one-time warmup does not inflate it). It is
 	// a property of the executed code path, not of the machine, so the gate
@@ -121,6 +134,17 @@ func points(connections int, seed int64) []struct {
 		Connections: 10000,
 	})
 
+	// The massive-scale anchor (figures 29-31): the 100k-connection point on
+	// the cheapest sustaining mechanism. TIME-WAIT holds rate x 61s of ports
+	// at this size, so the point widens the port space the way the
+	// massive-scale figures themselves do.
+	massiveNet := netsim.DefaultConfig()
+	massiveNet.PortSpace = 2*100000 + 100000
+	add("scale-100000-epoll-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1000, Inactive: 251,
+		Connections: 100000, Network: &massiveNet,
+	})
+
 	// One overload point per workload scenario (figures 19-24), past the
 	// knee, where the latency distribution carries the signal. Most run on
 	// devpoll; the stalled-reader scenario runs on poll(), the mechanism that
@@ -140,9 +164,10 @@ func points(connections int, seed int64) []struct {
 }
 
 // emit runs every gated point and writes the baseline file.
-func emit(path string, connections int, seed int64, quiet bool) error {
-	f := File{Schema: 1, Connections: connections, Seed: seed}
+func emit(path string, connections int, seed int64, threads int, quiet bool) error {
+	f := File{Schema: 2, Connections: connections, Seed: seed}
 	for _, p := range points(connections, seed) {
+		p.spec.Threads = threads
 		// Three timed runs, keeping the fastest (and fewest allocations):
 		// the first pass pays cache warmup, and the gate wants the run's
 		// cost, not the machine's mood.
@@ -168,12 +193,13 @@ func emit(path string, connections int, seed int64, quiet bool) error {
 			RepliesPS:   res.Load.ReplyRate.Mean,
 			P99Ms:       res.Latency.P99,
 			ErrPct:      res.Load.ErrorPercent,
+			Threads:     res.Threads,
 			NsPerOp:     best,
 			AllocsPerOp: bestAllocs,
 		}
 		if !quiet {
-			fmt.Fprintf(os.Stderr, "%-40s %8.1f replies/s %8.2f p99-ms %12d ns/op %10d allocs/op\n",
-				e.ID, e.RepliesPS, e.P99Ms, e.NsPerOp, e.AllocsPerOp)
+			fmt.Fprintf(os.Stderr, "%-40s %8.1f replies/s %8.2f p99-ms %12d ns/op %10d allocs/op %2d threads\n",
+				e.ID, e.RepliesPS, e.P99Ms, e.NsPerOp, e.AllocsPerOp, e.Threads)
 		}
 		f.Entries = append(f.Entries, e)
 	}
@@ -183,6 +209,40 @@ func emit(path string, connections int, seed int64, quiet bool) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// crosscheck runs every gated point on both engines — sequential and sharded
+// with the given thread count — and returns the number of points whose
+// deterministic metrics differ. One run per engine suffices: the compared
+// metrics are simulated quantities, not wall-clock ones, and the parallel
+// kernel's contract is exact equality, so any difference at all is a bug.
+func crosscheck(threads, connections int, seed int64, quiet bool) int {
+	mismatches := 0
+	for _, p := range points(connections, seed) {
+		seq := p.spec
+		seq.Threads = 1
+		par := p.spec
+		par.Threads = threads
+		sres := experiments.Run(seq)
+		pres := experiments.Run(par)
+		if sres.Load.ReplyRate.Mean != pres.Load.ReplyRate.Mean ||
+			sres.Latency.P99 != pres.Latency.P99 ||
+			sres.Load.ErrorPercent != pres.Load.ErrorPercent {
+			mismatches++
+			fmt.Printf("FAIL %-40s threads=%d diverged from threads=1: "+
+				"replies %v vs %v, p99-ms %v vs %v, err%% %v vs %v\n",
+				p.id, pres.Threads,
+				pres.Load.ReplyRate.Mean, sres.Load.ReplyRate.Mean,
+				pres.Latency.P99, sres.Latency.P99,
+				pres.Load.ErrorPercent, sres.Load.ErrorPercent)
+			continue
+		}
+		if !quiet {
+			fmt.Printf("ok   %-40s threads=%d == threads=1  %8.1f replies/s %7.2f p99-ms\n",
+				p.id, pres.Threads, pres.Load.ReplyRate.Mean, pres.Latency.P99)
+		}
+	}
+	return mismatches
 }
 
 func load(path string) (File, error) {
@@ -269,7 +329,9 @@ func main() {
 	emitPath := flag.String("emit", "", "run the gated benchmark set and write the JSON baseline to this path")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
 	candidatePath := flag.String("candidate", "", "freshly emitted JSON to compare")
+	crosscheckN := flag.Int("crosscheck", 0, "run every point at this thread count AND at one thread, failing on any deterministic-metric difference (0 disables)")
 	connections := flag.Int("connections", 1500, "benchmark connections per point")
+	threads := flag.Int("threads", 1, "kernel threads for the emitted points (simulated metrics are bit-identical across thread counts)")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	tol := flag.Float64("tolerance", 0.05, "allowed fractional regression for simulated metrics (reply rate, p99)")
 	allocTol := flag.Float64("alloc-tolerance", 0.10, "allowed fractional regression for per-run heap allocation counts; 0 disables the allocation gate")
@@ -278,8 +340,14 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *crosscheckN > 1:
+		if n := crosscheck(*crosscheckN, *connections, *seed, *quiet); n > 0 {
+			fmt.Printf("benchgate: %d point(s) diverged between -threads 1 and -threads %d\n", n, *crosscheckN)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: all points bit-identical at -threads 1 and -threads %d\n", *crosscheckN)
 	case *emitPath != "":
-		if err := emit(*emitPath, *connections, *seed, *quiet); err != nil {
+		if err := emit(*emitPath, *connections, *seed, *threads, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
@@ -300,7 +368,7 @@ func main() {
 		}
 		fmt.Printf("benchgate: no regressions against %s (%d entries)\n", *baselinePath, len(baseline.Entries))
 	default:
-		fmt.Fprintln(os.Stderr, "benchgate: use -emit OUT.json, or -baseline BASE.json -candidate NEW.json")
+		fmt.Fprintln(os.Stderr, "benchgate: use -emit OUT.json, -baseline BASE.json -candidate NEW.json, or -crosscheck N")
 		os.Exit(2)
 	}
 }

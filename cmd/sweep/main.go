@@ -29,9 +29,12 @@ import (
 )
 
 func main() {
-	connections := flag.Int("connections", 0, "benchmark connections per point (0 = each figure's own default: 4000 for most figures, 10000-30000 for the scale family; paper: 35000)")
+	connections := flag.Int("connections", 0, "benchmark connections per point (0 = each figure's own default: 4000 for most figures, 10000-30000 for the scale family, 100000-1000000 for the massive-scale family; paper: 35000)")
+	threads := flag.Int("threads", 1, "OS threads per simulated point (>=2 shards the event kernel; figures are byte-identical across thread counts)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile (taken at exit) to this file")
+	blockprofile := flag.String("blockprofile", "", "write a pprof blocking profile (taken at exit) to this file")
 	figs := flag.String("figs", "", "comma-separated figure numbers to run (default: all)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
 	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
@@ -60,7 +63,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
 	}
-	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	stopProfiles := profiling.StartAll(profiling.Config{
+		CPU: *cpuprofile, Mem: *memprofile,
+		Mutex: *mutexprofile, Block: *blockprofile,
+	})
 	defer stopProfiles()
 
 	// With -quiet the progress callback stays nil everywhere, so nothing can
@@ -106,6 +112,7 @@ func main() {
 		res := experiments.RunFigure(fig, experiments.SweepOptions{
 			Connections: *connections,
 			Seed:        *seed,
+			Threads:     *threads,
 			Backend:     *backend,
 			Workload:    *workload,
 			Progress:    progress,
@@ -134,16 +141,19 @@ func main() {
 		}
 	}
 
-	// The scale family (figs 26-28, fig.Connections > 0) only runs when
-	// selected explicitly: at 10k-30k connections per point it would
+	// The scale families (figs 26-28 and 29-31, fig.Connections > 0) only run
+	// when selected explicitly: at 10k-1M connections per point they would
 	// dominate the default sweep.
-	for _, fig := range append(experiments.OverloadFigures(), experiments.ScaleFigures()...) {
+	overloadFigs := append(experiments.OverloadFigures(), experiments.ScaleFigures()...)
+	overloadFigs = append(overloadFigs, experiments.MassiveScaleFigures()...)
+	for _, fig := range overloadFigs {
 		if !selected(fig.ID, fig.Number) || (fig.Connections > 0 && len(wanted) == 0) {
 			continue
 		}
 		res := experiments.RunOverloadFigure(fig.WithWorkerCounts(workerCounts), experiments.SweepOptions{
 			Connections: *connections,
 			Seed:        *seed,
+			Threads:     *threads,
 			Backend:     *backend,
 			Workload:    *workload,
 			Progress:    progress,

@@ -43,8 +43,8 @@ func TestCloseDrainsTimerHeap(t *testing.T) {
 		t.Fatalf("timer heap not drained: %d left", b.timers.Len())
 	}
 	for i, ev := range evs {
-		if ev.Pending() || ev.heapIdx != -1 {
-			t.Fatalf("timer %d still armed after Close (pending=%v heapIdx=%d)", i, ev.Pending(), ev.heapIdx)
+		if ev.Pending() || ev.timerArmed() {
+			t.Fatalf("timer %d still armed after Close (pending=%v armed=%v)", i, ev.Pending(), ev.timerArmed())
 		}
 	}
 }

@@ -23,7 +23,6 @@
 package eventlib
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -135,7 +134,7 @@ type Base struct {
 	evs     []*Event
 	evNeg   map[int]*Event
 	evCount int
-	timers  timerHeap
+	timers  timerWheel
 	nextSeq uint64
 
 	buckets [][]*Event
@@ -311,7 +310,7 @@ func (b *Base) NumEvents() int {
 	// Timers that are also in the fd table (I/O events with timeouts) must not
 	// be double-counted.
 	b.eachEvent(func(ev *Event) {
-		if ev.heapIdx >= 0 {
+		if ev.timerArmed() {
 			n--
 		}
 	})
@@ -341,14 +340,14 @@ func (b *Base) NewEvent(fd int, what What, cb Callback) *Event {
 		what |= EvSignal
 	}
 	b.nextSeq++
-	return &Event{base: b, fd: fd, what: what, cb: cb, heapIdx: -1, seq: b.nextSeq}
+	return &Event{base: b, fd: fd, what: what, cb: cb, wheelLevel: wheelUnarmed, seq: b.nextSeq}
 }
 
 // NewTimer creates a pure timer event: no descriptor, fired only by its
 // timeout. what may include EvPersist for a periodic timer.
 func (b *Base) NewTimer(what What, cb Callback) *Event {
 	b.nextSeq++
-	return &Event{base: b, fd: -1, what: (what & EvPersist) | EvTimeout | EvSignal, timerOnly: true, cb: cb, heapIdx: -1, seq: b.nextSeq}
+	return &Event{base: b, fd: -1, what: (what & EvPersist) | EvTimeout | EvSignal, timerOnly: true, cb: cb, wheelLevel: wheelUnarmed, seq: b.nextSeq}
 }
 
 // Dispatch starts the event loop. It returns immediately — the loop advances
@@ -386,12 +385,11 @@ func (b *Base) Close() error {
 		_ = ev.Del()
 	}
 	for b.timers.Len() > 0 {
-		// Pop unconditionally rather than trusting Del to remove the heap
-		// head: Del is a no-op for events it considers not pending, and
+		// Pop unconditionally rather than trusting Del to remove the wheel
+		// minimum: Del is a no-op for events it considers not pending, and
 		// relying on it for loop progress would turn Close into an infinite
-		// loop the moment any such event reached the heap.
-		ev := heap.Pop(&b.timers).(*Event)
-		ev.heapIdx = -1
+		// loop the moment any such event reached the wheel.
+		ev := b.timers.PopMin()
 		_ = ev.Del()
 	}
 	if b.owned {
@@ -434,10 +432,11 @@ func (b *Base) nextTimeout() core.Duration {
 	if b.anyActive() {
 		return 0
 	}
-	if b.timers.Len() == 0 {
+	min, ok := b.timers.MinDeadline()
+	if !ok {
 		return core.Forever
 	}
-	remaining := b.timers.events[0].deadline.Sub(b.K.Now())
+	remaining := min.Sub(b.P.Now())
 	if remaining < 0 {
 		return 0
 	}
@@ -487,9 +486,11 @@ func (b *Base) dispatchBatch() {
 		}
 		b.activate(ev, ev.firedWhat(pe.Ready))
 	}
-	for b.timers.Len() > 0 && b.timers.events[0].deadline <= now {
-		ev := heap.Pop(&b.timers).(*Event)
-		ev.heapIdx = -1
+	for {
+		ev := b.timers.PopExpired(now)
+		if ev == nil {
+			break
+		}
 		b.activate(ev, EvTimeout)
 	}
 	b.processActive(now)
@@ -574,7 +575,13 @@ type Event struct {
 	added    bool
 	timeout  core.Duration
 	deadline core.Time
-	heapIdx  int
+
+	// Timer-wheel linkage (intrusive doubly-linked slot lists; see wheel.go).
+	// wheelLevel is wheelUnarmed when the event holds no timer.
+	wheelPrev  *Event
+	wheelNext  *Event
+	wheelLevel int8
+	wheelSlot  uint8
 
 	// gen is the generation of the descriptor instance the event was armed
 	// for (simkernel.FD.Gen, captured at Add). Readiness reports carrying a
@@ -690,10 +697,9 @@ func (ev *Event) Add(timeout core.Duration) error {
 	}
 	ev.timeout = timeout
 	if timeout > 0 {
-		ev.schedule(b.K.Now().Add(timeout))
-	} else if ev.heapIdx >= 0 {
-		heap.Remove(&b.timers, ev.heapIdx)
-		ev.heapIdx = -1
+		ev.schedule(b.P.Now().Add(timeout))
+	} else {
+		b.timers.Cancel(ev)
 	}
 	return nil
 }
@@ -707,14 +713,9 @@ func (b *Base) registrationTargets() []core.Poller {
 	return []core.Poller{b.Poller()}
 }
 
-// schedule (re)arms the event's timer-heap entry for the given deadline.
+// schedule (re)arms the event's timer-wheel entry for the given deadline.
 func (ev *Event) schedule(deadline core.Time) {
-	ev.deadline = deadline
-	if ev.heapIdx >= 0 {
-		heap.Fix(&ev.base.timers, ev.heapIdx)
-	} else {
-		heap.Push(&ev.base.timers, ev)
-	}
+	ev.base.timers.Schedule(ev, deadline)
 }
 
 // Del disarms the event: poller interest is removed from every attached
@@ -729,10 +730,7 @@ func (ev *Event) Del() error {
 	}
 	ev.added = false
 	ev.activeWhat = 0
-	if ev.heapIdx >= 0 {
-		heap.Remove(&b.timers, ev.heapIdx)
-		ev.heapIdx = -1
-	}
+	b.timers.Cancel(ev)
 	if !ev.timerOnly {
 		b.clearEvent(ev.fd)
 	}
@@ -746,35 +744,5 @@ func (ev *Event) Del() error {
 	return nil
 }
 
-// timerHeap orders events by deadline, breaking ties by creation sequence for
-// determinism.
-type timerHeap struct {
-	events []*Event
-}
-
-func (h *timerHeap) Len() int { return len(h.events) }
-func (h *timerHeap) Less(i, j int) bool {
-	a, b := h.events[i], h.events[j]
-	if a.deadline != b.deadline {
-		return a.deadline < b.deadline
-	}
-	return a.seq < b.seq
-}
-func (h *timerHeap) Swap(i, j int) {
-	h.events[i], h.events[j] = h.events[j], h.events[i]
-	h.events[i].heapIdx = i
-	h.events[j].heapIdx = j
-}
-func (h *timerHeap) Push(x interface{}) {
-	ev := x.(*Event)
-	ev.heapIdx = len(h.events)
-	h.events = append(h.events, ev)
-}
-func (h *timerHeap) Pop() interface{} {
-	old := h.events
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	h.events = old[:n-1]
-	return ev
-}
+// The timer structure itself — a hierarchical timing wheel with exact
+// (deadline, seq) pop order — lives in wheel.go.

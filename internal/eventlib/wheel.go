@@ -1,0 +1,433 @@
+package eventlib
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// timerWheel is a hierarchical timing wheel replacing the former timer heap:
+// three 256-slot levels over a ~1 ms granule (level 0 spans ~268 ms, level 1
+// ~68 s, level 2 ~4.9 h) plus an unbounded "far" list, with per-level
+// occupancy bitmaps. Schedule and Cancel are O(1) list splices; cascading is
+// charged only when the wheel base actually turns past a level boundary. This
+// is what keeps millions of idle keep-alive/peer timers affordable in the
+// 100k–1M-connection regime.
+//
+// Determinism contract (DESIGN.md §12): the wheel reproduces the heap's
+// observable order exactly. PopExpired returns due events in ascending
+// (deadline, creation seq) order — sub-granule deadlines are kept exact, and
+// a slot's list is insertion-sorted the first time the pop path reaches it —
+// and MinDeadline is the exact earliest deadline (not a slot floor), so poll
+// timeouts, iteration counts and cost charges are bit-identical to the heap's.
+//
+// Events link into slots intrusively (wheelPrev/wheelNext on Event), so the
+// wheel allocates nothing at steady state.
+type timerWheel struct {
+	// curTick is the wheel position: floor(virtual time / granule) up to
+	// which expired slots have been collected.
+	curTick int64
+
+	// level[k][s] heads the doubly-linked event list of slot s at level k.
+	level [wheelLevels][wheelSlots]*Event
+	// occupied[k] is the per-level slot-occupancy bitmap (4×64 = 256 bits).
+	occupied [wheelLevels][wheelSlots / 64]uint64
+	// sorted[k] marks slots whose list the pop path has already
+	// insertion-sorted; Schedule into a sorted slot inserts in place.
+	sorted [wheelLevels][wheelSlots / 64]uint64
+
+	// far holds events beyond level-2 coverage; refiltered when the wheel
+	// crosses a level-2 wrap boundary. Practically always empty here (the
+	// servers arm second-scale timeouts) but required for correctness.
+	far *Event
+
+	count int
+
+	// minEv caches the globally earliest armed event. It is invalidated
+	// (nil) when that specific event is removed; inserting an earlier event
+	// just replaces it, so recomputation is rare and bounded by one slot
+	// scan per level.
+	minEv *Event
+
+	// scratch is the reused buffer for sorting a slot's list.
+	scratch []*Event
+}
+
+const (
+	wheelGranuleShift = 20 // 2^20 ns ≈ 1.05 ms per tick
+	wheelBits         = 8
+	wheelSlots        = 1 << wheelBits
+	wheelLevels       = 3
+
+	// wheelFarLevel marks events parked on the far list.
+	wheelFarLevel = int8(wheelLevels)
+	// wheelUnarmed marks events not in the wheel at all.
+	wheelUnarmed = int8(-1)
+)
+
+func wheelTick(t core.Time) int64 { return int64(t) >> wheelGranuleShift }
+
+// timerArmed reports whether the event currently sits in the wheel (the old
+// heapIdx >= 0 predicate).
+func (ev *Event) timerArmed() bool { return ev.wheelLevel != wheelUnarmed }
+
+// timerBefore is the pop order: deadline, then creation sequence — identical
+// to the heap's comparator.
+func timerBefore(a, b *Event) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+// Len reports the number of armed timers.
+func (w *timerWheel) Len() int { return w.count }
+
+// Schedule (re)arms ev for the given deadline, replacing any previous
+// position — the heap's push-or-fix in O(1).
+func (w *timerWheel) Schedule(ev *Event, deadline core.Time) {
+	if ev.timerArmed() {
+		w.unlink(ev)
+	}
+	ev.deadline = deadline
+	w.insert(ev)
+}
+
+// Cancel disarms ev if armed.
+func (w *timerWheel) Cancel(ev *Event) {
+	if ev.timerArmed() {
+		w.unlink(ev)
+	}
+}
+
+// MinDeadline returns the exact earliest armed deadline; ok is false when no
+// timer is armed.
+func (w *timerWheel) MinDeadline() (core.Time, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	if w.minEv == nil {
+		w.recomputeMin()
+	}
+	return w.minEv.deadline, true
+}
+
+// PopExpired removes and returns the earliest armed event with
+// deadline <= now, advancing (and cascading) the wheel as far as the pop
+// requires; nil when nothing is due. Repeated calls drain due events in
+// exact (deadline, seq) order.
+func (w *timerWheel) PopExpired(now core.Time) *Event {
+	target := wheelTick(now)
+	for {
+		if w.count == 0 {
+			if target > w.curTick {
+				w.curTick = target
+			}
+			return nil
+		}
+		slot := int(w.curTick & (wheelSlots - 1))
+		if w.level[0][slot] != nil {
+			w.sortSlot(0, slot)
+			head := w.level[0][slot]
+			if head.deadline <= now {
+				w.unlink(head)
+				return head
+			}
+			// The earliest event of the earliest occupied slot is still in
+			// the future; nothing anywhere is due.
+			return nil
+		}
+		if w.curTick >= target {
+			return nil
+		}
+		w.advance(target)
+	}
+}
+
+// PopMin removes and returns the globally earliest armed event regardless of
+// time (used by Close to drain deterministically); nil when empty.
+func (w *timerWheel) PopMin() *Event {
+	if w.count == 0 {
+		return nil
+	}
+	if w.minEv == nil {
+		w.recomputeMin()
+	}
+	ev := w.minEv
+	w.unlink(ev)
+	return ev
+}
+
+// advance moves curTick forward — to the next occupied level-0 slot, the next
+// cascade boundary, or the target tick, whichever comes first — and cascades
+// higher-level slots as boundaries are crossed. Empty stretches are skipped
+// via the occupancy bitmap rather than tick by tick.
+func (w *timerWheel) advance(target int64) {
+	// End of the current level-0 window (the next multiple of 256 ticks),
+	// where level-1 time must cascade down before level 0 can continue.
+	windowEnd := (w.curTick | (wheelSlots - 1)) + 1
+	next := target
+	if next > windowEnd {
+		next = windowEnd
+	}
+	if t, ok := w.nextOccupiedL0(next); ok {
+		w.curTick = t
+		return
+	}
+	w.curTick = next
+	if w.curTick == windowEnd {
+		w.cascadeAt(w.curTick)
+	}
+}
+
+// nextOccupiedL0 scans the level-0 bitmap for the first occupied slot in
+// ticks (curTick, limit); ok is false when none exists below limit.
+func (w *timerWheel) nextOccupiedL0(limit int64) (int64, bool) {
+	for t := w.curTick + 1; t < limit; {
+		slot := int(t & (wheelSlots - 1))
+		word := slot >> 6
+		rem := w.occupied[0][word] >> uint(slot&63)
+		if rem != 0 {
+			t += int64(bits.TrailingZeros64(rem))
+			if t < limit {
+				return t, true
+			}
+			return 0, false
+		}
+		t += int64(64 - slot&63)
+	}
+	return 0, false
+}
+
+// cascadeAt redistributes the higher-level slots that become current when the
+// wheel base reaches tick (a multiple of 256): the matching level-1 slot, the
+// level-2 slot when a level-1 wrap completes, and the far list when level 2
+// wraps. Cascaded events re-insert at their exact level for the new base, so
+// cascade order cannot affect pop order.
+func (w *timerWheel) cascadeAt(tick int64) {
+	if tick&(1<<(2*wheelBits)-1) == 0 {
+		if tick&(1<<(3*wheelBits)-1) == 0 {
+			// Level-2 wrap: refilter the far list.
+			far := w.far
+			w.far = nil
+			for far != nil {
+				ev := far
+				far = ev.wheelNext
+				ev.wheelLevel = wheelUnarmed
+				ev.wheelPrev, ev.wheelNext = nil, nil
+				w.count--
+				w.insert(ev)
+			}
+		}
+		w.cascadeSlot(2, int((tick>>(2*wheelBits))&(wheelSlots-1)))
+	}
+	w.cascadeSlot(1, int((tick>>wheelBits)&(wheelSlots-1)))
+}
+
+func (w *timerWheel) cascadeSlot(lvl, slot int) {
+	head := w.level[lvl][slot]
+	if head == nil {
+		return
+	}
+	w.level[lvl][slot] = nil
+	w.occupied[lvl][slot>>6] &^= 1 << uint(slot&63)
+	w.sorted[lvl][slot>>6] &^= 1 << uint(slot&63)
+	for head != nil {
+		ev := head
+		head = ev.wheelNext
+		ev.wheelLevel = wheelUnarmed
+		ev.wheelPrev, ev.wheelNext = nil, nil
+		w.count--
+		w.insert(ev)
+	}
+}
+
+// insert places ev at the level its distance from curTick selects. Deadlines
+// at or before the wheel position land in the current level-0 slot (they pop
+// immediately and in correct order, since the slot is min-scanned).
+func (w *timerWheel) insert(ev *Event) {
+	tick := wheelTick(ev.deadline)
+	delta := tick - w.curTick
+	if delta < 0 {
+		tick = w.curTick
+		delta = 0
+	}
+	var lvl, slot int
+	switch {
+	case delta < wheelSlots:
+		lvl, slot = 0, int(tick&(wheelSlots-1))
+	case delta < 1<<(2*wheelBits):
+		lvl, slot = 1, int((tick>>wheelBits)&(wheelSlots-1))
+	case delta < 1<<(3*wheelBits):
+		lvl, slot = 2, int((tick>>(2*wheelBits))&(wheelSlots-1))
+	default:
+		ev.wheelLevel = wheelFarLevel
+		ev.wheelPrev = nil
+		ev.wheelNext = w.far
+		if w.far != nil {
+			w.far.wheelPrev = ev
+		}
+		w.far = ev
+		w.count++
+		if w.minEv != nil && timerBefore(ev, w.minEv) {
+			w.minEv = ev
+		}
+		return
+	}
+	ev.wheelLevel = int8(lvl)
+	ev.wheelSlot = uint8(slot)
+	if w.sorted[lvl][slot>>6]&(1<<uint(slot&63)) != 0 {
+		w.insertSorted(lvl, slot, ev)
+	} else {
+		// Unsorted slot: push front; order is established when the pop path
+		// first reaches the slot.
+		ev.wheelPrev = nil
+		ev.wheelNext = w.level[lvl][slot]
+		if ev.wheelNext != nil {
+			ev.wheelNext.wheelPrev = ev
+		}
+		w.level[lvl][slot] = ev
+	}
+	w.occupied[lvl][slot>>6] |= 1 << uint(slot&63)
+	w.count++
+	if w.minEv != nil && timerBefore(ev, w.minEv) {
+		w.minEv = ev
+	}
+}
+
+// insertSorted splices ev into an already-sorted slot list by (deadline, seq).
+func (w *timerWheel) insertSorted(lvl, slot int, ev *Event) {
+	head := w.level[lvl][slot]
+	if head == nil || timerBefore(ev, head) {
+		ev.wheelPrev = nil
+		ev.wheelNext = head
+		if head != nil {
+			head.wheelPrev = ev
+		}
+		w.level[lvl][slot] = ev
+		return
+	}
+	p := head
+	for p.wheelNext != nil && !timerBefore(ev, p.wheelNext) {
+		p = p.wheelNext
+	}
+	ev.wheelNext = p.wheelNext
+	ev.wheelPrev = p
+	if p.wheelNext != nil {
+		p.wheelNext.wheelPrev = ev
+	}
+	p.wheelNext = ev
+}
+
+// sortSlot insertion-sorts a slot's list by (deadline, seq) the first time
+// the pop path reaches it, so subsequent pops and same-slot inserts are
+// order-preserving splices.
+func (w *timerWheel) sortSlot(lvl, slot int) {
+	if w.sorted[lvl][slot>>6]&(1<<uint(slot&63)) != 0 {
+		return
+	}
+	w.sorted[lvl][slot>>6] |= 1 << uint(slot&63)
+	head := w.level[lvl][slot]
+	if head == nil || head.wheelNext == nil {
+		return
+	}
+	buf := w.scratch[:0]
+	for ev := head; ev != nil; ev = ev.wheelNext {
+		buf = append(buf, ev)
+	}
+	sort.Slice(buf, func(i, j int) bool { return timerBefore(buf[i], buf[j]) })
+	var prev *Event
+	for _, ev := range buf {
+		ev.wheelPrev = prev
+		ev.wheelNext = nil
+		if prev != nil {
+			prev.wheelNext = ev
+		} else {
+			w.level[lvl][slot] = ev
+		}
+		prev = ev
+	}
+	for i := range buf {
+		buf[i] = nil
+	}
+	w.scratch = buf[:0]
+}
+
+// unlink removes ev from whatever list holds it.
+func (w *timerWheel) unlink(ev *Event) {
+	switch {
+	case ev.wheelLevel == wheelFarLevel:
+		if ev.wheelPrev != nil {
+			ev.wheelPrev.wheelNext = ev.wheelNext
+		} else {
+			w.far = ev.wheelNext
+		}
+		if ev.wheelNext != nil {
+			ev.wheelNext.wheelPrev = ev.wheelPrev
+		}
+	case ev.wheelLevel >= 0:
+		lvl, slot := int(ev.wheelLevel), int(ev.wheelSlot)
+		if ev.wheelPrev != nil {
+			ev.wheelPrev.wheelNext = ev.wheelNext
+		} else {
+			w.level[lvl][slot] = ev.wheelNext
+		}
+		if ev.wheelNext != nil {
+			ev.wheelNext.wheelPrev = ev.wheelPrev
+		}
+		if w.level[lvl][slot] == nil {
+			w.occupied[lvl][slot>>6] &^= 1 << uint(slot&63)
+			w.sorted[lvl][slot>>6] &^= 1 << uint(slot&63)
+		}
+	default:
+		panic(fmt.Sprintf("eventlib: unlink of unarmed timer (seq %d)", ev.seq))
+	}
+	ev.wheelLevel = wheelUnarmed
+	ev.wheelPrev, ev.wheelNext = nil, nil
+	w.count--
+	if w.minEv == ev {
+		w.minEv = nil
+	}
+}
+
+// recomputeMin rescans for the earliest armed event. Per level, slots scanned
+// circularly from the wheel base hold strictly increasing tick ranges, so the
+// first occupied slot yields that level's earliest deadlines — with one twist
+// per hierarchy level above 0: the base slot's current-wrap events cascaded
+// away when the window opened, so anything still there belongs to the *next*
+// wrap and the scan must start one past the base, checking the base slot last.
+// Levels do NOT cover disjoint deadline ranges across insertion times (an old
+// level-2 resident can be earlier than a fresh level-1 one, and far-list
+// entries can undercut level entries between refilters), so the global minimum
+// compares every level's candidate and the whole far list.
+func (w *timerWheel) recomputeMin() {
+	var best *Event
+	scan := func(head *Event) {
+		for ev := head; ev != nil; ev = ev.wheelNext {
+			if best == nil || timerBefore(ev, best) {
+				best = ev
+			}
+		}
+	}
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		base := int((w.curTick >> uint(lvl*wheelBits)) & (wheelSlots - 1))
+		start := 0
+		if lvl > 0 {
+			start = 1
+		}
+		for i := start; i < start+wheelSlots; i++ {
+			slot := (base + i) & (wheelSlots - 1)
+			if w.occupied[lvl][slot>>6]&(1<<uint(slot&63)) != 0 {
+				scan(w.level[lvl][slot])
+				break
+			}
+		}
+	}
+	scan(w.far)
+	if best == nil {
+		panic("eventlib: recomputeMin on an empty wheel")
+	}
+	w.minEv = best
+}

@@ -1,0 +1,234 @@
+package eventlib
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// wheelRef is the reference model for the property test below: the armed set
+// as a plain map, popped by scanning for the (deadline, seq) minimum — the
+// semantics of the timer heap the wheel replaced. The wheel must reproduce
+// this order exactly for every schedule, or dispatch batches (and with them
+// every figure) would stop being bit-reproducible across the rewrite.
+type wheelRef map[*Event]core.Time
+
+func (r wheelRef) min() (*Event, bool) {
+	var best *Event
+	for ev, d := range r {
+		if best == nil || d < r[best] || (d == r[best] && ev.seq < best.seq) {
+			best = ev
+		}
+	}
+	return best, best != nil
+}
+
+func (r wheelRef) expired(now core.Time) []*Event {
+	var due []*Event
+	for ev, d := range r {
+		if d <= now {
+			due = append(due, ev)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return timerBefore(due[i], due[j]) })
+	return due
+}
+
+// TestTimerWheelMatchesReferenceHeap drives randomized schedules — same-tick
+// clusters with exact-deadline ties, sub-granule offsets, cancels and
+// re-arms, far-future deadlines beyond level-2 coverage, and time jumps that
+// force multi-level cascades — through both the wheel and the reference
+// model, and requires pop order, pop identity, exact MinDeadline and counts
+// to match at every step.
+func TestTimerWheelMatchesReferenceHeap(t *testing.T) {
+	granule := core.Duration(1) << wheelGranuleShift
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial + 1)))
+		var w timerWheel
+		ref := wheelRef{}
+		var seq uint64
+		var armed []*Event
+		now := core.Time(0)
+
+		newEvent := func() *Event {
+			seq++
+			return &Event{seq: seq, wheelLevel: wheelUnarmed}
+		}
+		randDelay := func() core.Duration {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // same-slot cluster, frequent exact ties
+				return core.Duration(rng.Intn(3)) * granule
+			case 3, 4: // sub-granule offsets: exact sub-slot ordering
+				return core.Duration(rng.Intn(int(granule)))
+			case 5, 6: // level-1 territory
+				return core.Duration(rng.Intn(60000)) * core.Millisecond
+			case 7, 8: // level-2 territory
+				return core.Duration(1+rng.Intn(120)) * 2 * core.Minute
+			default: // beyond level-2 coverage: the far list
+				return 360*core.Minute + core.Duration(rng.Intn(1000))*core.Second
+			}
+		}
+
+		check := func(what string) {
+			if w.Len() != len(ref) {
+				t.Fatalf("trial %d (%s): wheel holds %d timers, reference %d", trial, what, w.Len(), len(ref))
+			}
+			gotMin, gotOK := w.MinDeadline()
+			refEv, refOK := ref.min()
+			if gotOK != refOK {
+				t.Fatalf("trial %d (%s): MinDeadline ok=%v, reference %v", trial, what, gotOK, refOK)
+			}
+			if refOK && gotMin != ref[refEv] {
+				t.Fatalf("trial %d (%s): MinDeadline %d, reference %d (seq %d)", trial, what, gotMin, ref[refEv], refEv.seq)
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // arm a fresh timer
+				ev := newEvent()
+				d := now.Add(randDelay())
+				w.Schedule(ev, d)
+				ref[ev] = d
+				armed = append(armed, ev)
+			case op < 6 && len(armed) > 0: // re-arm an existing timer
+				ev := armed[rng.Intn(len(armed))]
+				if _, ok := ref[ev]; ok {
+					d := now.Add(randDelay())
+					w.Schedule(ev, d)
+					ref[ev] = d
+				}
+			case op < 8 && len(armed) > 0: // cancel
+				ev := armed[rng.Intn(len(armed))]
+				if _, ok := ref[ev]; ok {
+					w.Cancel(ev)
+					delete(ref, ev)
+				}
+			default: // advance time and drain expired
+				var jump core.Duration
+				switch rng.Intn(4) {
+				case 0:
+					jump = core.Duration(rng.Intn(int(4 * granule)))
+				case 1:
+					jump = core.Duration(rng.Intn(2000)) * core.Millisecond
+				case 2:
+					jump = core.Duration(rng.Intn(10)) * core.Minute
+				default:
+					jump = core.Duration(rng.Intn(3)) * 180 * core.Minute // multi-level cascade
+				}
+				now = now.Add(jump)
+				want := ref.expired(now)
+				for i := 0; ; i++ {
+					got := w.PopExpired(now)
+					if got == nil {
+						if i != len(want) {
+							t.Fatalf("trial %d step %d: wheel popped %d events, reference expects %d", trial, step, i, len(want))
+						}
+						break
+					}
+					if i >= len(want) {
+						t.Fatalf("trial %d step %d: wheel popped extra event seq %d (deadline %d, now %d)",
+							trial, step, got.seq, got.deadline, now)
+					}
+					if got != want[i] {
+						t.Fatalf("trial %d step %d: pop %d: wheel fired seq %d (deadline %d), reference expects seq %d (deadline %d)",
+							trial, step, i, got.seq, got.deadline, want[i].seq, want[i].deadline)
+					}
+					if got.timerArmed() {
+						t.Fatalf("trial %d step %d: popped event seq %d still marked armed", trial, step, got.seq)
+					}
+					delete(ref, got)
+				}
+			}
+			check("step")
+		}
+
+		// Drain the remainder through PopMin (Close's path): exact global
+		// order to the end.
+		for {
+			refEv, ok := ref.min()
+			got := w.PopMin()
+			if !ok {
+				if got != nil {
+					t.Fatalf("trial %d: PopMin returned seq %d from an empty reference", trial, got.seq)
+				}
+				break
+			}
+			if got != refEv {
+				t.Fatalf("trial %d: PopMin fired seq %d, reference expects seq %d", trial, got.seq, refEv.seq)
+			}
+			delete(ref, got)
+		}
+		if w.Len() != 0 {
+			t.Fatalf("trial %d: %d timers left after drain", trial, w.Len())
+		}
+	}
+}
+
+// TestTimerWheelSameTickFIFO pins the tie rule explicitly: timers sharing an
+// exact deadline fire in creation-sequence order, even when armed in reverse
+// and interleaved with cancels — the heap's (deadline, seq) comparator.
+func TestTimerWheelSameTickFIFO(t *testing.T) {
+	var w timerWheel
+	deadline := core.Time(500 * core.Millisecond)
+	evs := make([]*Event, 6)
+	for i := range evs {
+		evs[i] = &Event{seq: uint64(i + 1), wheelLevel: wheelUnarmed}
+	}
+	// Arm in reverse creation order; the pop must come back in seq order.
+	for i := len(evs) - 1; i >= 0; i-- {
+		w.Schedule(evs[i], deadline)
+	}
+	w.Cancel(evs[2])
+	want := []uint64{1, 2, 4, 5, 6}
+	var got []uint64
+	for {
+		ev := w.PopExpired(deadline)
+		if ev == nil {
+			break
+		}
+		got = append(got, ev.seq)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want seq order %v", got, want)
+		}
+	}
+}
+
+// TestTimerWheelFarFutureCascade pins far-list behavior: a deadline beyond
+// level-2 coverage is still reported exactly by MinDeadline, survives
+// arbitrary advancement below its deadline, and fires at — not before — its
+// exact instant after cascading down through every level.
+func TestTimerWheelFarFutureCascade(t *testing.T) {
+	var w timerWheel
+	far := &Event{seq: 1, wheelLevel: wheelUnarmed}
+	deadline := core.Time(540*core.Minute + 123*core.Millisecond + 45)
+	w.Schedule(far, deadline)
+	if min, ok := w.MinDeadline(); !ok || min != deadline {
+		t.Fatalf("MinDeadline = %d,%v; want exact far deadline %d", min, ok, deadline)
+	}
+	// Walk forward in uneven steps; the timer must not fire early.
+	for _, at := range []core.Time{
+		core.Time(60 * core.Minute), core.Time(300 * core.Minute),
+		deadline - 1,
+	} {
+		if ev := w.PopExpired(at); ev != nil {
+			t.Fatalf("timer fired at %d, %d before its deadline", at, deadline-at)
+		}
+		if min, ok := w.MinDeadline(); !ok || min != deadline {
+			t.Fatalf("MinDeadline after advance to %d = %d,%v; want %d", at, min, ok, deadline)
+		}
+	}
+	if ev := w.PopExpired(deadline); ev != far {
+		t.Fatalf("timer did not fire at its exact deadline")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("%d timers left", w.Len())
+	}
+}

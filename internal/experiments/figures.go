@@ -199,6 +199,10 @@ type SweepOptions struct {
 	Workload string
 	// Seed for the load generator.
 	Seed int64
+	// Threads is the number of OS threads driving each point's simulation;
+	// values below 2 select the sequential engine. Deterministic metrics are
+	// byte-identical across thread counts (see RunSpec.Threads).
+	Threads int
 	// Progress, when non-nil, receives a line per completed point.
 	Progress func(format string, args ...interface{})
 }
@@ -265,6 +269,7 @@ func RunFigure(fig Figure, opts SweepOptions) FigureResult {
 				Connections: connections,
 				Seed:        seed,
 				Workload:    opts.Workload,
+				Threads:     opts.Threads,
 			}
 			res := Run(spec)
 			out.Runs = append(out.Runs, res)

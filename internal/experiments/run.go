@@ -221,6 +221,15 @@ type RunSpec struct {
 	// RTQueueLimit overrides the RT signal queue limit (phhttpd, hybrid).
 	RTQueueLimit int
 
+	// Threads is the number of OS threads driving the simulation. 1 (or 0)
+	// selects the sequential engine; N >= 2 shards the event kernel into one
+	// lane per simulated CPU plus a driver lane, synchronised by RTT
+	// lookahead, and runs it on N goroutines. Figures are byte-identical
+	// across thread counts. Configurations the sharded engine cannot host
+	// (round-robin listener sharding, prefork handoff mode, a TIME-WAIT
+	// shorter than the lookahead window) silently run sequentially.
+	Threads int
+
 	// MaxVirtualTime caps the simulated run as a safety net; zero selects a
 	// generous default derived from the workload.
 	MaxVirtualTime core.Duration
@@ -277,6 +286,11 @@ type RunResult struct {
 	PerWorkerServed   []int64
 	VirtualTime       core.Duration
 	EventLoops        int64
+
+	// Threads is the number of OS threads that actually drove the run: the
+	// spec's request, downgraded to 1 when the configuration was ineligible
+	// for the sharded engine.
+	Threads int
 }
 
 // benchServer is the control surface a family builder returns: server
@@ -441,9 +455,6 @@ func RunE(spec RunSpec) (RunResult, error) {
 	if spec.Network != nil {
 		netCfg = *spec.Network
 	}
-	net := netsim.New(k, netCfg)
-
-	srv := buildServer(spec, rk, k, net)
 
 	lcfg := loadgen.DefaultConfig(spec.RequestRate, spec.Inactive)
 	lcfg.Connections = spec.Connections
@@ -469,6 +480,20 @@ func RunE(spec RunSpec) (RunResult, error) {
 		}
 		lcfg.Timeout = to
 	}
+
+	threads := parallelThreads(spec, rk, netCfg, lcfg)
+	if threads > 1 {
+		// One lane per simulated CPU plus a driver lane for the load
+		// generator, the rng and the port/TIME-WAIT accounting; cross-lane
+		// traffic (SYNs, port releases) is covered by half the shortest RTT.
+		k.EnableParallel(ncpu+1, threads, minRTT(netCfg, lcfg)/2)
+	}
+	net := netsim.New(k, netCfg)
+	if threads > 1 {
+		net.Parallelize()
+	}
+
+	srv := buildServer(spec, rk, k, net)
 	gen := loadgen.New(k, net, lcfg)
 	gen.OnDone(func(loadgen.Result) {
 		srv.Stop()
@@ -493,6 +518,7 @@ func RunE(spec RunSpec) (RunResult, error) {
 		VirtualTime:       k.Now().Sub(0),
 		PerCPUUtilization: k.Sched.Utilizations(k.Now()),
 		Workers:           1,
+		Threads:           threads,
 	}
 	for _, u := range res.PerCPUUtilization {
 		// CPU.Utilization no longer clamps, so a ratio above 1 over the work
@@ -508,6 +534,59 @@ func RunE(spec RunSpec) (RunResult, error) {
 	res.Latency = res.Load.Latency
 	srv.fill(&res)
 	return res, nil
+}
+
+// minRTT returns the shortest round-trip time any connection in the run can
+// be configured with: the bound on how early a SYN launched on the driver
+// lane can reach a server lane, and therefore the basis of the sharded
+// engine's lookahead window.
+func minRTT(netCfg netsim.Config, lcfg loadgen.Config) core.Duration {
+	min := netCfg.DefaultRTT
+	if min <= 0 {
+		min = 200 * core.Microsecond // netsim.New's default
+	}
+	consider := func(d core.Duration) {
+		if d > 0 && d < min {
+			min = d
+		}
+	}
+	consider(lcfg.ActiveRTT)
+	consider(lcfg.InactiveRTT)
+	for _, band := range lcfg.Workload.RTTMix {
+		consider(band.RTT)
+	}
+	return min
+}
+
+// parallelThreads resolves the spec's thread request against the sharded
+// engine's eligibility rules, returning 1 (sequential) when the configuration
+// cannot be parallelised: round-robin listener sharding mutates shared state
+// per connection, prefork handoff adopts connections across workers, and a
+// TIME-WAIT shorter than the lookahead window cannot defer port releases.
+func parallelThreads(spec RunSpec, rk resolvedKind, netCfg netsim.Config, lcfg loadgen.Config) int {
+	if spec.Threads < 2 {
+		return 1
+	}
+	if netCfg.Shard == netsim.ShardRoundRobin {
+		return 1
+	}
+	if rk.family == "prefork" {
+		mode := spec.PreforkMode
+		if spec.PreforkConfig != nil {
+			mode = spec.PreforkConfig.Mode
+		}
+		if mode == prefork.ModeHandoff {
+			return 1
+		}
+	}
+	tw := netCfg.TimeWait
+	if tw <= 0 {
+		tw = netsim.DefaultConfig().TimeWait
+	}
+	if tw < minRTT(netCfg, lcfg)/2 {
+		return 1
+	}
+	return spec.Threads
 }
 
 // Describe renders a short human-readable summary of one run.

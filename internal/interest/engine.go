@@ -152,7 +152,7 @@ func (e *Engine) scan(firstPass bool, timeout core.Duration) {
 	e.state = stateScanning
 	e.scanFirst = firstPass
 	e.scanTimeout = timeout
-	e.P.Batch(e.K.Now(), e.scanFn, e.scanDoneFn)
+	e.P.Batch(e.P.Now(), e.scanFn, e.scanDoneFn)
 }
 
 // runScan is the batch body of one scan pass.
@@ -206,7 +206,7 @@ func (e *Engine) scanDone(done core.Time) {
 			reg.fn = reg.fire
 		}
 		reg.id = e.timeoutID
-		e.K.Sim.At(done.Add(timeout), reg.fn)
+		e.P.Q().At(done.Add(timeout), reg.fn)
 	}
 }
 

@@ -154,6 +154,19 @@ type Generator struct {
 	hist        metrics.LatencyHist
 	sampler     *metrics.RateSampler
 
+	// Parallel-run state. On a sharded simulator every connection's client
+	// callbacks execute on its home lane, so the bookkeeping above would be a
+	// data race; instead each lane accumulates into its own laneAcc (indexed
+	// by the connection's lane) and Result merges them. driverQ is lane 0,
+	// where the launch schedule, the rng and the port accounting live; on a
+	// sequential run it is the global-queue delegate and everything below
+	// collapses to the exact legacy behavior.
+	parallel bool
+	driverQ  simkernel.Q
+	lanes    []laneAcc
+	psamples []float64
+	pbase    bool
+
 	inactive []*inactiveClient
 
 	started  core.Time
@@ -161,6 +174,29 @@ type Generator struct {
 	running  bool
 	done     bool
 	onDone   func(Result)
+}
+
+// laneAcc is one lane's share of the run bookkeeping: written only by
+// callbacks executing on that lane, read only in barrier serial sections or
+// after the run.
+type laneAcc struct {
+	resolved      int
+	completed     int
+	errors        int
+	errorsBy      map[ErrorReason]int
+	latenciesMs   []float64
+	hist          metrics.LatencyHist
+	counts        []int // completions per sampling interval, by interval index
+	lastResolveAt core.Time
+	lastRecordAt  core.Time
+	_             [64]byte // keep adjacent lanes off one cache line
+}
+
+func (ln *laneAcc) bump(idx int) {
+	for len(ln.counts) <= idx {
+		ln.counts = append(ln.counts, 0)
+	}
+	ln.counts[idx]++
 }
 
 // New creates a generator for the given kernel, network and workload.
@@ -192,7 +228,7 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 	if cfg.Jitter > 1 {
 		cfg.Jitter = 1
 	}
-	return &Generator{
+	g := &Generator{
 		k:              k,
 		net:            net,
 		cfg:            cfg,
@@ -203,6 +239,15 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 		errorsBy:       make(map[ErrorReason]int),
 		sampler:        metrics.NewRateSampler(cfg.SampleInterval),
 	}
+	g.driverQ = k.Sim.LaneQ(0)
+	if k.Sim.Sharded() && net.Parallel() {
+		g.parallel = true
+		g.lanes = make([]laneAcc, k.Sim.NumLanes())
+		for i := range g.lanes {
+			g.lanes[i].errorsBy = make(map[ErrorReason]int)
+		}
+	}
+	return g
 }
 
 // OnDone registers a callback invoked once every benchmark connection has
@@ -212,8 +257,18 @@ func (g *Generator) OnDone(fn func(Result)) { g.onDone = fn }
 // Done reports whether the run has finished.
 func (g *Generator) Done() bool { return g.done }
 
-// Progress reports issued and resolved connection counts.
-func (g *Generator) Progress() (issued, resolved int) { return g.issued, g.resolved }
+// Progress reports issued and resolved connection counts. On a parallel run
+// it is only meaningful between runs or after the engine stops.
+func (g *Generator) Progress() (issued, resolved int) {
+	resolved = g.resolved
+	if g.parallel {
+		resolved = 0
+		for i := range g.lanes {
+			resolved += g.lanes[i].resolved
+		}
+	}
+	return g.issued, resolved
+}
 
 // Start launches the inactive-connection population and schedules the
 // benchmark connections at the configured rate.
@@ -222,6 +277,12 @@ func (g *Generator) Start(now core.Time) {
 		return
 	}
 	g.running = true
+	if g.parallel {
+		// Completion cannot be detected inside a lane (no lane sees the
+		// others' resolution counts), so it is checked in the serial section
+		// of every barrier, where all lanes are quiescent.
+		g.k.Sim.OnBarrier(g.checkDone)
+	}
 
 	for i := 0; i < g.cfg.InactiveConnections; i++ {
 		ic := &inactiveClient{gen: g, id: i, kind: g.cfg.Workload.Background}
@@ -229,7 +290,7 @@ func (g *Generator) Start(now core.Time) {
 		// Stagger inactive connection setup over the first 200 ms so the
 		// listener backlog is not hit by a synchronised burst.
 		delay := core.Duration(g.rng.Int63n(int64(200 * core.Millisecond)))
-		g.k.Sim.At(now.Add(delay), ic.open)
+		g.driverQ.At(now.Add(delay), ic.open)
 	}
 
 	at := now
@@ -262,7 +323,7 @@ func (g *Generator) scheduleConstant(now, at core.Time) {
 		if launch < now {
 			launch = now
 		}
-		g.k.Sim.At(launch, g.launchOne)
+		g.driverQ.At(launch, g.launchOne)
 		at = at.Add(interval)
 	}
 }
@@ -304,7 +365,7 @@ func (g *Generator) scheduleFlashCrowd(now, at core.Time) {
 		if launch < now {
 			launch = now
 		}
-		g.k.Sim.At(launch, g.launchOne)
+		g.driverQ.At(launch, g.launchOne)
 		offset += interval
 	}
 }
@@ -326,7 +387,7 @@ func (g *Generator) schedulePareto(now, at core.Time) {
 		if launch < now {
 			launch = now
 		}
-		g.k.Sim.At(launch, g.launchOne)
+		g.driverQ.At(launch, g.launchOne)
 		u := 1 - g.rng.Float64() // (0, 1]
 		gap := xm / math.Pow(u, 1/alpha)
 		if gap > 100*mean {
@@ -354,12 +415,26 @@ func (g *Generator) launchOne(now core.Time) {
 	}
 	ac := &activeConn{gen: g, started: now}
 	ac.conn = g.net.ConnectWith(now, netsim.ConnectOptions{RTT: rtt}, ac)
-	// httperf's client-side timeout.
-	g.k.Sim.At(now.Add(g.cfg.Timeout), ac.onTimeout)
+	// httperf's client-side timeout, delivered on the connection's home lane
+	// (an ordinary global-queue event on a sequential run).
+	g.driverQ.Post(ac.conn.Q(), now.Add(g.cfg.Timeout), ac.onTimeout)
 }
 
-// recordCompletion books a successful reply.
-func (g *Generator) recordCompletion(started, now core.Time) {
+// recordCompletion books a successful reply. c's home lane is the executing
+// lane for every resolution callback, so on a parallel run the books are kept
+// in that lane's accumulator.
+func (g *Generator) recordCompletion(c *netsim.ClientConn, started, now core.Time) {
+	if g.parallel {
+		ln := &g.lanes[c.Q().LaneIndex()]
+		ln.completed++
+		ln.resolved++
+		ln.bump(g.sampleIdx(now))
+		ln.latenciesMs = append(ln.latenciesMs, now.Sub(started).Milliseconds())
+		ln.hist.Observe(now.Sub(started))
+		ln.lastResolveAt = now
+		ln.lastRecordAt = now
+		return
+	}
 	g.completed++
 	g.resolved++
 	g.sampler.Record(now)
@@ -369,11 +444,57 @@ func (g *Generator) recordCompletion(started, now core.Time) {
 }
 
 // recordError books a failed benchmark connection.
-func (g *Generator) recordError(reason ErrorReason, now core.Time) {
+func (g *Generator) recordError(c *netsim.ClientConn, reason ErrorReason, now core.Time) {
+	if g.parallel {
+		ln := &g.lanes[c.Q().LaneIndex()]
+		ln.errors++
+		ln.resolved++
+		ln.errorsBy[reason]++
+		ln.lastResolveAt = now
+		return
+	}
 	g.errors++
 	g.resolved++
 	g.errorsBy[reason]++
 	g.maybeFinish(now)
+}
+
+// sampleIdx maps a completion instant onto its sampling-interval index, with
+// the sampler's edge rule: a completion exactly on an interval edge counts
+// toward the interval that starts there.
+func (g *Generator) sampleIdx(now core.Time) int {
+	d := now.Sub(g.started)
+	if d < 0 {
+		return 0
+	}
+	return int(d / g.cfg.SampleInterval)
+}
+
+// checkDone is the parallel-run finish check, invoked in the serial section
+// of every barrier epoch while all lanes are quiescent.
+func (g *Generator) checkDone(core.Time) {
+	if g.done || g.issued < g.cfg.Connections {
+		return
+	}
+	resolved := 0
+	var last core.Time
+	for i := range g.lanes {
+		resolved += g.lanes[i].resolved
+		if g.lanes[i].lastResolveAt > last {
+			last = g.lanes[i].lastResolveAt
+		}
+	}
+	if resolved < g.issued {
+		return
+	}
+	g.done = true
+	// The sequential run finishes inside the last resolution event; the
+	// parallel run detects it a barrier later, so the recorded finish instant
+	// is pinned to that last resolution, not the barrier floor.
+	g.finished = last
+	if g.onDone != nil {
+		g.onDone(g.Result())
+	}
 }
 
 // maybeFinish completes the run once every issued connection has resolved and
@@ -392,6 +513,9 @@ func (g *Generator) maybeFinish(now core.Time) {
 // Result assembles the run summary. It may be called once Done is true (or at
 // any time for a partial view).
 func (g *Generator) Result() Result {
+	if g.parallel {
+		return g.parallelResult()
+	}
 	end := g.finished
 	if end == 0 {
 		end = g.k.Now()
@@ -427,6 +551,112 @@ func (g *Generator) Result() Result {
 	}
 	res.Latency = g.hist.Percentiles()
 	return res
+}
+
+// parallelResult merges the per-lane accumulators into the same summary the
+// sequential books would have produced: every merged quantity is either an
+// order-free reduction (counts, sorted percentiles, histogram buckets) or
+// reconstructed with the sequential sampler's exact arithmetic, so a sharded
+// run's figures are byte-identical to the single-threaded run's.
+func (g *Generator) parallelResult() Result {
+	end := g.finished
+	if end == 0 {
+		end = g.k.Now()
+	}
+	completed, errors := 0, 0
+	errorsBy := make(map[ErrorReason]int)
+	var lat []float64
+	var hist metrics.LatencyHist
+	var lastRecord core.Time
+	for i := range g.lanes {
+		ln := &g.lanes[i]
+		completed += ln.completed
+		errors += ln.errors
+		for k, v := range ln.errorsBy {
+			errorsBy[k] += v
+		}
+		lat = append(lat, ln.latenciesMs...)
+		hist.Merge(&ln.hist)
+		if ln.lastRecordAt > lastRecord {
+			lastRecord = ln.lastRecordAt
+		}
+	}
+	total := func(k int) int {
+		n := 0
+		for i := range g.lanes {
+			if k < len(g.lanes[i].counts) {
+				n += g.lanes[i].counts[k]
+			}
+		}
+		return n
+	}
+	res := Result{
+		Config:           g.cfg,
+		Started:          g.started,
+		Finished:         end,
+		Issued:           g.issued,
+		Completed:        completed,
+		Errors:           errors,
+		ErrorsBy:         errorsBy,
+		ReplyRateSamples: g.mergedSamples(end, lastRecord, total),
+	}
+	res.ReplyRate = metrics.Summarize(res.ReplyRateSamples)
+	if g.issued > 0 {
+		res.ErrorPercent = 100 * float64(errors) / float64(g.issued)
+	}
+	if elapsed := end.Sub(g.started); elapsed > 0 {
+		res.OfferedRate = float64(g.issued) / elapsed.Seconds()
+	}
+	if len(lat) > 0 {
+		res.MedianLatencyMs = metrics.Median(lat)
+		res.MeanLatencyMs = metrics.Summarize(lat).Mean
+		res.P90LatencyMs = metrics.Percentile(lat, 90)
+		sorted := append([]float64(nil), lat...)
+		sort.Float64s(sorted)
+		res.MaxLatencyMs = sorted[len(sorted)-1]
+	}
+	res.Latency = hist.Percentiles()
+	return res
+}
+
+// mergedSamples reconstructs the sequential RateSampler's output from the
+// merged per-interval completion counts: one sample per closed interval
+// (zero-count intervals included), and the trailing partial interval when it
+// is at least half an interval long and non-empty. The sequential sampler's
+// Finish appends that tail on every call and Result is invoked once by the
+// OnDone callback and once more by the harness, so the same one-tail-per-call
+// growth is reproduced here.
+func (g *Generator) mergedSamples(end, lastRecord core.Time, total func(int) int) []float64 {
+	interval := g.cfg.SampleInterval
+	if !g.done {
+		if lastRecord == 0 {
+			return nil
+		}
+		closed := int(lastRecord.Sub(g.started) / interval)
+		if closed < 0 {
+			closed = 0
+		}
+		out := make([]float64, 0, closed)
+		for k := 0; k < closed; k++ {
+			out = append(out, float64(total(k))/interval.Seconds())
+		}
+		return out
+	}
+	closed := int(end.Sub(g.started) / interval)
+	if closed < 0 {
+		closed = 0
+	}
+	if !g.pbase {
+		g.pbase = true
+		for k := 0; k < closed; k++ {
+			g.psamples = append(g.psamples, float64(total(k))/interval.Seconds())
+		}
+	}
+	tail := end.Sub(g.started) - core.Duration(closed)*interval
+	if cur := total(closed); tail >= interval/2 && cur > 0 {
+		g.psamples = append(g.psamples, float64(cur)/tail.Seconds())
+	}
+	return append([]float64(nil), g.psamples...)
 }
 
 // LatencyHistogram exposes the completed-connection latency histogram (for
@@ -468,11 +698,11 @@ func (a *activeConn) Refused(now core.Time, reason netsim.RefuseReason) {
 	a.resolved = true
 	switch reason {
 	case netsim.RefusedPorts:
-		a.gen.recordError(ErrPortSpace, now)
+		a.gen.recordError(a.conn, ErrPortSpace, now)
 	case netsim.RefusedReset:
-		a.gen.recordError(ErrReset, now)
+		a.gen.recordError(a.conn, ErrReset, now)
 	default:
-		a.gen.recordError(ErrRefused, now)
+		a.gen.recordError(a.conn, ErrRefused, now)
 	}
 }
 
@@ -488,13 +718,13 @@ func (a *activeConn) PeerClosed(now core.Time) {
 	}
 	a.resolved = true
 	if a.received >= a.gen.expectedSize {
-		a.gen.recordCompletion(a.started, now)
+		a.gen.recordCompletion(a.conn, a.started, now)
 		return
 	}
 	// The server closed the connection before delivering the full response
 	// (bad request path, shutdown, or idle timeout): count it like httperf's
 	// connection-reset errors.
-	a.gen.recordError(ErrReset, now)
+	a.gen.recordError(a.conn, ErrReset, now)
 }
 
 func (a *activeConn) onTimeout(now core.Time) {
@@ -503,7 +733,7 @@ func (a *activeConn) onTimeout(now core.Time) {
 	}
 	a.resolved = true
 	a.conn.Close(now)
-	a.gen.recordError(ErrTimeout, now)
+	a.gen.recordError(a.conn, ErrTimeout, now)
 }
 
 // inactiveClient keeps one perpetually unserviceable connection open against
@@ -569,16 +799,18 @@ func (ic *inactiveClient) PeerClosed(now core.Time) {
 	ic.onClosedOrRefused(now, netsim.RefusedReset)
 }
 
-// scheduleTrickle arms the next slow-loris byte for the given connection. The
-// loop is bound to one connection instance: after a reopen, the stale loop
-// notices the connection changed and dies, and onConnected starts a new one.
+// scheduleTrickle arms the next slow-loris byte for the given connection on
+// the connection's own lane. The loop is bound to one connection instance: a
+// connection never returns to the established state once it leaves it, so
+// after a refusal or close the stale loop dies and Connected starts a new one
+// for the replacement connection.
 func (ic *inactiveClient) scheduleTrickle(now core.Time, conn *netsim.ClientConn) {
 	interval := ic.gen.cfg.Workload.TrickleInterval
 	if interval <= 0 {
 		interval = 250 * core.Millisecond
 	}
-	ic.gen.k.Sim.At(now.Add(interval), func(t core.Time) {
-		if ic.gen.done || ic.conn != conn || conn.State() != netsim.StateEstablished {
+	conn.Q().At(now.Add(interval), func(t core.Time) {
+		if ic.gen.done || conn.State() != netsim.StateEstablished {
 			return
 		}
 		conn.Send(t, trickleByte)
@@ -597,7 +829,13 @@ func (ic *inactiveClient) onClosedOrRefused(now core.Time, _ netsim.RefuseReason
 	}
 	ic.reopens++
 	// Reopen after a short pause, keeping the inactive population constant.
-	ic.gen.k.Sim.At(now.Add(250*core.Millisecond), ic.open)
+	// The refusal/close callback executes on the dead connection's lane;
+	// open must run on the driver, where connection launch state lives.
+	q := ic.gen.driverQ
+	if ic.conn != nil {
+		q = ic.conn.Q()
+	}
+	q.Post(ic.gen.driverQ, now.Add(250*core.Millisecond), ic.open)
 }
 
 // InactiveReopens reports how many times inactive clients had to reconnect

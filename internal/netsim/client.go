@@ -126,6 +126,14 @@ type ClientConn struct {
 	ID  int64
 	rtt core.Duration
 
+	// q is the lane every event of this connection — client-side callbacks
+	// included — executes on: the lane of the server process whose listener
+	// the connection hashes to (the global queue delegate on a sequential
+	// run). synQ is the same handle, kept separate only for the SYN of a
+	// connection that never establishes.
+	q    simkernel.Q
+	synQ simkernel.Q
+
 	h     ConnHandler
 	state ConnState
 
@@ -151,7 +159,9 @@ func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *Clien
 
 // ConnectWith starts a connection attempt at virtual time now. The returned
 // ClientConn reports progress through h (which may be nil for fire-and-forget
-// connections).
+// connections). On a parallelized network it must be called from code
+// executing on the driver lane: connection-id assignment and the port pool
+// are driver-lane state.
 func (n *Network) ConnectWith(now core.Time, opts ConnectOptions, h ConnHandler) *ClientConn {
 	if h == nil {
 		h = sharedNoopHandler
@@ -164,24 +174,45 @@ func (n *Network) ConnectWith(now core.Time, opts ConnectOptions, h ConnHandler)
 		net: n, ID: n.connID(), rtt: rtt, h: h, state: StateConnecting,
 		StartedAt: now, recvWindow: opts.RecvWindow, stallReads: opts.StallReads,
 	}
-	n.stats.ConnAttempts++
+	c.q = n.driverQ
+	c.synQ = c.q
+	st := n.statsAt(n.driverQ)
+	st.ConnAttempts++
 
 	if !n.allocPort(now) {
-		n.stats.ConnPortFail++
+		st.ConnPortFail++
 		c.state = StateRefused
-		n.K.Sim.After(0, func(t core.Time) { h.Refused(t, RefusedPorts) })
+		// Port-refused connections stay homed on the driver lane: their one
+		// and only callback fires right here, on the driver.
+		n.driverQ.After(0, func(t core.Time) { h.Refused(t, RefusedPorts) })
 		return c
 	}
 	c.portHeld = true
 
+	// Home the connection: the listener choice is a pure function of the
+	// connection id (Parallelize forbids round-robin sharding), so the home
+	// lane can be resolved at launch, before the SYN travels.
+	if n.parallel {
+		if l := n.pickListener(c.ID); l != nil && l.owner != nil {
+			c.q = l.owner.Q()
+			c.synQ = c.q
+		}
+	}
+
 	// SYN reaches the server half an RTT from now; the handshake completes (or
 	// the refusal is learned) another half RTT later.
-	n.schedule(now.Add(rtt/2), evtSYN, c, nil, 0, 0, nil)
+	n.schedule(n.driverQ, c.synQ, now.Add(rtt/2), evtSYN, c, nil, 0, 0, nil)
 	return c
 }
 
 // State reports the client's view of the connection.
 func (c *ClientConn) State() ConnState { return c.state }
+
+// Q returns the scheduling handle of the lane the connection is homed on (the
+// global-queue delegate on a sequential run). Client-side callbacks execute
+// on this lane; callers scheduling follow-up work against the connection
+// (timeouts, think times) must target it.
+func (c *ClientConn) Q() simkernel.Q { return c.q }
 
 // BytesReceived reports how many response bytes have arrived.
 func (c *ClientConn) BytesReceived() int { return c.bytesReceived }
@@ -189,9 +220,11 @@ func (c *ClientConn) BytesReceived() int { return c.bytesReceived }
 // RTT returns the connection's round-trip time.
 func (c *ClientConn) RTT() core.Duration { return c.rtt }
 
-// synArrive handles the SYN reaching the server host.
+// synArrive handles the SYN reaching the server host. It executes on the
+// connection's home lane — the lane of the listener the id hashes to.
 func (c *ClientConn) synArrive(t core.Time) {
 	n := c.net
+	st := n.statsAt(c.synQ)
 	// The sharding decision is made in the NIC/stack before the interrupt
 	// is raised, so the SYN's interrupt cost lands on the CPU of the
 	// worker whose accept queue receives the connection (IRQ steering).
@@ -201,22 +234,22 @@ func (c *ClientConn) synArrive(t core.Time) {
 		irq = l.owner.CPU()
 	}
 	n.K.InterruptOn(irq, t, n.K.Cost.NetRxIRQ, nil)
-	n.stats.SegmentsRx++
+	st.SegmentsRx++
 	reason := RefusedClosed
 	if l != nil {
 		// The client's receive window is advertised in the handshake.
 		sc := &ServerConn{net: n, ID: c.ID, rtt: c.rtt, peer: c, owner: l.owner,
-			sndWindow: c.recvWindow, sndAvail: c.recvWindow}
+			q: c.synQ, sndWindow: c.recvWindow, sndAvail: c.recvWindow}
 		if l.deliverSYN(t, sc) {
 			c.server = sc
-			n.stats.ConnEstablished++
-			n.schedule(t.Add(c.rtt/2), evtEstablished, c, nil, 0, 0, nil)
+			st.ConnEstablished++
+			n.schedule(c.synQ, c.q, t.Add(c.rtt/2), evtEstablished, c, nil, 0, 0, nil)
 			return
 		}
 		reason = RefusedBacklog
 	}
-	n.stats.ConnRefused++
-	n.schedule(t.Add(c.rtt/2), evtRefuse, c, nil, 0, reason, nil)
+	st.ConnRefused++
+	n.schedule(c.synQ, c.q, t.Add(c.rtt/2), evtRefuse, c, nil, 0, reason, nil)
 }
 
 // established completes the handshake on the client side.
@@ -241,7 +274,7 @@ func (c *ClientConn) Send(now core.Time, data []byte) {
 		return
 	}
 	arrival := now.Add(c.rtt / 2).Add(c.net.TransmitDelay(n))
-	c.net.schedule(arrival, evtDataToServer, c, nil, n, 0, data)
+	c.net.schedule(c.q, c.synQ, arrival, evtDataToServer, c, nil, n, 0, data)
 }
 
 // dataArriveServer delivers sent bytes to the server host.
@@ -250,9 +283,10 @@ func (c *ClientConn) dataArriveServer(t core.Time, data []byte) {
 		return
 	}
 	net := c.net
+	st := net.statsAt(c.server.q)
 	net.K.InterruptOn(c.server.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
-	net.stats.SegmentsRx++
-	net.stats.BytesToServer += int64(len(data))
+	st.SegmentsRx++
+	st.BytesToServer += int64(len(data))
 	c.server.deliverData(t, data)
 }
 
@@ -266,12 +300,12 @@ func (c *ClientConn) Close(now core.Time) {
 	if c.state == StateEstablished || c.state == StateConnecting {
 		c.state = StateClosed
 	}
-	c.net.stats.ClientCloses++
+	c.net.statsAt(c.q).ClientCloses++
 	c.releasePort(now)
 	if c.server == nil {
 		return
 	}
-	c.net.schedule(now.Add(c.rtt/2), evtFINToServer, c, c.server, 0, 0, nil)
+	c.net.schedule(c.q, c.server.q, now.Add(c.rtt/2), evtFINToServer, c, c.server, 0, 0, nil)
 }
 
 // refuse finalises a failed connection attempt on the client side.
@@ -289,7 +323,7 @@ func (c *ClientConn) refuse(now core.Time, reason RefuseReason) {
 // window update announcing the freed space reaches the server half an RTT
 // later; a stalled reader leaves the window occupied forever.
 func (c *ClientConn) scheduleData(at core.Time, n int) {
-	c.net.schedule(at, evtDataToClient, c, nil, n, 0, nil)
+	c.net.schedule(c.server.q, c.q, at, evtDataToClient, c, nil, n, 0, nil)
 }
 
 // dataArriveClient consumes delivered response bytes on the client host.
@@ -302,14 +336,14 @@ func (c *ClientConn) dataArriveClient(t core.Time, n int) {
 	if !c.stallReads && c.server != nil && c.server.sndWindow > 0 {
 		// The window update is an ACK segment: it costs the server an RX
 		// interrupt like any other arriving segment.
-		c.net.schedule(t.Add(c.rtt/2), evtWindowUpdate, nil, c.server, n, 0, nil)
+		c.net.schedule(c.q, c.server.q, t.Add(c.rtt/2), evtWindowUpdate, nil, c.server, n, 0, nil)
 	}
 }
 
 // schedulePeerClose delivers the server's FIN to the client at the given
 // instant.
 func (c *ClientConn) schedulePeerClose(at core.Time) {
-	c.net.schedule(at, evtPeerClose, c, nil, 0, 0, nil)
+	c.net.schedule(c.server.q, c.q, at, evtPeerClose, c, nil, 0, 0, nil)
 }
 
 // peerCloseArrive handles the server's FIN on the client host.
@@ -324,9 +358,14 @@ func (c *ClientConn) peerCloseArrive(t core.Time) {
 }
 
 // scheduleReset aborts the connection from the server side (listener torn
-// down, descriptor limit, ...), surfacing it to the client as a refusal.
+// down, descriptor limit, ...), surfacing it to the client as a refusal. It
+// executes on the server lane the connection is homed on.
 func (c *ClientConn) scheduleReset(now core.Time) {
-	c.net.schedule(now.Add(c.rtt/2), evtReset, c, nil, 0, 0, nil)
+	src := c.synQ
+	if c.server != nil {
+		src = c.server.q
+	}
+	c.net.schedule(src, c.q, now.Add(c.rtt/2), evtReset, c, nil, 0, 0, nil)
 }
 
 // resetArrive handles a server-side reset on the client host.
@@ -346,12 +385,26 @@ func (c *ClientConn) resetArrive(t core.Time) {
 }
 
 // releasePort returns the client's ephemeral port to TIME-WAIT exactly once.
+// On a parallelized network the port pool is driver-lane state, so the
+// release travels to the driver as a cross-lane event deferred by the
+// lookahead, carrying the absolute TIME-WAIT expiry computed from the true
+// release instant. PortsAvailable is unaffected by the deferral: a port in
+// flight still counts as in use, and in-use plus TIME-WAIT is exactly the sum
+// a sequential run maintains (Parallelize refuses TimeWait below the
+// lookahead, the one configuration where the expiry could precede delivery).
 func (c *ClientConn) releasePort(now core.Time) {
 	if !c.portHeld {
 		return
 	}
 	c.portHeld = false
-	c.net.releasePort(now)
+	n := c.net
+	if !n.parallel {
+		n.releasePort(now)
+		return
+	}
+	e := n.getEvt(c.q)
+	e.kind, e.when, e.lane = evtPortRelease, now.Add(n.Cfg.TimeWait), 0
+	c.q.Post(n.driverQ, now.Add(n.lookahead), e.fn)
 }
 
 // evtKind identifies what a pooled network event does when it fires.
@@ -369,30 +422,38 @@ const (
 	evtReset                       // server reset reaches the client host
 	evtXmit                        // server write leaves the host (batch completion)
 	evtSrvClose                    // server close's FIN leaves the host (batch completion)
+	evtPortRelease                 // deferred port release reaches the driver lane
 )
 
 // connEvt is one scheduled network delivery. Records are pooled on the
 // Network and each carries a callback bound once for its life, so the
 // per-segment traffic of a run — the majority of all scheduled events —
-// allocates nothing at steady state.
+// allocates nothing at steady state. lane is the index of the lane the event
+// executes on (its pool of recycle); when carries the absolute TIME-WAIT
+// expiry of a deferred port release.
 type connEvt struct {
 	net    *Network
 	kind   evtKind
+	lane   int
 	c      *ClientConn
 	sc     *ServerConn
 	n      int
 	reason RefuseReason
+	when   core.Time
 	data   []byte
 	fn     func(now core.Time)
 }
 
-// getEvt pops a recycled delivery record (or allocates one with its callback
-// bound) — the single home of the pool discipline.
-func (n *Network) getEvt() *connEvt {
-	if l := len(n.evtPool); l > 0 {
-		e := n.evtPool[l-1]
-		n.evtPool[l-1] = nil
-		n.evtPool = n.evtPool[:l-1]
+// getEvt pops a recycled delivery record from the scheduling lane's pool (or
+// allocates one with its callback bound) — the single home of the pool
+// discipline. Records return to the executing lane's pool, so every pool has
+// exactly one touching goroutine per epoch.
+func (n *Network) getEvt(src simkernel.Q) *connEvt {
+	pool := n.pools[src.LaneIndex()]
+	if l := len(pool); l > 0 {
+		e := pool[l-1]
+		pool[l-1] = nil
+		n.pools[src.LaneIndex()] = pool[:l-1]
 		return e
 	}
 	e := &connEvt{net: n}
@@ -400,28 +461,34 @@ func (n *Network) getEvt() *connEvt {
 	return e
 }
 
-// schedule books a pooled delivery event at the given instant.
-func (n *Network) schedule(at core.Time, kind evtKind, c *ClientConn, sc *ServerConn, count int, reason RefuseReason, data []byte) {
-	e := n.getEvt()
+// schedule books a pooled delivery event at the given instant, from code
+// executing on src's lane, to execute on dst's lane. On a sequential run both
+// handles delegate to the global queue and this is exactly the old Sim.At.
+func (n *Network) schedule(src, dst simkernel.Q, at core.Time, kind evtKind, c *ClientConn, sc *ServerConn, count int, reason RefuseReason, data []byte) {
+	e := n.getEvt(src)
 	e.kind, e.c, e.sc, e.n, e.reason, e.data = kind, c, sc, count, reason, data
-	n.K.Sim.At(at, e.fn)
+	e.lane = dst.LaneIndex()
+	src.Post(dst, at, e.fn)
 }
 
 // defer_ books a pooled delivery event as a deferred batch effect of the
-// given process (the transmit side of server syscalls).
+// given process (the transmit side of server syscalls); it executes on the
+// process's own lane at the batch's completion instant.
 func (n *Network) defer_(p *simkernel.Proc, kind evtKind, sc *ServerConn, count int) {
-	e := n.getEvt()
+	e := n.getEvt(p.Q())
 	e.kind, e.sc, e.n = kind, sc, count
+	e.lane = p.Q().LaneIndex()
 	p.Defer(e.fn)
 }
 
 // run dispatches the event and recycles its record. The fields are extracted
-// (and the record returned to the pool) before the work runs, because the
-// work itself may schedule and thus re-issue this very record.
+// (and the record returned to the executing lane's pool) before the work
+// runs, because the work itself may schedule and thus re-issue this very
+// record.
 func (e *connEvt) run(t core.Time) {
-	net, kind, c, sc, n, reason, data := e.net, e.kind, e.c, e.sc, e.n, e.reason, e.data
+	net, kind, lane, c, sc, n, reason, when, data := e.net, e.kind, e.lane, e.c, e.sc, e.n, e.reason, e.when, e.data
 	e.c, e.sc, e.data = nil, nil, nil
-	net.evtPool = append(net.evtPool, e)
+	net.pools[lane] = append(net.pools[lane], e)
 	switch kind {
 	case evtSYN:
 		c.synArrive(t)
@@ -435,28 +502,36 @@ func (e *connEvt) run(t core.Time) {
 		c.dataArriveClient(t, n)
 	case evtWindowUpdate:
 		net.K.InterruptOn(sc.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
-		net.stats.SegmentsRx++
+		net.statsAt(sc.q).SegmentsRx++
 		sc.windowOpen(t, n)
 	case evtPeerClose:
 		c.peerCloseArrive(t)
 	case evtFINToServer:
 		net.K.InterruptOn(sc.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
-		net.stats.SegmentsRx++
+		net.statsAt(sc.q).SegmentsRx++
 		sc.deliverFIN(t)
 	case evtReset:
 		c.resetArrive(t)
+	case evtPortRelease:
+		// Driver lane: fold the released port into TIME-WAIT at its
+		// original expiry. Pushes stay monotonic because every release is
+		// deferred by the same lookahead.
+		if net.portsInUse > 0 {
+			net.portsInUse--
+			net.timewait.push(when)
+		}
 	case evtXmit:
 		arrival := t.Add(net.TransmitDelay(n)).Add(sc.rtt / 2)
 		if arrival < sc.lastDeliveryAt {
 			arrival = sc.lastDeliveryAt
 		}
 		sc.lastDeliveryAt = arrival
-		net.stats.BytesToClient += int64(n)
+		net.statsAt(sc.q).BytesToClient += int64(n)
 		if sc.peer != nil {
 			sc.peer.scheduleData(arrival, n)
 		}
 	case evtSrvClose:
-		net.stats.ServerCloses++
+		net.statsAt(sc.q).ServerCloses++
 		arrival := t.Add(sc.rtt / 2)
 		if arrival < sc.lastDeliveryAt {
 			arrival = sc.lastDeliveryAt

@@ -135,15 +135,29 @@ type Network struct {
 
 	listeners []*Listener
 	rrNext    int
-	stats     Stats
+
+	// lstats holds one Stats block per lane (a single block on a sequential
+	// run). Counters are incremented on the lane where the counted event
+	// executes and summed by Stats, so a parallel run needs no atomics and a
+	// sequential run is exactly the old single-struct accounting.
+	lstats []Stats
 
 	portsInUse int
 	timewait   timewaitRing
 
-	// evtPool recycles the scheduled-delivery records of client.go.
-	evtPool []*connEvt
+	// pools recycles the scheduled-delivery records of client.go, one pool
+	// per lane: a record is taken from the scheduling lane's pool and
+	// returned to the executing lane's, so each pool has a single writer.
+	pools [][]*connEvt
 
 	nextConnID int64
+
+	// Parallel-run state (see Parallelize). driverQ doubles as the global
+	// queue delegate on a sequential run, so scheduling code is identical on
+	// both paths.
+	parallel  bool
+	lookahead core.Duration
+	driverQ   simkernel.Q
 }
 
 // New creates a network bound to the given simulated kernel.
@@ -163,11 +177,76 @@ func New(k *simkernel.Kernel, cfg Config) *Network {
 	if cfg.TimeWait < 0 {
 		cfg.TimeWait = 0
 	}
-	return &Network{K: k, Cfg: cfg}
+	return &Network{
+		K: k, Cfg: cfg,
+		lstats:  make([]Stats, 1),
+		pools:   make([][]*connEvt, 1),
+		driverQ: k.Sim.LaneQ(0),
+	}
 }
 
-// Stats returns a snapshot of the network counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Parallelize homes the network onto the kernel's sharded lanes: the
+// experiment driver (connection launches, the shared port/TIME-WAIT pool,
+// connection-id assignment) owns lane 0, and every connection lives wholly on
+// the lane of the server process whose listener receives it — client-side
+// callbacks included — so all per-connection state stays single-writer and
+// same-instant event ties within a connection keep the sequential engine's
+// order. Only two event classes cross lanes: SYNs (driver to the connection's
+// lane, at least half an RTT out) and port releases (connection lane back to
+// the driver, deferred by the lookahead with the TIME-WAIT expiry carried as
+// an absolute instant, which keeps PortsAvailable identical to a sequential
+// run at every instant). Must be called after Kernel.EnableParallel and
+// before any server or connection exists.
+//
+// Configurations whose semantics depend on global event order (round-robin
+// listener sharding) or whose port-release deferral would be observable
+// (TimeWait below the lookahead) cannot be parallelized; they panic here, and
+// the experiment driver falls back to a sequential run for them instead.
+func (n *Network) Parallelize() {
+	sim := n.K.Sim
+	if !sim.Sharded() {
+		return
+	}
+	if n.Cfg.Shard == ShardRoundRobin {
+		panic("netsim: round-robin listener sharding depends on global SYN order and cannot run parallel")
+	}
+	la := sim.Lookahead()
+	if n.Cfg.TimeWait < la {
+		panic("netsim: TimeWait below the lookahead would make deferred port release observable")
+	}
+	n.parallel = true
+	n.lookahead = la
+	n.driverQ = sim.LaneQ(0)
+	n.lstats = make([]Stats, sim.NumLanes())
+	n.pools = make([][]*connEvt, sim.NumLanes())
+}
+
+// Parallel reports whether the network has been homed onto sharded lanes.
+func (n *Network) Parallel() bool { return n.parallel }
+
+// statsAt returns the counter block for the lane q is bound to (the single
+// block on a sequential run).
+func (n *Network) statsAt(q simkernel.Q) *Stats {
+	return &n.lstats[q.LaneIndex()]
+}
+
+// Stats returns a snapshot of the network counters, summed across lanes.
+func (n *Network) Stats() Stats {
+	s := n.lstats[0]
+	for _, ls := range n.lstats[1:] {
+		s.ConnAttempts += ls.ConnAttempts
+		s.ConnEstablished += ls.ConnEstablished
+		s.ConnRefused += ls.ConnRefused
+		s.ConnPortFail += ls.ConnPortFail
+		s.BytesToServer += ls.BytesToServer
+		s.BytesToClient += ls.BytesToClient
+		s.SegmentsRx += ls.SegmentsRx
+		s.Accepted += ls.Accepted
+		s.ServerCloses += ls.ServerCloses
+		s.ClientCloses += ls.ClientCloses
+	}
+	return s
+}
 
 // Listener returns the first registered listening socket, if any — the only
 // one on every single-worker server.

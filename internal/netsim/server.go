@@ -94,6 +94,12 @@ type ServerConn struct {
 	peer  *ClientConn
 	owner *simkernel.Proc // whose CPU receives this connection's interrupts
 
+	// q is the lane the connection is homed on (its listener owner's lane;
+	// the global-queue delegate on a sequential run). It matches the peer
+	// ClientConn's home, so both endpoints of a connection execute on one
+	// lane.
+	q simkernel.Q
+
 	rcvBuf      []byte // request bytes buffered, not yet read by the server
 	peerClosed  bool   // client sent FIN
 	closedLocal bool   // server closed its end
@@ -275,12 +281,12 @@ func (a *SockAPI) Accept(lfd *simkernel.FD) (fd *simkernel.FD, conn *ServerConn,
 	}
 	if a.Net.Cfg.MaxServerFDs > 0 && a.P.NumFDs() >= a.Net.Cfg.MaxServerFDs {
 		a.EMFILECount++
-		c.resetFromServer(a.K.Now())
+		c.resetFromServer(a.P.Now())
 		return nil, nil, false
 	}
 	c.accepted = true
 	c.owner = a.P
-	a.Net.stats.Accepted++
+	a.Net.statsAt(a.P.Q()).Accepted++
 	fd = a.P.Install(c)
 	return fd, c, true
 }
@@ -303,7 +309,7 @@ func (a *SockAPI) AcceptDetach(lfd *simkernel.FD) (conn *ServerConn, ok bool) {
 	}
 	c.accepted = true
 	c.owner = a.P
-	a.Net.stats.Accepted++
+	a.Net.statsAt(a.P.Q()).Accepted++
 	a.P.Charge(a.K.Cost.ConnHandoff)
 	return c, true
 }
@@ -314,10 +320,17 @@ func (a *SockAPI) AcceptDetach(lfd *simkernel.FD) (conn *ServerConn, ok bool) {
 // false when the adopting process is out of descriptors (the connection is
 // reset, as in Accept).
 func (a *SockAPI) Adopt(conn *ServerConn) (fd *simkernel.FD, ok bool) {
+	if a.Net.parallel {
+		// Adoption moves a connection between processes — and so between
+		// lanes — which would split its single-writer home. Handoff-mode
+		// prefork is forced onto the sequential engine by the experiment
+		// driver; fail loudly if a new caller slips through.
+		panic("netsim: Adopt is not supported on a parallelized network")
+	}
 	a.P.ChargeSyscall(0) // recvmsg collecting the passed descriptor
 	if a.Net.Cfg.MaxServerFDs > 0 && a.P.NumFDs() >= a.Net.Cfg.MaxServerFDs {
 		a.EMFILECount++
-		conn.resetFromServer(a.K.Now())
+		conn.resetFromServer(a.P.Now())
 		return nil, false
 	}
 	conn.owner = a.P
@@ -382,7 +395,7 @@ func (a *SockAPI) Write(fd *simkernel.FD, n int) int {
 func (a *SockAPI) Close(fd *simkernel.FD) {
 	a.P.ChargeSyscall(a.K.Cost.SockClose)
 	conn, isConn := fd.File().(*ServerConn)
-	_ = a.P.CloseFD(a.K.Now(), fd.Num)
+	_ = a.P.CloseFD(a.P.Now(), fd.Num)
 	if !isConn {
 		return
 	}

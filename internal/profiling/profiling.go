@@ -9,14 +9,30 @@ import (
 	"runtime/pprof"
 )
 
+// Config names the profile outputs a tool was asked for; empty paths are
+// skipped. Mutex and Block exist for the sharded parallel engine: contention
+// on its barriers and rings shows up in exactly these two profiles.
+type Config struct {
+	CPU   string // pprof CPU profile, sampled over the whole run
+	Mem   string // heap profile, taken at exit after a GC
+	Mutex string // mutex contention profile (SetMutexProfileFraction(1))
+	Block string // blocking profile (SetBlockProfileRate(1))
+}
+
 // Start begins CPU profiling (when cpuPath is non-empty) and returns a stop
 // function that ends it and writes a heap profile to memPath (when non-empty).
 // Callers invoke Start only after validating their arguments, so an input
 // error cannot leave a truncated profile behind, and must call the returned
 // function on every exit path that should produce usable profiles.
 func Start(cpuPath, memPath string) func() {
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+	return StartAll(Config{CPU: cpuPath, Mem: memPath})
+}
+
+// StartAll begins every profile named in cfg and returns the stop function
+// that ends them and writes the at-exit profiles.
+func StartAll(cfg Config) func() {
+	if cfg.CPU != "" {
+		f, err := os.Create(cfg.CPU)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			os.Exit(1)
@@ -26,22 +42,48 @@ func Start(cpuPath, memPath string) func() {
 			os.Exit(1)
 		}
 	}
+	if cfg.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if cfg.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() {
-		if cpuPath != "" {
+		if cfg.CPU != "" {
 			pprof.StopCPUProfile()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if cfg.Mem != "" {
+			f, err := os.Create(cfg.Mem)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 				os.Exit(1)
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 				os.Exit(1)
 			}
+			f.Close()
 		}
+		writeLookup(cfg.Mutex, "mutex")
+		writeLookup(cfg.Block, "block")
+	}
+}
+
+// writeLookup writes one of the runtime's named profiles (mutex, block) at
+// exit, in the uncompacted debug=0 pprof format the pprof tool expects.
+func writeLookup(path, name string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		os.Exit(1)
 	}
 }

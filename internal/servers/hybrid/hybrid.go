@@ -178,7 +178,7 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
-	s.P.Batch(s.K.Now(), func() {
+	s.P.Batch(s.P.Now(), func() {
 		s.lfd, _ = s.api.Listen()
 		s.handler.Attach(s.base, s.lfd, httpcore.ServeConfig{
 			SweepInterval: s.cfg.WaitTimeout,
@@ -225,8 +225,8 @@ func (s *Server) Start() {
 func (s *Server) Stop() {
 	if !s.stopped {
 		s.stopped = true
-		s.ModeTime[s.mode] += s.K.Now().Sub(s.lastModeChange)
-		s.lastModeChange = s.K.Now()
+		s.ModeTime[s.mode] += s.P.Now().Sub(s.lastModeChange)
+		s.lastModeChange = s.P.Now()
 	}
 	s.base.Stop()
 }

@@ -15,6 +15,12 @@ import "repro/internal/core"
 type CPU struct {
 	sim *Simulator
 
+	// q is the scheduling handle completion events go through: the global
+	// queue on an unsharded simulator, the CPU's home lane on a sharded one
+	// (assigned by Kernel.EnableParallel). Everything that runs "on" this CPU
+	// — batches, interrupts, their completions — executes on that lane.
+	q Q
+
 	// Index is the CPU's position in its Scheduler (0 on a uniprocessor).
 	Index int
 
@@ -30,8 +36,11 @@ type CPU struct {
 
 // NewCPU returns a CPU bound to the given simulator.
 func NewCPU(sim *Simulator) *CPU {
-	return &CPU{sim: sim}
+	return &CPU{sim: sim, q: Q{s: sim}}
 }
+
+// Q returns the CPU's scheduling handle (its home lane on a sharded run).
+func (c *CPU) Q() Q { return c.q }
 
 // Exec accepts a unit of work costing cost at virtual time now and schedules
 // done (if non-nil) at its completion instant, which is returned. A negative
@@ -49,7 +58,7 @@ func (c *CPU) Exec(now core.Time, cost core.Duration, done func(now core.Time)) 
 	c.Busy += cost
 	c.Jobs++
 	if done != nil {
-		c.sim.At(finish, done)
+		c.q.At(finish, done)
 	}
 	return finish
 }

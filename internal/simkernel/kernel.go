@@ -81,6 +81,20 @@ func NewKernelSMP(cost *CostModel, ncpu int) *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() core.Time { return k.Sim.Now() }
 
+// EnableParallel shards the kernel's simulator into numLanes lanes driven by
+// the given number of worker goroutines (see Simulator.EnableSharding) and
+// homes each CPU on lane (index+1) mod numLanes, keeping lane 0 — the
+// experiment-driver lane — free of server CPUs whenever numLanes exceeds the
+// CPU count. Must be called before any process, server or event is created so
+// every completion path picks up its lane handle.
+func (k *Kernel) EnableParallel(numLanes, workers int, lookahead core.Duration) {
+	k.Sim.EnableSharding(numLanes, workers, lookahead)
+	n := k.Sim.NumLanes()
+	for i, c := range k.Sched.CPUs() {
+		c.q = k.Sim.LaneQ((i + 1) % n)
+	}
+}
+
 // Interrupt charges interrupt-context work (packet reception, signal
 // enqueueing) to CPU 0 at time now, invoking done at its completion if it is
 // non-nil. It returns the completion instant. Work that belongs to a specific
@@ -273,6 +287,15 @@ func (k *Kernel) NewProcOn(name string, cpu *CPU) *Proc {
 // CPU returns the processor the process is pinned to.
 func (p *Proc) CPU() *CPU { return p.cpu }
 
+// Q returns the scheduling handle of the process's CPU: its home lane on a
+// sharded run, the global queue otherwise.
+func (p *Proc) Q() Q { return p.cpu.q }
+
+// Now returns the process's current virtual time: its lane clock on a sharded
+// run (the globally correct instant for code executing on this process),
+// identical to Kernel.Now on an unsharded one.
+func (p *Proc) Now() core.Time { return p.cpu.q.Now() }
+
 // Install allocates the lowest unused descriptor number for f and returns the
 // new table entry, mirroring POSIX descriptor allocation: a closed number is
 // recycled by the next open. Every install gets a fresh generation so stale
@@ -364,7 +387,7 @@ func (p *Proc) ChargeSyscall(extra core.Duration) {
 func (p *Proc) Defer(fn func(now core.Time)) {
 	if !p.inBatch {
 		// Outside a batch there is nothing to defer against; run immediately.
-		fn(p.K.Now())
+		fn(p.Now())
 		return
 	}
 	p.deferred = append(p.deferred, fn)

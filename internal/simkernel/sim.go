@@ -67,6 +67,12 @@ type Simulator struct {
 
 	// Executed counts events dispatched since construction.
 	Executed int64
+
+	// shard is the sharded (parallel) execution engine, nil unless
+	// EnableSharding was called. When set, all scheduling goes through lane
+	// handles (LaneQ) and RunUntil drives the epoch loop in shard.go; the
+	// single-queue fields above stay unused so the legacy path is untouched.
+	shard *shardEngine
 }
 
 // NewSimulator returns an empty simulator positioned at virtual time zero.
@@ -78,13 +84,28 @@ func NewSimulator() *Simulator {
 func (s *Simulator) Now() core.Time { return s.now }
 
 // Pending returns the number of scheduled, not yet executed events.
-func (s *Simulator) Pending() int { return len(s.heap) + len(s.nowq) - s.nowqHead }
+func (s *Simulator) Pending() int {
+	if s.shard != nil {
+		n := 0
+		for _, ln := range s.shard.lanes {
+			n += ln.pending()
+		}
+		for i := range s.shard.rings {
+			n += len(s.shard.rings[i].recs)
+		}
+		return n
+	}
+	return len(s.heap) + len(s.nowq) - s.nowqHead
+}
 
 // At schedules fn to run at the absolute virtual instant t. Scheduling in the
 // past is a programming error and panics, because it would break causality.
 func (s *Simulator) At(t core.Time, fn func(now core.Time)) {
 	if fn == nil {
 		panic("simkernel: At with nil callback")
+	}
+	if s.shard != nil {
+		panic("simkernel: direct At on a sharded simulator (schedule through a LaneQ handle)")
 	}
 	if t < s.now {
 		panic(fmt.Sprintf("simkernel: scheduling into the past (%v < %v)", t, s.now))
@@ -117,6 +138,9 @@ func (s *Simulator) Run() core.Time { return s.RunUntil(core.Time(1<<62 - 1)) }
 // queue drains or Stop is called. The clock is left at the time of the last
 // executed event (or at deadline if it was reached with events remaining).
 func (s *Simulator) RunUntil(deadline core.Time) core.Time {
+	if s.shard != nil {
+		return s.shard.run(deadline)
+	}
 	s.stopped = false
 	for !s.stopped {
 		e, ok := s.pop(deadline)
@@ -133,6 +157,9 @@ func (s *Simulator) RunUntil(deadline core.Time) core.Time {
 // Step executes exactly one pending event, if any, and reports whether one was
 // executed. It is primarily useful in tests.
 func (s *Simulator) Step() bool {
+	if s.shard != nil {
+		panic("simkernel: Step on a sharded simulator")
+	}
 	e, ok := s.pop(core.Time(1<<62 - 1))
 	if !ok {
 		return false
