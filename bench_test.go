@@ -139,6 +139,13 @@ func BenchmarkExtHybridEpollLoad501(b *testing.B) {
 	benchFigure(b, experiments.ServerHybridEpoll, 501)
 }
 
+// Extension: thttpd on the completion-ring mechanism (compio), the
+// io_uring-shaped fifth backend — batched submission, per-batch completion
+// posting, registered buffers.
+func BenchmarkExtThttpdCompioLoad501(b *testing.B) {
+	benchFigure(b, experiments.ServerThttpdCompio, 501)
+}
+
 // Extension: the prefork multi-worker server (figure-17 family). Each
 // sub-benchmark runs N epoll workers on N simulated CPUs under an offered
 // load well above single-worker capacity, in both accept-distribution modes;

@@ -68,9 +68,7 @@ func main() {
 		return
 	}
 	if *listBackends {
-		for _, b := range eventlib.Backends() {
-			fmt.Printf("%-10s %s\n", b.Name, b.Description)
-		}
+		fmt.Println(eventlib.DescribeBackends(""))
 		return
 	}
 	if *listWorkloads {

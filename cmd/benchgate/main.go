@@ -26,8 +26,8 @@
 //
 // Usage:
 //
-//	benchgate -emit BENCH_PR6.json          # refresh the baseline
-//	benchgate -baseline BENCH_PR6.json -candidate new.json
+//	benchgate -emit BENCH_PR7.json          # refresh the baseline
+//	benchgate -baseline BENCH_PR7.json -candidate new.json
 //	benchgate -crosscheck 4                 # parallel == sequential, bit for bit
 package main
 
@@ -107,6 +107,7 @@ func points(connections int, seed int64) []struct {
 		{"ext-hybrid-load501", experiments.ServerHybrid, 501},
 		{"ext-epoll-load501", experiments.ServerThttpdEpoll, 501},
 		{"ext-epoll-et-load501", experiments.ServerThttpdEpollET, 501},
+		{"ext-compio-load501", experiments.ServerThttpdCompio, 501},
 	} {
 		add(p.name+"-rate1000", experiments.RunSpec{
 			Server: p.server, RequestRate: 1000, Inactive: p.inactive,
@@ -133,6 +134,10 @@ func points(connections int, seed int64) []struct {
 		Server: experiments.ServerThttpdPoll, RequestRate: 1000, Inactive: 251,
 		Connections: 10000,
 	})
+	add("scale-10000-compio-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdCompio, RequestRate: 1000, Inactive: 251,
+		Connections: 10000,
+	})
 
 	// The massive-scale anchor (figures 29-31): the 100k-connection point on
 	// the cheapest sustaining mechanism. TIME-WAIT holds rate x 61s of ports
@@ -142,6 +147,10 @@ func points(connections int, seed int64) []struct {
 	massiveNet.PortSpace = 2*100000 + 100000
 	add("scale-100000-epoll-rate1000", experiments.RunSpec{
 		Server: experiments.ServerThttpdEpoll, RequestRate: 1000, Inactive: 251,
+		Connections: 100000, Network: &massiveNet,
+	})
+	add("scale-100000-compio-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdCompio, RequestRate: 1000, Inactive: 251,
 		Connections: 100000, Network: &massiveNet,
 	})
 

@@ -38,7 +38,8 @@ func main() {
 	figs := flag.String("figs", "", "comma-separated figure numbers to run (default: all)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the figures")
 	ablationID := flag.String("ablation-id", "", "run a single ablation by id")
-	backend := flag.String("backend", "", "re-run the figures' thttpd/hybrid/prefork curves on this eventlib backend")
+	backend := flag.String("backend", "", "re-run the figures' thttpd/hybrid/prefork curves on this eventlib backend (see -list-backends)")
+	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
 	workload := flag.String("workload", "", "run every point under this loadgen workload (see benchfig -list-workloads)")
 	percentiles := flag.Bool("percentiles", false, "append the per-point latency percentile table to every figure")
 	workers := flag.String("workers", "", "comma-separated worker counts for the scaling figures (default 1,2,4,8)")
@@ -46,6 +47,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress all progress output on stderr")
 	flag.Parse()
 
+	if *listBackends {
+		fmt.Println(eventlib.DescribeBackends(""))
+		return
+	}
 	if *backend != "" {
 		if _, ok := eventlib.Lookup(*backend); !ok {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", eventlib.UnknownBackendError(*backend))

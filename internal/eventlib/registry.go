@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/compio"
 	"repro/internal/core"
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
@@ -27,6 +28,25 @@ type Backend struct {
 	// perform one unprompted read on each freshly accepted descriptor (the
 	// paper's RT-signal servers do exactly this).
 	EdgeStyle bool
+	// Completion marks completion-substrate backends (shared-ring delivery,
+	// batched submission) as opposed to readiness-substrate ones. Purely
+	// informational — both shapes implement the same Poller contract — but
+	// listings print it so the mechanisms can be told apart.
+	Completion bool
+}
+
+// DeliveryStyle renders the backend's delivery semantics for listings:
+// completion vs readiness substrate, edge- vs level-shaped reporting.
+func (b Backend) DeliveryStyle() string {
+	substrate := "readiness"
+	if b.Completion {
+		substrate = "completion"
+	}
+	edge := "level"
+	if b.EdgeStyle {
+		edge = "edge"
+	}
+	return substrate + "/" + edge
 }
 
 // backends holds the registry in preference order: the mechanism history
@@ -42,12 +62,22 @@ var backends = []Backend{
 	},
 	{
 		Name:        "epoll-et",
-		Description: "epoll, edge-triggered (EPOLLET on every descriptor)",
+		Description: "epoll, edge-triggered (EPOLLET; registration primes readiness, so the consumer contract stays level-shaped)",
 		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
 			opts := epoll.DefaultOptions()
 			opts.EdgeTriggered = true
 			return epoll.Open(k, p, opts)
 		},
+	},
+	{
+		Name:        "compio",
+		Description: "completion rings, io_uring-shaped: batched submission, registered buffers",
+		Open: func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+			return compio.Open(k, p, compio.DefaultOptions())
+		},
+		// Registration primes current readiness into the CQ, so no unprompted
+		// reads are needed even though delivery is transition-shaped.
+		Completion: true,
 	},
 	{
 		Name:        "devpoll",
@@ -117,11 +147,26 @@ func Lookup(name string) (Backend, bool) {
 	return Backend{}, false
 }
 
+// DescribeBackends renders one line per registered backend — name, delivery
+// style, description — for listings and the listed-choices error, so the
+// mechanisms can be told apart without reading DESIGN.md.
+func DescribeBackends(indent string) string {
+	var sb strings.Builder
+	for i, b := range backends {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%s%-10s %-17s %s", indent, b.Name,
+			"["+b.DeliveryStyle()+"]", b.Description)
+	}
+	return sb.String()
+}
+
 // UnknownBackendError is the single source of the listed-choices error for a
 // backend name that is not registered.
 func UnknownBackendError(name string) error {
-	return fmt.Errorf("eventlib: unknown backend %q (choices: %s)",
-		name, strings.Join(BackendNames(), ", "))
+	return fmt.Errorf("eventlib: unknown backend %q; choices:\n%s",
+		name, DescribeBackends("  "))
 }
 
 // OpenBackend constructs the named backend's poller, with the listed-choices

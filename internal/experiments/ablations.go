@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/compio"
 	"repro/internal/devpoll"
 	"repro/internal/servers/hybrid"
 )
@@ -83,6 +84,28 @@ func Ablations(connections int) []Ablation {
 	devpollVsEpoll := base(ServerThttpdDevPoll, 1000, 501)
 	hybridEpollBulk := base(ServerHybridEpoll, 1000, 501)
 
+	// compio batch-size sweep: the copy configuration is held fixed
+	// (registered buffers on, the default) while the SQ size — the number of
+	// submissions one Enter amortises over — sweeps from no batching to deep
+	// batching.
+	compioBatch := func(sqSize int) RunSpec {
+		s := base(ServerThttpdCompio, 1300, 501)
+		opts := compio.DefaultOptions()
+		opts.SQSize = sqSize
+		s.CompioOptions = &opts
+		return s
+	}
+
+	// compio copy-avoidance: the batch configuration is held fixed (default
+	// SQ) while registered buffers toggle, isolating the per-read copy skip.
+	compioCopy := func(registered bool) RunSpec {
+		s := base(ServerThttpdCompio, 1300, 501)
+		opts := compio.DefaultOptions()
+		opts.RegisteredBuffers = registered
+		s.CompioOptions = &opts
+		return s
+	}
+
 	return []Ablation{
 		{
 			ID:          "hints",
@@ -154,6 +177,26 @@ func Ablations(connections int) []Ablation {
 			Variants: []AblationVariant{
 				{Label: "epoll", Spec: epollLT},
 				{Label: "devpoll", Spec: devpollVsEpoll},
+			},
+		},
+		{
+			ID:          "compio-batch",
+			Title:       "compio Enter batch size: SQ 1/4/16/64 (1300 req/s, 501 inactive)",
+			Description: "Isolates submission-batch amortisation: one syscall entry per Enter is spread over SQSize submissions, the completion-side decomposition the paper's §3-4 performs for /dev/poll's interest updates. The copy configuration is held fixed.",
+			Variants: []AblationVariant{
+				{Label: "sq-1", Spec: compioBatch(1)},
+				{Label: "sq-4", Spec: compioBatch(4)},
+				{Label: "sq-16", Spec: compioBatch(16)},
+				{Label: "sq-64", Spec: compioBatch(64)},
+			},
+		},
+		{
+			ID:          "compio-regbuf",
+			Title:       "compio registered buffers on vs off (1300 req/s, 501 inactive)",
+			Description: "Isolates copy avoidance: fixed pre-pinned buffers skip exactly the per-read user-space copy charge (Cost.SockReadCopy), the mmap-result-area argument of §3.3 applied to data instead of events. The batch configuration is held fixed.",
+			Variants: []AblationVariant{
+				{Label: "registered", Spec: compioCopy(true)},
+				{Label: "unregistered", Spec: compioCopy(false)},
 			},
 		},
 		{

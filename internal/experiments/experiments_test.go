@@ -261,7 +261,7 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 	if _, ok := FigureByID("nope"); ok {
 		t.Fatal("FigureByID(nope) should fail")
 	}
-	if len(ServerKinds()) != 13 {
+	if len(ServerKinds()) != 15 {
 		t.Fatalf("ServerKinds = %d, want the paper's four plus the registry-derived extensions and the prefork sizes", len(ServerKinds()))
 	}
 	kinds := map[ServerKind]bool{}
@@ -274,6 +274,7 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 	for _, want := range []ServerKind{
 		ServerThttpdEpoll, ServerThttpdEpollET, ServerThttpdRtsig,
 		ServerHybridEpoll, ServerHybridEpollET,
+		ServerThttpdCompio, ServerKind("hybrid-compio"),
 	} {
 		if !kinds[want] {
 			t.Fatalf("ServerKinds missing %q", want)
@@ -354,7 +355,7 @@ func TestAblationDefinitionsAndRun(t *testing.T) {
 		}
 		ids[a.ID] = true
 	}
-	for _, want := range []string{"hints", "mmap", "sigtimedwait4", "hybrid-vs-phhttpd"} {
+	for _, want := range []string{"hints", "mmap", "sigtimedwait4", "hybrid-vs-phhttpd", "compio-batch", "compio-regbuf"} {
 		if !ids[want] {
 			t.Fatalf("ablation %q missing", want)
 		}
@@ -380,5 +381,35 @@ func TestAblationDefinitionsAndRun(t *testing.T) {
 	}
 	if !strings.Contains(FormatAblation(res), "hints") {
 		t.Fatal("FormatAblation output missing id")
+	}
+}
+
+// TestCompioAblationEffects checks the directional claims behind the two
+// compio ablations at a reduced run size: deeper Enter batching and
+// registered buffers must each lower the virtual-time CPU cost of serving
+// the same workload. (The exact per-operation charges are pinned by the
+// compio and netsim unit tests; at the full-size 1300 req/s knee the effect
+// surfaces as a monotone median-latency improvement.)
+func TestCompioAblationEffects(t *testing.T) {
+	batch, ok := AblationByID("compio-batch", 800)
+	if !ok {
+		t.Fatal("compio-batch ablation missing")
+	}
+	shallow := Run(batch.Variants[0].Spec)                  // sq-1
+	deep := Run(batch.Variants[len(batch.Variants)-1].Spec) // sq-64
+	if shallow.CPUUtilization <= deep.CPUUtilization {
+		t.Fatalf("sq-1 cpu %.4f should exceed sq-64 cpu %.4f: batching amortises the Enter syscall",
+			shallow.CPUUtilization, deep.CPUUtilization)
+	}
+
+	regbuf, ok := AblationByID("compio-regbuf", 800)
+	if !ok {
+		t.Fatal("compio-regbuf ablation missing")
+	}
+	registered := Run(regbuf.Variants[0].Spec)
+	unregistered := Run(regbuf.Variants[1].Spec)
+	if registered.CPUUtilization >= unregistered.CPUUtilization {
+		t.Fatalf("registered cpu %.4f should be below unregistered cpu %.4f: registered buffers skip the read copy",
+			registered.CPUUtilization, unregistered.CPUUtilization)
 	}
 }

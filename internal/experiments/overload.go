@@ -45,13 +45,17 @@ func OverloadRates() []float64 {
 }
 
 // overloadMechanismCurves returns the paper's four servers at the given
-// inactive load, the fixed curve set of the per-workload overload figures.
+// inactive load plus the compio extension, the fixed curve set of the
+// per-workload overload figures. compio stays last so the pre-existing
+// columns keep their positions (each curve runs on a fresh kernel, so the
+// earlier columns' values are unaffected by the addition).
 func overloadMechanismCurves(inactive int) []Curve {
 	return []Curve{
 		{Label: "normal poll", Server: ServerThttpdPoll, Inactive: inactive},
 		{Label: "devpoll", Server: ServerThttpdDevPoll, Inactive: inactive},
 		{Label: "phhttpd", Server: ServerPhhttpd, Inactive: inactive},
 		{Label: "hybrid", Server: ServerHybrid, Inactive: inactive},
+		{Label: "compio", Server: ServerThttpdCompio, Inactive: inactive},
 	}
 }
 
@@ -164,7 +168,7 @@ func ScaleFigures() []OverloadFigure {
 		return OverloadFigure{
 			ID:     fmt.Sprintf("fig%d", num),
 			Number: num,
-			Title: fmt.Sprintf("Scale: %d connections per point, four mechanisms plus prefork-4, 251 inactive connections",
+			Title: fmt.Sprintf("Scale: %d connections per point, four mechanisms plus prefork-4 and compio, 251 inactive connections",
 				conns),
 			Paper: "Not in the paper, whose procedure was capped near 35000 connections per run by the " +
 				"client's port space and the testbed's speed. The mechanism ordering (poll collapses, " +
@@ -179,6 +183,7 @@ func ScaleFigures() []OverloadFigure {
 				{Label: "phhttpd", Server: ServerPhhttpd, Inactive: 251},
 				{Label: "epoll", Server: ServerThttpdEpoll, Inactive: 251},
 				{Label: "prefork-4", Server: PreforkKind(4), Inactive: 251},
+				{Label: "compio", Server: ServerThttpdCompio, Inactive: 251},
 			},
 		}
 	}

@@ -22,7 +22,13 @@ func gatedMetrics(r RunResult) string {
 // server family, a sharded run produces byte-identical deterministic metrics
 // at any thread count, including the single-threaded legacy engine.
 func TestParallelMatchesSequential(t *testing.T) {
-	kinds := []ServerKind{ServerThttpdPoll, ServerPhhttpd, ServerThttpdEpoll, PreforkKind(4), ServerHybrid}
+	kinds := []ServerKind{
+		ServerThttpdPoll, ServerPhhttpd, ServerThttpdEpoll, PreforkKind(4), ServerHybrid,
+		// compio rides the same sharded kernel: its completion postings run as
+		// same-lane interrupts, so both the single-process server and the
+		// prefork wrapper must stay bit-identical at any thread count.
+		ServerThttpdCompio, ServerKind("prefork-2-compio"),
+	}
 	for _, kind := range kinds {
 		spec := DefaultSpec(kind, 400, 251)
 		spec.Connections = 1500

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/compio"
 	"repro/internal/core"
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
@@ -42,6 +43,7 @@ const (
 	ServerThttpdRtsig   ServerKind = "thttpd-rtsig"    // thttpd on the RT signal queue
 	ServerHybridEpoll   ServerKind = "hybrid-epoll"    // hybrid with epoll as the bulk poller
 	ServerHybridEpollET ServerKind = "hybrid-epoll-et" // hybrid with edge-triggered epoll bulk
+	ServerThttpdCompio  ServerKind = "thttpd-compio"   // thttpd on the completion rings
 )
 
 // PreforkKind names the N-worker prefork server: "prefork-N" runs N workers
@@ -56,7 +58,7 @@ func PreforkKind(workers int) ServerKind {
 // concurrently with RT signal activity (§6's requirement for a cheap switch).
 func bulkCapable(name string) bool {
 	switch name {
-	case "devpoll", "epoll", "epoll-et":
+	case "devpoll", "epoll", "epoll-et", "compio":
 		return true
 	}
 	return false
@@ -208,6 +210,9 @@ type RunSpec struct {
 	DevPollOptions *devpoll.Options
 	// EpollOptions overrides epoll options for the epoll server kinds.
 	EpollOptions *epoll.Options
+	// CompioOptions overrides completion-ring options for the compio server
+	// kinds (SQ batch size and registered-buffer ablations).
+	CompioOptions *compio.Options
 	// PhhttpdBatchDequeue enables the sigtimedwait4 extension in phhttpd.
 	PhhttpdBatchDequeue bool
 	// HybridConfig optionally overrides the hybrid server configuration.
@@ -391,6 +396,11 @@ func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim
 			cfg.Bulk = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
 				return epoll.Open(k, p, opts)
 			}
+		case spec.CompioOptions != nil && rk.backend == "compio":
+			opts := *spec.CompioOptions
+			cfg.Bulk = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+				return compio.Open(k, p, opts)
+			}
 		default:
 			cfg.BulkBackend = rk.backend
 		}
@@ -412,6 +422,11 @@ func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim
 			opts.EdgeTriggered = rk.backend == "epoll-et"
 			cfg.OpenPoller = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
 				return epoll.Open(k, p, opts)
+			}
+		case spec.CompioOptions != nil && rk.backend == "compio":
+			opts := *spec.CompioOptions
+			cfg.OpenPoller = func(k *simkernel.Kernel, p *simkernel.Proc) core.Poller {
+				return compio.Open(k, p, opts)
 			}
 		}
 		return thttpdRun{thttpd.New(k, net, cfg)}

@@ -1,8 +1,8 @@
 package interest_test
 
 // The shared Poller conformance suite: one table-driven file exercised against
-// all four event-notification mechanisms (stock poll, /dev/poll, RT signals,
-// and epoll in both trigger modes). It pins the contract every mechanism must
+// every event-notification mechanism (stock poll, /dev/poll, RT signals,
+// epoll in both trigger modes, and the compio completion rings). It pins the contract every mechanism must
 // honour so refactors of the shared interest engine are provably
 // behaviour-preserving: error cases on interest management (ErrExists,
 // ErrNotFound, ErrClosed), Interested/Len bookkeeping, readiness delivery,
@@ -11,6 +11,7 @@ package interest_test
 import (
 	"testing"
 
+	"repro/internal/compio"
 	"repro/internal/core"
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
@@ -42,6 +43,9 @@ func mechanisms() []mechanism {
 		}},
 		{"epoll-et", func(env *simtest.Env) core.Poller {
 			return epoll.Open(env.K, env.P, epoll.Options{EdgeTriggered: true})
+		}},
+		{"compio", func(env *simtest.Env) core.Poller {
+			return compio.Open(env.K, env.P, compio.DefaultOptions())
 		}},
 	}
 }

@@ -517,3 +517,43 @@ func TestConnectionConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A read on a descriptor with a registered buffer (compio's fixed-buffer
+// reads) costs exactly Cost.SockReadCopy less than a normal read — the
+// modeled user-space copy is the only component skipped.
+func TestRegisteredBufferReadSkipsExactlyTheCopyCharge(t *testing.T) {
+	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
+
+	readCharge := func(register bool) core.Duration {
+		cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{})
+		k.Sim.Run()
+		cc.Send(k.Now(), make([]byte, 100))
+		k.Sim.Run()
+		var charge core.Duration
+		p.Batch(k.Now(), func() {
+			fd, _, ok := api.Accept(lfd)
+			if !ok {
+				t.Fatal("Accept failed")
+			}
+			fd.BufferRegistered = register
+			before := p.TotalCharged
+			data, _ := api.Read(fd, 0)
+			if len(data) != 100 {
+				t.Fatalf("Read = %d bytes", len(data))
+			}
+			charge = p.TotalCharged - before
+			api.Close(fd)
+		}, nil)
+		k.Sim.Run()
+		return charge
+	}
+
+	plain := readCharge(false)
+	registered := readCharge(true)
+	if want := k.Cost.SyscallEntry + k.Cost.SockRead; plain != want {
+		t.Fatalf("plain read charged %v, want %v", plain, want)
+	}
+	if got, want := plain-registered, k.Cost.SockReadCopy; got != want {
+		t.Fatalf("registered-buffer discount = %v, want exactly %v", got, want)
+	}
+}

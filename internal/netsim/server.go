@@ -341,7 +341,17 @@ func (a *SockAPI) Adopt(conn *ServerConn) (fd *simkernel.FD, ok bool) {
 // returning the data read and whether end-of-file (peer FIN with an empty
 // buffer) was reached. max <= 0 reads everything buffered.
 func (a *SockAPI) Read(fd *simkernel.FD, max int) (data []byte, eof bool) {
-	a.P.ChargeSyscall(a.K.Cost.SockRead)
+	cost := a.K.Cost.SockRead
+	if fd.BufferRegistered {
+		// Reads into a registered (pre-pinned) buffer skip the user-space
+		// copy component; the descriptor-lookup and protocol work remain.
+		if cost > a.K.Cost.SockReadCopy {
+			cost -= a.K.Cost.SockReadCopy
+		} else {
+			cost = 0
+		}
+	}
+	a.P.ChargeSyscall(cost)
 	conn, isConn := fd.File().(*ServerConn)
 	if !isConn || fd.Closed() {
 		return nil, true

@@ -97,6 +97,38 @@ type CostModel struct {
 	// phhttpd's overflow recovery when it flushes pending signals.
 	SigMaskChange core.Duration
 
+	// --- completion ring (io_uring-shaped) costs ------------------------------
+
+	// RingEnter is the cost of one io_uring_enter()-style batched submission
+	// syscall beyond SyscallEntry: fetching the SQ tail, validating the batch
+	// and kicking the kernel-side consumer. Paid once per Enter regardless of
+	// how many submission entries the batch drains.
+	RingEnter core.Duration
+	// RingSubmit is the per-submission-entry cost of the kernel consuming one
+	// SQE from the shared ring: reading the entry, resolving the descriptor
+	// and arming the internal poll request. Much cheaper than InterestUpdate's
+	// hash/backmap path because the SQE arrives in a cache-hot shared ring.
+	RingSubmit core.Duration
+	// RingCQPost is the interrupt-context cost of publishing completions to
+	// the CQ ring: one store-release of the CQ tail plus the waiter wakeup
+	// check. Charged once per posting *batch* — completions that arrive while
+	// the CQ is already non-empty coalesce onto the pending doorbell rather
+	// than paying again, which is the amortisation RT signals lack (they pay
+	// SigEnqueue + SigEnqueuePerFD per event).
+	RingCQPost core.Duration
+	// RingCQReap is the per-completion cost of the user side consuming one CQE
+	// from the shared ring (a load-acquire and a struct read; no copy-out
+	// syscall, the mmap'd-ring analogue of /dev/poll's result area).
+	RingCQReap core.Duration
+	// RingRegisterBuf is the one-time per-descriptor cost of registering a
+	// fixed buffer with the kernel (pinning pages and installing the mapping),
+	// paid at interest-registration time when registered buffers are enabled.
+	RingRegisterBuf core.Duration
+	// SockReadCopy is the portion of SockRead that is the user-space copy
+	// (copy_to_user of the received bytes). Reads into a registered buffer
+	// skip exactly this component; it must stay below SockRead.
+	SockReadCopy core.Duration
+
 	// --- socket & HTTP service costs ------------------------------------------
 
 	// Accept is the cost of one accept() beyond SyscallEntry.
@@ -153,6 +185,13 @@ func DefaultCostModel() *CostModel {
 		SigDequeueBatch: us(0.90),
 		SigOverflow:     us(25.0),
 		SigMaskChange:   us(4.0),
+
+		RingEnter:       us(0.60),
+		RingSubmit:      us(0.30),
+		RingCQPost:      us(0.40),
+		RingCQReap:      us(0.10),
+		RingRegisterBuf: us(2.0),
+		SockReadCopy:    us(2.5),
 
 		Accept:         us(12.0),
 		SockRead:       us(6.0),

@@ -132,6 +132,12 @@ type FD struct {
 	Gen  uint64
 	Proc *Proc
 
+	// BufferRegistered marks the descriptor as having a fixed buffer
+	// registered with the kernel (compio's registered-buffer reads): socket
+	// reads skip the Cost.SockReadCopy component while it is set. Only the
+	// compio mechanism sets it; it dies with the descriptor on close.
+	BufferRegistered bool
+
 	file     File
 	watchers []Watcher
 	closed   bool
