@@ -56,7 +56,7 @@ govulncheck:
 # (on the sharded parallel kernel with one thread per host core) — exercising
 # the benchmark plumbing end to end without the full sweep.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtThttpdCompioLoad501|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris|ExtScale/conns=10000|ExtMassiveScale' -benchtime 1x -figconns 800 .
+	$(GO) test -run '^$$' -bench 'Fig04|Fig05|ExtThttpdEpollLoad501|ExtThttpdCompioLoad501|ExtKeepAlive|ExtOverloadKnee/thttpd-poll|ExtWorkloads/slowloris|ExtScale/conns=10000|ExtMassiveScale' -benchtime 1x -figconns 800 .
 
 # Every ablation at a small connection count: a fast end-to-end pass through
 # all server families and both dual-mechanism switching paths, so
@@ -80,24 +80,31 @@ determinism:
 	$(GO) run ./cmd/benchfig -fig 17 -connections 600 -workers 1,2,4 -quiet > $(DETERMINISM_OUT)/fig17-b.txt
 	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -quiet > $(DETERMINISM_OUT)/fig20-a.txt
 	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -quiet > $(DETERMINISM_OUT)/fig20-b.txt
+	$(GO) run ./cmd/benchfig -fig 33 -connections 600 -quiet > $(DETERMINISM_OUT)/fig33-a.txt
+	$(GO) run ./cmd/benchfig -fig 33 -connections 600 -quiet > $(DETERMINISM_OUT)/fig33-b.txt
 	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -threads 2 -quiet > $(DETERMINISM_OUT)/fig12-t2.txt
 	$(GO) run ./cmd/benchfig -fig 12 -connections 600 -threads 8 -quiet > $(DETERMINISM_OUT)/fig12-t8.txt
 	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -threads 2 -quiet > $(DETERMINISM_OUT)/fig20-t2.txt
 	$(GO) run ./cmd/benchfig -fig 20 -connections 600 -percentiles -threads 8 -quiet > $(DETERMINISM_OUT)/fig20-t8.txt
+	$(GO) run ./cmd/benchfig -fig 33 -connections 600 -threads 2 -quiet > $(DETERMINISM_OUT)/fig33-t2.txt
+	$(GO) run ./cmd/benchfig -fig 33 -connections 600 -threads 8 -quiet > $(DETERMINISM_OUT)/fig33-t8.txt
 	@diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig17-a.txt $(DETERMINISM_OUT)/fig17-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-b.txt \
+		&& diff $(DETERMINISM_OUT)/fig33-a.txt $(DETERMINISM_OUT)/fig33-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-t2.txt \
 		&& diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-t8.txt \
 		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-t2.txt \
 		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-t8.txt \
+		&& diff $(DETERMINISM_OUT)/fig33-a.txt $(DETERMINISM_OUT)/fig33-t2.txt \
+		&& diff $(DETERMINISM_OUT)/fig33-a.txt $(DETERMINISM_OUT)/fig33-t8.txt \
 		&& echo "determinism: OK (incl. -threads 2/8 matrix)"
 
 # Refresh the committed benchmark baseline: the key figure points' reply
 # rates, p99 latencies and ns/op. Run this (and commit the result) in any PR
 # that intentionally moves performance.
 bench-json:
-	$(GO) run ./cmd/benchgate -emit BENCH_PR7.json
+	$(GO) run ./cmd/benchgate -emit BENCH_PR8.json
 
 # Gate the working tree against the committed baseline: emit a fresh
 # candidate and fail on >5% regression in any simulated metric (reply rate,
@@ -109,7 +116,7 @@ TIME_TOLERANCE ?= 1.0
 bench-gate:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/benchgate -emit $$tmp -quiet && \
-	$(GO) run ./cmd/benchgate -baseline BENCH_PR7.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
+	$(GO) run ./cmd/benchgate -baseline BENCH_PR8.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
 	status=$$?; rm -f $$tmp; exit $$status
 
 # Zero-tolerance parallel determinism gate on the benchmark set: every gated

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/servers/httpcore"
 	"repro/internal/servers/prefork"
 )
 
@@ -144,6 +145,59 @@ func BenchmarkExtHybridEpollLoad501(b *testing.B) {
 // posting, registered buffers.
 func BenchmarkExtThttpdCompioLoad501(b *testing.B) {
 	benchFigure(b, experiments.ServerThttpdCompio, 501)
+}
+
+// Extension: the persistent-connection hot path (figure-32 family). Each
+// sub-benchmark runs thttpd/epoll at the overload knee under 501 inactive
+// connections; the variants walk the axes one at a time — HTTP/1.0 baseline,
+// serial keep-alive, pipelined keep-alive, and pipelined keep-alive with the
+// mmap response cache and sendfile write path. Connections counts offered
+// requests, so every variant serves the same request budget.
+func BenchmarkExtKeepAlive(b *testing.B) {
+	variants := []struct {
+		name string
+		spec experiments.RunSpec
+	}{
+		{"http10", experiments.RunSpec{}},
+		{"keepalive", experiments.RunSpec{
+			HTTP:            httpcore.Options{KeepAlive: true},
+			RequestsPerConn: experiments.KeepAliveRequests,
+		}},
+		{"pipelined", experiments.RunSpec{
+			HTTP:            httpcore.Options{KeepAlive: true},
+			RequestsPerConn: experiments.KeepAliveRequests,
+			PipelineDepth:   experiments.KeepAliveRequests,
+		}},
+		{"cached-sendfile", experiments.RunSpec{
+			HTTP: httpcore.Options{
+				KeepAlive: true,
+				CacheKB:   64,
+				WriteMode: httpcore.WriteSendfile,
+			},
+			RequestsPerConn: experiments.KeepAliveRequests,
+			PipelineDepth:   experiments.KeepAliveRequests,
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var last experiments.RunResult
+			for i := 0; i < b.N; i++ {
+				spec := v.spec
+				spec.Server = experiments.ServerThttpdEpoll
+				spec.RequestRate = 1300
+				spec.Inactive = 501
+				spec.Connections = *figConns
+				spec.Seed = int64(i + 1)
+				last = experiments.Run(spec)
+			}
+			b.ReportMetric(last.Load.ReplyRate.Mean, "replies/s")
+			b.ReportMetric(last.Load.ErrorPercent, "err%")
+			b.ReportMetric(last.Load.MedianLatencyMs, "median-ms")
+			b.ReportMetric(last.Latency.P99, "p99-ms")
+			b.ReportMetric(100*last.CPUUtilization, "cpu%")
+		})
+	}
 }
 
 // Extension: the prefork multi-worker server (figure-17 family). Each

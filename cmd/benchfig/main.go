@@ -12,6 +12,8 @@
 //	benchfig -fig 20                # overload: flash-crowd bursts, four mechanisms
 //	benchfig -fig 12 -workload slowloris  # re-run a paper figure under an adversarial workload
 //	benchfig -fig 19 -percentiles   # append the per-point latency percentile table
+//	benchfig -fig 32                # keep-alive vs HTTP/1.0 at the knee
+//	benchfig -fig 16 -keepalive     # re-run a figure on the persistent hot path
 //	benchfig -fig 10 -connections 35000   # the paper's full-size procedure
 //	benchfig -list                  # list available figures
 package main
@@ -27,10 +29,11 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/profiling"
+	"repro/internal/servers/httpcore"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (4..31 or fig04..fig31)")
+	fig := flag.String("fig", "", "figure to regenerate (4..35 or fig04..fig35)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	connections := flag.Int("connections", 0, "benchmark connections per point (0 = the figure's own default: 4000 for most figures, 10000-30000 for the scale family, 100000-1000000 for the massive-scale family; paper: 35000)")
 	threads := flag.Int("threads", 1, "OS threads per simulated point (>=2 shards the event kernel; figures are byte-identical across thread counts)")
@@ -43,6 +46,11 @@ func main() {
 	backend := flag.String("backend", "", "re-run the figure's thttpd/hybrid/prefork curves on this eventlib backend (see -list-backends)")
 	workload := flag.String("workload", "", "run every point under this loadgen workload (see -list-workloads)")
 	percentiles := flag.Bool("percentiles", false, "append the per-point latency percentile table (p50/p90/p99/p999, client and service side)")
+	keepalive := flag.Bool("keepalive", false, "serve every curve over HTTP/1.1 keep-alive connections (default 8 requests per connection; curves with their own persistent-connection config keep it)")
+	requestsPerConn := flag.Int("requests-per-conn", 0, "requests each client connection issues (>1 implies -keepalive)")
+	pipelineDepth := flag.Int("pipeline-depth", 0, "requests the keep-alive client keeps outstanding (>1 implies -keepalive)")
+	cacheKB := flag.Int("cache-kb", 0, "server response-cache capacity in KB (0 = the legacy no-file-charge model)")
+	writeMode := flag.String("write-mode", "", "server write path: copy, writev or sendfile (default writev)")
 	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workload scenarios and exit")
 	seed := flag.Int64("seed", 1, "load generator seed")
@@ -57,6 +65,9 @@ func main() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		for _, f := range experiments.OverloadFigures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		for _, f := range experiments.KeepAliveFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		for _, f := range experiments.ScaleFigures() {
@@ -109,9 +120,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	mode, err := httpcore.ParseWriteMode(*writeMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(2)
+	}
 	opts := experiments.SweepOptions{
 		Connections: *connections, Seed: *seed, Threads: *threads,
 		Backend: *backend, Workload: *workload, Progress: progress,
+		KeepAlive: *keepalive, RequestsPerConn: *requestsPerConn,
+		PipelineDepth: *pipelineDepth, CacheKB: *cacheKB, WriteMode: mode,
 	}
 	if *rates != "" {
 		for _, part := range strings.Split(*rates, ",") {

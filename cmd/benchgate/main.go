@@ -26,8 +26,8 @@
 //
 // Usage:
 //
-//	benchgate -emit BENCH_PR7.json          # refresh the baseline
-//	benchgate -baseline BENCH_PR7.json -candidate new.json
+//	benchgate -emit BENCH_PR8.json          # refresh the baseline
+//	benchgate -baseline BENCH_PR8.json -candidate new.json
 //	benchgate -crosscheck 4                 # parallel == sequential, bit for bit
 package main
 
@@ -43,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
+	"repro/internal/servers/httpcore"
 )
 
 // Entry is one gated benchmark point.
@@ -169,6 +170,41 @@ func points(connections int, seed int64) []struct {
 			Workload: w.Name,
 		})
 	}
+
+	// The persistent-connection hot path (figure-32 family): the epoll knee
+	// point with the axes turned on one at a time — serial keep-alive,
+	// pipelined keep-alive, and pipelined keep-alive with the response cache
+	// and sendfile write path — plus pipelined keep-alive at the 10k and 100k
+	// scale anchors. Connections counts offered requests for these points, so
+	// they serve the same budget as their HTTP/1.0 siblings above.
+	ka := httpcore.Options{KeepAlive: true}
+	kaHot := httpcore.Options{KeepAlive: true, CacheKB: 64, WriteMode: httpcore.WriteSendfile}
+	add("ext-keepalive-epoll-load501-rate1300", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1300, Inactive: 501,
+		HTTP: ka, RequestsPerConn: experiments.KeepAliveRequests,
+	})
+	add("ext-pipelined-epoll-load501-rate1300", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1300, Inactive: 501,
+		HTTP: ka, RequestsPerConn: experiments.KeepAliveRequests,
+		PipelineDepth: experiments.KeepAliveRequests,
+	})
+	add("ext-cached-sendfile-epoll-load501-rate1300", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1300, Inactive: 501,
+		HTTP: kaHot, RequestsPerConn: experiments.KeepAliveRequests,
+		PipelineDepth: experiments.KeepAliveRequests,
+	})
+	add("scale-10000-epoll-keepalive-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1000, Inactive: 251,
+		Connections: 10000,
+		HTTP:        ka, RequestsPerConn: experiments.KeepAliveRequests,
+		PipelineDepth: experiments.KeepAliveRequests,
+	})
+	add("scale-100000-epoll-keepalive-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1000, Inactive: 251,
+		Connections: 100000, Network: &massiveNet,
+		HTTP: ka, RequestsPerConn: experiments.KeepAliveRequests,
+		PipelineDepth: experiments.KeepAliveRequests,
+	})
 	return out
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/profiling"
+	"repro/internal/servers/httpcore"
 )
 
 func main() {
@@ -42,6 +43,11 @@ func main() {
 	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
 	workload := flag.String("workload", "", "run every point under this loadgen workload (see benchfig -list-workloads)")
 	percentiles := flag.Bool("percentiles", false, "append the per-point latency percentile table to every figure")
+	keepalive := flag.Bool("keepalive", false, "serve every curve over HTTP/1.1 keep-alive connections (default 8 requests per connection; curves with their own persistent-connection config keep it)")
+	requestsPerConn := flag.Int("requests-per-conn", 0, "requests each client connection issues (>1 implies -keepalive)")
+	pipelineDepth := flag.Int("pipeline-depth", 0, "requests the keep-alive client keeps outstanding (>1 implies -keepalive)")
+	cacheKB := flag.Int("cache-kb", 0, "server response-cache capacity in KB (0 = the legacy no-file-charge model)")
+	writeMode := flag.String("write-mode", "", "server write path: copy, writev or sendfile (default writev)")
 	workers := flag.String("workers", "", "comma-separated worker counts for the scaling figures (default 1,2,4,8)")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress all progress output on stderr")
@@ -67,6 +73,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(2)
+	}
+	mode, err := httpcore.ParseWriteMode(*writeMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(2)
+	}
+	httpOpts := func(o *experiments.SweepOptions) {
+		o.KeepAlive = *keepalive
+		o.RequestsPerConn = *requestsPerConn
+		o.PipelineDepth = *pipelineDepth
+		o.CacheKB = *cacheKB
+		o.WriteMode = mode
 	}
 	stopProfiles := profiling.StartAll(profiling.Config{
 		CPU: *cpuprofile, Mem: *memprofile,
@@ -114,14 +132,16 @@ func main() {
 		if !selected(fig.ID, fig.Number) {
 			continue
 		}
-		res := experiments.RunFigure(fig, experiments.SweepOptions{
+		opts := experiments.SweepOptions{
 			Connections: *connections,
 			Seed:        *seed,
 			Threads:     *threads,
 			Backend:     *backend,
 			Workload:    *workload,
 			Progress:    progress,
-		})
+		}
+		httpOpts(&opts)
+		res := experiments.RunFigure(fig, opts)
 		fmt.Println(experiments.Format(res))
 		if *percentiles {
 			fmt.Println(experiments.FormatPercentiles(res.Runs))
@@ -149,20 +169,23 @@ func main() {
 	// The scale families (figs 26-28 and 29-31, fig.Connections > 0) only run
 	// when selected explicitly: at 10k-1M connections per point they would
 	// dominate the default sweep.
-	overloadFigs := append(experiments.OverloadFigures(), experiments.ScaleFigures()...)
+	overloadFigs := append(experiments.OverloadFigures(), experiments.KeepAliveFigures()...)
+	overloadFigs = append(overloadFigs, experiments.ScaleFigures()...)
 	overloadFigs = append(overloadFigs, experiments.MassiveScaleFigures()...)
 	for _, fig := range overloadFigs {
 		if !selected(fig.ID, fig.Number) || (fig.Connections > 0 && len(wanted) == 0) {
 			continue
 		}
-		res := experiments.RunOverloadFigure(fig.WithWorkerCounts(workerCounts), experiments.SweepOptions{
+		opts := experiments.SweepOptions{
 			Connections: *connections,
 			Seed:        *seed,
 			Threads:     *threads,
 			Backend:     *backend,
 			Workload:    *workload,
 			Progress:    progress,
-		})
+		}
+		httpOpts(&opts)
+		res := experiments.RunOverloadFigure(fig.WithWorkerCounts(workerCounts), opts)
 		fmt.Println(experiments.FormatOverload(res))
 		if *percentiles {
 			fmt.Println(experiments.FormatPercentiles(res.Runs))

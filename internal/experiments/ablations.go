@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/compio"
 	"repro/internal/devpoll"
+	"repro/internal/servers/httpcore"
 	"repro/internal/servers/hybrid"
 )
 
@@ -104,6 +105,23 @@ func Ablations(connections int) []Ablation {
 		opts.RegisteredBuffers = registered
 		s.CompioOptions = &opts
 		return s
+	}
+
+	// Persistent-connection hot path, one axis at a time on keep-alive epoll.
+	keepalive := func(http httpcore.Options, reqs, depth int) RunSpec {
+		s := base(ServerThttpdEpoll, 1300, 501)
+		s.HTTP = http
+		s.RequestsPerConn = reqs
+		s.PipelineDepth = depth
+		return s
+	}
+	kaOn := httpcore.Options{KeepAlive: true}
+	pipelined := func(depth int) RunSpec { return keepalive(kaOn, 16, depth) }
+	cached := func(kb int) RunSpec {
+		return keepalive(httpcore.Options{KeepAlive: true, CacheKB: kb}, KeepAliveRequests, 0)
+	}
+	writePath := func(m httpcore.WriteMode) RunSpec {
+		return keepalive(httpcore.Options{KeepAlive: true, WriteMode: m}, KeepAliveRequests, 0)
 	}
 
 	return []Ablation{
@@ -206,6 +224,47 @@ func Ablations(connections int) []Ablation {
 			Variants: []AblationVariant{
 				{Label: "bulk-devpoll", Spec: hybridVsPh},
 				{Label: "bulk-epoll", Spec: hybridEpollBulk},
+			},
+		},
+		{
+			ID:          "keepalive",
+			Title:       "HTTP/1.0 close-per-request vs HTTP/1.1 keep-alive (epoll, 1300 req/s, 501 inactive)",
+			Description: "The tentpole axis: eight requests per connection amortise the accept, the interest-set registration and the close. Serial keep-alive trades a sliver of reply rate for a much better median (each request waits a client round trip); pipelining the same eight requests recovers the rate and keeps the latency win.",
+			Variants: []AblationVariant{
+				{Label: "http10", Spec: base(ServerThttpdEpoll, 1300, 501)},
+				{Label: "keepalive-8", Spec: keepalive(kaOn, KeepAliveRequests, 0)},
+				{Label: "pipelined-8", Spec: keepalive(kaOn, KeepAliveRequests, KeepAliveRequests)},
+			},
+		},
+		{
+			ID:          "pipeline-depth",
+			Title:       "Pipeline depth 1 vs 4 vs 16 (keep-alive epoll, 16 req/conn, 1300 req/s, 501 inactive)",
+			Description: "Pipelining removes the client round trip between a connection's requests; the server's bounded per-dispatch batch caps how much a deeper pipeline can add.",
+			Variants: []AblationVariant{
+				{Label: "depth-1", Spec: pipelined(1)},
+				{Label: "depth-4", Spec: pipelined(4)},
+				{Label: "depth-16", Spec: pipelined(16)},
+			},
+		},
+		{
+			ID:          "cache-size",
+			Title:       "Response cache off / 4KB / 64KB / 1MB (keep-alive epoll, 1300 req/s, 501 inactive)",
+			Description: "cache-off is the legacy no-file-charge model; a cache smaller than the 6KB document pays open-plus-page-reads on every request (uncacheable), any sufficient size serves hits from the mmap'd cache.",
+			Variants: []AblationVariant{
+				{Label: "cache-off", Spec: cached(0)},
+				{Label: "cache-4kb", Spec: cached(4)},
+				{Label: "cache-64kb", Spec: cached(64)},
+				{Label: "cache-1mb", Spec: cached(1024)},
+			},
+		},
+		{
+			ID:          "write-path",
+			Title:       "Write path copy vs writev vs sendfile (keep-alive epoll, 1300 req/s, 501 inactive)",
+			Description: "Two-write copy pays the user-space copy and an extra syscall per response, writev folds header and body into one charge, sendfile skips the user-space copy and charges per page.",
+			Variants: []AblationVariant{
+				{Label: "copy", Spec: writePath(httpcore.WriteCopy)},
+				{Label: "writev", Spec: writePath(httpcore.WriteWritev)},
+				{Label: "sendfile", Spec: writePath(httpcore.WriteSendfile)},
 			},
 		},
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/servers/httpcore"
 )
 
 // MetricKind selects what a figure plots on its y axis.
@@ -37,6 +38,14 @@ type Curve struct {
 	Label    string
 	Server   ServerKind
 	Inactive int
+
+	// HTTP, RequestsPerConn and PipelineDepth give the curve its own
+	// persistent-connection configuration (the keep-alive figure family,
+	// figs 32-35); zero values select the HTTP/1.0 paths or the sweep-level
+	// overrides.
+	HTTP            httpcore.Options
+	RequestsPerConn int
+	PipelineDepth   int
 }
 
 // Figure describes one of the paper's evaluation figures and how to
@@ -199,6 +208,18 @@ type SweepOptions struct {
 	Workload string
 	// Seed for the load generator.
 	Seed int64
+	// KeepAlive, RequestsPerConn, PipelineDepth, CacheKB and WriteMode apply
+	// a persistent-connection configuration to every curve that does not
+	// carry its own (the -keepalive/-requests-per-conn/-pipeline-depth/
+	// -cache-kb/-write-mode flags). RequestsPerConn > 1 or PipelineDepth > 1
+	// implies KeepAlive; KeepAlive alone defaults to 8 requests per
+	// connection.
+	KeepAlive       bool
+	RequestsPerConn int
+	PipelineDepth   int
+	CacheKB         int
+	WriteMode       httpcore.WriteMode
+
 	// Threads is the number of OS threads driving each point's simulation;
 	// values below 2 select the sequential engine. Deterministic metrics are
 	// byte-identical across thread counts (see RunSpec.Threads).
@@ -271,6 +292,7 @@ func RunFigure(fig Figure, opts SweepOptions) FigureResult {
 				Workload:    opts.Workload,
 				Threads:     opts.Threads,
 			}
+			applyHTTPSweep(&spec, curve, opts)
 			res := Run(spec)
 			out.Runs = append(out.Runs, res)
 			switch fig.Metric {
@@ -294,6 +316,32 @@ func RunFigure(fig Figure, opts SweepOptions) FigureResult {
 		}
 	}
 	return out
+}
+
+// applyHTTPSweep fills a spec's persistent-connection fields from the curve
+// (the keep-alive figure family carries per-curve configurations) or, when
+// the curve has none, from the sweep-level flag overrides. A zero curve and
+// zero options leave the spec untouched — the historical HTTP/1.0 run.
+func applyHTTPSweep(spec *RunSpec, curve Curve, opts SweepOptions) {
+	if curve.HTTP != (httpcore.Options{}) || curve.RequestsPerConn > 0 {
+		spec.HTTP = curve.HTTP
+		spec.RequestsPerConn = curve.RequestsPerConn
+		spec.PipelineDepth = curve.PipelineDepth
+		return
+	}
+	ka := opts.KeepAlive || opts.RequestsPerConn > 1 || opts.PipelineDepth > 1
+	http := httpcore.Options{KeepAlive: ka, CacheKB: opts.CacheKB, WriteMode: opts.WriteMode}
+	if http == (httpcore.Options{}) {
+		return
+	}
+	spec.HTTP = http
+	if ka {
+		spec.RequestsPerConn = opts.RequestsPerConn
+		if spec.RequestsPerConn <= 1 {
+			spec.RequestsPerConn = KeepAliveRequests
+		}
+		spec.PipelineDepth = opts.PipelineDepth
+	}
 }
 
 // Format renders a figure result as the aligned text table the command-line

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/servers/httpcore"
 )
 
 // OverloadFigure is a figure of the overload family: the request-rate sweep
@@ -223,23 +224,115 @@ func MassiveScaleFigures() []OverloadFigure {
 	return []OverloadFigure{mk(29, 100000), mk(30, 300000), mk(31, 1000000)}
 }
 
-// OverloadFigureByID looks an overload or scale figure up by identifier
-// ("fig19") or bare number ("19").
+// KeepAliveRequests is the per-connection request count of the keep-alive
+// figure family and the sweep-level -keepalive default: long enough to
+// amortise the connection setup, short enough that connections still churn.
+const KeepAliveRequests = 8
+
+// KeepAliveFigures returns the persistent-connection figure family (figs
+// 32-35): the HTTP/1.1 hot path measured one axis at a time — keep-alive
+// against close-per-request on all five mechanisms, pipeline depth, response
+// cache size, and the write path (copy vs writev vs sendfile).
+func KeepAliveFigures() []OverloadFigure {
+	ka := httpcore.Options{KeepAlive: true}
+	pair := func(label string, server ServerKind) []Curve {
+		return []Curve{
+			{Label: label + " http/1.0", Server: server, Inactive: 251},
+			{Label: label + " keepalive", Server: server, Inactive: 251,
+				HTTP: ka, RequestsPerConn: KeepAliveRequests,
+				PipelineDepth: KeepAliveRequests},
+		}
+	}
+	var cmp []Curve
+	cmp = append(cmp, pair("normal poll", ServerThttpdPoll)...)
+	cmp = append(cmp, pair("devpoll", ServerThttpdDevPoll)...)
+	cmp = append(cmp, pair("phhttpd", ServerPhhttpd)...)
+	cmp = append(cmp, pair("hybrid", ServerHybrid)...)
+	cmp = append(cmp, pair("compio", ServerThttpdCompio)...)
+
+	depth := func(d int) Curve {
+		return Curve{Label: fmt.Sprintf("depth-%d", d), Server: ServerThttpdEpoll,
+			Inactive: 251, HTTP: ka, RequestsPerConn: 16, PipelineDepth: d}
+	}
+	cache := func(kb int) Curve {
+		label := "cache-off"
+		if kb > 0 {
+			label = fmt.Sprintf("cache-%dkb", kb)
+		}
+		return Curve{Label: label, Server: ServerThttpdEpoll, Inactive: 251,
+			HTTP:            httpcore.Options{KeepAlive: true, CacheKB: kb},
+			RequestsPerConn: KeepAliveRequests}
+	}
+	write := func(m httpcore.WriteMode) Curve {
+		return Curve{Label: m.String(), Server: ServerThttpdEpoll, Inactive: 251,
+			HTTP:            httpcore.Options{KeepAlive: true, WriteMode: m},
+			RequestsPerConn: KeepAliveRequests}
+	}
+	return []OverloadFigure{
+		{
+			ID:     "fig32",
+			Number: 32,
+			Title:  "Keep-alive vs HTTP/1.0 at the overload knee, five mechanisms, 251 inactive connections",
+			Paper: "Not in the paper, whose testbed closed every connection after one request. Each keep-alive " +
+				"client pipelines its eight requests over one connection, so the accept, the interest-set " +
+				"registration and the close are amortised over eight requests and the server dispatches " +
+				"whole batches per readiness event. Every mechanism's reply-rate knee moves right; the " +
+				"mechanisms whose per-event costs dominate (poll's full-set scan on every dispatch) gain " +
+				"the most. The offered request budget matches the HTTP/1.0 curves: one eighth as many " +
+				"connections at one eighth the connection rate.",
+			Workload: "constant",
+			Rates:    OverloadRates(),
+			Curves:   cmp,
+		},
+		{
+			ID:     "fig33",
+			Number: 33,
+			Title:  "Pipeline depth 1 vs 4 vs 16 on keep-alive epoll, 16 requests per connection, 251 inactive connections",
+			Paper: "Not in the paper. Pipelining removes the client's request-response round trip from the " +
+				"connection's critical path; past depth ~4 the server's bounded per-dispatch batch (not " +
+				"the network) paces the connection, so returns diminish.",
+			Workload: "constant",
+			Rates:    OverloadRates(),
+			Curves:   []Curve{depth(1), depth(4), depth(16)},
+		},
+		{
+			ID:     "fig34",
+			Number: 34,
+			Title:  "Response cache size sweep on keep-alive epoll, 251 inactive connections",
+			Paper: "Not in the paper. cache-off is the legacy model with no file-access charges at all; " +
+				"turning the explicit file model on, a cache too small for the document (4 KB vs the " +
+				"6 KB default document) pays open-plus-page-read on every request, while any " +
+				"sufficient size serves from the mmap'd cache at a fraction of that.",
+			Workload: "constant",
+			Rates:    OverloadRates(),
+			Curves:   []Curve{cache(0), cache(4), cache(64), cache(1024)},
+		},
+		{
+			ID:     "fig35",
+			Number: 35,
+			Title:  "Write path copy vs writev vs sendfile on keep-alive epoll, 251 inactive connections",
+			Paper: "Not in the paper. Two-write copy pays the user-space copy twice plus an extra " +
+				"syscall; writev folds header and body into one charge; sendfile skips the " +
+				"user-space copy entirely and charges per page crossed.",
+			Workload: "constant",
+			Rates:    OverloadRates(),
+			Curves:   []Curve{write(httpcore.WriteCopy), write(httpcore.WriteWritev), write(httpcore.WriteSendfile)},
+		},
+	}
+}
+
+// OverloadFigureByID looks an overload, keep-alive or scale figure up by
+// identifier ("fig19") or bare number ("19").
 func OverloadFigureByID(id string) (OverloadFigure, bool) {
 	id = strings.ToLower(strings.TrimSpace(id))
-	for _, f := range OverloadFigures() {
-		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
-			return f, true
-		}
+	families := [][]OverloadFigure{
+		OverloadFigures(), KeepAliveFigures(), ScaleFigures(), MassiveScaleFigures(),
 	}
-	for _, f := range ScaleFigures() {
-		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
-			return f, true
-		}
-	}
-	for _, f := range MassiveScaleFigures() {
-		if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
-			return f, true
+	for _, fam := range families {
+		for _, f := range fam {
+			if f.ID == id || fmt.Sprintf("%d", f.Number) == id {
+				return f, true
+			}
 		}
 	}
 	return OverloadFigure{}, false
@@ -334,6 +427,7 @@ func RunOverloadFigure(fig OverloadFigure, opts SweepOptions) OverloadFigureResu
 				netCfg.PortSpace = fig.PortSpace
 				spec.Network = &netCfg
 			}
+			applyHTTPSweep(&spec, curve, opts)
 			res := Run(spec)
 			out.Runs = append(out.Runs, res)
 			reply.Append(rate, res.Load.ReplyRate.Mean)

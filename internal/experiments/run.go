@@ -195,12 +195,27 @@ type RunSpec struct {
 	// Connections is the number of benchmark connections (the paper uses
 	// 35000; the test and bench defaults scale this down, which preserves the
 	// curve shapes because the run is long enough to reach steady state).
+	// When RequestsPerConn > 1 it counts offered requests instead: the run
+	// launches Connections/RequestsPerConn persistent connections, so the
+	// total work and issue window match an HTTP/1.0 run of the same spec.
 	Connections int
 	Seed        int64
 	// Workload names the loadgen workload scenario (arrival process,
 	// background-population behavior, RTT distribution); empty selects the
 	// paper's constant workload. See loadgen.Workloads.
 	Workload string
+
+	// HTTP selects the server's persistent-connection features (keep-alive,
+	// pipelining budget, response cache, write path) for every family; the
+	// zero value is the historical one-request HTTP/1.0 server.
+	HTTP httpcore.Options
+	// RequestsPerConn makes each client connection issue N HTTP/1.1 requests
+	// (final one Connection: close); 0 or 1 keeps the HTTP/1.0 client.
+	// RequestRate remains the request rate — connections launch at rate/N.
+	RequestsPerConn int
+	// PipelineDepth is how many requests the keep-alive client keeps
+	// outstanding; 0 or 1 is the serial request-response client.
+	PipelineDepth int
 
 	// Cost optionally overrides the calibrated cost model (ablations).
 	Cost *simkernel.CostModel
@@ -371,6 +386,7 @@ func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim
 		if spec.PreforkConfig == nil {
 			cfg.Mode = spec.PreforkMode
 		}
+		applyHTTP(&cfg.HTTP, spec)
 		return preforkRun{prefork.New(k, net, cfg)}
 	case "phhttpd":
 		cfg := phhttpd.DefaultConfig()
@@ -378,6 +394,7 @@ func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim
 		if spec.RTQueueLimit > 0 {
 			cfg.QueueLimit = spec.RTQueueLimit
 		}
+		applyHTTP(&cfg.HTTP, spec)
 		return phhttpdRun{phhttpd.New(k, net, cfg)}
 	case "hybrid":
 		cfg := hybrid.DefaultConfig()
@@ -407,6 +424,7 @@ func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim
 		if spec.RTQueueLimit > 0 {
 			cfg.QueueLimit = spec.RTQueueLimit
 		}
+		applyHTTP(&cfg.HTTP, spec)
 		return hybridRun{hybrid.New(k, net, cfg)}
 	default: // thttpd
 		cfg := thttpd.DefaultConfig()
@@ -429,7 +447,17 @@ func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim
 				return compio.Open(k, p, opts)
 			}
 		}
+		applyHTTP(&cfg.HTTP, spec)
 		return thttpdRun{thttpd.New(k, net, cfg)}
+	}
+}
+
+// applyHTTP copies the spec's persistent-connection options into a server
+// configuration. A zero spec.HTTP leaves the configuration's own value alone,
+// so wholesale config overrides (PreforkConfig, HybridConfig) keep theirs.
+func applyHTTP(dst *httpcore.Options, spec RunSpec) {
+	if spec.HTTP != (httpcore.Options{}) {
+		*dst = spec.HTTP
 	}
 }
 
@@ -461,6 +489,16 @@ func RunE(spec RunSpec) (RunResult, error) {
 	if spec.RequestRate <= 0 {
 		spec.RequestRate = 500
 	}
+	// Keep-alive runs hold the request budget constant: Connections counts
+	// offered requests, so N requests per connection means 1/N as many
+	// connections, launched at 1/N the rate by the generator. Offered load,
+	// total work and issue window all match the HTTP/1.0 curve of the same
+	// figure — the comparison isolates the per-connection costs (accept,
+	// interest-set registration, teardown) that persistence amortises.
+	requests := spec.Connections
+	if spec.RequestsPerConn > 1 {
+		spec.Connections = (spec.Connections + spec.RequestsPerConn - 1) / spec.RequestsPerConn
+	}
 	ncpu := rk.workers
 	if ncpu < 1 {
 		ncpu = 1
@@ -475,12 +513,14 @@ func RunE(spec RunSpec) (RunResult, error) {
 	lcfg.Connections = spec.Connections
 	lcfg.Seed = spec.Seed
 	lcfg.Workload = workload
+	lcfg.RequestsPerConn = spec.RequestsPerConn
+	lcfg.PipelineDepth = spec.PipelineDepth
 	// Scaled-down runs (fewer than the paper's 35000 connections) shrink the
 	// sampling interval and the client timeout proportionally, so that the
 	// ratio of queue-buildup time to client patience — which is what turns an
 	// overloaded server into the paper's error percentages — is preserved.
-	if spec.Connections < 20000 {
-		issue := core.Duration(float64(spec.Connections) / spec.RequestRate * float64(core.Second))
+	if requests < 20000 {
+		issue := core.Duration(float64(requests) / spec.RequestRate * float64(core.Second))
 		si := issue / 8
 		if si < 500*core.Millisecond {
 			si = 500 * core.Millisecond
@@ -489,7 +529,7 @@ func RunE(spec RunSpec) (RunResult, error) {
 			si = 5 * core.Second
 		}
 		lcfg.SampleInterval = si
-		to := core.Duration(float64(5*core.Second) * float64(spec.Connections) / 35000.0)
+		to := core.Duration(float64(5*core.Second) * float64(requests) / 35000.0)
 		if to < core.Second {
 			to = core.Second
 		}
@@ -521,7 +561,7 @@ func RunE(spec RunSpec) (RunResult, error) {
 	deadline := spec.MaxVirtualTime
 	if deadline <= 0 {
 		// Issue time plus a generous drain allowance.
-		issue := core.Duration(float64(spec.Connections)/spec.RequestRate*float64(core.Second)) + 30*core.Second
+		issue := core.Duration(float64(requests)/spec.RequestRate*float64(core.Second)) + 30*core.Second
 		deadline = issue * 2
 	}
 	k.Sim.RunUntil(core.Time(deadline))

@@ -27,7 +27,7 @@ var (
 // thttpd-era servers.
 const MaxRequestBytes = 8192
 
-// Request is a parsed HTTP/1.0 request.
+// Request is a parsed HTTP request.
 type Request struct {
 	Method  string
 	Path    string
@@ -35,10 +35,36 @@ type Request struct {
 	Headers map[string]string
 }
 
+// HTTP11 reports whether the request was made with HTTP/1.1.
+func (r *Request) HTTP11() bool { return r.Version == "HTTP/1.1" }
+
+// KeepAlive reports whether the client asked for the connection to persist
+// after the response: HTTP/1.1 defaults to persistent unless the client sent
+// `Connection: close`; HTTP/1.0 persists only on an explicit
+// `Connection: keep-alive`.
+func (r *Request) KeepAlive() bool {
+	conn := r.Headers["connection"]
+	if r.HTTP11() {
+		return conn != "close"
+	}
+	return conn == "keep-alive"
+}
+
 // FormatRequest renders a well-formed HTTP/1.0 GET request for path, as the
 // httperf-like load generator sends it.
 func FormatRequest(path string) []byte {
 	return []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nUser-Agent: httperf-sim/0.8\r\nHost: server.citi.umich.edu\r\n\r\n", path))
+}
+
+// FormatRequest11 renders an HTTP/1.1 GET request for path. With close set
+// the request carries `Connection: close` (the keep-alive client's final
+// request); otherwise it relies on HTTP/1.1's default persistence.
+func FormatRequest11(path string, close bool) []byte {
+	conn := ""
+	if close {
+		conn = "Connection: close\r\n"
+	}
+	return []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nUser-Agent: httperf-sim/0.8\r\nHost: server.citi.umich.edu\r\n%s\r\n", path, conn))
 }
 
 // FormatPartialRequest renders the deliberately incomplete request an inactive
@@ -50,7 +76,9 @@ func FormatPartialRequest(path string) []byte {
 
 // Parser incrementally assembles a request from the byte chunks a server
 // reads. It is a small state machine over the accumulated buffer: a request is
-// complete when the terminating blank line has been seen.
+// complete when the terminating blank line has been seen. Bytes beyond the
+// terminator (pipelined follow-up requests) are retained; Consume discards the
+// completed request and advances to them.
 //
 // The parser is built for reuse on the server's hottest path: Reset keeps the
 // accumulated buffer's storage and the parsed request's header map, the
@@ -60,6 +88,7 @@ func FormatPartialRequest(path string) []byte {
 // allocates nothing at steady state.
 type Parser struct {
 	buf      []byte
+	end      int // one past the completed request's terminator
 	complete bool
 	req      *Request // points at store once complete, nil before
 	store    Request
@@ -72,12 +101,14 @@ func NewParser() *Parser { return &Parser{} }
 var crlf2 = []byte("\r\n\r\n")
 
 // Feed appends data read from the connection and reports whether a complete
-// request is now available. Feeding after completion is a no-op.
+// request is now available. Bytes fed after completion are buffered for
+// Consume but not scanned.
 func (p *Parser) Feed(data []byte) (complete bool, err error) {
 	if p.err != nil {
 		return false, p.err
 	}
 	if p.complete {
+		p.buf = append(p.buf, data...)
 		return true, nil
 	}
 	// The terminator cannot end before the new bytes, so resume the search
@@ -91,6 +122,12 @@ func (p *Parser) Feed(data []byte) (complete bool, err error) {
 		p.err = ErrTooLarge
 		return false, p.err
 	}
+	return p.scan(from)
+}
+
+// scan searches for the request terminator at or after from and parses the
+// head on a match.
+func (p *Parser) scan(from int) (bool, error) {
 	idx := bytes.Index(p.buf[from:], crlf2)
 	if idx < 0 {
 		return false, nil
@@ -99,9 +136,32 @@ func (p *Parser) Feed(data []byte) (complete bool, err error) {
 		p.err = perr
 		return false, perr
 	}
+	p.end = from + idx + len(crlf2)
 	p.req = &p.store
 	p.complete = true
 	return true, nil
+}
+
+// Consume discards the completed request's bytes, retains any pipelined
+// remainder and scans it, reporting whether another complete request is
+// already buffered. Calling Consume before completion is a no-op.
+func (p *Parser) Consume() (complete bool, err error) {
+	if !p.complete {
+		return false, p.err
+	}
+	n := copy(p.buf, p.buf[p.end:])
+	p.buf = p.buf[:n]
+	p.end = 0
+	p.complete = false
+	p.req = nil
+	p.store.Method, p.store.Path, p.store.Version = "", "", ""
+	if p.store.Headers != nil {
+		clear(p.store.Headers)
+	}
+	if len(p.buf) == 0 {
+		return false, nil
+	}
+	return p.scan(0)
 }
 
 // Complete reports whether a full request has been assembled.
@@ -121,6 +181,7 @@ func (p *Parser) Err() error { return p.err }
 // storage so a pooled connection's next request parses without allocating.
 func (p *Parser) Reset() {
 	p.buf = p.buf[:0]
+	p.end = 0
 	p.complete = false
 	p.req = nil
 	p.err = nil
@@ -180,6 +241,8 @@ func internHeaderKey(b []byte) string {
 		return "user-agent"
 	case "Host", "host":
 		return "host"
+	case "Connection", "connection":
+		return "connection"
 	}
 	return strings.ToLower(string(b))
 }
@@ -207,6 +270,10 @@ func intern(b []byte) string {
 		return "httperf-sim/0.8"
 	case "server.citi.umich.edu":
 		return "server.citi.umich.edu"
+	case "keep-alive":
+		return "keep-alive"
+	case "close":
+		return "close"
 	}
 	return string(b)
 }
@@ -232,21 +299,46 @@ func statusText(code int) string {
 	}
 }
 
-// ResponseHead renders the response status line and headers for a body of
-// contentLength bytes. The servers charge the CPU for writing
-// len(ResponseHead) + contentLength bytes.
-func ResponseHead(code, contentLength int) []byte {
-	return []byte(fmt.Sprintf(
-		"HTTP/1.0 %d %s\r\nServer: thttpd-sim/2.16\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
-		code, statusText(code), contentLength))
+// connectionToken is the Connection header value for a response that keeps
+// the connection open (keepAlive) or closes it.
+func connectionToken(keepAlive bool) string {
+	if keepAlive {
+		return "keep-alive"
+	}
+	return "close"
 }
 
-// responseHeadFixed is the byte count of ResponseHead's format string with
-// the three variable parts (status code, reason phrase, content length)
-// removed: "HTTP/1.0 " + " " + the fixed header block.
+// versionToken is the response status line's protocol token.
+func versionToken(http11 bool) string {
+	if http11 {
+		return "HTTP/1.1"
+	}
+	return "HTTP/1.0"
+}
+
+// ResponseHead renders the HTTP/1.0 response status line and headers for a
+// body of contentLength bytes. The servers charge the CPU for writing
+// len(ResponseHead) + contentLength bytes.
+func ResponseHead(code, contentLength int) []byte {
+	return ResponseHeadVersion(code, contentLength, false, false)
+}
+
+// ResponseHeadVersion renders the response status line and headers with the
+// given protocol version and Connection disposition. With http11 and
+// keepAlive both false it produces exactly the historical HTTP/1.0 head.
+func ResponseHeadVersion(code, contentLength int, http11, keepAlive bool) []byte {
+	return []byte(fmt.Sprintf(
+		"%s %d %s\r\nServer: thttpd-sim/2.16\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n",
+		versionToken(http11), code, statusText(code), contentLength, connectionToken(keepAlive)))
+}
+
+// responseHeadFixed is the byte count of ResponseHeadVersion's format string
+// with the variable parts (status code, reason phrase, content length,
+// connection token) removed: the version token + " " + " " + the fixed header
+// block. Both version tokens are eight bytes.
 const responseHeadFixed = len("HTTP/1.0 ") + len(" ") +
 	len("\r\nServer: thttpd-sim/2.16\r\nContent-Type: text/html\r\nContent-Length: ") +
-	len("\r\nConnection: close\r\n\r\n")
+	len("\r\nConnection: ") + len("\r\n\r\n")
 
 // decimalDigits is the rendered width of %d for v.
 func decimalDigits(v int) int {
@@ -262,12 +354,20 @@ func decimalDigits(v int) int {
 	return n
 }
 
-// ResponseSize is the total on-the-wire size of a response with the given
-// status and body length. It is computed arithmetically — the servers call it
-// once per request to size their write, and formatting the header just to
-// measure it was a measurable share of the serve path's allocations.
+// ResponseSize is the total on-the-wire size of an HTTP/1.0 response with the
+// given status and body length. It is computed arithmetically — the servers
+// call it once per request to size their write, and formatting the header just
+// to measure it was a measurable share of the serve path's allocations.
 func ResponseSize(code, contentLength int) int {
-	return responseHeadFixed + decimalDigits(code) + len(statusText(code)) +
+	return ResponseSizeVersion(code, contentLength, false)
+}
+
+// ResponseSizeVersion is the total on-the-wire size of a response whose
+// Connection disposition is keepAlive. The version token does not change the
+// size (both are eight bytes); the connection token does.
+func ResponseSizeVersion(code, contentLength int, keepAlive bool) int {
+	return responseHeadFixed + len(connectionToken(keepAlive)) +
+		decimalDigits(code) + len(statusText(code)) +
 		decimalDigits(contentLength) + contentLength
 }
 

@@ -193,6 +193,127 @@ func TestResponseSizeMatchesFormattedHead(t *testing.T) {
 	}
 }
 
+// TestResponseSizeVersionMatchesFormattedHead pins the keep-alive variant of
+// the arithmetic size to its formatted head for every version/disposition
+// combination, including that the version token never changes the size.
+func TestResponseSizeVersionMatchesFormattedHead(t *testing.T) {
+	codes := []int{StatusOK, StatusNotFound, StatusBadReq, 999}
+	lengths := []int{0, 9, 512, 6144, 128 * 1024}
+	for _, code := range codes {
+		for _, n := range lengths {
+			for _, http11 := range []bool{false, true} {
+				for _, keep := range []bool{false, true} {
+					want := len(ResponseHeadVersion(code, n, http11, keep)) + n
+					if got := ResponseSizeVersion(code, n, keep); got != want {
+						t.Fatalf("ResponseSizeVersion(%d, %d, %v) = %d, head(http11=%v) gives %d",
+							code, n, keep, got, http11, want)
+					}
+				}
+			}
+		}
+	}
+	// The legacy HTTP/1.0 head is bytes written before the refactor.
+	if string(ResponseHead(StatusOK, 6144)) != "HTTP/1.0 200 OK\r\nServer: thttpd-sim/2.16\r\nContent-Type: text/html\r\nContent-Length: 6144\r\nConnection: close\r\n\r\n" {
+		t.Fatalf("legacy head drifted: %q", ResponseHead(StatusOK, 6144))
+	}
+}
+
+// TestKeepAliveNegotiation covers the version-dependent Connection defaults.
+func TestKeepAliveNegotiation(t *testing.T) {
+	cases := []struct {
+		raw  []byte
+		keep bool
+	}{
+		{FormatRequest("/index.html"), false},         // 1.0, no header
+		{FormatRequest11("/index.html", false), true}, // 1.1 default persistent
+		{FormatRequest11("/index.html", true), false}, // 1.1 + Connection: close
+		{[]byte("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"), true},
+		{[]byte("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"), true},
+	}
+	for i, c := range cases {
+		p := NewParser()
+		complete, err := p.Feed(c.raw)
+		if err != nil || !complete {
+			t.Fatalf("case %d: complete=%v err=%v", i, complete, err)
+		}
+		if got := p.Request().KeepAlive(); got != c.keep {
+			t.Fatalf("case %d (%q): KeepAlive = %v, want %v", i, c.raw, got, c.keep)
+		}
+	}
+}
+
+// TestParserPipelinedRequests feeds three back-to-back requests in one chunk
+// and walks them with Consume.
+func TestParserPipelinedRequests(t *testing.T) {
+	paths := []string{"/index.html", "/small.html", "/large.html"}
+	var raw []byte
+	for i, path := range paths {
+		raw = append(raw, FormatRequest11(path, i == len(paths)-1)...)
+	}
+	p := NewParser()
+	complete, err := p.Feed(raw)
+	if err != nil || !complete {
+		t.Fatalf("Feed: complete=%v err=%v", complete, err)
+	}
+	for i, path := range paths {
+		if p.Request().Path != path {
+			t.Fatalf("request %d: path = %q, want %q", i, p.Request().Path, path)
+		}
+		wantKeep := i < len(paths)-1
+		if p.Request().KeepAlive() != wantKeep {
+			t.Fatalf("request %d: KeepAlive = %v", i, p.Request().KeepAlive())
+		}
+		complete, err = p.Consume()
+		if err != nil {
+			t.Fatalf("Consume %d: %v", i, err)
+		}
+		if wantMore := i < len(paths)-1; complete != wantMore {
+			t.Fatalf("Consume %d: complete=%v, want %v", i, complete, wantMore)
+		}
+	}
+	if p.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after draining", p.Buffered())
+	}
+	// Consume on an empty, incomplete parser is a no-op.
+	if complete, err := p.Consume(); complete || err != nil {
+		t.Fatalf("idle Consume: %v %v", complete, err)
+	}
+}
+
+// TestParserPipelineSplitAcrossFeeds splits a two-request pipeline so the
+// second request's bytes straddle the first's completion: some arrive with
+// request one (retained past the terminator), the rest arrive only after
+// Consume.
+func TestParserPipelineSplitAcrossFeeds(t *testing.T) {
+	first := FormatRequest11("/index.html", false)
+	second := FormatRequest11("/small.html", false)
+	both := append(append([]byte{}, first...), second...)
+	for cut := len(first); cut < len(both); cut++ {
+		p := NewParser()
+		complete, err := p.Feed(both[:cut])
+		if err != nil || !complete {
+			t.Fatalf("cut %d: first request not complete (%v, %v)", cut, complete, err)
+		}
+		if p.Request().Path != "/index.html" {
+			t.Fatalf("cut %d: path = %q", cut, p.Request().Path)
+		}
+		complete, err = p.Consume()
+		if err != nil {
+			t.Fatalf("cut %d: Consume: %v", cut, err)
+		}
+		if complete {
+			t.Fatalf("cut %d: second request complete early", cut)
+		}
+		complete, err = p.Feed(both[cut:])
+		if err != nil || !complete {
+			t.Fatalf("cut %d: second request not complete (%v, %v)", cut, complete, err)
+		}
+		if p.Request().Path != "/small.html" || !p.Request().KeepAlive() {
+			t.Fatalf("cut %d: second request = %+v", cut, p.Request())
+		}
+	}
+}
+
 // TestParserReuse drives two full requests through one parser with a Reset
 // between them, the lifecycle a pooled connection record performs.
 func TestParserReuse(t *testing.T) {

@@ -69,6 +69,17 @@ type Config struct {
 	// behavior and the client RTT distribution. The zero value is the
 	// paper's workload (constant arrivals, silent inactive clients, LAN).
 	Workload Workload
+	// RequestsPerConn is how many requests each benchmark connection issues
+	// (HTTP/1.1, the final one carrying Connection: close) before the
+	// connection ends; 0 or 1 selects the historical one-request HTTP/1.0
+	// client. RequestRate remains the request rate: connections launch at
+	// RequestRate/RequestsPerConn so a figure's x axis stays the offered
+	// request load.
+	RequestsPerConn int
+	// PipelineDepth is how many requests a keep-alive client keeps
+	// outstanding — sent before their predecessors' responses arrive; 0 or 1
+	// waits for each response before sending the next request.
+	PipelineDepth int
 }
 
 // DefaultConfig returns the paper's workload shape at the given request rate
@@ -117,6 +128,11 @@ type Result struct {
 	// next to reply rate.
 	Latency metrics.LatencyPercentiles
 
+	// Replies counts completed responses across all connections: equal to
+	// Completed for one-request connections, up to RequestsPerConn times it
+	// for keep-alive runs. Reply-rate samples count replies, not connections.
+	Replies int
+
 	// ErrorPercent is the percentage of benchmark connections that failed
 	// (Figure 10).
 	ErrorPercent float64
@@ -144,9 +160,20 @@ type Generator struct {
 	partialRequest []byte
 	expectedSize   int
 
+	// Keep-alive client state (reqsPerConn > 1): the persistent and the final
+	// Connection: close request, and the two response sizes the client needs
+	// to recognise reply boundaries on a shared connection.
+	reqsPerConn int
+	pipeDepth   int
+	kaRequest   []byte
+	kaFinal     []byte
+	kaSize      int
+	closeSize   int
+
 	issued    int
 	resolved  int
 	completed int
+	replies   int
 	errors    int
 	errorsBy  map[ErrorReason]int
 
@@ -182,6 +209,7 @@ type Generator struct {
 type laneAcc struct {
 	resolved      int
 	completed     int
+	replies       int
 	errors        int
 	errorsBy      map[ErrorReason]int
 	latenciesMs   []float64
@@ -228,6 +256,12 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 	if cfg.Jitter > 1 {
 		cfg.Jitter = 1
 	}
+	if cfg.RequestsPerConn < 1 {
+		cfg.RequestsPerConn = 1
+	}
+	if cfg.PipelineDepth < 1 {
+		cfg.PipelineDepth = 1
+	}
 	g := &Generator{
 		k:              k,
 		net:            net,
@@ -238,6 +272,14 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 		expectedSize:   httpsim.ResponseSize(httpsim.StatusOK, cfg.DocumentSize),
 		errorsBy:       make(map[ErrorReason]int),
 		sampler:        metrics.NewRateSampler(cfg.SampleInterval),
+	}
+	g.reqsPerConn = cfg.RequestsPerConn
+	g.pipeDepth = cfg.PipelineDepth
+	if g.reqsPerConn > 1 {
+		g.kaRequest = httpsim.FormatRequest11(cfg.DocumentPath, false)
+		g.kaFinal = httpsim.FormatRequest11(cfg.DocumentPath, true)
+		g.kaSize = httpsim.ResponseSizeVersion(httpsim.StatusOK, cfg.DocumentSize, true)
+		g.closeSize = httpsim.ResponseSizeVersion(httpsim.StatusOK, cfg.DocumentSize, false)
 	}
 	g.driverQ = k.Sim.LaneQ(0)
 	if k.Sim.Sharded() && net.Parallel() {
@@ -317,7 +359,7 @@ func (g *Generator) Start(now core.Time) {
 // scheduleConstant is the paper's open-loop schedule: fixed inter-arrival
 // interval with uniform jitter.
 func (g *Generator) scheduleConstant(now, at core.Time) {
-	interval := core.Duration(float64(core.Second) / g.cfg.RequestRate)
+	interval := core.Duration(float64(core.Second) / g.connRate())
 	for i := 0; i < g.cfg.Connections; i++ {
 		launch := at.Add(g.jitterFor(interval))
 		if launch < now {
@@ -345,7 +387,7 @@ func (g *Generator) scheduleFlashCrowd(now, at core.Time) {
 	if factor <= 1 {
 		factor = 3
 	}
-	rate := g.cfg.RequestRate
+	rate := g.connRate()
 	burstRate := rate * factor
 	// Solve rate*period = burstRate*burst + quietRate*(period-burst); a
 	// factor too large for the period leaves nothing for the quiet phase, so
@@ -379,7 +421,7 @@ func (g *Generator) schedulePareto(now, at core.Time) {
 	if alpha <= 1.05 {
 		alpha = 1.5
 	}
-	mean := 1 / g.cfg.RequestRate // seconds
+	mean := 1 / g.connRate() // seconds
 	xm := mean * (alpha - 1) / alpha
 	offset := core.Duration(0)
 	for i := 0; i < g.cfg.Connections; i++ {
@@ -395,6 +437,13 @@ func (g *Generator) schedulePareto(now, at core.Time) {
 		}
 		offset += core.Duration(gap * float64(core.Second))
 	}
+}
+
+// connRate is the connection-launch rate: the configured request rate spread
+// over each connection's request count, so keep-alive runs offer the same
+// request load through fewer, longer-lived connections.
+func (g *Generator) connRate() float64 {
+	return g.cfg.RequestRate / float64(g.reqsPerConn)
 }
 
 // jitterFor draws the uniform schedule jitter for one inter-arrival interval.
@@ -413,7 +462,7 @@ func (g *Generator) launchOne(now core.Time) {
 	if len(g.cfg.Workload.RTTMix) > 0 {
 		rtt = netsim.SampleRTT(g.cfg.Workload.RTTMix, g.rng.Float64())
 	}
-	ac := &activeConn{gen: g, started: now}
+	ac := &activeConn{gen: g, started: now, reqStart: now, lastProgress: now}
 	ac.conn = g.net.ConnectWith(now, netsim.ConnectOptions{RTT: rtt}, ac)
 	// httperf's client-side timeout, delivered on the connection's home lane
 	// (an ordinary global-queue event on a sequential run).
@@ -427,6 +476,7 @@ func (g *Generator) recordCompletion(c *netsim.ClientConn, started, now core.Tim
 	if g.parallel {
 		ln := &g.lanes[c.Q().LaneIndex()]
 		ln.completed++
+		ln.replies++
 		ln.resolved++
 		ln.bump(g.sampleIdx(now))
 		ln.latenciesMs = append(ln.latenciesMs, now.Sub(started).Milliseconds())
@@ -436,11 +486,57 @@ func (g *Generator) recordCompletion(c *netsim.ClientConn, started, now core.Tim
 		return
 	}
 	g.completed++
+	g.replies++
 	g.resolved++
 	g.sampler.Record(now)
 	g.latenciesMs = append(g.latenciesMs, now.Sub(started).Milliseconds())
 	g.hist.Observe(now.Sub(started))
 	g.maybeFinish(now)
+}
+
+// recordReply books one completed keep-alive reply: the reply-rate sample and
+// the per-reply latency (anchored at the request's dispatch — the previous
+// reply's arrival on a pipelined stream). Connection resolution is booked
+// separately once the final reply lands.
+func (g *Generator) recordReply(c *netsim.ClientConn, reqStart, now core.Time) {
+	if g.parallel {
+		ln := &g.lanes[c.Q().LaneIndex()]
+		ln.replies++
+		ln.bump(g.sampleIdx(now))
+		ln.latenciesMs = append(ln.latenciesMs, now.Sub(reqStart).Milliseconds())
+		ln.hist.Observe(now.Sub(reqStart))
+		ln.lastRecordAt = now
+		return
+	}
+	g.replies++
+	g.sampler.Record(now)
+	g.latenciesMs = append(g.latenciesMs, now.Sub(reqStart).Milliseconds())
+	g.hist.Observe(now.Sub(reqStart))
+}
+
+// resolveKeepAlive books the end of a keep-alive connection whose final reply
+// recordReply already counted.
+func (g *Generator) resolveKeepAlive(c *netsim.ClientConn, now core.Time) {
+	if g.parallel {
+		ln := &g.lanes[c.Q().LaneIndex()]
+		ln.completed++
+		ln.resolved++
+		ln.lastResolveAt = now
+		return
+	}
+	g.completed++
+	g.resolved++
+	g.maybeFinish(now)
+}
+
+// expectAfter is the cumulative response bytes a keep-alive client expects
+// once k replies have arrived: k keep-alive responses, with the final reply
+// carrying the (shorter) Connection: close head.
+func (g *Generator) expectAfter(k int) int {
+	if k >= g.reqsPerConn {
+		return (g.reqsPerConn-1)*g.kaSize + g.closeSize
+	}
+	return k * g.kaSize
 }
 
 // recordError books a failed benchmark connection.
@@ -530,6 +626,7 @@ func (g *Generator) Result() Result {
 		Finished:         end,
 		Issued:           g.issued,
 		Completed:        g.completed,
+		Replies:          g.replies,
 		Errors:           g.errors,
 		ErrorsBy:         copyReasons(g.errorsBy),
 		ReplyRateSamples: samples,
@@ -563,7 +660,7 @@ func (g *Generator) parallelResult() Result {
 	if end == 0 {
 		end = g.k.Now()
 	}
-	completed, errors := 0, 0
+	completed, replies, errors := 0, 0, 0
 	errorsBy := make(map[ErrorReason]int)
 	var lat []float64
 	var hist metrics.LatencyHist
@@ -571,6 +668,7 @@ func (g *Generator) parallelResult() Result {
 	for i := range g.lanes {
 		ln := &g.lanes[i]
 		completed += ln.completed
+		replies += ln.replies
 		errors += ln.errors
 		for k, v := range ln.errorsBy {
 			errorsBy[k] += v
@@ -596,6 +694,7 @@ func (g *Generator) parallelResult() Result {
 		Finished:         end,
 		Issued:           g.issued,
 		Completed:        completed,
+		Replies:          replies,
 		Errors:           errors,
 		ErrorsBy:         errorsBy,
 		ReplyRateSamples: g.mergedSamples(end, lastRecord, total),
@@ -680,6 +779,14 @@ type activeConn struct {
 	started  core.Time
 	received int
 	resolved bool
+
+	// Keep-alive state: requests sent and replies recognised so far, the
+	// in-flight request's dispatch time (the latency anchor) and the last
+	// instant of progress (the rolling watchdog's anchor).
+	sent         int
+	replied      int
+	reqStart     core.Time
+	lastProgress core.Time
 }
 
 // Connected implements netsim.ConnHandler.
@@ -687,7 +794,29 @@ func (a *activeConn) Connected(now core.Time) {
 	if a.resolved {
 		return
 	}
-	a.conn.Send(now, a.gen.request)
+	if a.gen.reqsPerConn <= 1 {
+		a.conn.Send(now, a.gen.request)
+		return
+	}
+	a.reqStart, a.lastProgress = now, now
+	burst := a.gen.pipeDepth
+	if burst > a.gen.reqsPerConn {
+		burst = a.gen.reqsPerConn
+	}
+	for i := 0; i < burst; i++ {
+		a.sendNext(now)
+	}
+}
+
+// sendNext issues the connection's next request; the last one carries
+// Connection: close.
+func (a *activeConn) sendNext(now core.Time) {
+	a.sent++
+	if a.sent == a.gen.reqsPerConn {
+		a.conn.Send(now, a.gen.kaFinal)
+		return
+	}
+	a.conn.Send(now, a.gen.kaRequest)
 }
 
 // Refused implements netsim.ConnHandler.
@@ -709,6 +838,25 @@ func (a *activeConn) Refused(now core.Time, reason netsim.RefuseReason) {
 // Data implements netsim.ConnHandler.
 func (a *activeConn) Data(now core.Time, n int) {
 	a.received += n
+	if a.gen.reqsPerConn <= 1 || a.resolved {
+		return
+	}
+	// Recognise completed replies by cumulative size, book each one, and keep
+	// the pipeline primed (or, serially, dispatch the next request).
+	for a.replied < a.sent && a.received >= a.gen.expectAfter(a.replied+1) {
+		a.replied++
+		a.gen.recordReply(a.conn, a.reqStart, now)
+		a.reqStart, a.lastProgress = now, now
+		if a.replied == a.gen.reqsPerConn {
+			a.resolved = true
+			a.conn.Close(now)
+			a.gen.resolveKeepAlive(a.conn, now)
+			return
+		}
+		if a.sent < a.gen.reqsPerConn {
+			a.sendNext(now)
+		}
+	}
 }
 
 // PeerClosed implements netsim.ConnHandler.
@@ -717,19 +865,29 @@ func (a *activeConn) PeerClosed(now core.Time) {
 		return
 	}
 	a.resolved = true
-	if a.received >= a.gen.expectedSize {
+	if a.gen.reqsPerConn <= 1 && a.received >= a.gen.expectedSize {
 		a.gen.recordCompletion(a.conn, a.started, now)
 		return
 	}
-	// The server closed the connection before delivering the full response
-	// (bad request path, shutdown, or idle timeout): count it like httperf's
-	// connection-reset errors.
+	// The server closed the connection before delivering the full response —
+	// bad request path, shutdown, idle timeout, or (keep-alive) a close before
+	// the final reply; Data has already booked whatever replies did complete.
+	// Count it like httperf's connection-reset errors.
 	a.gen.recordError(a.conn, ErrReset, now)
 }
 
 func (a *activeConn) onTimeout(now core.Time) {
 	if a.resolved {
 		return
+	}
+	if a.gen.reqsPerConn > 1 {
+		// A keep-alive connection legitimately outlives one Timeout; the
+		// watchdog instead requires a reply every Timeout window, re-arming
+		// itself from the last instant of progress.
+		if deadline := a.lastProgress.Add(a.gen.cfg.Timeout); deadline > now {
+			a.conn.Q().At(deadline, a.onTimeout)
+			return
+		}
 	}
 	a.resolved = true
 	a.conn.Close(now)

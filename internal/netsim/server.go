@@ -398,6 +398,43 @@ func (a *SockAPI) Write(fd *simkernel.FD, n int) int {
 	return accepted
 }
 
+// Writev queues head+body response bytes for transmission as one vectored
+// write, returning how many bytes the socket accepted. The two iovecs
+// coalesce into a single syscall: the charge is exactly Write(head+body) —
+// one kernel entry, one copy/checksum pass over the total — which is why a
+// server assembling header and body separately still pays the single-write
+// cost the historical combined-buffer path charged.
+func (a *SockAPI) Writev(fd *simkernel.FD, head, body int) int {
+	return a.Write(fd, head+body)
+}
+
+// Sendfile queues n response-body bytes for zero-copy transmission, returning
+// how many the socket accepted. It follows Write's window semantics exactly,
+// but the accepted bytes are charged at the sendfile rate: the write path
+// minus the user-space copy (the bytes go from the page cache straight to the
+// device) plus a per-page wiring charge — the transmit-side mirror of the
+// registered-buffer read discount.
+func (a *SockAPI) Sendfile(fd *simkernel.FD, n int) int {
+	conn, isConn := fd.File().(*ServerConn)
+	if !isConn || fd.Closed() || n <= 0 || conn.closedLocal {
+		a.P.ChargeSyscall(a.K.Cost.SendfileCost(n))
+		return 0
+	}
+	accepted := n
+	if conn.sndWindow > 0 {
+		if accepted > conn.sndAvail {
+			accepted = conn.sndAvail
+		}
+		conn.sndAvail -= accepted
+	}
+	a.P.ChargeSyscall(a.K.Cost.SendfileCost(accepted))
+	if accepted <= 0 {
+		return 0 // window closed: EAGAIN
+	}
+	a.Net.defer_(a.P, evtXmit, conn, accepted)
+	return accepted
+}
+
 // Close releases the descriptor and sends a FIN to the client after the
 // current batch completes. For HTTP/1.0 the server closes every connection
 // after writing the response, so the FIN is what lets the client measure the

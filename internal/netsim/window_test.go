@@ -130,6 +130,85 @@ func TestUnlimitedWindowUnchanged(t *testing.T) {
 	}
 }
 
+// TestWritevChargesExactlyOneCombinedWrite pins the vectored write to the
+// historical single-write charge: same CPU cost, same delivered bytes.
+func TestWritevChargesExactlyOneCombinedWrite(t *testing.T) {
+	run := func(vectored bool) (core.Duration, int) {
+		k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
+		var got int
+		n.Connect(k.Now(), ConnectOptions{}, Handlers{
+			OnData: func(_ core.Time, b int) { got += b },
+		})
+		k.Sim.Run()
+		fd, _ := accept(t, k, p, api, lfd)
+		before := p.TotalCharged
+		p.Batch(k.Now(), func() {
+			if vectored {
+				api.Writev(fd, 155, 6144)
+			} else {
+				api.Write(fd, 155+6144)
+			}
+		}, nil)
+		k.Sim.Run()
+		return p.TotalCharged - before, got
+	}
+	plainCost, plainGot := run(false)
+	vecCost, vecGot := run(true)
+	if plainCost != vecCost {
+		t.Fatalf("writev cost %v != single write cost %v", vecCost, plainCost)
+	}
+	if plainGot != 155+6144 || vecGot != plainGot {
+		t.Fatalf("delivered %d vs %d bytes", vecGot, plainGot)
+	}
+}
+
+// TestSendfileSkipsCopyAndChargesPages: sendfile delivers the same bytes as
+// write but charges the copy-free per-page rate, and it honours the peer's
+// receive window exactly like write.
+func TestSendfileSkipsCopyAndChargesPages(t *testing.T) {
+	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
+	var got int
+	n.Connect(k.Now(), ConnectOptions{}, Handlers{
+		OnData: func(_ core.Time, b int) { got += b },
+	})
+	k.Sim.Run()
+	fd, _ := accept(t, k, p, api, lfd)
+
+	const body = 6144
+	before := p.TotalCharged
+	p.Batch(k.Now(), func() { api.Sendfile(fd, body) }, nil)
+	k.Sim.Run()
+	cost := p.TotalCharged - before
+	want := k.Cost.SyscallEntry + k.Cost.SendfileCost(body)
+	if cost != want {
+		t.Fatalf("sendfile charged %v, want %v", cost, want)
+	}
+	if writeCost := k.Cost.SyscallEntry + k.Cost.WriteCost(body); cost >= writeCost {
+		t.Fatalf("sendfile (%v) not cheaper than write (%v)", cost, writeCost)
+	}
+	if got != body {
+		t.Fatalf("client received %d bytes, want %d", got, body)
+	}
+
+	// A stalled window clamps sendfile the same way it clamps write.
+	k2, n2, p2, api2, lfd2, _ := testbed(t, DefaultConfig())
+	n2.Connect(k2.Now(), ConnectOptions{RecvWindow: 512, StallReads: true}, Handlers{})
+	k2.Sim.Run()
+	fd2, conn2 := accept(t, k2, p2, api2, lfd2)
+	var first, second int
+	p2.Batch(k2.Now(), func() {
+		first = api2.Sendfile(fd2, body)
+		second = api2.Sendfile(fd2, 100)
+	}, nil)
+	k2.Sim.Run()
+	if first != 512 || second != 0 {
+		t.Fatalf("windowed sendfile accepted %d then %d, want 512 then 0", first, second)
+	}
+	if conn2.SendWindowAvail() != 0 {
+		t.Fatalf("window not exhausted: %d", conn2.SendWindowAvail())
+	}
+}
+
 func TestSampleRTT(t *testing.T) {
 	if SampleRTT(nil, 0.5) != 0 {
 		t.Fatal("empty mix must select the network default (zero)")

@@ -1,7 +1,17 @@
 // Package httpcore contains the connection-handling logic shared by the
 // simulated web servers (thttpd, phhttpd and the hybrid server): accepting
-// connections, incrementally parsing HTTP/1.0 requests, serving static
-// documents from a content store, closing connections and sweeping idle ones.
+// connections, incrementally parsing HTTP requests, serving static documents
+// from a content store, closing connections and sweeping idle ones.
+//
+// Connections are a persistent state machine. In the historical HTTP/1.0 mode
+// (Options zero value) every connection serves one request and closes, with
+// charges identical to the pre-keep-alive implementation. With
+// Options.KeepAlive the connection survives its responses: the parser advances
+// past each served request and retains pipelined bytes, one readable dispatch
+// drains at most PipelineBatch buffered requests (fairness), a blocked
+// response parks the pipeline on write interest until the window reopens, and
+// the per-connection request cap and keep-alive idle timeout bound the
+// connection's lifetime.
 //
 // Handler.Attach (serve.go) wires this logic onto an eventlib.Base — the
 // listener's accept event, a persistent read event per connection, the
@@ -12,14 +22,93 @@
 package httpcore
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/httpsim"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/rcache"
 	"repro/internal/simkernel"
 )
+
+// WriteMode selects how a response's header and body reach the socket.
+type WriteMode int
+
+const (
+	// WriteWritev coalesces header and body into one vectored write: a single
+	// syscall charged over the combined length — exactly what the historical
+	// single-buffer write path charged, so it is the default.
+	WriteWritev WriteMode = iota
+	// WriteCopy issues two separate write() calls (header, then body): the
+	// naive server's extra kernel entry, for the write-path ablation.
+	WriteCopy
+	// WriteSendfile writes the header and transfers the body zero-copy with
+	// sendfile(2): charged per page with the user-space copy skipped.
+	WriteSendfile
+)
+
+// String renders the mode for figure labels and flags.
+func (m WriteMode) String() string {
+	switch m {
+	case WriteCopy:
+		return "copy"
+	case WriteSendfile:
+		return "sendfile"
+	default:
+		return "writev"
+	}
+}
+
+// ParseWriteMode parses a -write-path flag value.
+func ParseWriteMode(s string) (WriteMode, error) {
+	switch s {
+	case "", "writev":
+		return WriteWritev, nil
+	case "copy":
+		return WriteCopy, nil
+	case "sendfile":
+		return WriteSendfile, nil
+	}
+	return WriteWritev, fmt.Errorf("httpcore: unknown write mode %q (want writev, copy or sendfile)", s)
+}
+
+// DefaultPipelineBatch bounds how many buffered pipelined requests one
+// readable dispatch serves when Options.PipelineBatch is zero: enough to
+// amortise the dispatch, small enough that one deep pipeline cannot starve
+// the other ready descriptors in the batch.
+const DefaultPipelineBatch = 4
+
+// Options bundles the persistent-connection features shared by every server
+// family. The zero value is the historical behaviour — HTTP/1.0, close after
+// one response, no cache, single combined write — and charges exactly what
+// the pre-keep-alive implementation charged, which is what keeps the existing
+// figures byte-identical.
+type Options struct {
+	// KeepAlive honours the request's persistence negotiation (HTTP/1.1
+	// default-persistent, HTTP/1.0 opt-in via Connection: keep-alive) instead
+	// of closing after every response.
+	KeepAlive bool
+	// MaxRequests caps how many requests one connection may serve before the
+	// server closes it (real thttpd's defense against connection hogging);
+	// zero means unlimited.
+	MaxRequests int
+	// KeepAliveIdle closes a persistent connection that stays idle between
+	// requests this long. It rides the per-connection event timeout on the
+	// eventlib timer wheel, so it costs one wheel entry per connection and
+	// re-arms automatically with each activity. Zero disables it (the coarse
+	// SweepIdle path still applies when IdleTimeout is set).
+	KeepAliveIdle core.Duration
+	// PipelineBatch bounds pipelined requests served per readable dispatch;
+	// zero selects DefaultPipelineBatch.
+	PipelineBatch int
+	// CacheKB sizes the mmap response cache in kilobytes; zero disables the
+	// cache and its charges entirely.
+	CacheKB int
+	// WriteMode selects the response write path.
+	WriteMode WriteMode
+}
 
 // CloseReason explains why the server closed a connection.
 type CloseReason int
@@ -43,6 +132,12 @@ type Stats struct {
 	IdleCloses  int64
 	Closed      int64
 	BytesSent   int64
+	// KeptAlive counts responses after which the connection stayed open.
+	KeptAlive int64
+	// CacheHits / CacheMisses count response-cache lookups (zero without a
+	// cache).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Conn is the per-connection state a server keeps. Closed connections return
@@ -57,13 +152,33 @@ type Conn struct {
 	OpenedAt     core.Time
 	LastActivity core.Time
 
+	// Requests counts requests served on this connection (the keep-alive
+	// request cap compares against it).
+	Requests int
+
 	// PendingWrite is how many response bytes the socket has not yet accepted
 	// (the peer's receive window closed mid-response). While positive the
 	// connection is parked on write interest; finishReason records how the
-	// connection should be closed once the response finally drains.
+	// connection should be closed once the response finally drains, and
+	// keepOpen overrides it for a persistent connection that resumes its
+	// pipeline instead of closing. pendingBody is the portion of the
+	// remainder that is document body, so a sendfile-mode retry charges the
+	// zero-copy rate for it.
 	PendingWrite int
+	pendingBody  int
 	writeBlocked bool
+	keepOpen     bool
 	finishReason CloseReason
+
+	// reqStart anchors the in-flight request's service-latency observation:
+	// connection establishment for a connection's first request (time in the
+	// listener backlog counts), the parse-completion dispatch for keep-alive
+	// successors.
+	reqStart core.Time
+
+	// cachePath names the response-cache entry pinned for the in-flight
+	// response; empty when no pin is held.
+	cachePath string
 }
 
 // Handler implements the application layer of a static-content HTTP/1.0
@@ -81,6 +196,13 @@ type Handler struct {
 	// the paper's inactive clients reopen their connections.
 	IdleTimeout core.Duration
 
+	// Opts selects the persistent-connection features; its zero value is the
+	// historical one-request HTTP/1.0 behaviour. Install with SetOptions so
+	// the response cache is built alongside.
+	Opts Options
+	// Cache is the mmap response cache, nil when disabled.
+	Cache *rcache.Cache
+
 	// OnConnOpen is called (inside the batch) after a connection is accepted
 	// and installed; the server registers the descriptor with its event
 	// mechanism here.
@@ -93,6 +215,16 @@ type Handler struct {
 	// adds write interest for the descriptor so HandleWritable runs when the
 	// window reopens.
 	OnWriteBlocked func(fd int)
+	// OnWriteDrained is called (inside the batch) when a persistent
+	// connection's blocked response finishes draining and the connection
+	// stays open; the event loop downgrades the descriptor back to read-only
+	// interest.
+	OnWriteDrained func(fd int)
+	// OnDeferred is called (inside the batch) when a readable dispatch's
+	// pipeline budget ran out with at least one more complete request
+	// buffered; the event loop schedules a continuation so the remainder is
+	// served without waiting for more client bytes.
+	OnDeferred func(fd int)
 
 	Conns map[int]*Conn
 	Stats Stats
@@ -119,6 +251,25 @@ func NewHandler(k *simkernel.Kernel, p *simkernel.Proc, api *netsim.SockAPI, con
 	return &Handler{K: k, P: p, API: api, Content: content, Conns: make(map[int]*Conn)}
 }
 
+// SetOptions installs the persistent-connection options, building the
+// response cache when one is configured. Call it before Attach — the event
+// loop reads the keep-alive idle timeout at registration time.
+func (h *Handler) SetOptions(opts Options) {
+	h.Opts = opts
+	h.Cache = nil
+	if opts.CacheKB > 0 {
+		h.Cache = rcache.New(opts.CacheKB * 1024)
+	}
+}
+
+// pipelineBudget is the per-dispatch bound on buffered requests served.
+func (h *Handler) pipelineBudget() int {
+	if h.Opts.PipelineBatch > 0 {
+		return h.Opts.PipelineBatch
+	}
+	return DefaultPipelineBatch
+}
+
 // OpenConns returns the open connection descriptors in ascending order.
 func (h *Handler) OpenConns() []int {
 	out := make([]int, 0, len(h.Conns))
@@ -143,9 +294,14 @@ func (h *Handler) newConn(now core.Time, fd *simkernel.FD, sc *netsim.ServerConn
 	}
 	c.FD, c.SC = fd, sc
 	c.OpenedAt, c.LastActivity = now, now
+	c.Requests = 0
 	c.PendingWrite = 0
+	c.pendingBody = 0
 	c.writeBlocked = false
+	c.keepOpen = false
 	c.finishReason = CloseServed
+	c.reqStart = now
+	c.cachePath = ""
 	return c
 }
 
@@ -188,10 +344,10 @@ func (h *Handler) AdoptConn(now core.Time, fd *simkernel.FD, sc *netsim.ServerCo
 }
 
 // HandleReadable processes a readability event on a connection: it reads
-// whatever is buffered, advances the request parser and, when a complete
-// request has arrived, serves it and closes the connection (HTTP/1.0). Events
-// for unknown descriptors (stale RT signals, for example) are ignored, as the
-// paper notes real servers must do.
+// whatever is buffered, advances the request parser and serves what completed
+// — one request-then-close in HTTP/1.0 mode, up to the pipeline budget on a
+// persistent connection. Events for unknown descriptors (stale RT signals,
+// for example) are ignored, as the paper notes real servers must do.
 func (h *Handler) HandleReadable(now core.Time, fd int) {
 	c, ok := h.Conns[fd]
 	if !ok {
@@ -200,45 +356,191 @@ func (h *Handler) HandleReadable(now core.Time, fd int) {
 	data, eof := h.API.Read(c.FD, 0)
 	if len(data) > 0 {
 		c.LastActivity = now
-		complete, err := c.Parser.Feed(data)
+		if c.writeBlocked && h.Opts.KeepAlive {
+			// A parked response owns the socket's write side; buffer the new
+			// requests for the resume pump (sticky parse errors surface there
+			// too) and keep the receive buffer drained.
+			_, _ = c.Parser.Feed(data)
+			return
+		}
+		if !h.pump(now, c, data) {
+			return // closed, or parked on a blocked response
+		}
+	}
+	h.settle(now, c, eof)
+}
+
+// Continue serves requests already buffered on fd without touching the
+// socket: the continuation of a pipeline batch whose dispatch budget ran out.
+// Unknown descriptors — the connection closed between deferral and
+// continuation — are ignored.
+func (h *Handler) Continue(now core.Time, fd int) {
+	c, ok := h.Conns[fd]
+	if !ok || c.writeBlocked {
+		return
+	}
+	if h.pump(now, c, nil) {
+		h.settle(now, c, false)
+	}
+}
+
+// pump is the persistent connection's state machine: feed freshly read bytes
+// to the parser, then serve complete requests until the connection closes,
+// the pipeline budget runs out, a response jams against the peer's window, or
+// no complete request remains. It reports whether the connection is still
+// open with no response in flight.
+func (h *Handler) pump(now core.Time, c *Conn, data []byte) bool {
+	complete, err := c.Parser.Feed(data)
+	for budget := h.pipelineBudget(); ; budget-- {
 		if err != nil {
 			h.respondError(c, httpsim.StatusBadReq)
 			h.finishResponse(now, c, CloseBadRequest)
-			return
+			return false
 		}
-		if complete {
-			h.serve(c)
+		if !complete {
+			return true
+		}
+		if budget <= 0 {
+			// Fairness: another request is ready but this dispatch's budget
+			// is spent. Defer the remainder so one deep pipeline cannot
+			// monopolise the batch.
+			if h.OnDeferred != nil {
+				h.OnDeferred(c.FD.Num)
+			}
+			return true
+		}
+		c.reqStart = now
+		if c.Requests == 0 {
+			// A connection's first request anchors at establishment (SYN on
+			// the accept queue): time spent in the listener backlog counts
+			// the same for a server that accepts eagerly and one that
+			// accepts only once data has arrived.
+			c.reqStart = c.OpenedAt
+			if c.SC != nil && c.SC.EstablishedAt > 0 {
+				c.reqStart = c.SC.EstablishedAt
+			}
+		}
+		keep := h.serve(c)
+		c.Requests++
+		if !keep {
 			h.finishResponse(now, c, CloseServed)
-			return
+			return false
 		}
+		h.Stats.KeptAlive++
+		complete, err = c.Parser.Consume()
+		if c.PendingWrite > 0 {
+			// The response jammed against the peer's receive window
+			// mid-pipeline: park on write interest. Requests already
+			// buffered resume from HandleWritable once the window reopens.
+			c.keepOpen = true
+			c.writeBlocked = true
+			c.finishReason = CloseServed
+			if h.OnWriteBlocked != nil {
+				h.OnWriteBlocked(c.FD.Num)
+			}
+			return false
+		}
+		h.bookServed(now, c)
+	}
+}
+
+// settle closes the connection once the peer is gone. In the historical
+// HTTP/1.0 mode an observed EOF closes unconditionally, exactly as before. A
+// persistent connection additionally checks the socket directly — its FIN may
+// have been consumed by an earlier dispatch whose budget deferred the final
+// requests. Requests still buffered at EOF are discarded, not served: our
+// clients only half-close after the final reply, so a FIN with requests
+// outstanding means the client is dead, and a real server would hit RST/EPIPE
+// on the next write rather than stream responses into the void. Serving those
+// zombie pipelines is what collapses a keep-alive server under overload —
+// most of its capacity goes to clients that already timed out.
+func (h *Handler) settle(now core.Time, c *Conn, eof bool) {
+	if !h.Opts.KeepAlive {
+		if eof {
+			// The client went away before completing its request.
+			h.closeConn(c, CloseEOF)
+		}
+		return
+	}
+	if !eof {
+		eof = c.SC != nil && c.SC.PeerClosed() && c.SC.Buffered() == 0
 	}
 	if eof {
-		// The client went away before completing its request.
 		h.closeConn(c, CloseEOF)
+	}
+}
+
+// bookServed records a completed keep-alive exchange — the response fully
+// accepted by the socket — without closing the connection.
+func (h *Handler) bookServed(now core.Time, c *Conn) {
+	h.ServiceLatency.Observe(now.Sub(c.reqStart))
+	h.releaseCache(c)
+}
+
+// releaseCache drops the pin taken for the in-flight response, if any.
+func (h *Handler) releaseCache(c *Conn) {
+	if c.cachePath != "" {
+		h.Cache.Release(c.cachePath)
+		c.cachePath = ""
 	}
 }
 
 // HandleWritable processes a writability event on a connection whose response
 // jammed against the peer's receive window: it retries the blocked tail and,
-// once the response has fully drained, closes the connection with the reason
-// recorded when the write first blocked. Events for unknown descriptors or
-// connections with nothing pending are ignored.
+// once the response has fully drained, either closes the connection with the
+// reason recorded when the write first blocked or — on a persistent
+// connection — books the exchange, downgrades back to read interest and
+// resumes the parked pipeline. Events for unknown descriptors or connections
+// with nothing pending are ignored.
 func (h *Handler) HandleWritable(now core.Time, fd int) {
 	c, ok := h.Conns[fd]
 	if !ok || c.PendingWrite <= 0 {
 		return
 	}
-	wrote := h.API.Write(c.FD, c.PendingWrite)
+	wrote := h.retryWrite(c)
 	if wrote <= 0 {
 		return
 	}
 	h.Stats.BytesSent += int64(wrote)
 	c.PendingWrite -= wrote
-	c.LastActivity = now
-	if c.PendingWrite <= 0 && c.writeBlocked {
-		c.writeBlocked = false
-		h.completeResponse(now, c, c.finishReason)
+	if c.pendingBody > c.PendingWrite {
+		c.pendingBody = c.PendingWrite
 	}
+	c.LastActivity = now
+	if c.PendingWrite > 0 || !c.writeBlocked {
+		return
+	}
+	c.writeBlocked = false
+	if !c.keepOpen {
+		h.completeResponse(now, c, c.finishReason)
+		return
+	}
+	c.keepOpen = false
+	h.bookServed(now, c)
+	if h.OnWriteDrained != nil {
+		h.OnWriteDrained(c.FD.Num)
+	}
+	if h.pump(now, c, nil) {
+		h.settle(now, c, false)
+	}
+}
+
+// retryWrite pushes the blocked remainder into the socket. The copy and
+// vectored paths retry with a plain write; sendfile mode keeps charging the
+// zero-copy rate for the body portion of the remainder.
+func (h *Handler) retryWrite(c *Conn) int {
+	if h.Opts.WriteMode != WriteSendfile || c.pendingBody <= 0 {
+		return h.API.Write(c.FD, c.PendingWrite)
+	}
+	headLeft := c.PendingWrite - c.pendingBody
+	wrote := 0
+	if headLeft > 0 {
+		wrote = h.API.Write(c.FD, headLeft)
+		if wrote < headLeft {
+			return wrote
+		}
+	}
+	return wrote + h.API.Sendfile(c.FD, c.pendingBody)
 }
 
 // finishResponse closes the connection if its response was fully accepted by
@@ -256,24 +558,20 @@ func (h *Handler) finishResponse(now core.Time, c *Conn, reason CloseReason) {
 }
 
 // completeResponse books the end of a request-response exchange: the
-// service-latency observation (accept to response-fully-written) and the
-// HTTP/1.0 close.
+// service-latency observation and the connection close. reqStart was anchored
+// when the request entered service (connection establishment for a
+// connection's first request, so time in the listener backlog counts).
 func (h *Handler) completeResponse(now core.Time, c *Conn, reason CloseReason) {
 	if reason == CloseServed {
-		// Anchor at connection establishment (SYN queued), not accept: time
-		// spent in the listener backlog counts the same for a server that
-		// accepts eagerly and one that accepts only once data has arrived.
-		since := c.OpenedAt
-		if c.SC != nil && c.SC.EstablishedAt > 0 {
-			since = c.SC.EstablishedAt
-		}
-		h.ServiceLatency.Observe(now.Sub(since))
+		h.ServiceLatency.Observe(now.Sub(c.reqStart))
 	}
 	h.closeConn(c, reason)
 }
 
-// serve writes the response for the parsed request.
-func (h *Handler) serve(c *Conn) {
+// serve writes the response for the parsed request and reports whether the
+// connection persists afterwards (keep-alive negotiated and under the request
+// cap). Error responses always close.
+func (h *Handler) serve(c *Conn) (keep bool) {
 	req := c.Parser.Request()
 	// The application-level work of serving a request: parse, map the URL,
 	// locate the cached document, build headers.
@@ -282,31 +580,101 @@ func (h *Handler) serve(c *Conn) {
 	if !ok {
 		h.Stats.NotFound++
 		h.respondError(c, httpsim.StatusNotFound)
-		return
+		return false
 	}
-	total := httpsim.ResponseSize(httpsim.StatusOK, size)
-	h.startResponse(c, total)
+	keep = h.persistAfter(c, req)
+	head := httpsim.ResponseSizeVersion(httpsim.StatusOK, size, keep) - size
+	h.chargeFileAccess(c, req.Path, size)
+	h.writeResponse(c, head, size)
 	h.Stats.Served++
+	return keep
 }
 
-// respondError writes a minimal error response.
+// persistAfter decides whether the connection survives the response being
+// served: keep-alive enabled, the per-connection cap not yet reached, and the
+// request negotiated persistence.
+func (h *Handler) persistAfter(c *Conn, req *httpsim.Request) bool {
+	if !h.Opts.KeepAlive {
+		return false
+	}
+	if h.Opts.MaxRequests > 0 && c.Requests+1 >= h.Opts.MaxRequests {
+		return false
+	}
+	return req.KeepAlive()
+}
+
+// chargeFileAccess charges the document-access asymmetry of the response
+// cache: a hit touches the resident mapping, a miss opens the file and faults
+// its pages in. Without a cache nothing is charged — the flat HTTPService
+// constant already folds in the historical document access, which keeps the
+// no-cache figures byte-identical.
+func (h *Handler) chargeFileAccess(c *Conn, path string, size int) {
+	if h.Cache == nil {
+		return
+	}
+	pages, hit := h.Cache.Acquire(path, size)
+	c.cachePath = path
+	if hit {
+		h.Stats.CacheHits++
+		h.P.Charge(h.K.Cost.CacheHit)
+		return
+	}
+	h.Stats.CacheMisses++
+	h.P.Charge(h.K.Cost.FileOpen + core.Duration(pages)*h.K.Cost.FileReadPage)
+}
+
+// respondError writes a minimal error response (always Connection: close).
 func (h *Handler) respondError(c *Conn, status int) {
 	h.P.Charge(h.K.Cost.HTTPService / 4)
-	total := httpsim.ResponseSize(status, 0)
-	h.startResponse(c, total)
+	h.writeResponse(c, httpsim.ResponseSize(status, 0), 0)
 	if status == httpsim.StatusBadReq {
 		h.Stats.BadRequests++
 	}
 }
 
-// startResponse writes as much of a total-byte response as the socket
-// accepts, recording the blocked remainder on the connection. With the
-// paper's always-draining clients the whole response is accepted in one call
-// and PendingWrite stays zero.
-func (h *Handler) startResponse(c *Conn, total int) {
-	wrote := h.API.Write(c.FD, total)
+// writeResponse pushes a head+body response into the socket along the
+// configured write path, recording any blocked remainder on the connection.
+// With the paper's always-draining clients the whole response is accepted in
+// one call and PendingWrite stays zero. The default vectored path charges one
+// syscall over the combined length — exactly the historical single-buffer
+// write.
+func (h *Handler) writeResponse(c *Conn, head, body int) {
+	var wrote int
+	switch {
+	case h.Opts.WriteMode == WriteCopy && body > 0:
+		wrote = h.API.Write(c.FD, head)
+		if wrote == head {
+			wrote += h.API.Write(c.FD, body)
+		}
+	case h.Opts.WriteMode == WriteSendfile && body > 0:
+		wrote = h.API.Write(c.FD, head)
+		if wrote == head {
+			wrote += h.API.Sendfile(c.FD, body)
+		}
+	default:
+		wrote = h.API.Writev(c.FD, head, body)
+	}
 	h.Stats.BytesSent += int64(wrote)
-	c.PendingWrite = total - wrote
+	c.PendingWrite = head + body - wrote
+	c.pendingBody = body
+	if c.pendingBody > c.PendingWrite {
+		c.pendingBody = c.PendingWrite
+	}
+}
+
+// CloseIdle closes a persistent connection whose keep-alive idle timeout
+// fired — unless work is outstanding: a response still draining, or request
+// bytes already buffered in the parser or on the socket (a request racing the
+// timeout wins, matching a real server that checks for input before closing).
+func (h *Handler) CloseIdle(now core.Time, fd int) {
+	c, ok := h.Conns[fd]
+	if !ok {
+		return
+	}
+	if c.PendingWrite > 0 || c.Parser.Buffered() > 0 || (c.SC != nil && c.SC.Buffered() > 0) {
+		return
+	}
+	h.closeConn(c, CloseIdle)
 }
 
 // CloseConn closes the connection for descriptor fd with the given reason, if
@@ -324,6 +692,7 @@ func (h *Handler) closeConn(c *Conn, reason CloseReason) {
 	if cur, ok := h.Conns[c.FD.Num]; !ok || cur != c {
 		return
 	}
+	h.releaseCache(c)
 	if h.OnConnClose != nil {
 		h.OnConnClose(c.FD.Num)
 	}

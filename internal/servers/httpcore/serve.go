@@ -43,6 +43,19 @@ type EventLoop struct {
 	accept *eventlib.Event
 	sweep  *eventlib.Event
 	conns  []*eventlib.Event // fd-indexed; nil = no event registered
+
+	// connTimeout is the per-connection event timeout: the keep-alive idle
+	// deadline riding the base's timer wheel, re-armed automatically by every
+	// firing. Zero (HTTP/1.0 mode) registers events with no timeout.
+	connTimeout core.Duration
+
+	// resume / resumeQ / resumeSpare implement pipeline-budget continuations: a
+	// zero-delay one-shot timer drains the deferred descriptors in arrival
+	// order on the next dispatch, so one deep pipeline yields to the rest of
+	// the current batch without stalling its own remaining requests.
+	resume      *eventlib.Event
+	resumeQ     []int
+	resumeSpare []int
 }
 
 // Attach wires the handler onto base: it registers a persistent accept event
@@ -61,6 +74,9 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 		cfg.SweepInterval = core.Second
 	}
 	loop := &EventLoop{h: h, base: base, cfg: cfg, lfd: lfd}
+	if h.Opts.KeepAlive {
+		loop.connTimeout = h.Opts.KeepAliveIdle
+	}
 
 	if lfd != nil {
 		loop.accept = base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist, loop.onAcceptable)
@@ -72,6 +88,8 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 	h.OnConnOpen = loop.openConn
 	h.OnConnClose = loop.closeConn
 	h.OnWriteBlocked = loop.blockOnWrite
+	h.OnWriteDrained = loop.drainedConn
+	h.OnDeferred = loop.deferConn
 
 	if h.IdleTimeout > 0 {
 		loop.sweep = base.NewTimer(eventlib.EvPersist, func(_ int, _ eventlib.What, now core.Time) {
@@ -118,7 +136,9 @@ func (l *EventLoop) onAcceptable(_ int, _ eventlib.What, now core.Time) {
 
 // connReady is the shared per-connection callback. Write readiness is served
 // first — draining a blocked response may close the connection, after which
-// the read branch finds no state and does nothing.
+// the read branch finds no state and does nothing. An expiry that coincides
+// with I/O readiness folds into the same invocation; readiness wins, and the
+// re-armed timeout covers the next idle period.
 func (l *EventLoop) connReady(fd int, what eventlib.What, now core.Time) {
 	if what.Has(eventlib.EvWrite) {
 		l.h.HandleWritable(now, fd)
@@ -126,14 +146,17 @@ func (l *EventLoop) connReady(fd int, what eventlib.What, now core.Time) {
 	if what.Has(eventlib.EvRead) {
 		l.cfg.Read(now, fd)
 	}
+	if what.Has(eventlib.EvTimeout) && what&(eventlib.EvRead|eventlib.EvWrite) == 0 {
+		l.h.CloseIdle(now, fd)
+	}
 }
 
 // openConn registers a persistent read event for a freshly accepted
-// connection.
+// connection; with keep-alive configured the event carries the idle timeout.
 func (l *EventLoop) openConn(fd int) {
 	ev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvPersist, l.connReady)
 	l.setConn(fd, ev)
-	_ = ev.Add(0)
+	_ = ev.Add(l.connTimeout)
 }
 
 // blockOnWrite upgrades a connection's event to read+write interest: the
@@ -149,7 +172,46 @@ func (l *EventLoop) blockOnWrite(fd int) {
 	_ = ev.Del()
 	nev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvWrite|eventlib.EvPersist, l.connReady)
 	l.setConn(fd, nev)
-	_ = nev.Add(0)
+	_ = nev.Add(l.connTimeout)
+}
+
+// drainedConn is blockOnWrite's inverse: the parked response finished and the
+// persistent connection stays open, so the descriptor downgrades back to
+// read-only interest (epoll_ctl(MOD) in a real server).
+func (l *EventLoop) drainedConn(fd int) {
+	ev := l.ConnEvent(fd)
+	if ev == nil {
+		return
+	}
+	_ = ev.Del()
+	nev := l.base.NewEvent(fd, eventlib.EvRead|eventlib.EvPersist, l.connReady)
+	l.setConn(fd, nev)
+	_ = nev.Add(l.connTimeout)
+}
+
+// deferConn queues fd's remaining pipelined requests for the next dispatch
+// and arms the resume timer if it is not already pending.
+func (l *EventLoop) deferConn(fd int) {
+	l.resumeQ = append(l.resumeQ, fd)
+	if l.resume == nil {
+		l.resume = l.base.NewTimer(0, l.onResume)
+	}
+	if !l.resume.Pending() {
+		_ = l.resume.Add(1) // minimal positive delay: the very next tick
+	}
+}
+
+// onResume continues every deferred pipeline. The queue is swapped out first:
+// a continuation that again exhausts its budget re-defers onto a fresh queue
+// (and re-arms the one-shot timer) instead of extending the slice being
+// walked.
+func (l *EventLoop) onResume(_ int, _ eventlib.What, now core.Time) {
+	q := l.resumeQ
+	l.resumeQ = l.resumeSpare[:0]
+	for _, fd := range q {
+		l.h.Continue(now, fd)
+	}
+	l.resumeSpare = q[:0]
 }
 
 // Rescan drains the accept queue and reads every open connection once, as if

@@ -1,0 +1,145 @@
+package httpcore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventlib"
+	"repro/internal/httpsim"
+)
+
+// attachLoop wires the env's handler onto a poll-backed event base. The base
+// is never dispatched — tests drive the loop's callbacks directly to pin
+// their semantics; the end-to-end paths run in the server packages.
+func attachLoop(t *testing.T, e *env) *EventLoop {
+	t.Helper()
+	var loop *EventLoop
+	e.p.Batch(e.k.Now(), func() {
+		poller, _, err := eventlib.OpenBackend(e.k, e.p, "poll")
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := eventlib.NewWithPoller(e.k, e.p, poller, eventlib.Config{})
+		loop = e.handler.Attach(base, e.lfd, ServeConfig{})
+	}, nil)
+	e.k.Sim.Run()
+	return loop
+}
+
+// TestConnReadyTimeoutRacingRequest: when the keep-alive idle expiry and a
+// request's readability fold into one event activation, the request wins and
+// the connection survives; a pure expiry with no readiness closes it.
+func TestConnReadyTimeoutRacingRequest(t *testing.T) {
+	e := newEnv(t)
+	e.handler.SetOptions(Options{KeepAlive: true, KeepAliveIdle: core.Second})
+	loop := attachLoop(t, e)
+
+	_, probe := e.connectAndSend(t, httpsim.FormatRequest11("/index.html", false))
+	e.p.Batch(e.k.Now(), func() { e.handler.AcceptAll(e.k.Now(), e.lfd) }, nil)
+	e.k.Sim.Run()
+	fds := e.handler.OpenConns()
+	if len(fds) != 1 {
+		t.Fatalf("OpenConns = %v", fds)
+	}
+	fd := fds[0]
+	if ev := loop.ConnEvent(fd); ev == nil {
+		t.Fatal("no event registered for the accepted connection")
+	}
+
+	// Expiry and readability in the same activation: readiness is served,
+	// CloseIdle is skipped, the connection stays open for its next request.
+	e.p.Batch(e.k.Now(), func() {
+		loop.connReady(fd, eventlib.EvRead|eventlib.EvTimeout, e.k.Now())
+	}, nil)
+	e.k.Sim.Run()
+	if st := e.handler.Stats; st.Served != 1 || st.IdleCloses != 0 || st.Closed != 0 {
+		t.Fatalf("stats after folded event = %+v", st)
+	}
+	if probe.closed {
+		t.Fatal("connection closed despite the racing request")
+	}
+
+	// A pure expiry on the now-idle connection closes it.
+	e.p.Batch(e.k.Now(), func() {
+		loop.connReady(fd, eventlib.EvTimeout, e.k.Now())
+	}, nil)
+	e.k.Sim.Run()
+	if st := e.handler.Stats; st.IdleCloses != 1 || st.Closed != 1 {
+		t.Fatalf("stats after pure expiry = %+v", st)
+	}
+}
+
+// TestConnEventCarriesKeepAliveTimeout: with keep-alive configured the
+// per-connection event rides the timer wheel; without it the event has no
+// timeout, exactly as before.
+func TestConnEventCarriesKeepAliveTimeout(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+		want core.Duration
+	}{
+		{"keepalive", Options{KeepAlive: true, KeepAliveIdle: 2 * core.Second}, 2 * core.Second},
+		{"http10", Options{}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEnv(t)
+			e.handler.SetOptions(tc.opts)
+			loop := attachLoop(t, e)
+			if loop.connTimeout != tc.want {
+				t.Fatalf("connTimeout = %v, want %v", loop.connTimeout, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeferredPipelineResumesThroughTimer: a deferral queues the descriptor
+// and arms the zero-delay resume timer; firing it continues the pipeline, and
+// a continuation that re-exhausts its budget re-defers onto a fresh queue.
+func TestDeferredPipelineResumesThroughTimer(t *testing.T) {
+	e := newEnv(t)
+	e.handler.SetOptions(Options{KeepAlive: true, PipelineBatch: 2})
+	loop := attachLoop(t, e)
+
+	var payload []byte
+	for i := 0; i < 4; i++ {
+		payload = append(payload, httpsim.FormatRequest11("/index.html", false)...)
+	}
+	payload = append(payload, httpsim.FormatRequest11("/index.html", true)...)
+	_, probe := e.connectAndSend(t, payload)
+	e.p.Batch(e.k.Now(), func() {
+		for _, fd := range e.handler.AcceptAll(e.k.Now(), e.lfd) {
+			e.handler.HandleReadable(e.k.Now(), fd)
+		}
+	}, nil)
+	e.k.Sim.Run()
+
+	if st := e.handler.Stats; st.Served != 2 {
+		t.Fatalf("after first dispatch: %+v", st)
+	}
+	if len(loop.resumeQ) != 1 || loop.resume == nil || !loop.resume.Pending() {
+		t.Fatalf("resume timer not armed: q=%v", loop.resumeQ)
+	}
+
+	// First firing serves the next budget's worth and re-defers the rest.
+	e.p.Batch(e.k.Now(), func() { loop.onResume(0, eventlib.EvTimeout, e.k.Now()) }, nil)
+	e.k.Sim.Run()
+	if st := e.handler.Stats; st.Served != 4 {
+		t.Fatalf("after first resume: %+v", st)
+	}
+	if len(loop.resumeQ) != 1 {
+		t.Fatalf("re-deferral missing: q=%v", loop.resumeQ)
+	}
+
+	// Second firing drains the pipeline; the close request ends it.
+	e.p.Batch(e.k.Now(), func() { loop.onResume(0, eventlib.EvTimeout, e.k.Now()) }, nil)
+	e.k.Sim.Run()
+	if st := e.handler.Stats; st.Served != 5 || st.Closed != 1 {
+		t.Fatalf("final stats = %+v", st)
+	}
+	if len(loop.resumeQ) != 0 {
+		t.Fatalf("resume queue not drained: %v", loop.resumeQ)
+	}
+	if want := 4*sizeKA + sizeClose; probe.bytes != want || !probe.closed {
+		t.Fatalf("probe = %+v, want %d bytes", probe, want)
+	}
+}

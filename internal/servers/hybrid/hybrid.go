@@ -45,6 +45,10 @@ type Config struct {
 	Content *httpsim.ContentStore
 	// IdleTimeout closes connections with no activity for this long.
 	IdleTimeout core.Duration
+	// HTTP selects the persistent-connection features (keep-alive,
+	// pipelining, response cache, write path); the zero value is the
+	// historical one-request HTTP/1.0 behaviour.
+	HTTP httpcore.Options
 	// QueueLimit is the RT signal queue maximum.
 	QueueLimit int
 	// HighWater is the queue length that triggers the switch to /dev/poll; the
@@ -168,6 +172,7 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 	s.base.AttachPoller(s.dp)
 	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
 	s.handler.IdleTimeout = cfg.IdleTimeout
+	s.handler.SetOptions(cfg.HTTP)
 	return s
 }
 

@@ -72,6 +72,10 @@ type Config struct {
 	MaxEventsPerWait int
 	// WaitTimeout is the per-worker idle-sweep timer period.
 	WaitTimeout core.Duration
+	// HTTP selects the persistent-connection features (keep-alive,
+	// pipelining, response cache, write path) each worker runs with; the
+	// zero value is the historical one-request HTTP/1.0 behaviour.
+	HTTP httpcore.Options
 }
 
 // DefaultConfig returns an N-worker configuration matching thttpd's defaults
@@ -160,6 +164,7 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 		})
 		w.edgeStyle = backend.EdgeStyle
 		w.handler = httpcore.NewHandler(k, p, w.api, cfg.Content)
+		w.handler.SetOptions(cfg.HTTP)
 		w.handler.IdleTimeout = cfg.IdleTimeout
 		s.workers = append(s.workers, w)
 	}
@@ -276,6 +281,9 @@ func (s *Server) Stats() httpcore.Stats {
 		total.IdleCloses += st.IdleCloses
 		total.Closed += st.Closed
 		total.BytesSent += st.BytesSent
+		total.KeptAlive += st.KeptAlive
+		total.CacheHits += st.CacheHits
+		total.CacheMisses += st.CacheMisses
 	}
 	return total
 }

@@ -46,6 +46,10 @@ type Config struct {
 	// WaitTimeout is the idle-sweep timer period, mirroring thttpd's
 	// one-second timer granularity.
 	WaitTimeout core.Duration
+	// HTTP selects the persistent-connection features (keep-alive,
+	// pipelining, response cache, write path); the zero value is the
+	// historical one-request HTTP/1.0 behaviour.
+	HTTP httpcore.Options
 }
 
 // DefaultConfig returns the configuration used in the paper's runs: stock
@@ -113,6 +117,7 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Server {
 
 	s.handler = httpcore.NewHandler(k, p, api, cfg.Content)
 	s.handler.IdleTimeout = cfg.IdleTimeout
+	s.handler.SetOptions(cfg.HTTP)
 	return s
 }
 

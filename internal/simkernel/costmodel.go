@@ -138,6 +138,15 @@ type CostModel struct {
 	// SockWritePerKB is the per-kilobyte cost of write() on a socket
 	// (copy + checksum + driver enqueue).
 	SockWritePerKB core.Duration
+	// SockWriteCopyPerKB is the portion of SockWritePerKB that is the
+	// user-to-kernel copy (copy_from_user into an sk_buff). sendfile(2) skips
+	// exactly this component — the mirror of SockReadCopy on the read side —
+	// and it must stay below SockWritePerKB.
+	SockWriteCopyPerKB core.Duration
+	// SendfilePage is the per-page cost sendfile(2) pays instead of the copy:
+	// looking the page up in the page cache, wiring it into the socket's
+	// zero-copy transmit path and taking a reference.
+	SendfilePage core.Duration
 	// SockClose is the cost of close() beyond SyscallEntry.
 	SockClose core.Duration
 	// FcntlSetSig is the cost of fcntl(F_SETSIG/F_SETOWN/O_ASYNC) per call.
@@ -153,6 +162,20 @@ type CostModel struct {
 	// the cached 6 KB document and preparing the response headers. Transmission
 	// costs are charged separately through SockWritePerKB.
 	HTTPService core.Duration
+
+	// --- response cache costs -------------------------------------------------
+	// Charged only when a server enables the mmap response cache (rcache);
+	// without it the historical HTTPService-only serve path is unchanged.
+
+	// CacheHit is the cost of serving a document already mapped into the
+	// response cache: a hash lookup and an LRU touch.
+	CacheHit core.Duration
+	// FileOpen is the cost of the open(2)+fstat(2) pair a cache miss pays to
+	// reach the document on disk (dentry walk, inode read — warm metadata).
+	FileOpen core.Duration
+	// FileReadPage is the per-page cost a cache miss pays to fault the
+	// document's body into the new mapping (page-cache allocation plus copy).
+	FileReadPage core.Duration
 
 	// SchedWakeup is the latency between an event making a sleeping process
 	// runnable and that process starting to execute (context switch).
@@ -193,15 +216,21 @@ func DefaultCostModel() *CostModel {
 		RingRegisterBuf: us(2.0),
 		SockReadCopy:    us(2.5),
 
-		Accept:         us(12.0),
-		SockRead:       us(6.0),
-		SockWritePerKB: us(18.0),
-		SockClose:      us(8.0),
-		FcntlSetSig:    us(3.0),
-		NetRxIRQ:       us(4.0),
-		ConnHandoff:    us(40.0),
+		Accept:             us(12.0),
+		SockRead:           us(6.0),
+		SockWritePerKB:     us(18.0),
+		SockWriteCopyPerKB: us(6.0),
+		SendfilePage:       us(0.50),
+		SockClose:          us(8.0),
+		FcntlSetSig:        us(3.0),
+		NetRxIRQ:           us(4.0),
+		ConnHandoff:        us(40.0),
 
 		HTTPService: us(620.0),
+
+		CacheHit:     us(0.80),
+		FileOpen:     us(10.0),
+		FileReadPage: us(3.0),
 
 		SchedWakeup: us(8.0),
 	}
@@ -221,4 +250,22 @@ func (c *CostModel) WriteCost(n int) core.Duration {
 		return 0
 	}
 	return core.Duration(float64(c.SockWritePerKB) * float64(n) / 1024.0)
+}
+
+// sendfilePageSize is the page granularity of the zero-copy transmit charge.
+const sendfilePageSize = 4096
+
+// SendfileCost returns the CPU cost of transferring n bytes with sendfile(2),
+// excluding the syscall entry cost: the write path with the user-space copy
+// component removed, plus the per-page page-cache wiring charge.
+func (c *CostModel) SendfileCost(n int) core.Duration {
+	if n <= 0 {
+		return 0
+	}
+	perKB := c.SockWritePerKB - c.SockWriteCopyPerKB
+	if perKB < 0 {
+		perKB = 0
+	}
+	pages := (n + sendfilePageSize - 1) / sendfilePageSize
+	return core.Duration(float64(perKB)*float64(n)/1024.0) + core.Duration(pages)*c.SendfilePage
 }
