@@ -15,6 +15,8 @@
 //	benchfig -fig 32                # keep-alive vs HTTP/1.0 at the knee
 //	benchfig -fig 16 -keepalive     # re-run a figure on the persistent hot path
 //	benchfig -fig 10 -connections 35000   # the paper's full-size procedure
+//	benchfig -fig 37                # server push at 100k mostly-idle members
+//	benchfig -fig 39 -churn-rate 400      # datagram churn, custom join rate
 //	benchfig -list                  # list available figures
 package main
 
@@ -51,6 +53,8 @@ func main() {
 	pipelineDepth := flag.Int("pipeline-depth", 0, "requests the keep-alive client keeps outstanding (>1 implies -keepalive)")
 	cacheKB := flag.Int("cache-kb", 0, "server response-cache capacity in KB (0 = the legacy no-file-charge model)")
 	writeMode := flag.String("write-mode", "", "server write path: copy, writev or sendfile (default writev)")
+	fanout := flag.Int("fanout", 0, "members the push server fans out to per tick (push figures; 0 = the workload's default)")
+	churnRate := flag.Float64("churn-rate", 0, "peer join rate in peers/s (dhtchurn figures; 0 = the workload's default; fig39's churn axis wins)")
 	listBackends := flag.Bool("list-backends", false, "list registered event backends and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workload scenarios and exit")
 	seed := flag.Int64("seed", 1, "load generator seed")
@@ -74,6 +78,9 @@ func main() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		for _, f := range experiments.MassiveScaleFigures() {
+			fmt.Printf("%-6s %s\n", f.ID, f.Title)
+		}
+		for _, f := range experiments.MostlyIdleFigures() {
 			fmt.Printf("%-6s %s\n", f.ID, f.Title)
 		}
 		return
@@ -130,6 +137,7 @@ func main() {
 		Backend: *backend, Workload: *workload, Progress: progress,
 		KeepAlive: *keepalive, RequestsPerConn: *requestsPerConn,
 		PipelineDepth: *pipelineDepth, CacheKB: *cacheKB, WriteMode: mode,
+		Fanout: *fanout, ChurnRate: *churnRate,
 	}
 	if *rates != "" {
 		for _, part := range strings.Split(*rates, ",") {

@@ -26,8 +26,8 @@
 //
 // Usage:
 //
-//	benchgate -emit BENCH_PR8.json          # refresh the baseline
-//	benchgate -baseline BENCH_PR8.json -candidate new.json
+//	benchgate -emit BENCH_PR9.json          # refresh the baseline
+//	benchgate -baseline BENCH_PR9.json -candidate new.json
 //	benchgate -crosscheck 4                 # parallel == sequential, bit for bit
 package main
 
@@ -161,6 +161,11 @@ func points(connections int, seed int64) []struct {
 	// rescans the write-parked background entries every loop (on devpoll the
 	// jammed connections are invisible after their one pre-benchmark serve).
 	for _, w := range loadgen.Workloads() {
+		// The push and dhtchurn workloads drive their own server families;
+		// their gated points follow below.
+		if w.Kind != loadgen.KindRequest {
+			continue
+		}
 		server := experiments.ServerThttpdDevPoll
 		if w.Name == "stalled" {
 			server = experiments.ServerThttpdPoll
@@ -170,6 +175,21 @@ func points(connections int, seed int64) []struct {
 			Workload: w.Name,
 		})
 	}
+
+	// The mostly-idle families (figures 36-39): the push daemon fanning out
+	// over a 100k-member interest set of which well under 5% are active per
+	// tick (the figure-37 acceptance point), and the datagram node at its
+	// churn knee. Both pin their own connection counts — the idle population
+	// is the point — and the push entry widens the port space like the other
+	// 100k anchors.
+	add("push-100k-idle-epoll-rate1000", experiments.RunSpec{
+		Server: "push-epoll", Workload: "push", RequestRate: 1000,
+		Connections: 100000, Network: &massiveNet,
+	})
+	add("dhtchurn-knee-epoll-rate2000", experiments.RunSpec{
+		Server: "dht-epoll", Workload: "dhtchurn", RequestRate: 2000,
+		Connections: 4000,
+	})
 
 	// The persistent-connection hot path (figure-32 family): the epoll knee
 	// point with the axes turned on one at a time — serial keep-alive,

@@ -48,6 +48,8 @@ func main() {
 	pipelineDepth := flag.Int("pipeline-depth", 0, "requests the keep-alive client keeps outstanding (>1 implies -keepalive)")
 	cacheKB := flag.Int("cache-kb", 0, "server response-cache capacity in KB (0 = the legacy no-file-charge model)")
 	writeMode := flag.String("write-mode", "", "server write path: copy, writev or sendfile (default writev)")
+	fanout := flag.Int("fanout", 0, "members the push server fans out to per tick (push figures; 0 = the workload's default)")
+	churnRate := flag.Float64("churn-rate", 0, "peer join rate in peers/s (dhtchurn figures; 0 = the workload's default; fig39's churn axis wins)")
 	workers := flag.String("workers", "", "comma-separated worker counts for the scaling figures (default 1,2,4,8)")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress all progress output on stderr")
@@ -85,6 +87,8 @@ func main() {
 		o.PipelineDepth = *pipelineDepth
 		o.CacheKB = *cacheKB
 		o.WriteMode = mode
+		o.Fanout = *fanout
+		o.ChurnRate = *churnRate
 	}
 	stopProfiles := profiling.StartAll(profiling.Config{
 		CPU: *cpuprofile, Mem: *memprofile,
@@ -166,12 +170,14 @@ func main() {
 		}
 	}
 
-	// The scale families (figs 26-28 and 29-31, fig.Connections > 0) only run
-	// when selected explicitly: at 10k-1M connections per point they would
-	// dominate the default sweep.
+	// The scale families (figs 26-31) and the mostly-idle families (figs
+	// 36-39) pin their own connection counts (fig.Connections > 0), so the
+	// guard below keeps them out of the default sweep: at 10k-1M connections
+	// per point they would dominate it.
 	overloadFigs := append(experiments.OverloadFigures(), experiments.KeepAliveFigures()...)
 	overloadFigs = append(overloadFigs, experiments.ScaleFigures()...)
 	overloadFigs = append(overloadFigs, experiments.MassiveScaleFigures()...)
+	overloadFigs = append(overloadFigs, experiments.MostlyIdleFigures()...)
 	for _, fig := range overloadFigs {
 		if !selected(fig.ID, fig.Number) || (fig.Connections > 0 && len(wanted) == 0) {
 			continue

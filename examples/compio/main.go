@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 func main() {
@@ -53,7 +54,7 @@ func main() {
 	}, nil)
 	conns := make([]*netsim.ClientConn, 3)
 	for i := range conns {
-		conns[i] = net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
+		conns[i] = net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
 	}
 	k.Sim.Run()
 

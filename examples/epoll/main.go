@@ -18,6 +18,7 @@ import (
 	"repro/internal/epoll"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 func main() {
@@ -42,9 +43,9 @@ func main() {
 		}
 	}, nil)
 
-	active := net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
-	net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
-	net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
+	active := net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
+	net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
+	net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
 	k.Sim.Run()
 
 	// Accept everything and register each connection with both instances.

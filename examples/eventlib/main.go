@@ -22,6 +22,7 @@ import (
 	"repro/internal/eventlib"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 func main() {
@@ -113,7 +114,7 @@ func main() {
 
 	// Two clients send staggered bursts of request data.
 	for i, delay := range []core.Duration{3 * core.Millisecond, 8 * core.Millisecond} {
-		cc := net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
+		cc := net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
 		size := 32 * (i + 1)
 		k.Sim.After(delay, func(now core.Time) { cc.Send(now, make([]byte, size)) })
 		k.Sim.After(delay+18*core.Millisecond, func(now core.Time) { cc.Send(now, make([]byte, size)) })

@@ -27,6 +27,7 @@ import (
 	"repro/internal/servers/httpcore"
 	"repro/internal/servers/thttpd"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 // exchange starts a fresh thttpd/epoll with the given options, drives one
@@ -42,7 +43,7 @@ func exchange(opts httpcore.Options, payload []byte) (*thttpd.Server, int, core.
 	s.Start()
 
 	received := 0
-	cc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	cc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData: func(_ core.Time, b int) { received += b },
 	})
 	k.Sim.After(core.Millisecond, func(now core.Time) { cc.Send(now, payload) })

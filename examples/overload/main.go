@@ -18,13 +18,14 @@ import (
 	"repro/internal/servers/hybrid"
 	"repro/internal/servers/phhttpd"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 // burst launches n simultaneous requests against the network's listener.
 func burst(k *simkernel.Kernel, net *netsim.Network, n int) *int {
 	served := new(int)
 	for i := 0; i < n; i++ {
-		cc := net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+		cc := net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 			OnPeerClosed: func(core.Time) { *served++ },
 		})
 		k.Sim.After(core.Millisecond, func(now core.Time) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/eventlib"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 func main() {
@@ -96,8 +97,8 @@ func main() {
 	}
 
 	// Two clients connect; one sends a request, one stays idle.
-	active := net.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
-	net.Connect(k.Now(), netsim.ConnectOptions{RTT: 100 * core.Millisecond}, netsim.Handlers{})
+	active := net.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
+	net.ConnectWith(k.Now(), netsim.ConnectOptions{RTT: 100 * core.Millisecond}, &simtest.ConnHooks{})
 	k.Sim.After(5*core.Millisecond, func(now core.Time) {
 		active.Send(now, make([]byte, 64))
 	})

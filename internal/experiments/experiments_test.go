@@ -261,8 +261,8 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 	if _, ok := FigureByID("nope"); ok {
 		t.Fatal("FigureByID(nope) should fail")
 	}
-	if len(ServerKinds()) != 15 {
-		t.Fatalf("ServerKinds = %d, want the paper's four plus the registry-derived extensions and the prefork sizes", len(ServerKinds()))
+	if len(ServerKinds()) != 27 {
+		t.Fatalf("ServerKinds = %d, want the paper's four plus the registry-derived extensions, the prefork sizes and the push/dht families", len(ServerKinds()))
 	}
 	kinds := map[ServerKind]bool{}
 	for _, k := range ServerKinds() {
@@ -275,6 +275,8 @@ func TestFigureDefinitionsCoverPaper(t *testing.T) {
 		ServerThttpdEpoll, ServerThttpdEpollET, ServerThttpdRtsig,
 		ServerHybridEpoll, ServerHybridEpollET,
 		ServerThttpdCompio, ServerKind("hybrid-compio"),
+		ServerKind("push-poll"), ServerKind("push-compio"),
+		ServerKind("dht-poll"), ServerKind("dht-epoll-et"),
 	} {
 		if !kinds[want] {
 			t.Fatalf("ServerKinds missing %q", want)

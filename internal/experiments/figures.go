@@ -220,6 +220,13 @@ type SweepOptions struct {
 	CacheKB         int
 	WriteMode       httpcore.WriteMode
 
+	// Fanout overrides the push workload's per-tick fan-out on push-* curves
+	// and ChurnRate the churn workload's join rate on dht-* curves (the
+	// -fanout and -churn-rate flags). Zero keeps the workload's own values; a
+	// figure's own churn axis (fig39) wins over ChurnRate.
+	Fanout    int
+	ChurnRate float64
+
 	// Threads is the number of OS threads driving each point's simulation;
 	// values below 2 select the sequential engine. Deterministic metrics are
 	// byte-identical across thread counts (see RunSpec.Threads).

@@ -36,6 +36,11 @@ type OverloadFigure struct {
 	// at 35000 connections precisely because 60 s of TIME-WAIT exhausts a
 	// 60000-port space, and these figures push far past that.
 	PortSpace int
+	// Churn, when non-empty, turns the figure's x axis into the churn
+	// workload's peer join rate: every curve runs once per churn value at the
+	// figure's single fixed offered rate (Rates[0]). Only the mostly-idle
+	// family (fig39) uses it.
+	Churn []float64
 }
 
 // OverloadRates is the default overload sweep: from comfortably below a
@@ -224,6 +229,83 @@ func MassiveScaleFigures() []OverloadFigure {
 	return []OverloadFigure{mk(29, 100000), mk(30, 300000), mk(31, 1000000)}
 }
 
+// mostlyIdleCurves returns the five paper mechanisms as curves of the given
+// family prefix ("push" or "dht"): the millions-mostly-idle figures compare
+// the same event mechanisms the HTTP figures do, but hosted in the non-HTTP
+// daemons, so the backend name is the whole server kind.
+func mostlyIdleCurves(family string) []Curve {
+	curves := make([]Curve, 0, 5)
+	for _, b := range []string{"poll", "devpoll", "rtsig", "epoll", "compio"} {
+		curves = append(curves, Curve{Label: b, Server: ServerKind(family + "-" + b)})
+	}
+	return curves
+}
+
+// MostlyIdleFigures returns the millions-mostly-idle figure family (figs
+// 36-39): the server-push daemon's delivery rate and p99 delivery latency
+// against interest-set size and offered delivery rate, and the datagram
+// rendezvous node against ping rate and peer churn. These figures pin their
+// own connection counts (like the scale family), so the default sweep skips
+// them; regenerate with -figs 36,37,38,39.
+func MostlyIdleFigures() []OverloadFigure {
+	return []OverloadFigure{
+		{
+			ID:     "fig36",
+			Number: 36,
+			Title:  "Server push: delivery rate and p99 vs offered rate, 10000 subscribed members, five mechanisms",
+			Paper: "Not in the paper, whose traffic is all client-initiated. Members subscribe once and go " +
+				"silent; the server fans 32-payload ticks out to sampled member sets, so under 1% of the " +
+				"interest set is active at any instant and the mechanisms separate purely on what an " +
+				"idle registration costs per dispatch: poll rescans all 10000 members every tick.",
+			Workload:    "push",
+			Rates:       []float64{1000, 4000, 16000},
+			Connections: 10000,
+			Curves:      mostlyIdleCurves("push"),
+		},
+		{
+			ID:     "fig37",
+			Number: 37,
+			Title:  "Server push at 100000 members: the millions-mostly-idle regime, five mechanisms",
+			Paper: "Not in the paper: two orders of magnitude past its testbed. With 100k members and 32 " +
+				"pushes per tick (>=99.9% of the interest set idle), poll's full-set scan per tick " +
+				"dominates everything else the server does and its delivery rate collapses, while " +
+				"/dev/poll, epoll and the completion ring stay on the offered-rate diagonal.",
+			Workload:    "push",
+			Rates:       []float64{1000, 3200, 6400},
+			Connections: 100000,
+			PortSpace:   2*100000 + 100000,
+			Curves:      mostlyIdleCurves("push"),
+		},
+		{
+			ID:     "fig38",
+			Number: 38,
+			Title:  "Datagram churn: pong rate and p99 vs offered ping rate, 4000 peer sessions, five mechanisms",
+			Paper: "Not in the paper, which never leaves TCP. Peers join a rendezvous node at 200/s, ping " +
+				"their per-peer session sockets and leave; the interest set is one datagram descriptor " +
+				"per live peer, churning constantly, so the figure measures registration and teardown " +
+				"cost as much as dispatch.",
+			Workload:    "dhtchurn",
+			Rates:       []float64{1000, 2000, 4000, 8000},
+			Connections: 4000,
+			Curves:      mostlyIdleCurves("dht"),
+		},
+		{
+			ID:     "fig39",
+			Number: 39,
+			Title:  "Datagram churn: pong rate and p99 vs churn rate at 2000 pings/s, 4000 peer sessions, five mechanisms",
+			Paper: "Not in the paper. Holding the ping rate fixed and sweeping the join rate moves the " +
+				"descriptor-churn/dispatch ratio: at low churn sessions live long and the run is all " +
+				"dispatch, at high churn every mechanism pays constant interest-set registration and " +
+				"teardown, the cost /dev/poll-style kernel-resident sets amortise and poll does not.",
+			Workload:    "dhtchurn",
+			Rates:       []float64{2000},
+			Churn:       []float64{50, 100, 200, 400, 800},
+			Connections: 4000,
+			Curves:      mostlyIdleCurves("dht"),
+		},
+	}
+}
+
 // KeepAliveRequests is the per-connection request count of the keep-alive
 // figure family and the sweep-level -keepalive default: long enough to
 // amortise the connection setup, short enough that connections still churn.
@@ -327,6 +409,7 @@ func OverloadFigureByID(id string) (OverloadFigure, bool) {
 	id = strings.ToLower(strings.TrimSpace(id))
 	families := [][]OverloadFigure{
 		OverloadFigures(), KeepAliveFigures(), ScaleFigures(), MassiveScaleFigures(),
+		MostlyIdleFigures(),
 	}
 	for _, fam := range families {
 		for _, f := range fam {
@@ -410,17 +493,29 @@ func RunOverloadFigure(fig OverloadFigure, opts SweepOptions) OverloadFigureResu
 				curve.Server = kind
 			}
 		}
-		reply := metrics.Series{Label: curve.Label + " (reply avg)", XLabel: "request rate", YLabel: MetricReplyRate.String()}
-		p99 := metrics.Series{Label: curve.Label + " (p99 ms)", XLabel: "request rate", YLabel: "p99 connection time (ms)"}
-		for _, rate := range rates {
+		// A churn axis (fig39) sweeps the join rate at the figure's single
+		// fixed offered rate; otherwise the x axis is the offered rate.
+		xlabel, xs := "request rate", rates
+		if len(fig.Churn) > 0 {
+			xlabel, xs = "churn rate", fig.Churn
+		}
+		reply := metrics.Series{Label: curve.Label + " (reply avg)", XLabel: xlabel, YLabel: MetricReplyRate.String()}
+		p99 := metrics.Series{Label: curve.Label + " (p99 ms)", XLabel: xlabel, YLabel: "p99 connection time (ms)"}
+		for _, x := range xs {
 			spec := RunSpec{
 				Server:      curve.Server,
-				RequestRate: rate,
+				RequestRate: x,
 				Inactive:    curve.Inactive,
 				Connections: connections,
 				Seed:        seed,
 				Workload:    workload,
 				Threads:     opts.Threads,
+				FanoutSize:  opts.Fanout,
+				ChurnRate:   opts.ChurnRate,
+			}
+			if len(fig.Churn) > 0 {
+				spec.RequestRate = rates[0]
+				spec.ChurnRate = x
 			}
 			if fig.PortSpace > 0 {
 				netCfg := netsim.DefaultConfig()
@@ -430,8 +525,8 @@ func RunOverloadFigure(fig OverloadFigure, opts SweepOptions) OverloadFigureResu
 			applyHTTPSweep(&spec, curve, opts)
 			res := Run(spec)
 			out.Runs = append(out.Runs, res)
-			reply.Append(rate, res.Load.ReplyRate.Mean)
-			p99.Append(rate, res.Latency.P99)
+			reply.Append(x, res.Load.ReplyRate.Mean)
+			p99.Append(x, res.Latency.P99)
 			if opts.Progress != nil {
 				opts.Progress("%s [%s] %s", fig.ID, workload, Describe(res))
 			}
@@ -476,7 +571,11 @@ func FormatOverload(res OverloadFigureResult) string {
 			width = len(s.Label) + 2
 		}
 	}
-	fmt.Fprintf(&b, "%-12s", "rate")
+	xname := "rate"
+	if len(res.Figure.Churn) > 0 {
+		xname = "churn"
+	}
+	fmt.Fprintf(&b, "%-12s", xname)
 	for _, s := range res.Series {
 		fmt.Fprintf(&b, "%*s", width, s.Label)
 	}

@@ -18,10 +18,12 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/servers/dhtnode"
 	"repro/internal/servers/httpcore"
 	"repro/internal/servers/hybrid"
 	"repro/internal/servers/phhttpd"
 	"repro/internal/servers/prefork"
+	"repro/internal/servers/pushcore"
 	"repro/internal/servers/thttpd"
 	"repro/internal/simkernel"
 )
@@ -83,6 +85,14 @@ func ServerKinds() []ServerKind {
 	for _, n := range []int{1, 2, 4, 8} {
 		kinds = append(kinds, PreforkKind(n))
 	}
+	// The millions-mostly-idle families: the server-push daemon and the
+	// datagram rendezvous node, each on any registered backend.
+	for _, b := range eventlib.Backends() {
+		kinds = append(kinds, ServerKind("push-"+b.Name))
+	}
+	for _, b := range eventlib.Backends() {
+		kinds = append(kinds, ServerKind("dht-"+b.Name))
+	}
 	return kinds
 }
 
@@ -117,6 +127,16 @@ func resolveKind(kind ServerKind) (resolvedKind, error) {
 		name := strings.TrimPrefix(s, "hybrid-")
 		if _, ok := eventlib.Lookup(name); ok && bulkCapable(name) {
 			return resolvedKind{family: "hybrid", backend: name}, nil
+		}
+	case strings.HasPrefix(s, "push-"):
+		name := strings.TrimPrefix(s, "push-")
+		if _, ok := eventlib.Lookup(name); ok {
+			return resolvedKind{family: "push", backend: name}, nil
+		}
+	case strings.HasPrefix(s, "dht-"):
+		name := strings.TrimPrefix(s, "dht-")
+		if _, ok := eventlib.Lookup(name); ok {
+			return resolvedKind{family: "dht", backend: name}, nil
 		}
 	case strings.HasPrefix(s, "prefork-"):
 		rest := strings.TrimPrefix(s, "prefork-")
@@ -170,6 +190,10 @@ func RetargetKind(kind ServerKind, backend string) (ServerKind, error) {
 	switch rk.family {
 	case "thttpd":
 		return ServerKind("thttpd-" + backend), nil
+	case "push":
+		return ServerKind("push-" + backend), nil
+	case "dht":
+		return ServerKind("dht-" + backend), nil
 	case "hybrid":
 		if backend == "devpoll" {
 			return ServerHybrid, nil
@@ -216,6 +240,20 @@ type RunSpec struct {
 	// PipelineDepth is how many requests the keep-alive client keeps
 	// outstanding; 0 or 1 is the serial request-response client.
 	PipelineDepth int
+	// Client carries the collapsed per-client knobs straight through to
+	// loadgen.Config.Profile; non-zero profile fields win over the flat
+	// RequestsPerConn/PipelineDepth fields above (which remain for
+	// compatibility with the figure definitions).
+	Client loadgen.ClientProfile
+
+	// FanoutSize overrides the push workload's per-tick fan-out (push-* server
+	// kinds); zero keeps the workload's own value. The push server's tick
+	// interval derives from it: FanoutSize pushes per tick at RequestRate
+	// deliveries per second overall.
+	FanoutSize int
+	// ChurnRate overrides the churn workload's peer join rate in peers/second
+	// (dht-* server kinds); zero keeps the workload's own value.
+	ChurnRate float64
 
 	// Cost optionally overrides the calibrated cost model (ablations).
 	Cost *simkernel.CostModel
@@ -373,9 +411,82 @@ func (r hybridRun) fill(res *RunResult) {
 	res.ServiceLatency = r.Handler().ServiceLatency.Percentiles()
 }
 
-// buildServer constructs the server a resolved kind names.
-func buildServer(spec RunSpec, rk resolvedKind, k *simkernel.Kernel, net *netsim.Network) benchServer {
+// pushRun adapts the server-push daemon to the benchServer surface. Its
+// application counters map onto the HTTP stats shape so figure and gate
+// tooling read every family uniformly: Served counts subscribed members,
+// Pushed the server-originated deliveries.
+type pushRun struct{ *pushcore.Server }
+
+func (r pushRun) Stats() httpcore.Stats {
+	st := r.Server.Stats()
+	return httpcore.Stats{
+		Accepted:  st.Accepted,
+		Served:    st.Subscribed,
+		Pushed:    st.Pushed,
+		BytesSent: st.BytesSent,
+		Closed:    st.Closed,
+	}
+}
+
+func (r pushRun) fill(res *RunResult) {
+	if src, ok := r.Poller().(core.StatsSource); ok {
+		res.Primary = src.MechanismStats()
+	}
+	res.EventLoops = r.Loops()
+	res.FinalMode = r.Poller().Name()
+}
+
+// dhtRun adapts the datagram rendezvous node: Accepted counts peer joins,
+// Served the pongs sent, IdleCloses the sessions the sweep expired.
+type dhtRun struct{ *dhtnode.Server }
+
+func (r dhtRun) Stats() httpcore.Stats {
+	st := r.Server.Stats()
+	return httpcore.Stats{
+		Accepted:   st.Joins,
+		Served:     st.Pongs,
+		IdleCloses: st.Expired,
+		Closed:     st.Expired,
+	}
+}
+
+func (r dhtRun) fill(res *RunResult) {
+	if src, ok := r.Poller().(core.StatsSource); ok {
+		res.Primary = src.MechanismStats()
+	}
+	res.EventLoops = r.Loops()
+	res.FinalMode = r.Poller().Name()
+}
+
+// buildServer constructs the server a resolved kind names. The workload
+// carries the push/churn-family knobs the non-HTTP servers derive their
+// configuration from.
+func buildServer(spec RunSpec, wl loadgen.Workload, rk resolvedKind, k *simkernel.Kernel, net *netsim.Network) benchServer {
 	switch rk.family {
+	case "push":
+		cfg := pushcore.DefaultConfig()
+		cfg.Backend = rk.backend
+		if wl.FanoutSize > 0 {
+			cfg.FanoutSize = wl.FanoutSize
+		}
+		if wl.PushPayload > 0 {
+			cfg.Payload = wl.PushPayload
+		}
+		cfg.Seed = uint64(spec.Seed)
+		// RequestRate is the offered delivery rate: one tick pushes
+		// FanoutSize payloads, so the tick period is FanoutSize/rate.
+		cfg.TickInterval = core.Duration(float64(cfg.FanoutSize) / spec.RequestRate * float64(core.Second))
+		return pushRun{pushcore.New(k, net, cfg)}
+	case "dht":
+		cfg := dhtnode.DefaultConfig()
+		cfg.Backend = rk.backend
+		if wl.PingSize > 0 {
+			cfg.PongSize = wl.PingSize
+		}
+		if wl.PeerTimeout > 0 {
+			cfg.PeerTimeout = wl.PeerTimeout
+		}
+		return dhtRun{dhtnode.New(k, net, cfg)}
 	case "prefork":
 		cfg := prefork.DefaultConfig(rk.workers)
 		if spec.PreforkConfig != nil {
@@ -483,6 +594,15 @@ func RunE(spec RunSpec) (RunResult, error) {
 	if !ok {
 		return RunResult{}, loadgen.UnknownWorkloadError(spec.Workload)
 	}
+	if err := checkFamilyPairing(rk, workload); err != nil {
+		return RunResult{}, err
+	}
+	if spec.FanoutSize > 0 {
+		workload.FanoutSize = spec.FanoutSize
+	}
+	if spec.ChurnRate > 0 {
+		workload.ChurnRate = spec.ChurnRate
+	}
 	if spec.Connections <= 0 {
 		spec.Connections = 4000
 	}
@@ -494,10 +614,16 @@ func RunE(spec RunSpec) (RunResult, error) {
 	// connections, launched at 1/N the rate by the generator. Offered load,
 	// total work and issue window all match the HTTP/1.0 curve of the same
 	// figure — the comparison isolates the per-connection costs (accept,
-	// interest-set registration, teardown) that persistence amortises.
+	// interest-set registration, teardown) that persistence amortises. The
+	// profile's request count wins over the flat field, mirroring loadgen's
+	// merge; the non-request families have no request budget to normalise.
 	requests := spec.Connections
-	if spec.RequestsPerConn > 1 {
-		spec.Connections = (spec.Connections + spec.RequestsPerConn - 1) / spec.RequestsPerConn
+	rpc := spec.RequestsPerConn
+	if spec.Client.RequestsPerConn > 0 {
+		rpc = spec.Client.RequestsPerConn
+	}
+	if workload.Kind == loadgen.KindRequest && rpc > 1 {
+		spec.Connections = (spec.Connections + rpc - 1) / rpc
 	}
 	ncpu := rk.workers
 	if ncpu < 1 {
@@ -508,6 +634,13 @@ func RunE(spec RunSpec) (RunResult, error) {
 	if spec.Network != nil {
 		netCfg = *spec.Network
 	}
+	if workload.Kind == loadgen.KindPush && netCfg.ListenBacklog < spec.Connections {
+		// The push workload front-loads its entire population: members connect
+		// at MemberRate (tens of thousands per second) before measurement
+		// starts, which is not the arrival process under test — the fan-out
+		// is. Let the whole population queue rather than refuse the ramp.
+		netCfg.ListenBacklog = spec.Connections
+	}
 
 	lcfg := loadgen.DefaultConfig(spec.RequestRate, spec.Inactive)
 	lcfg.Connections = spec.Connections
@@ -515,13 +648,18 @@ func RunE(spec RunSpec) (RunResult, error) {
 	lcfg.Workload = workload
 	lcfg.RequestsPerConn = spec.RequestsPerConn
 	lcfg.PipelineDepth = spec.PipelineDepth
+	lcfg.Profile = spec.Client
+	// The work window is how long the run's traffic takes to offer: the issue
+	// window for the request family, the member ramp plus the delivery budget
+	// for push, the join window plus one peer's ping lifetime for churn. It
+	// paces the sampling interval and bounds the virtual-time safety net.
+	work := workWindow(spec, workload, requests)
 	// Scaled-down runs (fewer than the paper's 35000 connections) shrink the
 	// sampling interval and the client timeout proportionally, so that the
 	// ratio of queue-buildup time to client patience — which is what turns an
 	// overloaded server into the paper's error percentages — is preserved.
 	if requests < 20000 {
-		issue := core.Duration(float64(requests) / spec.RequestRate * float64(core.Second))
-		si := issue / 8
+		si := work / 8
 		if si < 500*core.Millisecond {
 			si = 500 * core.Millisecond
 		}
@@ -548,8 +686,12 @@ func RunE(spec RunSpec) (RunResult, error) {
 		net.Parallelize()
 	}
 
-	srv := buildServer(spec, rk, k, net)
+	srv := buildServer(spec, workload, rk, k, net)
 	gen := loadgen.New(k, net, lcfg)
+	if pr, ok := srv.(pushRun); ok {
+		// The generator anchors delivery latency at push initiation.
+		pr.OnDeliver = gen.PushDeliver
+	}
 	gen.OnDone(func(loadgen.Result) {
 		srv.Stop()
 		k.Sim.Stop()
@@ -560,9 +702,8 @@ func RunE(spec RunSpec) (RunResult, error) {
 
 	deadline := spec.MaxVirtualTime
 	if deadline <= 0 {
-		// Issue time plus a generous drain allowance.
-		issue := core.Duration(float64(requests)/spec.RequestRate*float64(core.Second)) + 30*core.Second
-		deadline = issue * 2
+		// Work window plus a generous drain allowance.
+		deadline = (work + 30*core.Second) * 2
 	}
 	k.Sim.RunUntil(core.Time(deadline))
 
@@ -589,6 +730,59 @@ func RunE(spec RunSpec) (RunResult, error) {
 	res.Latency = res.Load.Latency
 	srv.fill(&res)
 	return res, nil
+}
+
+// checkFamilyPairing rejects a server kind driven by the wrong traffic
+// family: the push daemon cannot parse HTTP requests, the HTTP servers
+// cannot answer datagram pings, and silently running the mismatch would
+// produce all-error results that look like a mechanism collapse.
+func checkFamilyPairing(rk resolvedKind, wl loadgen.Workload) error {
+	want := loadgen.KindRequest
+	switch rk.family {
+	case "push":
+		want = loadgen.KindPush
+	case "dht":
+		want = loadgen.KindDHTChurn
+	}
+	if wl.Kind != want {
+		return fmt.Errorf("experiments: server family %q serves %q traffic, but workload %q drives %q (pair push-* kinds with the push workload, dht-* kinds with dhtchurn, HTTP kinds with the request workloads)",
+			rk.family, want, wl.Name, wl.Kind)
+	}
+	return nil
+}
+
+// workWindow is the virtual-time span the spec's traffic takes to offer.
+// The request family issues requests/rate seconds of connections; push ramps
+// the member population at MemberRate and then spends its delivery budget at
+// RequestRate; churn joins peers at ChurnRate and the last peer still pings
+// through its quota afterwards.
+func workWindow(spec RunSpec, wl loadgen.Workload, requests int) core.Duration {
+	switch wl.Kind {
+	case loadgen.KindPush:
+		mr := wl.MemberRate
+		if mr <= 0 {
+			mr = 50000
+		}
+		ramp := core.Duration(float64(requests)/mr*float64(core.Second)) + 400*core.Millisecond
+		return ramp + core.Duration(float64(requests)/spec.RequestRate*float64(core.Second))
+	case loadgen.KindDHTChurn:
+		churn := wl.ChurnRate
+		if churn <= 0 {
+			churn = 100
+		}
+		interval := wl.PingInterval
+		if interval <= 0 {
+			interval = 500 * core.Millisecond
+		}
+		quota := spec.RequestRate / churn
+		if quota < 1 {
+			quota = 1
+		}
+		join := core.Duration(float64(requests) / churn * float64(core.Second))
+		return join + core.Duration(quota*float64(interval))
+	default:
+		return core.Duration(float64(requests) / spec.RequestRate * float64(core.Second))
+	}
 }
 
 // minRTT returns the shortest round-trip time any connection in the run can

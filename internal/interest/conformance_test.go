@@ -16,7 +16,9 @@ import (
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
 	"repro/internal/eventlib"
+	"repro/internal/netsim"
 	"repro/internal/rtsig"
+	"repro/internal/simkernel"
 	"repro/internal/simtest"
 	"repro/internal/stockpoll"
 )
@@ -190,6 +192,110 @@ func TestConformanceWaitDeliversReadiness(t *testing.T) {
 		}
 		if col.At < core.Time(2*core.Millisecond) {
 			t.Fatalf("handler ran before the readiness existed: %v", col.At)
+		}
+	})
+}
+
+// TestConformanceWriteInterestNoPendingRead pins the server-push pattern: a
+// descriptor armed for write interest only, while it stays readable the whole
+// time and nothing ever reads it. The pending readability must not wake the
+// write-only registration, and the later writability transition must — a
+// push daemon parked on a full send buffer depends on both halves.
+func TestConformanceWriteInterestNoPendingRead(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		fd, file := env.NewFD(core.POLLIN) // readable from birth, never read
+		if err := p.Add(fd.Num, core.POLLOUT); err != nil {
+			t.Fatal(err)
+		}
+		var col simtest.Collector
+		p.Wait(0, core.Forever, col.Handler())
+		env.K.Sim.At(core.Time(2*core.Millisecond), func(now core.Time) {
+			file.SetReady(now, core.POLLIN|core.POLLOUT)
+		})
+		env.Run()
+		if col.Calls != 1 {
+			t.Fatalf("handler calls = %d", col.Calls)
+		}
+		if col.At < core.Time(2*core.Millisecond) {
+			t.Fatalf("write-only wait woke at %v, before the descriptor was writable (the unwatched readability leaked through)", col.At)
+		}
+		found := false
+		for _, ev := range col.Events {
+			if ev.FD == fd.Num && ev.Ready.Any(core.POLLOUT) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("writability not delivered: %+v", col.Events)
+		}
+	})
+}
+
+// TestConformanceDatagramReadiness runs a bound datagram socket through every
+// mechanism: a fresh socket is writable but not readable, an arriving
+// datagram wakes a blocked wait with POLLIN, draining the queue clears the
+// readability, and a second datagram re-arms the mechanism (the
+// empty→non-empty edge, which edge-triggered modes depend on).
+func TestConformanceDatagramReadiness(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		const addr netsim.Addr = 1
+		net := netsim.New(env.K, netsim.DefaultConfig())
+		api := netsim.NewSockAPI(env.K, env.P, net)
+		var fd *simkernel.FD
+		env.P.Batch(0, func() { fd, _ = api.OpenDatagram(addr) }, nil)
+		env.Run()
+
+		if m := fd.Poll(); m.Any(core.POLLIN) || !m.Any(core.POLLOUT) {
+			t.Fatalf("fresh datagram socket polls %v, want writable and not readable", m)
+		}
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		var col simtest.Collector
+		p.Wait(0, core.Forever, col.Handler())
+		var peer *netsim.Peer
+		peer = net.NewPeer(env.K.Now(), netsim.PeerOptions{}, &simtest.DgramHooks{
+			OnStarted: func(now core.Time) { peer.SendTo(now, addr, 64) },
+		})
+		env.Run()
+		if col.Calls != 1 {
+			t.Fatalf("handler calls = %d", col.Calls)
+		}
+		woke := false
+		for _, ev := range col.Events {
+			if ev.FD == fd.Num && ev.Ready.Any(core.POLLIN) {
+				woke = true
+			}
+		}
+		if !woke {
+			t.Fatalf("datagram arrival not delivered: %+v", col.Events)
+		}
+
+		env.P.Batch(env.K.Now(), func() {
+			if _, _, ok := api.RecvFrom(fd); !ok {
+				t.Error("woken socket had nothing to read")
+			}
+		}, nil)
+		env.Run()
+		if m := fd.Poll(); m.Any(core.POLLIN) {
+			t.Fatalf("drained socket still polls readable: %v", m)
+		}
+
+		var col2 simtest.Collector
+		p.Wait(0, core.Forever, col2.Handler())
+		peer.SendTo(env.K.Now(), addr, 64)
+		env.Run()
+		if col2.Calls != 1 {
+			t.Fatalf("second wait calls = %d (mechanism failed to re-arm after the drain)", col2.Calls)
+		}
+		woke = false
+		for _, ev := range col2.Events {
+			if ev.FD == fd.Num && ev.Ready.Any(core.POLLIN) {
+				woke = true
+			}
+		}
+		if !woke {
+			t.Fatalf("second datagram not delivered: %+v", col2.Events)
 		}
 	})
 }

@@ -35,6 +35,38 @@ const (
 	ErrPortSpace ErrorReason = "fd-unavail"  // client ran out of ports/descriptors
 )
 
+// ClientProfile bundles the per-connection client knobs — request count,
+// pipelining, patience and path latency — into one value a caller can pass
+// around whole. The zero value selects today's defaults exactly (one-request
+// HTTP/1.0 clients, serial dispatch, 5 s patience, network-default RTTs), and
+// a zero field inside a non-zero profile likewise defers to the default, so
+// profiles compose with DefaultConfig the way the individual fields always
+// have.
+type ClientProfile struct {
+	// RequestsPerConn is how many requests each benchmark connection issues
+	// (HTTP/1.1, the final one carrying Connection: close) before the
+	// connection ends; 0 or 1 selects the historical one-request HTTP/1.0
+	// client. Config.RequestRate remains the request rate: connections
+	// launch at RequestRate/RequestsPerConn so a figure's x axis stays the
+	// offered request load.
+	RequestsPerConn int
+	// PipelineDepth is how many requests a keep-alive client keeps
+	// outstanding — sent before their predecessors' responses arrive; 0 or 1
+	// waits for each response before sending the next request.
+	PipelineDepth int
+	// Timeout aborts a connection that has not completed in this long
+	// (httperf --timeout). Default 5 s.
+	Timeout core.Duration
+	// ActiveRTT is the round-trip time of benchmark connections (0 selects
+	// the network default, i.e. the LAN).
+	ActiveRTT core.Duration
+	// InactiveRTT is the round-trip time of the inactive clients (default
+	// 100 ms, a modem-like path).
+	InactiveRTT core.Duration
+	// Jitter is the fraction of the inter-arrival gap randomised (0..1).
+	Jitter float64
+}
+
 // Config parameterises one benchmark run (one point in a figure).
 type Config struct {
 	// RequestRate is the targeted connection (request) rate in requests/second.
@@ -50,35 +82,43 @@ type Config struct {
 	// DocumentSize is the expected body size, used to recognise a complete
 	// response (default 6 KB).
 	DocumentSize int
-	// Timeout aborts a connection that has not completed in this long
-	// (httperf --timeout). Default 5 s.
+	// Profile bundles the per-connection client knobs. Non-zero fields
+	// override the corresponding deprecated fields below; New normalises
+	// both views so either may be read after construction.
+	Profile ClientProfile
+	// Timeout aborts a connection that has not completed in this long.
+	//
+	// Deprecated: set Profile.Timeout.
 	Timeout core.Duration
-	// ActiveRTT is the round-trip time of benchmark connections (0 selects the
-	// network default, i.e. the LAN).
+	// ActiveRTT is the round-trip time of benchmark connections.
+	//
+	// Deprecated: set Profile.ActiveRTT.
 	ActiveRTT core.Duration
-	// InactiveRTT is the round-trip time of the inactive clients (default
-	// 100 ms, a modem-like path).
+	// InactiveRTT is the round-trip time of the inactive clients.
+	//
+	// Deprecated: set Profile.InactiveRTT.
 	InactiveRTT core.Duration
 	// SampleInterval is the reply-rate sampling period (httperf uses 5 s).
 	SampleInterval core.Duration
 	// Seed drives the arrival jitter; runs with equal seeds are identical.
 	Seed int64
 	// Jitter is the fraction of the inter-arrival gap randomised (0..1).
+	//
+	// Deprecated: set Profile.Jitter.
 	Jitter float64
-	// Workload selects the arrival process, the background-population
-	// behavior and the client RTT distribution. The zero value is the
-	// paper's workload (constant arrivals, silent inactive clients, LAN).
+	// Workload selects the traffic family, the arrival process, the
+	// background-population behavior and the client RTT distribution. The
+	// zero value is the paper's workload (constant arrivals, silent inactive
+	// clients, LAN).
 	Workload Workload
-	// RequestsPerConn is how many requests each benchmark connection issues
-	// (HTTP/1.1, the final one carrying Connection: close) before the
-	// connection ends; 0 or 1 selects the historical one-request HTTP/1.0
-	// client. RequestRate remains the request rate: connections launch at
-	// RequestRate/RequestsPerConn so a figure's x axis stays the offered
-	// request load.
+	// RequestsPerConn is how many requests each benchmark connection issues.
+	//
+	// Deprecated: set Profile.RequestsPerConn.
 	RequestsPerConn int
 	// PipelineDepth is how many requests a keep-alive client keeps
-	// outstanding — sent before their predecessors' responses arrive; 0 or 1
-	// waits for each response before sending the next request.
+	// outstanding.
+	//
+	// Deprecated: set Profile.PipelineDepth.
 	PipelineDepth int
 }
 
@@ -196,6 +236,22 @@ type Generator struct {
 
 	inactive []*inactiveClient
 
+	// Push-family state (KindPush). The member registry and the delivery
+	// budget are owned by the push server's lane — every member's home lane,
+	// since they all hash to the one listener — so they stay single-writer
+	// on a parallel run; the driver lane only launches connections.
+	pushPayload int
+	pushMembers []*pushMember
+	pushByConn  map[*netsim.ClientConn]*pushMember
+	pushDone    int
+	pushClosing bool
+
+	// Churn-family state (KindDHTChurn), read-only after Start; the peers
+	// themselves live on the datagram home lane.
+	dhtQuota        int
+	dhtPingSize     int
+	dhtPingInterval core.Duration
+
 	started  core.Time
 	finished core.Time
 	running  bool
@@ -229,6 +285,29 @@ func (ln *laneAcc) bump(idx int) {
 
 // New creates a generator for the given kernel, network and workload.
 func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
+	// A profile's non-zero fields win over the deprecated flat fields; the
+	// merged values are then normalised in place and mirrored back into the
+	// profile so either view reads the effective configuration.
+	if p := cfg.Profile; p != (ClientProfile{}) {
+		if p.RequestsPerConn > 0 {
+			cfg.RequestsPerConn = p.RequestsPerConn
+		}
+		if p.PipelineDepth > 0 {
+			cfg.PipelineDepth = p.PipelineDepth
+		}
+		if p.Timeout > 0 {
+			cfg.Timeout = p.Timeout
+		}
+		if p.ActiveRTT > 0 {
+			cfg.ActiveRTT = p.ActiveRTT
+		}
+		if p.InactiveRTT > 0 {
+			cfg.InactiveRTT = p.InactiveRTT
+		}
+		if p.Jitter > 0 {
+			cfg.Jitter = p.Jitter
+		}
+	}
 	if cfg.Connections <= 0 {
 		cfg.Connections = 1
 	}
@@ -261,6 +340,14 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 	}
 	if cfg.PipelineDepth < 1 {
 		cfg.PipelineDepth = 1
+	}
+	cfg.Profile = ClientProfile{
+		RequestsPerConn: cfg.RequestsPerConn,
+		PipelineDepth:   cfg.PipelineDepth,
+		Timeout:         cfg.Timeout,
+		ActiveRTT:       cfg.ActiveRTT,
+		InactiveRTT:     cfg.InactiveRTT,
+		Jitter:          cfg.Jitter,
 	}
 	g := &Generator{
 		k:              k,
@@ -324,6 +411,14 @@ func (g *Generator) Start(now core.Time) {
 		// others' resolution counts), so it is checked in the serial section
 		// of every barrier, where all lanes are quiescent.
 		g.k.Sim.OnBarrier(g.checkDone)
+	}
+	switch g.cfg.Workload.Kind {
+	case KindPush:
+		g.startPush(now)
+		return
+	case KindDHTChurn:
+		g.startDHT(now)
+		return
 	}
 
 	for i := 0; i < g.cfg.InactiveConnections; i++ {
@@ -469,12 +564,12 @@ func (g *Generator) launchOne(now core.Time) {
 	g.driverQ.Post(ac.conn.Q(), now.Add(g.cfg.Timeout), ac.onTimeout)
 }
 
-// recordCompletion books a successful reply. c's home lane is the executing
-// lane for every resolution callback, so on a parallel run the books are kept
-// in that lane's accumulator.
-func (g *Generator) recordCompletion(c *netsim.ClientConn, started, now core.Time) {
+// recordCompletion books a successful reply. q is the resolving connection's
+// home lane — the executing lane for every resolution callback — so on a
+// parallel run the books are kept in that lane's accumulator.
+func (g *Generator) recordCompletion(q simkernel.Q, started, now core.Time) {
 	if g.parallel {
-		ln := &g.lanes[c.Q().LaneIndex()]
+		ln := &g.lanes[q.LaneIndex()]
 		ln.completed++
 		ln.replies++
 		ln.resolved++
@@ -498,9 +593,9 @@ func (g *Generator) recordCompletion(c *netsim.ClientConn, started, now core.Tim
 // the per-reply latency (anchored at the request's dispatch — the previous
 // reply's arrival on a pipelined stream). Connection resolution is booked
 // separately once the final reply lands.
-func (g *Generator) recordReply(c *netsim.ClientConn, reqStart, now core.Time) {
+func (g *Generator) recordReply(q simkernel.Q, reqStart, now core.Time) {
 	if g.parallel {
-		ln := &g.lanes[c.Q().LaneIndex()]
+		ln := &g.lanes[q.LaneIndex()]
 		ln.replies++
 		ln.bump(g.sampleIdx(now))
 		ln.latenciesMs = append(ln.latenciesMs, now.Sub(reqStart).Milliseconds())
@@ -516,9 +611,9 @@ func (g *Generator) recordReply(c *netsim.ClientConn, reqStart, now core.Time) {
 
 // resolveKeepAlive books the end of a keep-alive connection whose final reply
 // recordReply already counted.
-func (g *Generator) resolveKeepAlive(c *netsim.ClientConn, now core.Time) {
+func (g *Generator) resolveKeepAlive(q simkernel.Q, now core.Time) {
 	if g.parallel {
-		ln := &g.lanes[c.Q().LaneIndex()]
+		ln := &g.lanes[q.LaneIndex()]
 		ln.completed++
 		ln.resolved++
 		ln.lastResolveAt = now
@@ -540,9 +635,9 @@ func (g *Generator) expectAfter(k int) int {
 }
 
 // recordError books a failed benchmark connection.
-func (g *Generator) recordError(c *netsim.ClientConn, reason ErrorReason, now core.Time) {
+func (g *Generator) recordError(q simkernel.Q, reason ErrorReason, now core.Time) {
 	if g.parallel {
-		ln := &g.lanes[c.Q().LaneIndex()]
+		ln := &g.lanes[q.LaneIndex()]
 		ln.errors++
 		ln.resolved++
 		ln.errorsBy[reason]++
@@ -827,11 +922,11 @@ func (a *activeConn) Refused(now core.Time, reason netsim.RefuseReason) {
 	a.resolved = true
 	switch reason {
 	case netsim.RefusedPorts:
-		a.gen.recordError(a.conn, ErrPortSpace, now)
+		a.gen.recordError(a.conn.Q(), ErrPortSpace, now)
 	case netsim.RefusedReset:
-		a.gen.recordError(a.conn, ErrReset, now)
+		a.gen.recordError(a.conn.Q(), ErrReset, now)
 	default:
-		a.gen.recordError(a.conn, ErrRefused, now)
+		a.gen.recordError(a.conn.Q(), ErrRefused, now)
 	}
 }
 
@@ -845,12 +940,12 @@ func (a *activeConn) Data(now core.Time, n int) {
 	// the pipeline primed (or, serially, dispatch the next request).
 	for a.replied < a.sent && a.received >= a.gen.expectAfter(a.replied+1) {
 		a.replied++
-		a.gen.recordReply(a.conn, a.reqStart, now)
+		a.gen.recordReply(a.conn.Q(), a.reqStart, now)
 		a.reqStart, a.lastProgress = now, now
 		if a.replied == a.gen.reqsPerConn {
 			a.resolved = true
 			a.conn.Close(now)
-			a.gen.resolveKeepAlive(a.conn, now)
+			a.gen.resolveKeepAlive(a.conn.Q(), now)
 			return
 		}
 		if a.sent < a.gen.reqsPerConn {
@@ -866,14 +961,14 @@ func (a *activeConn) PeerClosed(now core.Time) {
 	}
 	a.resolved = true
 	if a.gen.reqsPerConn <= 1 && a.received >= a.gen.expectedSize {
-		a.gen.recordCompletion(a.conn, a.started, now)
+		a.gen.recordCompletion(a.conn.Q(), a.started, now)
 		return
 	}
 	// The server closed the connection before delivering the full response —
 	// bad request path, shutdown, idle timeout, or (keep-alive) a close before
 	// the final reply; Data has already booked whatever replies did complete.
 	// Count it like httperf's connection-reset errors.
-	a.gen.recordError(a.conn, ErrReset, now)
+	a.gen.recordError(a.conn.Q(), ErrReset, now)
 }
 
 func (a *activeConn) onTimeout(now core.Time) {
@@ -891,7 +986,7 @@ func (a *activeConn) onTimeout(now core.Time) {
 	}
 	a.resolved = true
 	a.conn.Close(now)
-	a.gen.recordError(a.conn, ErrTimeout, now)
+	a.gen.recordError(a.conn.Q(), ErrTimeout, now)
 }
 
 // inactiveClient keeps one perpetually unserviceable connection open against

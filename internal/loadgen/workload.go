@@ -43,6 +43,43 @@ func (a ArrivalKind) String() string {
 	}
 }
 
+// WorkloadKind selects the traffic family a workload drives. The zero value
+// is the paper's request/response family; the other kinds exercise the
+// millions-mostly-idle regime where the server (push) or a churning peer
+// population (dhtchurn) shapes the traffic instead of an open-loop request
+// schedule.
+type WorkloadKind int
+
+// Traffic families.
+const (
+	// KindRequest is the paper's family: clients open connections and issue
+	// HTTP requests at the configured rate.
+	KindRequest WorkloadKind = iota
+	// KindPush inverts the direction: clients connect once, subscribe and go
+	// silent for the whole run; the server fans a payload out to random
+	// member sets on a virtual-time tick, so Config.RequestRate is the
+	// offered delivery rate and Config.Connections is both the member
+	// population and the delivery budget.
+	KindPush
+	// KindDHTChurn drives the datagram transport: peers join a rendezvous
+	// node at ChurnRate peers/second, each pinging its session socket until
+	// a per-peer quota of RequestRate/ChurnRate pings is answered, then
+	// leaving. Config.Connections counts peer sessions.
+	KindDHTChurn
+)
+
+// String names the traffic family.
+func (k WorkloadKind) String() string {
+	switch k {
+	case KindPush:
+		return "push"
+	case KindDHTChurn:
+		return "dhtchurn"
+	default:
+		return "request"
+	}
+}
+
 // BackgroundKind selects the behavior of the background connection population
 // (Config.InactiveConnections of them).
 type BackgroundKind int
@@ -89,6 +126,10 @@ type Workload struct {
 	// Description is the one-line summary -list-workloads prints.
 	Description string
 
+	// Kind selects the traffic family; the zero value is the paper's
+	// request/response family, for which the fields below apply.
+	Kind WorkloadKind
+
 	Arrival ArrivalKind
 	// BurstPeriod is the flash-crowd cycle length and BurstDuration the
 	// high phase within it; BurstFactor multiplies the configured rate
@@ -110,6 +151,25 @@ type Workload struct {
 	// RTTMix, when non-empty, draws each benchmark connection's RTT from the
 	// given bands instead of the network default (Config.ActiveRTT).
 	RTTMix []netsim.RTTBand
+
+	// Push-family knobs (KindPush). FanoutSize is how many members the
+	// server pushes to per tick and PushPayload the pushed message size —
+	// both must match the push server's configuration, which the experiment
+	// harness derives from them. MemberRate is the rate the member
+	// population is connected at before measurement starts.
+	FanoutSize  int
+	PushPayload int
+	MemberRate  float64
+
+	// Churn-family knobs (KindDHTChurn). ChurnRate is the peer join rate in
+	// peers/second; PingInterval spaces one peer's keepalive pings; PingSize
+	// is the ping datagram size; PeerTimeout is the rendezvous node's
+	// session expiry (surfaced here so figures can sweep it alongside the
+	// client behavior).
+	ChurnRate    float64
+	PingInterval core.Duration
+	PingSize     int
+	PeerTimeout  core.Duration
 }
 
 // Workloads returns the registered workload scenarios, the paper's first.
@@ -149,6 +209,23 @@ func Workloads() []Workload {
 			Name:        "wan",
 			Description: "benchmark connection RTTs drawn from a WAN mix (5ms..300ms) instead of the uniform LAN",
 			RTTMix:      netsim.DefaultWANMix(),
+		},
+		{
+			Name:        "push",
+			Description: "server-push fan-out: members subscribe once and idle while the server pushes to random member sets each tick",
+			Kind:        KindPush,
+			FanoutSize:  32,
+			PushPayload: 512,
+			MemberRate:  50000,
+		},
+		{
+			Name:         "dhtchurn",
+			Description:  "datagram peer churn: peers join a rendezvous node, ping their session sockets, and leave; sessions expire on a timer sweep",
+			Kind:         KindDHTChurn,
+			ChurnRate:    200,
+			PingInterval: 500 * core.Millisecond,
+			PingSize:     64,
+			PeerTimeout:  5 * core.Second,
 		},
 	}
 }

@@ -43,49 +43,18 @@ const (
 	StateClosed
 )
 
-// ConnHandler receives the client-side connection callbacks. The client host
-// has unbounded CPU, so methods run exactly at the event's virtual time.
-// Implementing the interface directly (rather than populating Handlers with
-// closures) is the allocation-free path the load generator uses: one
-// interface value per connection instead of a closure per callback.
+// ConnHandler receives the client-side connection callbacks — the stream
+// specialization of the Socket consumer surface (Peer/DgramHandler is the
+// datagram one). The client host has unbounded CPU, so methods run exactly at
+// the event's virtual time. Implementing the interface directly is the
+// allocation-free path the load generator uses: one interface value per
+// connection instead of a closure per callback; closure-based callers adapt
+// with simtest.ConnHooks.
 type ConnHandler interface {
 	Connected(now core.Time)
 	Refused(now core.Time, reason RefuseReason)
 	Data(now core.Time, n int)
 	PeerClosed(now core.Time)
-}
-
-// Handlers are the client-side callbacks driven by network events, the
-// closure-based adapter over ConnHandler. Any handler may be nil.
-type Handlers struct {
-	OnConnected  func(now core.Time)
-	OnRefused    func(now core.Time, reason RefuseReason)
-	OnData       func(now core.Time, n int)
-	OnPeerClosed func(now core.Time)
-}
-
-// handlersShim adapts Handlers to ConnHandler.
-type handlersShim struct{ h Handlers }
-
-func (s *handlersShim) Connected(now core.Time) {
-	if s.h.OnConnected != nil {
-		s.h.OnConnected(now)
-	}
-}
-func (s *handlersShim) Refused(now core.Time, reason RefuseReason) {
-	if s.h.OnRefused != nil {
-		s.h.OnRefused(now, reason)
-	}
-}
-func (s *handlersShim) Data(now core.Time, n int) {
-	if s.h.OnData != nil {
-		s.h.OnData(now, n)
-	}
-}
-func (s *handlersShim) PeerClosed(now core.Time) {
-	if s.h.OnPeerClosed != nil {
-		s.h.OnPeerClosed(now)
-	}
 }
 
 // noopHandler stands in when a caller passes a nil handler.
@@ -150,13 +119,6 @@ type ClientConn struct {
 	StartedAt core.Time
 }
 
-// Connect starts a connection attempt at virtual time now, reporting progress
-// through the closure-based Handlers. Allocation-sensitive callers use
-// ConnectWith.
-func (n *Network) Connect(now core.Time, opts ConnectOptions, h Handlers) *ClientConn {
-	return n.ConnectWith(now, opts, &handlersShim{h: h})
-}
-
 // ConnectWith starts a connection attempt at virtual time now. The returned
 // ClientConn reports progress through h (which may be nil for fire-and-forget
 // connections). On a parallelized network it must be called from code
@@ -207,6 +169,9 @@ func (n *Network) ConnectWith(now core.Time, opts ConnectOptions, h ConnHandler)
 
 // State reports the client's view of the connection.
 func (c *ClientConn) State() ConnState { return c.state }
+
+// Transport implements Socket.
+func (c *ClientConn) Transport() Transport { return Stream }
 
 // Q returns the scheduling handle of the lane the connection is homed on (the
 // global-queue delegate on a sequential run). Client-side callbacks execute
@@ -411,18 +376,22 @@ func (c *ClientConn) releasePort(now core.Time) {
 type evtKind int
 
 const (
-	evtSYN          evtKind = iota // SYN reaches the server host
-	evtEstablished                 // SYN-ACK reaches the client: handshake done
-	evtRefuse                      // refusal reaches the client
-	evtDataToServer                // request bytes reach the server host
-	evtDataToClient                // response bytes reach the client host
-	evtWindowUpdate                // window-update ACK reaches the server host
-	evtPeerClose                   // server FIN reaches the client host
-	evtFINToServer                 // client FIN reaches the server host
-	evtReset                       // server reset reaches the client host
-	evtXmit                        // server write leaves the host (batch completion)
-	evtSrvClose                    // server close's FIN leaves the host (batch completion)
-	evtPortRelease                 // deferred port release reaches the driver lane
+	evtSYN           evtKind = iota // SYN reaches the server host
+	evtEstablished                  // SYN-ACK reaches the client: handshake done
+	evtRefuse                       // refusal reaches the client
+	evtDataToServer                 // request bytes reach the server host
+	evtDataToClient                 // response bytes reach the client host
+	evtWindowUpdate                 // window-update ACK reaches the server host
+	evtPeerClose                    // server FIN reaches the client host
+	evtFINToServer                  // client FIN reaches the server host
+	evtReset                        // server reset reaches the client host
+	evtXmit                         // server write leaves the host (batch completion)
+	evtSrvClose                     // server close's FIN leaves the host (batch completion)
+	evtPortRelease                  // deferred port release reaches the driver lane
+	evtDgramToServer                // datagram reaches a bound server socket
+	evtDgramToPeer                  // datagram reaches a client-host peer
+	evtDgramXmit                    // server SendTo leaves the host (batch completion)
+	evtPeerStart                    // peer registration reaches the datagram home lane
 )
 
 // connEvt is one scheduled network delivery. Records are pooled on the
@@ -442,6 +411,15 @@ type connEvt struct {
 	when   core.Time
 	data   []byte
 	fn     func(now core.Time)
+
+	// Datagram-event payload: the socket or peer the event touches, the
+	// source/destination address and the descriptor capture checked at
+	// delivery (see datagram.go).
+	ds   *DgramSock
+	peer *Peer
+	addr Addr
+	fdn  int
+	gen  uint64
 }
 
 // getEvt pops a recycled delivery record from the scheduling lane's pool (or
@@ -487,6 +465,16 @@ func (n *Network) defer_(p *simkernel.Proc, kind evtKind, sc *ServerConn, count 
 // record.
 func (e *connEvt) run(t core.Time) {
 	net, kind, lane, c, sc, n, reason, when, data := e.net, e.kind, e.lane, e.c, e.sc, e.n, e.reason, e.when, e.data
+	switch kind {
+	case evtDgramToServer, evtDgramToPeer, evtDgramXmit, evtPeerStart:
+		// Datagram events keep their record through the dispatch (the
+		// handlers read the capture fields directly) and recycle afterwards;
+		// any event they schedule draws a fresh record from the pool first.
+		e.dispatchDgram(t)
+		e.c, e.sc, e.data, e.ds, e.peer = nil, nil, nil, nil, nil
+		net.pools[lane] = append(net.pools[lane], e)
+		return
+	}
 	e.c, e.sc, e.data = nil, nil, nil
 	net.pools[lane] = append(net.pools[lane], e)
 	switch kind {

@@ -1,0 +1,37 @@
+package netsim
+
+import "repro/internal/core"
+
+// testHooks adapts closures to ConnHandler for this package's tests — the
+// in-package twin of simtest.ConnHooks (which cannot be imported from here
+// without a cycle). Any hook may be nil.
+type testHooks struct {
+	OnConnected  func(now core.Time)
+	OnRefused    func(now core.Time, reason RefuseReason)
+	OnData       func(now core.Time, n int)
+	OnPeerClosed func(now core.Time)
+}
+
+func (h *testHooks) Connected(now core.Time) {
+	if h.OnConnected != nil {
+		h.OnConnected(now)
+	}
+}
+
+func (h *testHooks) Refused(now core.Time, reason RefuseReason) {
+	if h.OnRefused != nil {
+		h.OnRefused(now, reason)
+	}
+}
+
+func (h *testHooks) Data(now core.Time, n int) {
+	if h.OnData != nil {
+		h.OnData(now, n)
+	}
+}
+
+func (h *testHooks) PeerClosed(now core.Time) {
+	if h.OnPeerClosed != nil {
+		h.OnPeerClosed(now)
+	}
+}

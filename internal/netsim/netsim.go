@@ -42,6 +42,15 @@ type Config struct {
 	// workers). With a single listener the policy is irrelevant and the
 	// behaviour is exactly the paper's single accept queue.
 	Shard ShardPolicy
+	// DgramLossRate is the probability a datagram is dropped in flight
+	// (either direction). Losses are decided by a deterministic hash of a
+	// per-network send sequence, so identical runs lose identical datagrams.
+	// Zero (the default) loses nothing; stream traffic is never affected.
+	DgramLossRate float64
+	// DgramReorderRate is the probability a datagram is delayed by an extra
+	// half-RTT in flight, arriving behind datagrams sent after it. Decided by
+	// the same deterministic sequence hash as losses.
+	DgramReorderRate float64
 }
 
 // ShardPolicy distributes incoming connections across the listeners sharing
@@ -93,6 +102,10 @@ type Stats struct {
 	Accepted        int64 // connections accepted by the server
 	ServerCloses    int64 // server-initiated closes
 	ClientCloses    int64 // client-initiated closes
+	DgramsSent      int64 // datagrams handed to the network (both directions)
+	DgramsDelivered int64 // datagrams delivered to a live endpoint
+	DgramsDropped   int64 // datagrams lost in flight or unroutable
+	DgramsStale     int64 // datagrams discarded by the fd-generation check
 }
 
 // timewaitRing holds the release instants of ports waiting out TIME-WAIT.
@@ -152,6 +165,18 @@ type Network struct {
 
 	nextConnID int64
 
+	// Datagram-transport state (see datagram.go). All of it — the binding
+	// table, the peer address table and the loss/reorder sequence — lives on
+	// the datagram home lane (the lane of the process that opened the first
+	// datagram socket; the driver lane before any exists), so a parallel run
+	// needs no locking and matches the sequential engine event for event.
+	dgramBinds    map[Addr]*dgramBind
+	peerAddrs     map[Addr]*Peer
+	dgramHome     simkernel.Q
+	dgramHomeSet  bool
+	dgramSeq      uint64
+	nextDgramAddr Addr
+
 	// Parallel-run state (see Parallelize). driverQ doubles as the global
 	// queue delegate on a sequential run, so scheduling code is identical on
 	// both paths.
@@ -177,12 +202,17 @@ func New(k *simkernel.Kernel, cfg Config) *Network {
 	if cfg.TimeWait < 0 {
 		cfg.TimeWait = 0
 	}
-	return &Network{
+	n := &Network{
 		K: k, Cfg: cfg,
-		lstats:  make([]Stats, 1),
-		pools:   make([][]*connEvt, 1),
-		driverQ: k.Sim.LaneQ(0),
+		lstats:        make([]Stats, 1),
+		pools:         make([][]*connEvt, 1),
+		driverQ:       k.Sim.LaneQ(0),
+		dgramBinds:    make(map[Addr]*dgramBind),
+		peerAddrs:     make(map[Addr]*Peer),
+		nextDgramAddr: dgramAutoAddrBase,
 	}
+	n.dgramHome = n.driverQ
+	return n
 }
 
 // Parallelize homes the network onto the kernel's sharded lanes: the
@@ -217,6 +247,7 @@ func (n *Network) Parallelize() {
 	n.parallel = true
 	n.lookahead = la
 	n.driverQ = sim.LaneQ(0)
+	n.dgramHome = n.driverQ
 	n.lstats = make([]Stats, sim.NumLanes())
 	n.pools = make([][]*connEvt, sim.NumLanes())
 }
@@ -244,6 +275,10 @@ func (n *Network) Stats() Stats {
 		s.Accepted += ls.Accepted
 		s.ServerCloses += ls.ServerCloses
 		s.ClientCloses += ls.ClientCloses
+		s.DgramsSent += ls.DgramsSent
+		s.DgramsDelivered += ls.DgramsDelivered
+		s.DgramsDropped += ls.DgramsDropped
+		s.DgramsStale += ls.DgramsStale
 	}
 	return s
 }

@@ -61,7 +61,7 @@ func TestConnectAcceptServeClose(t *testing.T) {
 
 	var connectedAt, dataAt, closedAt core.Time
 	var gotBytes int
-	cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{
+	cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnConnected:  func(now core.Time) { connectedAt = now },
 		OnData:       func(now core.Time, b int) { dataAt = now; gotBytes += b },
 		OnPeerClosed: func(now core.Time) { closedAt = now },
@@ -130,7 +130,7 @@ func TestConnectAcceptServeClose(t *testing.T) {
 
 func TestServerConnReadinessTransitions(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
-	cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{})
+	cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{})
 	k.Sim.Run()
 
 	var fd *simkernel.FD
@@ -210,7 +210,7 @@ func TestBacklogOverflowRefusesConnections(t *testing.T) {
 	reasons := map[RefuseReason]int{}
 	connected := 0
 	for i := 0; i < 5; i++ {
-		n.Connect(k.Now(), ConnectOptions{}, Handlers{
+		n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 			OnConnected: func(core.Time) { connected++ },
 			OnRefused:   func(_ core.Time, r RefuseReason) { refused++; reasons[r]++ },
 		})
@@ -236,7 +236,7 @@ func TestConnectWithoutListenerRefused(t *testing.T) {
 	k := simkernel.NewKernel(nil)
 	n := New(k, DefaultConfig())
 	var reason RefuseReason = -1
-	n.Connect(0, ConnectOptions{}, Handlers{OnRefused: func(_ core.Time, r RefuseReason) { reason = r }})
+	n.ConnectWith(0, ConnectOptions{}, &testHooks{OnRefused: func(_ core.Time, r RefuseReason) { reason = r }})
 	k.Sim.Run()
 	if reason != RefusedClosed {
 		t.Fatalf("reason = %v", reason)
@@ -251,7 +251,7 @@ func TestPortExhaustionAndTimeWait(t *testing.T) {
 
 	var refusedPorts int
 	mk := func() *ClientConn {
-		return n.Connect(k.Now(), ConnectOptions{}, Handlers{
+		return n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 			OnRefused: func(_ core.Time, r RefuseReason) {
 				if r == RefusedPorts {
 					refusedPorts++
@@ -301,8 +301,8 @@ func TestPortExhaustionAndTimeWait(t *testing.T) {
 func TestHighLatencyConnectionUsesItsRTT(t *testing.T) {
 	k, n, _, _, _, _ := testbed(t, DefaultConfig())
 	var fast, slow core.Time
-	n.Connect(k.Now(), ConnectOptions{}, Handlers{OnConnected: func(now core.Time) { fast = now }})
-	n.Connect(k.Now(), ConnectOptions{RTT: 100 * core.Millisecond}, Handlers{OnConnected: func(now core.Time) { slow = now }})
+	n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{OnConnected: func(now core.Time) { fast = now }})
+	n.ConnectWith(k.Now(), ConnectOptions{RTT: 100 * core.Millisecond}, &testHooks{OnConnected: func(now core.Time) { slow = now }})
 	k.Sim.Run()
 	if fast <= 0 || slow <= 0 {
 		t.Fatal("handshakes incomplete")
@@ -325,7 +325,7 @@ func TestAcceptOnEmptyQueueAndWrongFD(t *testing.T) {
 	k.Sim.Run()
 
 	// Accept on a non-listener descriptor fails gracefully.
-	cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{})
+	cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{})
 	k.Sim.Run()
 	_ = cc
 	var connFD *simkernel.FD
@@ -359,7 +359,7 @@ func TestMaxServerFDsResetsConnection(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, cfg)
 
 	var reset bool
-	n.Connect(k.Now(), ConnectOptions{}, Handlers{
+	n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnRefused: func(_ core.Time, r RefuseReason) {
 			if r == RefusedReset {
 				reset = true
@@ -384,7 +384,7 @@ func TestMaxServerFDsResetsConnection(t *testing.T) {
 func TestListenerCloseResetsPending(t *testing.T) {
 	k, n, p, _, lfd, _ := testbed(t, DefaultConfig())
 	var refused RefuseReason = -1
-	cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{
+	cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnRefused: func(_ core.Time, r RefuseReason) { refused = r },
 	})
 	k.Sim.Run()
@@ -405,7 +405,7 @@ func TestListenerCloseResetsPending(t *testing.T) {
 
 func TestClientCloseDeliversFINToServer(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
-	cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{})
+	cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{})
 	k.Sim.Run()
 	var conn *ServerConn
 	p.Batch(k.Now(), func() {
@@ -436,7 +436,7 @@ func TestClientCloseDeliversFINToServer(t *testing.T) {
 func TestWriteToClosedOrHungUpConnectionIsIgnored(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 	received := 0
-	cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{
+	cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnData: func(_ core.Time, b int) { received += b },
 	})
 	k.Sim.Run()
@@ -485,7 +485,7 @@ func TestConnectionConservationProperty(t *testing.T) {
 		total := int(nconns%40) + 1
 		outcomes := 0
 		for i := 0; i < total; i++ {
-			n.Connect(k.Now(), ConnectOptions{}, Handlers{
+			n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 				OnConnected: func(core.Time) { outcomes++ },
 				OnRefused:   func(core.Time, RefuseReason) { outcomes++ },
 			})
@@ -525,7 +525,7 @@ func TestRegisteredBufferReadSkipsExactlyTheCopyCharge(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 
 	readCharge := func(register bool) core.Duration {
-		cc := n.Connect(k.Now(), ConnectOptions{}, Handlers{})
+		cc := n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{})
 		k.Sim.Run()
 		cc.Send(k.Now(), make([]byte, 100))
 		k.Sim.Run()

@@ -163,6 +163,12 @@ func (c *ServerConn) Accepted() bool { return c.accepted }
 // Peer returns the client endpoint (used by tests and the load generator).
 func (c *ServerConn) Peer() *ClientConn { return c.peer }
 
+// Transport implements Socket.
+func (c *ServerConn) Transport() Transport { return Stream }
+
+// Q implements Socket: the lane the connection is homed on.
+func (c *ServerConn) Q() simkernel.Q { return c.q }
+
 // Owner returns the process whose CPU this connection's interrupts are
 // steered to (the accepting worker once accepted, its listener's owner before
 // that).

@@ -34,7 +34,7 @@ func smpTestbed(t *testing.T, n int, shard ShardPolicy) (*simkernel.Kernel, *Net
 
 func connectN(k *simkernel.Kernel, net *Network, count int) {
 	for i := 0; i < count; i++ {
-		net.Connect(k.Now().Add(core.Duration(i)*core.Millisecond), ConnectOptions{}, Handlers{})
+		net.ConnectWith(k.Now().Add(core.Duration(i)*core.Millisecond), ConnectOptions{}, &testHooks{})
 	}
 	k.Sim.Run()
 }
@@ -95,7 +95,7 @@ func TestIRQSteeringFollowsSharding(t *testing.T) {
 func TestAcceptDetachAndAdopt(t *testing.T) {
 	k, net, apis, lfds, _ := smpTestbed(t, 2, ShardHash)
 	var conn *ClientConn
-	conn = net.Connect(k.Now(), ConnectOptions{}, Handlers{
+	conn = net.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnConnected: func(now core.Time) { conn.Send(now, []byte("GET / HTTP/1.0\r\n\r\n")) },
 	})
 	k.Sim.Run()
@@ -159,7 +159,7 @@ func TestAdoptRespectsDescriptorLimit(t *testing.T) {
 	p.Batch(0, func() { lfd, _ = api.Listen() }, nil)
 	k.Sim.Run()
 
-	net.Connect(k.Now(), ConnectOptions{}, Handlers{})
+	net.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{})
 	k.Sim.Run()
 
 	p.Batch(k.Now(), func() {

@@ -30,7 +30,7 @@ func TestStalledReaderJamsResponse(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 
 	var got int
-	n.Connect(k.Now(), ConnectOptions{RecvWindow: 512, StallReads: true}, Handlers{
+	n.ConnectWith(k.Now(), ConnectOptions{RecvWindow: 512, StallReads: true}, &testHooks{
 		OnData: func(_ core.Time, b int) { got += b },
 	})
 	k.Sim.Run()
@@ -67,7 +67,7 @@ func TestDrainingClientReopensWindow(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 
 	var got int
-	n.Connect(k.Now(), ConnectOptions{RecvWindow: 1024}, Handlers{
+	n.ConnectWith(k.Now(), ConnectOptions{RecvWindow: 1024}, &testHooks{
 		OnData: func(_ core.Time, b int) { got += b },
 	})
 	k.Sim.Run()
@@ -111,7 +111,7 @@ func TestDrainingClientReopensWindow(t *testing.T) {
 func TestUnlimitedWindowUnchanged(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 	var got int
-	n.Connect(k.Now(), ConnectOptions{}, Handlers{
+	n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnData: func(_ core.Time, b int) { got += b },
 	})
 	k.Sim.Run()
@@ -136,7 +136,7 @@ func TestWritevChargesExactlyOneCombinedWrite(t *testing.T) {
 	run := func(vectored bool) (core.Duration, int) {
 		k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 		var got int
-		n.Connect(k.Now(), ConnectOptions{}, Handlers{
+		n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 			OnData: func(_ core.Time, b int) { got += b },
 		})
 		k.Sim.Run()
@@ -168,7 +168,7 @@ func TestWritevChargesExactlyOneCombinedWrite(t *testing.T) {
 func TestSendfileSkipsCopyAndChargesPages(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 	var got int
-	n.Connect(k.Now(), ConnectOptions{}, Handlers{
+	n.ConnectWith(k.Now(), ConnectOptions{}, &testHooks{
 		OnData: func(_ core.Time, b int) { got += b },
 	})
 	k.Sim.Run()
@@ -192,7 +192,7 @@ func TestSendfileSkipsCopyAndChargesPages(t *testing.T) {
 
 	// A stalled window clamps sendfile the same way it clamps write.
 	k2, n2, p2, api2, lfd2, _ := testbed(t, DefaultConfig())
-	n2.Connect(k2.Now(), ConnectOptions{RecvWindow: 512, StallReads: true}, Handlers{})
+	n2.ConnectWith(k2.Now(), ConnectOptions{RecvWindow: 512, StallReads: true}, &testHooks{})
 	k2.Sim.Run()
 	fd2, conn2 := accept(t, k2, p2, api2, lfd2)
 	var first, second int

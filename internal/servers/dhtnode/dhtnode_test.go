@@ -1,0 +1,105 @@
+package dhtnode_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/servers/dhtnode"
+	"repro/internal/simkernel"
+	"repro/internal/simtest"
+)
+
+func startNode(t *testing.T, backend string, cfg dhtnode.Config) (*simkernel.Kernel, *netsim.Network, *dhtnode.Server) {
+	t.Helper()
+	k := simkernel.NewKernel(nil)
+	n := netsim.New(k, netsim.DefaultConfig())
+	cfg.Backend = backend
+	s := dhtnode.New(k, n, cfg)
+	s.Start()
+	return k, n, s
+}
+
+// TestJoinPongExpire walks one peer through the whole session lifecycle on
+// every backend: join via the well-known address, pong from a dedicated
+// session socket, keepalive pings to that socket, then expiry once the peer
+// goes quiet.
+func TestJoinPongExpire(t *testing.T) {
+	for _, backend := range []string{"poll", "devpoll", "rtsig", "epoll", "epoll-et", "compio"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := dhtnode.DefaultConfig()
+			cfg.PeerTimeout = 50 * core.Millisecond
+			cfg.SweepInterval = 10 * core.Millisecond
+			k, n, s := startNode(t, backend, cfg)
+
+			var pongs int
+			var sessionAddr netsim.Addr
+			var p *netsim.Peer
+			p = n.NewPeer(k.Now(), netsim.PeerOptions{}, &simtest.DgramHooks{
+				OnStarted: func(now core.Time) { p.SendTo(now, dhtnode.WellKnownAddr, 64) },
+				OnDatagram: func(now core.Time, from netsim.Addr, size int) {
+					pongs++
+					sessionAddr = from
+					if pongs < 3 {
+						// Keepalive pings go to the session socket.
+						p.SendTo(now, from, 64)
+					}
+				},
+			})
+			k.Sim.RunUntil(core.Time(20 * core.Millisecond))
+			if pongs != 3 {
+				t.Fatalf("pongs = %d, want 3", pongs)
+			}
+			if sessionAddr == dhtnode.WellKnownAddr || sessionAddr == 0 {
+				t.Fatalf("pong came from %d, want a dedicated session address", sessionAddr)
+			}
+			if s.LivePeers() != 1 {
+				t.Fatalf("live peers = %d, want 1", s.LivePeers())
+			}
+
+			// The peer goes quiet; the sweep must expire it.
+			k.Sim.RunUntil(core.Time(200 * core.Millisecond))
+			if s.LivePeers() != 0 {
+				t.Fatalf("live peers = %d after timeout, want 0", s.LivePeers())
+			}
+			st := s.Stats()
+			if st.Joins != 1 || st.Expired != 1 {
+				t.Fatalf("joins=%d expired=%d, want 1/1", st.Joins, st.Expired)
+			}
+			s.Stop()
+			k.Sim.Run()
+		})
+	}
+}
+
+// TestRejoinAfterExpiry pins that an expired peer's re-ping to the well-known
+// address creates a fresh session (and a fresh descriptor).
+func TestRejoinAfterExpiry(t *testing.T) {
+	cfg := dhtnode.DefaultConfig()
+	cfg.PeerTimeout = 20 * core.Millisecond
+	cfg.SweepInterval = 5 * core.Millisecond
+	k, n, s := startNode(t, "epoll", cfg)
+
+	var pongs int
+	var p *netsim.Peer
+	p = n.NewPeer(k.Now(), netsim.PeerOptions{}, &simtest.DgramHooks{
+		OnStarted:  func(now core.Time) { p.SendTo(now, dhtnode.WellKnownAddr, 64) },
+		OnDatagram: func(now core.Time, from netsim.Addr, size int) { pongs++ },
+	})
+	k.Sim.RunUntil(core.Time(100 * core.Millisecond))
+	if s.LivePeers() != 0 {
+		t.Fatalf("peer not expired: %d live", s.LivePeers())
+	}
+	// Rejoin: same peer address, new session.
+	p.Q().At(k.Now(), func(now core.Time) { p.SendTo(now, dhtnode.WellKnownAddr, 64) })
+	k.Sim.RunUntil(core.Time(120 * core.Millisecond))
+	st := s.Stats()
+	if st.Joins != 2 {
+		t.Fatalf("joins = %d, want 2 (rejoin)", st.Joins)
+	}
+	if pongs != 2 {
+		t.Fatalf("pongs = %d, want 2", pongs)
+	}
+	s.Stop()
+	k.Sim.Run()
+}

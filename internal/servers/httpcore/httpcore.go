@@ -134,6 +134,8 @@ type Stats struct {
 	BytesSent   int64
 	// KeptAlive counts responses after which the connection stayed open.
 	KeptAlive int64
+	// Pushed counts server-originated pushes (Push calls that wrote bytes).
+	Pushed int64
 	// CacheHits / CacheMisses count response-cache lookups (zero without a
 	// cache).
 	CacheHits   int64
@@ -483,6 +485,40 @@ func (h *Handler) releaseCache(c *Conn) {
 		h.Cache.Release(c.cachePath)
 		c.cachePath = ""
 	}
+}
+
+// Push writes an n-byte server-originated payload to connection fd with no
+// pending request — the fan-out path of a push/chat server, where the server,
+// not the client, decides when bytes flow. Must run inside the process's
+// batch. If the peer's receive window accepts only part of the payload the
+// remainder parks on write interest exactly like a blocked response:
+// OnWriteBlocked arms write interest via the event loop with no read pending,
+// and HandleWritable drains the tail and downgrades back to read-only
+// interest when the window reopens. Pushes to unknown descriptors or to a
+// connection still draining an earlier write report false and write nothing.
+func (h *Handler) Push(now core.Time, fd int, n int) bool {
+	c, ok := h.Conns[fd]
+	if !ok || n <= 0 || c.PendingWrite > 0 {
+		return false
+	}
+	wrote := h.API.Write(c.FD, n)
+	h.Stats.BytesSent += int64(wrote)
+	h.Stats.Pushed++
+	c.LastActivity = now
+	if wrote < n {
+		// reqStart anchors the drain observation bookServed makes when the
+		// tail finally clears: push-initiation to fully-written.
+		c.reqStart = now
+		c.PendingWrite = n - wrote
+		c.pendingBody = 0
+		c.writeBlocked = true
+		c.keepOpen = true
+		c.finishReason = CloseServed
+		if h.OnWriteBlocked != nil {
+			h.OnWriteBlocked(c.FD.Num)
+		}
+	}
+	return true
 }
 
 // HandleWritable processes a writability event on a connection whose response

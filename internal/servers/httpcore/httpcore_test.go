@@ -7,6 +7,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 // env bundles a kernel, network, server process and handler with a listener.
@@ -41,7 +42,7 @@ func newEnv(t *testing.T) *env {
 func (e *env) connectAndSend(t *testing.T, payload []byte) (*netsim.ClientConn, *clientProbe) {
 	t.Helper()
 	probe := &clientProbe{}
-	cc := e.net.Connect(e.k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	cc := e.net.ConnectWith(e.k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, n int) { probe.bytes += n },
 		OnPeerClosed: func(core.Time) { probe.closed = true },
 	})

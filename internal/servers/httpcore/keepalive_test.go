@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
+	"repro/internal/simtest"
 )
 
 var (
@@ -181,7 +182,7 @@ func TestStalledWindowParksPipelineAndResumes(t *testing.T) {
 	payload := append(httpsim.FormatRequest11("/index.html", false),
 		httpsim.FormatRequest11("/index.html", true)...)
 	probe := &clientProbe{}
-	cc := e.net.Connect(e.k.Now(), netsim.ConnectOptions{RecvWindow: 1024}, netsim.Handlers{
+	cc := e.net.ConnectWith(e.k.Now(), netsim.ConnectOptions{RecvWindow: 1024}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, n int) { probe.bytes += n },
 		OnPeerClosed: func(core.Time) { probe.closed = true },
 	})
@@ -288,7 +289,7 @@ func TestStaleEventsAfterKeepAliveCloseAreSafe(t *testing.T) {
 	e.handler.SetOptions(Options{KeepAlive: true})
 
 	probe := &clientProbe{}
-	cc := e.net.Connect(e.k.Now(), netsim.ConnectOptions{RecvWindow: 512, StallReads: true}, netsim.Handlers{
+	cc := e.net.ConnectWith(e.k.Now(), netsim.ConnectOptions{RecvWindow: 512, StallReads: true}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, n int) { probe.bytes += n },
 		OnPeerClosed: func(core.Time) { probe.closed = true },
 	})

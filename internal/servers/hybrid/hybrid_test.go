@@ -7,6 +7,7 @@ import (
 	"repro/internal/httpsim"
 	"repro/internal/netsim"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 func start(t *testing.T, cfg Config) (*simkernel.Kernel, *netsim.Network, *Server) {
@@ -26,7 +27,7 @@ type probe struct {
 
 func get(k *simkernel.Kernel, n *netsim.Network, path string) *probe {
 	p := &probe{}
-	cc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	cc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, b int) { p.bytes += b },
 		OnPeerClosed: func(core.Time) { p.closed = true },
 	})
@@ -76,7 +77,7 @@ func TestServesInSignalModeAtLowLoad(t *testing.T) {
 func TestBothInterestSetsMaintainedConcurrently(t *testing.T) {
 	k, n, s := start(t, DefaultConfig())
 	// An inactive connection parks itself in both interest sets.
-	cc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{})
+	cc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{})
 	k.Sim.After(core.Millisecond, func(now core.Time) {
 		cc.Send(now, httpsim.FormatPartialRequest("/index.html"))
 	})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/servers/prefork"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 // startServer builds an n-worker server on a fresh SMP kernel and network.
@@ -33,7 +34,7 @@ func drive(k *simkernel.Kernel, net *netsim.Network, count int) int {
 	request := []byte("GET /index.html HTTP/1.0\r\n\r\n")
 	for i := 0; i < count; i++ {
 		var conn *netsim.ClientConn
-		conn = net.Connect(k.Now().Add(core.Duration(i)*core.Millisecond), netsim.ConnectOptions{}, netsim.Handlers{
+		conn = net.ConnectWith(k.Now().Add(core.Duration(i)*core.Millisecond), netsim.ConnectOptions{}, &simtest.ConnHooks{
 			OnConnected: func(now core.Time) { conn.Send(now, request) },
 			OnPeerClosed: func(now core.Time) {
 				completed++

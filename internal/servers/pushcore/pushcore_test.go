@@ -1,0 +1,128 @@
+package pushcore_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/servers/pushcore"
+	"repro/internal/simkernel"
+	"repro/internal/simtest"
+)
+
+// subscribe is a client's one protocol message.
+var subscribe = make([]byte, pushcore.SubscribeSize)
+
+func startServer(t *testing.T, backend string, cfg pushcore.Config) (*simkernel.Kernel, *netsim.Network, *pushcore.Server) {
+	t.Helper()
+	k := simkernel.NewKernel(nil)
+	n := netsim.New(k, netsim.DefaultConfig())
+	cfg.Backend = backend
+	s := pushcore.New(k, n, cfg)
+	s.Start()
+	return k, n, s
+}
+
+// TestFanoutReachesIdleMembers drives the canonical push shape: members
+// subscribe once, go silent, and the server's ticks deliver payloads to them
+// with no client-originated traffic.
+func TestFanoutReachesIdleMembers(t *testing.T) {
+	for _, backend := range []string{"poll", "devpoll", "rtsig", "epoll", "epoll-et", "compio"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := pushcore.DefaultConfig()
+			cfg.FanoutSize = 4
+			cfg.Payload = 256
+			cfg.TickInterval = 5 * core.Millisecond
+			k, n, s := startServer(t, backend, cfg)
+
+			const members = 8
+			received := make([]int, members)
+			for i := 0; i < members; i++ {
+				i := i
+				var cc *netsim.ClientConn
+				cc = n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
+					OnConnected: func(now core.Time) { cc.Send(now, subscribe) },
+					OnData:      func(_ core.Time, b int) { received[i] += b },
+				})
+			}
+			k.Sim.RunUntil(core.Time(200 * core.Millisecond))
+			s.Stop()
+			k.Sim.Run()
+
+			st := s.Stats()
+			if st.Subscribed != members {
+				t.Fatalf("subscribed = %d, want %d", st.Subscribed, members)
+			}
+			if st.Ticks == 0 || st.Pushed == 0 {
+				t.Fatalf("no pushes happened: %+v", st)
+			}
+			total := 0
+			for i, b := range received {
+				if b%cfg.Payload != 0 {
+					t.Errorf("member %d received %d bytes, not a payload multiple", i, b)
+				}
+				total += b
+			}
+			if int64(total) != st.BytesSent {
+				t.Fatalf("clients received %d bytes, server sent %d", total, st.BytesSent)
+			}
+			if total == 0 {
+				t.Fatal("no payload reached any member")
+			}
+		})
+	}
+}
+
+// TestPushParksOnClosedWindow jams a push against a stalled reader's window:
+// the payload must not be silently dropped — the remainder parks on write
+// interest and the server records the jam.
+func TestPushParksOnClosedWindow(t *testing.T) {
+	cfg := pushcore.DefaultConfig()
+	cfg.FanoutSize = 1
+	cfg.Payload = 2048
+	cfg.TickInterval = 5 * core.Millisecond
+	k, n, s := startServer(t, "epoll", cfg)
+
+	var cc *netsim.ClientConn
+	cc = n.ConnectWith(k.Now(), netsim.ConnectOptions{RecvWindow: 512, StallReads: true}, &simtest.ConnHooks{
+		OnConnected: func(now core.Time) { cc.Send(now, subscribe) },
+	})
+	k.Sim.RunUntil(core.Time(100 * core.Millisecond))
+	s.Stop()
+	k.Sim.Run()
+
+	st := s.Stats()
+	if st.WriteBlock == 0 {
+		t.Fatalf("stalled reader never jammed a push: %+v", st)
+	}
+	if st.PushBusy == 0 {
+		t.Fatalf("later ticks should have found the member busy: %+v", st)
+	}
+}
+
+// TestDeterministicAcrossRuns pins that two identical runs push identical
+// byte counts — the sampling is a pure function of the configuration.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		cfg := pushcore.DefaultConfig()
+		cfg.FanoutSize = 3
+		cfg.TickInterval = 7 * core.Millisecond
+		cfg.Seed = 42
+		k, n, s := startServer(t, "epoll", cfg)
+		for i := 0; i < 5; i++ {
+			var cc *netsim.ClientConn
+			cc = n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
+				OnConnected: func(now core.Time) { cc.Send(now, subscribe) },
+			})
+		}
+		k.Sim.RunUntil(core.Time(150 * core.Millisecond))
+		s.Stop()
+		k.Sim.Run()
+		return s.Stats().Pushed, s.Stats().BytesSent
+	}
+	p1, b1 := run()
+	p2, b2 := run()
+	if p1 != p2 || b1 != b2 {
+		t.Fatalf("runs diverged: (%d,%d) vs (%d,%d)", p1, b1, p2, b2)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/servers/httpcore"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 // startHTTP builds a running thttpd with the given persistent-connection
@@ -40,7 +41,7 @@ func TestKeepAlivePipelinedEndToEnd(t *testing.T) {
 	payload = append(payload, httpsim.FormatRequest11("/index.html", true)...)
 
 	p := &probe{}
-	cc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	cc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, b int) { p.bytes += b },
 		OnPeerClosed: func(core.Time) { p.closed = true },
 	})
@@ -73,7 +74,7 @@ func TestKeepAliveIdleTimeoutEndToEnd(t *testing.T) {
 	k, n, s := startHTTP(t, httpcore.Options{KeepAlive: true, KeepAliveIdle: 500 * core.Millisecond})
 
 	quiet := &probe{}
-	qc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	qc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, b int) { quiet.bytes += b },
 		OnPeerClosed: func(core.Time) { quiet.closed = true },
 	})
@@ -82,7 +83,7 @@ func TestKeepAliveIdleTimeoutEndToEnd(t *testing.T) {
 	})
 
 	busy := &probe{}
-	bc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	bc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, b int) { busy.bytes += b },
 		OnPeerClosed: func(core.Time) { busy.closed = true },
 	})
@@ -126,7 +127,7 @@ func TestKeepAliveWithCacheAndSendfileEndToEnd(t *testing.T) {
 	})
 
 	p := &probe{}
-	cc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	cc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnData:       func(_ core.Time, b int) { p.bytes += b },
 		OnPeerClosed: func(core.Time) { p.closed = true },
 	})

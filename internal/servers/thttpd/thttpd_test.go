@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rtsig"
 	"repro/internal/simkernel"
+	"repro/internal/simtest"
 )
 
 // start builds a kernel, network and running thttpd on the given backend.
@@ -32,7 +33,7 @@ type probe struct {
 
 func get(k *simkernel.Kernel, n *netsim.Network, path string) *probe {
 	p := &probe{}
-	cc := n.Connect(k.Now(), netsim.ConnectOptions{}, netsim.Handlers{
+	cc := n.ConnectWith(k.Now(), netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnConnected:  func(now core.Time) {},
 		OnData:       func(_ core.Time, b int) { p.bytes += b },
 		OnPeerClosed: func(core.Time) { p.closed = true },
@@ -115,7 +116,7 @@ func TestIdleTimeoutClosesInactiveConnections(t *testing.T) {
 	s.Start()
 
 	peerClosed := false
-	cc := n.Connect(0, netsim.ConnectOptions{}, netsim.Handlers{
+	cc := n.ConnectWith(0, netsim.ConnectOptions{}, &simtest.ConnHooks{
 		OnPeerClosed: func(core.Time) { peerClosed = true },
 	})
 	k.Sim.After(core.Millisecond, func(now core.Time) {

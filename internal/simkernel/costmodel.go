@@ -157,6 +157,26 @@ type CostModel struct {
 	// UNIX-domain socket, paid by phhttpd's overflow recovery.
 	ConnHandoff core.Duration
 
+	// --- datagram (UDP) costs -------------------------------------------------
+	// Charged only by the datagram transport (netsim.OpenDatagram/SendTo/
+	// RecvFrom); stream-only runs never touch them.
+
+	// DgramSend is the fixed cost of one sendto(2) beyond SyscallEntry:
+	// destination lookup, header build and driver enqueue for a single
+	// datagram. No connection state is consulted, so it is cheaper than the
+	// TCP write path's fixed portion.
+	DgramSend core.Duration
+	// DgramSendPerKB is the per-kilobyte copy+checksum cost of sendto(2),
+	// the UDP analogue of SockWritePerKB (no segmentation bookkeeping).
+	DgramSendPerKB core.Duration
+	// DgramRecv is the cost of one recvfrom(2) beyond SyscallEntry: dequeue
+	// one datagram and copy it (small DHT-sized payloads) to user space.
+	DgramRecv core.Duration
+	// DgramDemux is the interrupt-context cost of demultiplexing an arriving
+	// datagram onto its bound socket (hash on the destination port), paid on
+	// top of NetRxIRQ for every datagram that reaches the host.
+	DgramDemux core.Duration
+
 	// HTTPService is the application-level cost of serving one static request
 	// once its descriptor is known to be readable: parsing the request, locating
 	// the cached 6 KB document and preparing the response headers. Transmission
@@ -226,6 +246,11 @@ func DefaultCostModel() *CostModel {
 		NetRxIRQ:           us(4.0),
 		ConnHandoff:        us(40.0),
 
+		DgramSend:      us(3.0),
+		DgramSendPerKB: us(6.0),
+		DgramRecv:      us(4.0),
+		DgramDemux:     us(1.0),
+
 		HTTPService: us(620.0),
 
 		CacheHit:     us(0.80),
@@ -250,6 +275,15 @@ func (c *CostModel) WriteCost(n int) core.Duration {
 		return 0
 	}
 	return core.Duration(float64(c.SockWritePerKB) * float64(n) / 1024.0)
+}
+
+// DgramSendCost returns the CPU cost of sending one n-byte datagram with
+// sendto(2), excluding the syscall entry cost.
+func (c *CostModel) DgramSendCost(n int) core.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return c.DgramSend + core.Duration(float64(c.DgramSendPerKB)*float64(n)/1024.0)
 }
 
 // sendfilePageSize is the page granularity of the zero-copy transmit charge.

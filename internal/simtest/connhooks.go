@@ -1,0 +1,67 @@
+package simtest
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// ConnHooks adapts ad-hoc closures to netsim.ConnHandler for tests and
+// examples, the successor of the deleted netsim.Handlers shim: populate the
+// callbacks you care about and pass a pointer to ConnectWith. Any hook may be
+// nil. Allocation-sensitive callers (the load generator) implement
+// ConnHandler directly instead.
+type ConnHooks struct {
+	OnConnected  func(now core.Time)
+	OnRefused    func(now core.Time, reason netsim.RefuseReason)
+	OnData       func(now core.Time, n int)
+	OnPeerClosed func(now core.Time)
+}
+
+// Connected implements netsim.ConnHandler.
+func (h *ConnHooks) Connected(now core.Time) {
+	if h.OnConnected != nil {
+		h.OnConnected(now)
+	}
+}
+
+// Refused implements netsim.ConnHandler.
+func (h *ConnHooks) Refused(now core.Time, reason netsim.RefuseReason) {
+	if h.OnRefused != nil {
+		h.OnRefused(now, reason)
+	}
+}
+
+// Data implements netsim.ConnHandler.
+func (h *ConnHooks) Data(now core.Time, n int) {
+	if h.OnData != nil {
+		h.OnData(now, n)
+	}
+}
+
+// PeerClosed implements netsim.ConnHandler.
+func (h *ConnHooks) PeerClosed(now core.Time) {
+	if h.OnPeerClosed != nil {
+		h.OnPeerClosed(now)
+	}
+}
+
+// DgramHooks is the datagram counterpart of ConnHooks: closures adapted to
+// netsim.DgramHandler.
+type DgramHooks struct {
+	OnStarted  func(now core.Time)
+	OnDatagram func(now core.Time, from netsim.Addr, size int)
+}
+
+// Started implements netsim.DgramHandler.
+func (h *DgramHooks) Started(now core.Time) {
+	if h.OnStarted != nil {
+		h.OnStarted(now)
+	}
+}
+
+// Datagram implements netsim.DgramHandler.
+func (h *DgramHooks) Datagram(now core.Time, from netsim.Addr, size int) {
+	if h.OnDatagram != nil {
+		h.OnDatagram(now, from, size)
+	}
+}
