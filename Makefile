@@ -66,10 +66,11 @@ ablation-smoke:
 
 # The simulation promises byte-identical output for identical inputs AND for
 # any kernel thread count; run one rate figure, one multi-worker scaling
-# figure, one overload-workload figure and one server-push figure twice each
-# and diff, then re-run the rate, overload and push figures on the sharded
-# parallel kernel at -threads 2 and 8 and diff those against the sequential
-# output. Any map iteration,
+# figure, one overload-workload figure, one server-push figure and one chaos
+# figure (fig 41: seeded fault injection is part of the promise) twice each
+# and diff, then re-run the rate, overload, push and chaos figures on the
+# sharded parallel kernel at -threads 2 and 8 and diff those against the
+# sequential output. Any map iteration,
 # wall-clock dependency or cross-shard ordering leak sneaking into the event
 # machinery fails this before it can corrupt a figure comparison. Outputs
 # stay in $(DETERMINISM_OUT) so CI can attach them to the failed workflow run.
@@ -93,6 +94,10 @@ determinism:
 	$(GO) run ./cmd/benchfig -fig 37 -connections 2000 -quiet > $(DETERMINISM_OUT)/fig37-b.txt
 	$(GO) run ./cmd/benchfig -fig 37 -connections 2000 -threads 2 -quiet > $(DETERMINISM_OUT)/fig37-t2.txt
 	$(GO) run ./cmd/benchfig -fig 37 -connections 2000 -threads 8 -quiet > $(DETERMINISM_OUT)/fig37-t8.txt
+	$(GO) run ./cmd/benchfig -fig 41 -connections 2000 -quiet > $(DETERMINISM_OUT)/fig41-a.txt
+	$(GO) run ./cmd/benchfig -fig 41 -connections 2000 -quiet > $(DETERMINISM_OUT)/fig41-b.txt
+	$(GO) run ./cmd/benchfig -fig 41 -connections 2000 -threads 2 -quiet > $(DETERMINISM_OUT)/fig41-t2.txt
+	$(GO) run ./cmd/benchfig -fig 41 -connections 2000 -threads 8 -quiet > $(DETERMINISM_OUT)/fig41-t8.txt
 	@diff $(DETERMINISM_OUT)/fig12-a.txt $(DETERMINISM_OUT)/fig12-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig17-a.txt $(DETERMINISM_OUT)/fig17-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig20-a.txt $(DETERMINISM_OUT)/fig20-b.txt \
@@ -106,13 +111,16 @@ determinism:
 		&& diff $(DETERMINISM_OUT)/fig37-a.txt $(DETERMINISM_OUT)/fig37-b.txt \
 		&& diff $(DETERMINISM_OUT)/fig37-a.txt $(DETERMINISM_OUT)/fig37-t2.txt \
 		&& diff $(DETERMINISM_OUT)/fig37-a.txt $(DETERMINISM_OUT)/fig37-t8.txt \
+		&& diff $(DETERMINISM_OUT)/fig41-a.txt $(DETERMINISM_OUT)/fig41-b.txt \
+		&& diff $(DETERMINISM_OUT)/fig41-a.txt $(DETERMINISM_OUT)/fig41-t2.txt \
+		&& diff $(DETERMINISM_OUT)/fig41-a.txt $(DETERMINISM_OUT)/fig41-t8.txt \
 		&& echo "determinism: OK (incl. -threads 2/8 matrix)"
 
 # Refresh the committed benchmark baseline: the key figure points' reply
 # rates, p99 latencies and ns/op. Run this (and commit the result) in any PR
 # that intentionally moves performance.
 bench-json:
-	$(GO) run ./cmd/benchgate -emit BENCH_PR9.json
+	$(GO) run ./cmd/benchgate -emit BENCH_PR10.json
 
 # Gate the working tree against the committed baseline: emit a fresh
 # candidate and fail on >5% regression in any simulated metric (reply rate,
@@ -124,7 +132,7 @@ TIME_TOLERANCE ?= 1.0
 bench-gate:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/benchgate -emit $$tmp -quiet && \
-	$(GO) run ./cmd/benchgate -baseline BENCH_PR9.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
+	$(GO) run ./cmd/benchgate -baseline BENCH_PR10.json -candidate $$tmp -time-tolerance $(TIME_TOLERANCE); \
 	status=$$?; rm -f $$tmp; exit $$status
 
 # Zero-tolerance parallel determinism gate on the benchmark set: every gated

@@ -26,8 +26,8 @@
 //
 // Usage:
 //
-//	benchgate -emit BENCH_PR9.json          # refresh the baseline
-//	benchgate -baseline BENCH_PR9.json -candidate new.json
+//	benchgate -emit BENCH_PR10.json         # refresh the baseline
+//	benchgate -baseline BENCH_PR10.json -candidate new.json
 //	benchgate -crosscheck 4                 # parallel == sequential, bit for bit
 package main
 
@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/servers/httpcore"
@@ -224,6 +225,28 @@ func points(connections int, seed int64) []struct {
 		Connections: 100000, Network: &massiveNet,
 		HTTP: ka, RequestsPerConn: experiments.KeepAliveRequests,
 		PipelineDepth: experiments.KeepAliveRequests,
+	})
+
+	// The chaos points (figures 40-43): one per fault class, each on the
+	// mechanism whose degradation path it exercises. Fault decisions are
+	// seeded hashes, so these metrics are exactly as bit-deterministic as the
+	// healthy points; a change in injection pricing, EMFILE shedding, EINTR
+	// restart or overflow recovery moves them where nothing else does.
+	add("chaos-reset-epoll-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdEpoll, RequestRate: 1000, Inactive: 251,
+		Faults: faults.Config{Seed: 3, ResetRate: 0.1, VanishRate: 0.02},
+	})
+	add("chaos-emfile-poll-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdPoll, RequestRate: 1000, Inactive: 251,
+		Faults: faults.Config{Seed: 3, FDLimit: 280},
+	})
+	add("chaos-eintr-devpoll-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdDevPoll, RequestRate: 1000, Inactive: 251,
+		Faults: faults.Config{Seed: 3, EINTRRate: 0.4},
+	})
+	add("chaos-overflow-compio-rate1000", experiments.RunSpec{
+		Server: experiments.ServerThttpdCompio, RequestRate: 1000, Inactive: 251,
+		Faults: faults.Config{Seed: 3, OverflowStormRate: 0.1},
 	})
 	return out
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/eventlib"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/profiling"
 	"repro/internal/servers/httpcore"
@@ -53,7 +54,29 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker counts for the scaling figures (default 1,2,4,8)")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	quiet := flag.Bool("quiet", false, "suppress all progress output on stderr")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (consulted only when some -fault-* knob is set)")
+	faultEINTR := flag.Float64("fault-eintr", 0, "probability one blocking wait is interrupted (EINTR) and restarted")
+	faultAcceptEAGAIN := flag.Float64("fault-accept-eagain", 0, "probability one accept fails spuriously with EAGAIN")
+	faultReadEAGAIN := flag.Float64("fault-read-eagain", 0, "probability one read fails spuriously with EAGAIN")
+	faultWriteEAGAIN := flag.Float64("fault-write-eagain", 0, "probability one write accepts nothing (EAGAIN)")
+	faultFDLimit := flag.Int("fault-fdlimit", 0, "per-process RLIMIT_NOFILE: accept fails with EMFILE at the limit (0 = unlimited)")
+	faultReset := flag.Float64("fault-reset", 0, "fraction of benchmark connections reset (RST) mid-exchange")
+	faultVanish := flag.Float64("fault-vanish", 0, "fraction of benchmark connections whose peer silently vanishes")
+	faultOverflowStorm := flag.Float64("fault-overflow-storm", 0, "probability one RT-signal/completion-ring post is swallowed by an injected queue overflow")
+	retry := flag.Bool("retry", false, "clients retry failed connections with deterministic capped exponential backoff (3 attempts, 100ms base)")
 	flag.Parse()
+
+	faultCfg := faults.Config{
+		Seed:              *faultSeed,
+		EINTRRate:         *faultEINTR,
+		AcceptEAGAINRate:  *faultAcceptEAGAIN,
+		ReadEAGAINRate:    *faultReadEAGAIN,
+		WriteEAGAINRate:   *faultWriteEAGAIN,
+		FDLimit:           *faultFDLimit,
+		ResetRate:         *faultReset,
+		VanishRate:        *faultVanish,
+		OverflowStormRate: *faultOverflowStorm,
+	}
 
 	if *listBackends {
 		fmt.Println(eventlib.DescribeBackends(""))
@@ -89,6 +112,8 @@ func main() {
 		o.WriteMode = mode
 		o.Fanout = *fanout
 		o.ChurnRate = *churnRate
+		o.Faults = faultCfg
+		o.Retry = *retry
 	}
 	stopProfiles := profiling.StartAll(profiling.Config{
 		CPU: *cpuprofile, Mem: *memprofile,
@@ -178,6 +203,7 @@ func main() {
 	overloadFigs = append(overloadFigs, experiments.ScaleFigures()...)
 	overloadFigs = append(overloadFigs, experiments.MassiveScaleFigures()...)
 	overloadFigs = append(overloadFigs, experiments.MostlyIdleFigures()...)
+	overloadFigs = append(overloadFigs, experiments.ChaosFigures()...)
 	for _, fig := range overloadFigs {
 		if !selected(fig.ID, fig.Number) || (fig.Connections > 0 && len(wanted) == 0) {
 			continue

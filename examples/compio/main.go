@@ -61,8 +61,8 @@ func main() {
 	var fds []*simkernel.FD
 	proc.Batch(k.Now(), func() {
 		for {
-			fd, _, ok := api.Accept(lfd)
-			if !ok {
+			fd, _, err := api.Accept(lfd)
+			if err != nil {
 				break
 			}
 			fds = append(fds, fd)

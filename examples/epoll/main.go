@@ -51,8 +51,8 @@ func main() {
 	// Accept everything and register each connection with both instances.
 	proc.Batch(k.Now(), func() {
 		for {
-			fd, _, ok := api.Accept(lfd)
-			if !ok {
+			fd, _, err := api.Accept(lfd)
+			if err != nil {
 				break
 			}
 			for _, ep := range []*epoll.Epoll{lt, et} {

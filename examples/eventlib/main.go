@@ -45,8 +45,8 @@ func main() {
 		acceptEv := base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist,
 			func(_ int, _ eventlib.What, now core.Time) {
 				for {
-					fd, _, ok := api.Accept(lfd)
-					if !ok {
+					fd, _, err := api.Accept(lfd)
+					if err != nil {
 						return
 					}
 					var ev *eventlib.Event

@@ -50,8 +50,8 @@ func main() {
 		acceptEv := base.NewEvent(lfd.Num, eventlib.EvRead|eventlib.EvPersist,
 			func(_ int, _ eventlib.What, now core.Time) {
 				for {
-					fd, _, ok := api.Accept(lfd)
-					if !ok {
+					fd, _, err := api.Accept(lfd)
+					if err != nil {
 						return
 					}
 					fmt.Printf("at %v accepted fd %d\n", now, fd.Num)

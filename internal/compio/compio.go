@@ -56,6 +56,7 @@ package compio
 
 import (
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/interest"
 	"repro/internal/simkernel"
 )
@@ -103,6 +104,12 @@ type Compio struct {
 	sqPending  int  // submission entries enqueued and not yet drained
 	overflowed bool // CQ overflowed; next wait must rescan the interest set
 
+	// stormSalt / stormSeq key the injected CQ-overflow-storm decision stream
+	// (faults.Config.OverflowStormRate): one lane-local sequence per
+	// interrupt-context post, salted by the owning process.
+	stormSalt uint64
+	stormSeq  uint64
+
 	sqFlushes   int64 // forced SQ-full flushes (backpressure enters)
 	cqRecovered int64 // overflow recovery rescans performed
 	doorbells   int64 // interrupt-context CQ doorbells actually charged
@@ -142,6 +149,7 @@ func Open(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Compio {
 		// Blocking joins the ring's single CQ wait queue.
 		OnBlock:         func(bool) { c.p.Charge(c.k.Cost.WaitQueueOp) },
 		TimeoutTeardown: func() core.Duration { return c.k.Cost.WaitQueueOp },
+		Stats:           &c.stats,
 	}
 	return c
 }
@@ -425,6 +433,24 @@ func (c *Compio) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Eve
 	}
 	if !mask.Any(e.Events | core.POLLERR | core.POLLHUP) {
 		return
+	}
+	// An injected overflow storm swallows this post as if a kernel-side burst
+	// had already filled the ring: the completion is dropped, the overflow
+	// flag raises, and the next wait runs the recovery rescan.
+	if f := &c.k.Faults; f.OverflowStormRate > 0 {
+		if c.stormSalt == 0 {
+			c.stormSalt = faults.SaltString(c.p.Name)
+		}
+		c.stormSeq++
+		if f.OverflowStorm(c.stormSalt, c.stormSeq) {
+			c.stats.Dropped++
+			if !c.overflowed {
+				c.overflowed = true
+				c.stats.Overflows++
+			}
+			c.eng.Wake()
+			return
+		}
 	}
 	if c.post(fd.Num, mask, fd.Gen) {
 		c.doorbells++

@@ -1,0 +1,111 @@
+package compio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simtest"
+)
+
+// Sustained injected CQ-overflow storms (faults.Config.OverflowStormRate):
+// several consecutive episodes with live traffic between them. The default
+// 4096-slot ring never overflows naturally here, so every episode is the
+// injected kernel-side burst; each must drop the post, raise the overflow
+// flag, leave no waiter stranded, and be repaired by the next wait's recovery
+// rescan at exactly the §6 fall-back-to-a-scan price.
+func TestSustainedCQOverflowStormRecovery(t *testing.T) {
+	env := simtest.NewEnv()
+	env.K.Faults = faults.Config{Seed: 11, OverflowStormRate: 1}
+	c := open(env, DefaultOptions())
+	fd, file := env.NewFD(0)
+	liveFD, liveFile := env.NewFD(0)
+	env.P.Batch(0, func() {
+		must(t, c.Add(fd.Num, core.POLLIN))
+		must(t, c.Add(liveFD.Num, core.POLLIN))
+	}, nil)
+	// Drain the SQ so later waits and recoveries carry no submissions.
+	var warm simtest.Collector
+	c.Wait(16, 0, warm.Handler())
+	env.Run()
+
+	cost := env.K.Cost
+	for episode := 1; episode <= 3; episode++ {
+		if episode == 2 {
+			// One episode lands on a blocked waiter: the swallowed post
+			// still wakes it, and the wake's collect pass runs the recovery
+			// rescan, so the dropped completion is delivered, not lost.
+			var blocked simtest.Collector
+			c.Wait(16, core.Second, blocked.Handler())
+			file.SetReady(env.K.Now(), core.POLLIN)
+			env.Run()
+			if blocked.Calls != 1 {
+				t.Fatalf("episode %d: waiter stranded by the storm", episode)
+			}
+			if !hasFD(blocked.Events, fd.Num) {
+				t.Fatalf("episode %d: dropped completion not recovered: %+v", episode, blocked.Events)
+			}
+		} else {
+			// Episode starts with no waiter; the next wait's first pass runs
+			// the recovery rescan, priced per armed descriptor plus one ring
+			// entry — identical for every episode.
+			file.SetReady(env.K.Now(), core.POLLIN)
+			if !c.Overflowed() {
+				t.Fatalf("episode %d: injected storm did not raise the overflow flag", episode)
+			}
+			before := env.P.TotalCharged
+			var col simtest.Collector
+			c.Wait(16, core.Second, col.Handler())
+			env.Run()
+			if col.Calls != 1 {
+				t.Fatalf("episode %d: recovery wait never completed", episode)
+			}
+			if !hasFD(col.Events, fd.Num) {
+				t.Fatalf("episode %d: dropped completion not recovered: %+v", episode, col.Events)
+			}
+			want := cost.SyscallEntry + cost.RingEnter + cost.DriverPoll.Scale(2) +
+				cost.RingCQReap.Scale(float64(len(col.Events)))
+			if got := env.P.TotalCharged - before; got != want {
+				t.Fatalf("episode %d: recovery charged %v, want %v", episode, got, want)
+			}
+		}
+		if c.Overflowed() {
+			t.Fatalf("episode %d: overflow flag survived recovery", episode)
+		}
+		if c.Recoveries() != int64(episode) {
+			t.Fatalf("episode %d: Recoveries = %d", episode, c.Recoveries())
+		}
+
+		// Live traffic between storms: completions flow through the ring
+		// again without a rescan.
+		env.K.Faults.OverflowStormRate = 0
+		liveFile.SetReady(env.K.Now(), core.POLLIN)
+		var live simtest.Collector
+		c.Wait(16, core.Second, live.Handler())
+		env.Run()
+		if live.Calls != 1 || !hasFD(live.Events, liveFD.Num) {
+			t.Fatalf("episode %d: post-recovery delivery broken: %+v", episode, live.Events)
+		}
+		if c.Recoveries() != int64(episode) {
+			t.Fatalf("episode %d: live traffic ran a spurious recovery", episode)
+		}
+		env.K.Faults.OverflowStormRate = 1
+	}
+
+	st := c.MechanismStats()
+	if st.Overflows != 3 {
+		t.Fatalf("Overflows = %d, want one per episode (3)", st.Overflows)
+	}
+	if st.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want one swallowed post per episode", st.Dropped)
+	}
+}
+
+func hasFD(events []core.Event, fd int) bool {
+	for _, ev := range events {
+		if ev.FD == fd {
+			return true
+		}
+	}
+	return false
+}

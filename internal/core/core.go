@@ -253,6 +253,7 @@ type Stats struct {
 	Overflows      int64 // RT signal queue overflows (SIGIO raised)
 	Enqueued       int64 // RT siginfo entries enqueued
 	Dropped        int64 // RT siginfo entries dropped due to overflow
+	Interrupts     int64 // blocking waits interrupted by EINTR (fault injection)
 }
 
 // StatsSource is implemented by mechanisms that expose their Stats.

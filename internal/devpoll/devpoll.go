@@ -89,6 +89,7 @@ func Open(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *DevPoll {
 		// Block on the single /dev/poll wait queue.
 		OnBlock:         func(bool) { d.p.Charge(d.k.Cost.WaitQueueOp) },
 		TimeoutTeardown: func() core.Duration { return d.k.Cost.WaitQueueOp },
+		Stats:           &d.stats,
 	}
 	return d
 }

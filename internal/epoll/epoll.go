@@ -84,6 +84,7 @@ func Open(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Epoll {
 		// Blocking joins the single epoll wait queue.
 		OnBlock:         func(bool) { ep.p.Charge(ep.k.Cost.WaitQueueOp) },
 		TimeoutTeardown: func() core.Duration { return ep.k.Cost.WaitQueueOp },
+		Stats:           &ep.stats,
 	}
 	return ep
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/servers/httpcore"
 )
@@ -227,6 +228,15 @@ type SweepOptions struct {
 	Fanout    int
 	ChurnRate float64
 
+	// Faults applies a fault-injection configuration to every point (the
+	// -fault-* flags). A chaos figure's own base config and swept axis win
+	// over it; the zero value injects nothing.
+	Faults faults.Config
+
+	// Retry enables the load generator's deterministic capped-exponential-
+	// backoff retry on every point (the -retry flag); off by default.
+	Retry bool
+
 	// Threads is the number of OS threads driving each point's simulation;
 	// values below 2 select the sequential engine. Deterministic metrics are
 	// byte-identical across thread counts (see RunSpec.Threads).
@@ -298,7 +308,9 @@ func RunFigure(fig Figure, opts SweepOptions) FigureResult {
 				Seed:        seed,
 				Workload:    opts.Workload,
 				Threads:     opts.Threads,
+				Faults:      opts.Faults,
 			}
+			spec.Client.Retry = opts.Retry
 			applyHTTPSweep(&spec, curve, opts)
 			res := Run(spec)
 			out.Runs = append(out.Runs, res)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/servers/httpcore"
@@ -41,6 +42,18 @@ type OverloadFigure struct {
 	// figure's single fixed offered rate (Rates[0]). Only the mostly-idle
 	// family (fig39) uses it.
 	Churn []float64
+	// Fault, when non-empty, turns the figure's x axis into a fault-injection
+	// knob swept over FaultValues at the figure's single fixed offered rate
+	// (Rates[0]), the same shape as the churn axis. Knobs: "reset" (fraction
+	// of connections RST mid-exchange), "fdlimit" (RLIMIT_NOFILE; 0 =
+	// unlimited), "eintr" (probability a blocking wait is interrupted),
+	// "overflow" (RT signal queue limit and completion-ring capacity). Only
+	// the chaos family (figs 40-43) uses it.
+	Fault       string
+	FaultValues []float64
+	// Faults is the figure's base fault configuration, applied to every point
+	// before the Fault axis knob; the zero value injects nothing.
+	Faults faults.Config
 }
 
 // OverloadRates is the default overload sweep: from comfortably below a
@@ -306,6 +319,120 @@ func MostlyIdleFigures() []OverloadFigure {
 	}
 }
 
+// FaultAxisLabel names a chaos figure's x axis.
+func FaultAxisLabel(fault string) string {
+	switch fault {
+	case "reset":
+		return "reset rate"
+	case "vanish":
+		return "vanish rate"
+	case "fdlimit":
+		return "fd limit"
+	case "eintr":
+		return "eintr rate"
+	case "overflow":
+		return "overflow-storm rate"
+	default:
+		return fault
+	}
+}
+
+// applyFaultAxis sets the swept fault knob on one point's spec.
+func applyFaultAxis(spec *RunSpec, fault string, x float64) {
+	switch fault {
+	case "reset":
+		spec.Faults.ResetRate = x
+	case "vanish":
+		spec.Faults.VanishRate = x
+	case "fdlimit":
+		spec.Faults.FDLimit = int(x)
+	case "eintr":
+		spec.Faults.EINTRRate = x
+	case "overflow":
+		spec.Faults.OverflowStormRate = x
+	default:
+		panic("experiments: unknown fault axis " + fault)
+	}
+}
+
+// ChaosRate is the fixed offered rate of the chaos figures: just below the
+// slowest mechanism's knee, so the degradation each figure plots is the
+// fault's doing, not ambient overload.
+const ChaosRate = 900
+
+// ChaosFigures returns the chaos figure family (figs 40-43): the overload
+// measurement re-run with the deterministic fault plane turned on, one fault
+// class per figure, swept on the x axis at a fixed offered rate. The
+// acceptance shape is graceful degradation: reply rate declines and p99 climbs
+// smoothly with the fault intensity, with no mechanism cliffing to zero.
+func ChaosFigures() []OverloadFigure {
+	return []OverloadFigure{
+		{
+			ID:     "fig40",
+			Number: 40,
+			Title:  "Chaos: connection resets mid-request and mid-response, five mechanisms, 251 inactive connections",
+			Paper: "Not in the paper, whose clients always complete or time out cleanly. A deterministic " +
+				"fraction of connections RST mid-exchange: half mid-request (the server's read fails with " +
+				"ECONNRESET), half mid-response (the draining write fails with EPIPE). The server must " +
+				"unwind each one without leaking a descriptor, a pooled connection or a timer; reply rate " +
+				"should fall roughly linearly with the doomed fraction.",
+			Workload:    "constant",
+			Rates:       []float64{ChaosRate},
+			Fault:       "reset",
+			FaultValues: []float64{0, 0.02, 0.05, 0.1, 0.2},
+			Curves:      overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig41",
+			Number: 41,
+			Title:  "Chaos: descriptor-limit headroom (RLIMIT_NOFILE), five mechanisms, 251 inactive connections",
+			Paper: "Not in the paper. With 251 inactive connections pinning descriptors, shrinking the " +
+				"process fd limit squeezes the headroom for active ones until accept fails with EMFILE. " +
+				"The reserve-descriptor drain sheds the overflow cleanly and paced backoff keeps the " +
+				"accept loop from spinning; reply rate should degrade to the sustainable headroom, not " +
+				"collapse.",
+			Workload:    "constant",
+			Rates:       []float64{ChaosRate},
+			Fault:       "fdlimit",
+			FaultValues: []float64{0, 600, 450, 350, 300},
+			Curves:      overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig42",
+			Number: 42,
+			Title:  "Chaos: EINTR storms on the blocking wait, five mechanisms, 251 inactive connections",
+			Paper: "Not in the paper. Each blocking wait episode is interrupted with probability p and " +
+				"restarts with a recomputed timeout; the interrupt charges a signal delivery and the " +
+				"restart a fresh syscall entry. Readiness arriving during the interrupt window must not " +
+				"be lost, so the cost is pure overhead: reply rate bends down gently as p grows.",
+			Workload:    "constant",
+			Rates:       []float64{ChaosRate},
+			Fault:       "eintr",
+			FaultValues: []float64{0, 0.2, 0.4, 0.6, 0.8},
+			Curves:      overloadMechanismCurves(251),
+		},
+		{
+			ID:     "fig43",
+			Number: 43,
+			Title:  "Chaos: notification-queue overflow storms, RT signals and completion ring",
+			Paper: "Not in the paper, though its Section 5 fears exactly this: the RT signal queue " +
+				"overflows and the server must fall back to a full scan. Injected kernel-side bursts " +
+				"swallow a deterministic fraction of signal enqueues and ring posts, forcing repeated " +
+				"overflow-recovery cycles with live traffic between them; the mechanisms whose recovery " +
+				"is a bounded rescan degrade smoothly as the storm intensifies.",
+			Workload:    "constant",
+			Rates:       []float64{ChaosRate},
+			Fault:       "overflow",
+			FaultValues: []float64{0, 0.05, 0.1, 0.2, 0.4},
+			Curves: []Curve{
+				{Label: "phhttpd", Server: ServerPhhttpd, Inactive: 251},
+				{Label: "hybrid", Server: ServerHybrid, Inactive: 251},
+				{Label: "compio", Server: ServerThttpdCompio, Inactive: 251},
+			},
+		},
+	}
+}
+
 // KeepAliveRequests is the per-connection request count of the keep-alive
 // figure family and the sweep-level -keepalive default: long enough to
 // amortise the connection setup, short enough that connections still churn.
@@ -409,7 +536,7 @@ func OverloadFigureByID(id string) (OverloadFigure, bool) {
 	id = strings.ToLower(strings.TrimSpace(id))
 	families := [][]OverloadFigure{
 		OverloadFigures(), KeepAliveFigures(), ScaleFigures(), MassiveScaleFigures(),
-		MostlyIdleFigures(),
+		MostlyIdleFigures(), ChaosFigures(),
 	}
 	for _, fam := range families {
 		for _, f := range fam {
@@ -493,11 +620,15 @@ func RunOverloadFigure(fig OverloadFigure, opts SweepOptions) OverloadFigureResu
 				curve.Server = kind
 			}
 		}
-		// A churn axis (fig39) sweeps the join rate at the figure's single
-		// fixed offered rate; otherwise the x axis is the offered rate.
+		// A churn axis (fig39) or fault axis (figs 40-43) sweeps its knob at
+		// the figure's single fixed offered rate; otherwise the x axis is the
+		// offered rate.
 		xlabel, xs := "request rate", rates
 		if len(fig.Churn) > 0 {
 			xlabel, xs = "churn rate", fig.Churn
+		}
+		if fig.Fault != "" {
+			xlabel, xs = FaultAxisLabel(fig.Fault), fig.FaultValues
 		}
 		reply := metrics.Series{Label: curve.Label + " (reply avg)", XLabel: xlabel, YLabel: MetricReplyRate.String()}
 		p99 := metrics.Series{Label: curve.Label + " (p99 ms)", XLabel: xlabel, YLabel: "p99 connection time (ms)"}
@@ -512,10 +643,19 @@ func RunOverloadFigure(fig OverloadFigure, opts SweepOptions) OverloadFigureResu
 				Threads:     opts.Threads,
 				FanoutSize:  opts.Fanout,
 				ChurnRate:   opts.ChurnRate,
+				Faults:      opts.Faults,
 			}
+			spec.Client.Retry = opts.Retry
 			if len(fig.Churn) > 0 {
 				spec.RequestRate = rates[0]
 				spec.ChurnRate = x
+			}
+			if fig.Fault != "" {
+				spec.RequestRate = rates[0]
+				if fig.Faults.Enabled() {
+					spec.Faults = fig.Faults
+				}
+				applyFaultAxis(&spec, fig.Fault, x)
 			}
 			if fig.PortSpace > 0 {
 				netCfg := netsim.DefaultConfig()
@@ -575,13 +715,25 @@ func FormatOverload(res OverloadFigureResult) string {
 	if len(res.Figure.Churn) > 0 {
 		xname = "churn"
 	}
+	if res.Figure.Fault != "" {
+		xname = res.Figure.Fault
+	}
+	// Fault-rate axes carry fractional x values (a 0.02 reset rate); keep the
+	// historical whole-number format everywhere else.
+	xfmt := "%-12.0f"
+	for _, rate := range rates {
+		if rate != float64(int64(rate)) {
+			xfmt = "%-12.2f"
+			break
+		}
+	}
 	fmt.Fprintf(&b, "%-12s", xname)
 	for _, s := range res.Series {
 		fmt.Fprintf(&b, "%*s", width, s.Label)
 	}
 	b.WriteString("\n")
 	for _, rate := range rates {
-		fmt.Fprintf(&b, "%-12.0f", rate)
+		fmt.Fprintf(&b, xfmt, rate)
 		for _, s := range res.Series {
 			if y, ok := s.YAt(rate); ok {
 				fmt.Fprintf(&b, "%*.1f", width, y)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/devpoll"
 	"repro/internal/epoll"
 	"repro/internal/eventlib"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -254,6 +255,12 @@ type RunSpec struct {
 	// ChurnRate overrides the churn workload's peer join rate in peers/second
 	// (dht-* server kinds); zero keeps the workload's own value.
 	ChurnRate float64
+
+	// Faults configures the deterministic fault-injection plane (EINTR storms,
+	// spurious EAGAIN, a descriptor limit, connection resets, vanishing
+	// peers). The zero value injects nothing and charges nothing, leaving
+	// every fault-free figure byte-identical.
+	Faults faults.Config
 
 	// Cost optionally overrides the calibrated cost model (ablations).
 	Cost *simkernel.CostModel
@@ -630,6 +637,7 @@ func RunE(spec RunSpec) (RunResult, error) {
 		ncpu = 1
 	}
 	k := simkernel.NewKernelSMP(spec.Cost, ncpu)
+	k.Faults = spec.Faults
 	netCfg := netsim.DefaultConfig()
 	if spec.Network != nil {
 		netCfg = *spec.Network

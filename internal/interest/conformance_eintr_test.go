@@ -1,0 +1,82 @@
+package interest_test
+
+// EINTR-restart conformance: with the fault plane interrupting every blocking
+// episode, each mechanism's wait must observe the signal, restart with a
+// recomputed timeout, and neither overshoot the original absolute deadline nor
+// lose readiness that arrives during an interrupt window.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simtest"
+)
+
+func TestConformanceEINTRRestartHonoursDeadline(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		env.K.Faults = faults.Config{Seed: 42, EINTRRate: 1}
+		fd, _ := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		// Every ~200µs the blocked call takes a signal and restarts; the wait
+		// must still time out empty at (or marginally past) the original
+		// deadline, not at deadline-plus-accumulated-restarts.
+		const timeout = 5 * core.Millisecond
+		var col simtest.Collector
+		p.Wait(0, timeout, col.Handler())
+		env.Run()
+		if col.Calls != 1 || len(col.Events) != 0 {
+			t.Fatalf("interrupted wait: %+v", col)
+		}
+		if col.At < core.Time(timeout) {
+			t.Fatalf("timeout fired early: %v", col.At)
+		}
+		if col.At > core.Time(timeout+core.Millisecond) {
+			t.Fatalf("restarts pushed the deadline from %v to %v", timeout, col.At)
+		}
+		src, ok := p.(core.StatsSource)
+		if !ok {
+			t.Fatal("mechanism does not expose stats")
+		}
+		if src.MechanismStats().Interrupts == 0 {
+			t.Fatal("no EINTR interrupts were injected")
+		}
+	})
+}
+
+func TestConformanceEINTRRestartKeepsReadiness(t *testing.T) {
+	forEachMechanism(t, func(t *testing.T, env *simtest.Env, p core.Poller) {
+		env.K.Faults = faults.Config{Seed: 42, EINTRRate: 1}
+		fd, file := env.NewFD(0)
+		if err := p.Add(fd.Num, core.POLLIN); err != nil {
+			t.Fatal(err)
+		}
+		// The wait blocks forever under a continuous interrupt storm;
+		// readiness lands 2ms in, between two interrupts. A restart that
+		// dropped its registrations or its pending set would strand the
+		// caller or return empty.
+		var col simtest.Collector
+		p.Wait(0, core.Forever, col.Handler())
+		env.K.Sim.At(core.Time(2*core.Millisecond), func(now core.Time) {
+			file.SetReady(now, core.POLLIN)
+		})
+		env.Run()
+		if col.Calls != 1 {
+			t.Fatalf("handler calls = %d", col.Calls)
+		}
+		found := false
+		for _, ev := range col.Events {
+			if ev.FD == fd.Num && ev.Ready.Any(core.POLLIN) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("readiness lost across EINTR restarts: %+v", col.Events)
+		}
+		if col.At < core.Time(2*core.Millisecond) {
+			t.Fatalf("handler ran before the readiness existed: %v", col.At)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/simkernel"
 )
 
@@ -67,6 +68,11 @@ type Engine struct {
 	// without CPU work (RT signals).
 	TimeoutTeardown func() core.Duration
 
+	// Stats, if non-nil, receives the engine-level counters the mechanism
+	// exposes (currently the EINTR interrupt count). Mechanisms point it at
+	// their core.Stats block.
+	Stats *core.Stats
+
 	state      engineState
 	pendWake   bool
 	pendExpire bool
@@ -80,6 +86,18 @@ type Engine struct {
 	// allocates nothing at steady state.
 	timeoutID   int64
 	timeoutPool []*timeoutReg
+
+	// EINTR fault-injection state. intrSeq counts blocking episodes on this
+	// engine (the deterministic decision sequence — lane-local, so it is
+	// identical at every thread count); intrSalt separates this engine's
+	// decision stream from every other engine's; intrCharge marks that the
+	// next scan batch must charge the signal delivery that interrupted the
+	// wait. Interrupt registrations share the timeout pool's generation check,
+	// so completing a wait staleness-kills any interrupt still in flight.
+	intrSalt   uint64
+	intrSeq    uint64
+	intrCharge bool
+	intrPool   []*intrReg
 
 	// Per-scan parameters and the pre-bound batch closures: one wait is in
 	// flight at a time, so the parameters live in fields and the two closures
@@ -157,6 +175,13 @@ func (e *Engine) scan(firstPass bool, timeout core.Duration) {
 
 // runScan is the batch body of one scan pass.
 func (e *Engine) runScan() {
+	if e.intrCharge {
+		// The previous blocking call was interrupted: charge delivering the
+		// signal and returning from its handler. Collect's first-pass entry
+		// charge below is the restarted syscall's fresh kernel entry.
+		e.intrCharge = false
+		e.P.Charge(e.K.Cost.SignalDeliver)
+	}
 	e.cur ^= 1
 	e.scanReady = e.Collect(e.scanFirst, e.curMax, e.bufs[e.cur][:0])
 	e.bufs[e.cur] = e.scanReady[:0]
@@ -208,6 +233,66 @@ func (e *Engine) scanDone(done core.Time) {
 		reg.id = e.timeoutID
 		e.P.Q().At(done.Add(timeout), reg.fn)
 	}
+	if e.K.Faults.EINTRRate > 0 {
+		e.armInterrupt(done)
+	}
+}
+
+// armInterrupt rolls the EINTR decision for the blocking episode that just
+// began and, when doomed, schedules the interrupt. Every blocking episode
+// rolls independently — including the re-block after an interrupted wait's
+// restart found nothing — so a high rate produces the geometric interrupt
+// storms fig 42 sweeps.
+func (e *Engine) armInterrupt(done core.Time) {
+	if e.intrSalt == 0 {
+		e.intrSalt = faults.SaltString(e.Name + "/" + e.P.Name)
+	}
+	e.intrSeq++
+	fire, delay := e.K.Faults.EINTR(e.intrSalt, e.intrSeq)
+	if !fire {
+		return
+	}
+	var reg *intrReg
+	if n := len(e.intrPool); n > 0 {
+		reg = e.intrPool[n-1]
+		e.intrPool[n-1] = nil
+		e.intrPool = e.intrPool[:n-1]
+	} else {
+		reg = &intrReg{e: e}
+		reg.fn = reg.fire
+	}
+	reg.id = e.timeoutID
+	e.P.Q().At(done.Add(delay), reg.fn)
+}
+
+// intrReg is one scheduled EINTR delivery. Like timeoutReg it carries the
+// engine generation it was armed under and recycles itself after firing.
+type intrReg struct {
+	e  *Engine
+	id int64
+	fn func(t core.Time)
+}
+
+// fire interrupts the blocked wait: the sleeping process is made runnable by a
+// signal, observes EINTR, and restarts the call. The restart is a first-pass
+// scan — a fresh kernel entry that collects anything that became ready during
+// the interrupt window, so no wakeup is lost — carried with core.Forever so an
+// original finite timeout stays armed at its absolute deadline (the recomputed
+// timeout of a real restart loop). Interrupts that land after the wait
+// completed (stale generation) or while a scan is already on the CPU are
+// dropped: a signal delivered outside a blocking call interrupts nothing.
+func (r *intrReg) fire(t core.Time) {
+	e := r.e
+	live := e.timeoutID == r.id
+	e.intrPool = append(e.intrPool, r)
+	if !live || e.state != stateBlocked {
+		return
+	}
+	if e.Stats != nil {
+		e.Stats.Interrupts++
+	}
+	e.intrCharge = true
+	e.scan(true, core.Forever)
 }
 
 // timeoutReg is one scheduled wait deadline: the engine generation it was

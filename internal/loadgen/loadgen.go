@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/httpsim"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -65,6 +66,22 @@ type ClientProfile struct {
 	InactiveRTT core.Duration
 	// Jitter is the fraction of the inter-arrival gap randomised (0..1).
 	Jitter float64
+	// Retry enables deterministic client retry: a benchmark connection that
+	// fails (refused, reset, truncated, timed out, out of ports) relaunches
+	// after a capped exponential backoff with seeded jitter instead of being
+	// booked as an error, until RetryMax attempts are exhausted. Off by
+	// default; the sweep tools gate it behind -retry. A retried connection
+	// keeps its original start time, so latency measures the full
+	// client-perceived wait, backoffs included.
+	Retry bool
+	// RetryMax is how many retry attempts each connection gets beyond the
+	// original; zero with Retry set selects 3.
+	RetryMax int
+	// RetryBase is the backoff before the first retry; retry n waits
+	// RetryBase·2^(n-1), capped at 32·RetryBase, scaled by a deterministic
+	// per-(connection, attempt) jitter factor in [0.5, 1.5). Zero selects
+	// 100 ms.
+	RetryBase core.Duration
 }
 
 // Config parameterises one benchmark run (one point in a figure).
@@ -177,6 +194,10 @@ type Result struct {
 	// (Figure 10).
 	ErrorPercent float64
 
+	// Retries counts retry relaunches across all connections (always zero
+	// unless Profile.Retry is enabled).
+	Retries int
+
 	// OfferedRate is the achieved connection-issue rate.
 	OfferedRate float64
 }
@@ -215,6 +236,7 @@ type Generator struct {
 	completed int
 	replies   int
 	errors    int
+	retries   int
 	errorsBy  map[ErrorReason]int
 
 	latenciesMs []float64
@@ -323,6 +345,14 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * core.Second
 	}
+	if cfg.Profile.Retry {
+		if cfg.Profile.RetryMax <= 0 {
+			cfg.Profile.RetryMax = 3
+		}
+		if cfg.Profile.RetryBase <= 0 {
+			cfg.Profile.RetryBase = 100 * core.Millisecond
+		}
+	}
 	if cfg.InactiveRTT <= 0 {
 		cfg.InactiveRTT = 100 * core.Millisecond
 	}
@@ -348,6 +378,9 @@ func New(k *simkernel.Kernel, net *netsim.Network, cfg Config) *Generator {
 		ActiveRTT:       cfg.ActiveRTT,
 		InactiveRTT:     cfg.InactiveRTT,
 		Jitter:          cfg.Jitter,
+		Retry:           cfg.Profile.Retry,
+		RetryMax:        cfg.Profile.RetryMax,
+		RetryBase:       cfg.Profile.RetryBase,
 	}
 	g := &Generator{
 		k:              k,
@@ -557,7 +590,7 @@ func (g *Generator) launchOne(now core.Time) {
 	if len(g.cfg.Workload.RTTMix) > 0 {
 		rtt = netsim.SampleRTT(g.cfg.Workload.RTTMix, g.rng.Float64())
 	}
-	ac := &activeConn{gen: g, started: now, reqStart: now, lastProgress: now}
+	ac := &activeConn{gen: g, started: now, reqStart: now, lastProgress: now, rtt: rtt}
 	ac.conn = g.net.ConnectWith(now, netsim.ConnectOptions{RTT: rtt}, ac)
 	// httperf's client-side timeout, delivered on the connection's home lane
 	// (an ordinary global-queue event on a sequential run).
@@ -723,6 +756,7 @@ func (g *Generator) Result() Result {
 		Completed:        g.completed,
 		Replies:          g.replies,
 		Errors:           g.errors,
+		Retries:          g.retries,
 		ErrorsBy:         copyReasons(g.errorsBy),
 		ReplyRateSamples: samples,
 		ReplyRate:        metrics.Summarize(samples),
@@ -791,6 +825,7 @@ func (g *Generator) parallelResult() Result {
 		Completed:        completed,
 		Replies:          replies,
 		Errors:           errors,
+		Retries:          g.retries,
 		ErrorsBy:         errorsBy,
 		ReplyRateSamples: g.mergedSamples(end, lastRecord, total),
 	}
@@ -874,6 +909,12 @@ type activeConn struct {
 	started  core.Time
 	received int
 	resolved bool
+	rtt      core.Duration
+
+	// Retry state (Profile.Retry): the attempt number, incremented when a
+	// failure is absorbed into a retry. Timers and late callbacks armed for
+	// an earlier attempt compare their stamp against it and stand down.
+	attempt int
 
 	// Keep-alive state: requests sent and replies recognised so far, the
 	// in-flight request's dispatch time (the latency anchor) and the last
@@ -922,11 +963,11 @@ func (a *activeConn) Refused(now core.Time, reason netsim.RefuseReason) {
 	a.resolved = true
 	switch reason {
 	case netsim.RefusedPorts:
-		a.gen.recordError(a.conn.Q(), ErrPortSpace, now)
+		a.failOrRetry(now, ErrPortSpace)
 	case netsim.RefusedReset:
-		a.gen.recordError(a.conn.Q(), ErrReset, now)
+		a.failOrRetry(now, ErrReset)
 	default:
-		a.gen.recordError(a.conn.Q(), ErrRefused, now)
+		a.failOrRetry(now, ErrRefused)
 	}
 }
 
@@ -968,11 +1009,57 @@ func (a *activeConn) PeerClosed(now core.Time) {
 	// bad request path, shutdown, idle timeout, or (keep-alive) a close before
 	// the final reply; Data has already booked whatever replies did complete.
 	// Count it like httperf's connection-reset errors.
-	a.gen.recordError(a.conn.Q(), ErrReset, now)
+	a.failOrRetry(now, ErrReset)
 }
 
-func (a *activeConn) onTimeout(now core.Time) {
-	if a.resolved {
+// failOrRetry books a terminal connection failure — unless retry is enabled
+// and attempts remain, in which case the failure is absorbed and the
+// connection relaunches after a capped exponential backoff with seeded
+// jitter. The jitter is keyed by the failed attempt's connection id; every
+// connection is launched from the driver lane, so the id — and with it the
+// whole retry schedule — is thread-count invariant. Called with a.resolved
+// already set, which keeps any late callbacks against the failed attempt
+// inert during the backoff.
+func (a *activeConn) failOrRetry(now core.Time, reason ErrorReason) {
+	g := a.gen
+	p := &g.cfg.Profile
+	if !p.Retry || a.attempt >= p.RetryMax {
+		g.recordError(a.conn.Q(), reason, now)
+		return
+	}
+	a.attempt++
+	backoff := p.RetryBase << uint(a.attempt-1)
+	if lim := p.RetryBase << 5; backoff > lim {
+		backoff = lim
+	}
+	backoff = core.Duration(float64(backoff) * faults.RetryJitter(uint64(g.cfg.Seed), a.conn.ID, a.attempt))
+	// Connection launch state (ports, conn ids) lives on the driver lane;
+	// hop there, the same way the inactive population reopens itself.
+	a.conn.Q().Post(g.driverQ, now.Add(backoff), a.relaunch)
+}
+
+// relaunch opens the retried connection on the driver lane, resetting the
+// exchange state but keeping the original start time: the connection's
+// latency, if it completes, is the full client-perceived wait.
+func (a *activeConn) relaunch(now core.Time) {
+	g := a.gen
+	g.retries++
+	a.resolved = false
+	a.received = 0
+	a.sent, a.replied = 0, 0
+	a.reqStart, a.lastProgress = now, now
+	a.conn = g.net.ConnectWith(now, netsim.ConnectOptions{RTT: a.rtt}, a)
+	attempt := a.attempt
+	g.driverQ.Post(a.conn.Q(), now.Add(g.cfg.Timeout), func(t core.Time) { a.timeout(attempt, t) })
+}
+
+func (a *activeConn) onTimeout(now core.Time) { a.timeout(0, now) }
+
+// timeout is the client-patience watchdog, stamped with the attempt it was
+// armed for: a watchdog armed for an attempt that has since failed and been
+// retried must not kill the retry's fresh connection early.
+func (a *activeConn) timeout(attempt int, now core.Time) {
+	if a.resolved || attempt != a.attempt {
 		return
 	}
 	if a.gen.reqsPerConn > 1 {
@@ -980,13 +1067,17 @@ func (a *activeConn) onTimeout(now core.Time) {
 		// watchdog instead requires a reply every Timeout window, re-arming
 		// itself from the last instant of progress.
 		if deadline := a.lastProgress.Add(a.gen.cfg.Timeout); deadline > now {
-			a.conn.Q().At(deadline, a.onTimeout)
+			if attempt == 0 {
+				a.conn.Q().At(deadline, a.onTimeout)
+			} else {
+				a.conn.Q().At(deadline, func(t core.Time) { a.timeout(attempt, t) })
+			}
 			return
 		}
 	}
 	a.resolved = true
 	a.conn.Close(now)
-	a.gen.recordError(a.conn.Q(), ErrTimeout, now)
+	a.failOrRetry(now, ErrTimeout)
 }
 
 // inactiveClient keeps one perpetually unserviceable connection open against

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/simkernel"
 )
 
@@ -115,6 +116,14 @@ type ClientConn struct {
 	closedLocal   bool
 	stallReads    bool
 
+	// fate is the fault plane's verdict for this connection, fixed at connect
+	// time from the driver-assigned id (thread-count invariant); fateFired
+	// records that the trigger has been pulled, vanished that the peer went
+	// silent (its eventual Close releases the port without a FIN).
+	fate      faults.ConnFate
+	fateFired bool
+	vanished  bool
+
 	// StartedAt is when Connect was called; loadgen uses it for latency.
 	StartedAt core.Time
 }
@@ -138,6 +147,9 @@ func (n *Network) ConnectWith(now core.Time, opts ConnectOptions, h ConnHandler)
 	}
 	c.q = n.driverQ
 	c.synQ = c.q
+	if f := &n.K.Faults; f.ResetRate > 0 || f.VanishRate > 0 {
+		c.fate = f.FateOf(c.ID)
+	}
 	st := n.statsAt(n.driverQ)
 	st.ConnAttempts++
 
@@ -184,6 +196,10 @@ func (c *ClientConn) BytesReceived() int { return c.bytesReceived }
 
 // RTT returns the connection's round-trip time.
 func (c *ClientConn) RTT() core.Duration { return c.rtt }
+
+// Fate reports the fault plane's verdict for this connection (for tests and
+// the load generator's accounting).
+func (c *ClientConn) Fate() faults.ConnFate { return c.fate }
 
 // synArrive handles the SYN reaching the server host. It executes on the
 // connection's home lane — the lane of the listener the id hashes to.
@@ -234,12 +250,55 @@ func (c *ClientConn) Send(now core.Time, data []byte) {
 	if c.state != StateEstablished && c.state != StateConnecting {
 		return
 	}
-	n := len(data)
-	if n == 0 {
+	if len(data) == 0 {
 		return
 	}
+	switch c.fate {
+	case faults.FateVanish:
+		// The vanished peer's request never leaves its host: the server sees
+		// an accepted connection that stays silent until the idle sweep.
+		c.vanished = true
+		return
+	case faults.FateResetRequest:
+		if !c.fateFired {
+			c.fateFired = true
+			// A deterministic fraction of the request escapes, then the RST
+			// chases it down the same path so the server reads a truncated
+			// request and then fails with ECONNRESET.
+			cut := int(c.net.K.Faults.CutFraction(c.ID) * float64(len(data)))
+			if cut < 1 {
+				cut = 1
+			}
+			if cut > len(data) {
+				cut = len(data)
+			}
+			data = data[:cut:cut]
+			arrival := now.Add(c.rtt / 2).Add(c.net.TransmitDelay(cut))
+			c.net.schedule(c.q, c.synQ, arrival, evtDataToServer, c, nil, cut, 0, data)
+			c.abortWithReset(now, arrival)
+		}
+		return
+	}
+	n := len(data)
 	arrival := now.Add(c.rtt / 2).Add(c.net.TransmitDelay(n))
 	c.net.schedule(c.q, c.synQ, arrival, evtDataToServer, c, nil, n, 0, data)
+}
+
+// abortWithReset tears the connection down from the client side with an RST
+// that reaches the server at rstArrival, surfacing the abort to the client's
+// handler as a reset. The ephemeral port is released immediately — a reset
+// connection skips TIME-WAIT's FIN handshake bookkeeping on the sender.
+func (c *ClientConn) abortWithReset(now core.Time, rstArrival core.Time) {
+	if c.closedLocal {
+		return
+	}
+	c.closedLocal = true
+	c.state = StateClosed
+	c.releasePort(now)
+	if c.server != nil {
+		c.net.schedule(c.q, c.server.q, rstArrival, evtRSTToServer, nil, c.server, 0, 0, nil)
+	}
+	c.h.Refused(now, RefusedReset)
 }
 
 // dataArriveServer delivers sent bytes to the server host.
@@ -267,7 +326,9 @@ func (c *ClientConn) Close(now core.Time) {
 	}
 	c.net.statsAt(c.q).ClientCloses++
 	c.releasePort(now)
-	if c.server == nil {
+	if c.server == nil || c.vanished {
+		// A vanished peer never announces the close: no FIN reaches the
+		// server, which reclaims the connection only through its idle sweep.
 		return
 	}
 	c.net.schedule(c.q, c.server.q, now.Add(c.rtt/2), evtFINToServer, c, c.server, 0, 0, nil)
@@ -297,6 +358,14 @@ func (c *ClientConn) dataArriveClient(t core.Time, n int) {
 		return
 	}
 	c.bytesReceived += n
+	if c.fate == faults.FateResetResponse && !c.fateFired {
+		// Mid-response reset: the first response bytes have arrived, more may
+		// be in flight, and the client slams the connection shut. The server's
+		// still-draining response fails with EPIPE when the RST lands.
+		c.fateFired = true
+		c.abortWithReset(t, t.Add(c.rtt/2))
+		return
+	}
 	c.h.Data(t, n)
 	if !c.stallReads && c.server != nil && c.server.sndWindow > 0 {
 		// The window update is an ACK segment: it costs the server an RX
@@ -385,6 +454,7 @@ const (
 	evtPeerClose                    // server FIN reaches the client host
 	evtFINToServer                  // client FIN reaches the server host
 	evtReset                        // server reset reaches the client host
+	evtRSTToServer                  // client RST reaches the server host (fault plane)
 	evtXmit                         // server write leaves the host (batch completion)
 	evtSrvClose                     // server close's FIN leaves the host (batch completion)
 	evtPortRelease                  // deferred port release reaches the driver lane
@@ -500,6 +570,10 @@ func (e *connEvt) run(t core.Time) {
 		sc.deliverFIN(t)
 	case evtReset:
 		c.resetArrive(t)
+	case evtRSTToServer:
+		net.K.InterruptOn(sc.irqCPU(), t, net.K.Cost.NetRxIRQ, nil)
+		net.statsAt(sc.q).SegmentsRx++
+		sc.deliverRST(t)
 	case evtPortRelease:
 		// Driver lane: fold the released port into TIME-WAIT at its
 		// original expiry. Pushes stay monotonic because every release is

@@ -89,9 +89,9 @@ func TestConnectAcceptServeClose(t *testing.T) {
 	var conn *ServerConn
 	var fd *simkernel.FD
 	p.Batch(k.Now(), func() {
-		var ok bool
-		fd, conn, ok = api.Accept(lfd)
-		if !ok {
+		var err error
+		fd, conn, err = api.Accept(lfd)
+		if err != nil {
 			t.Fatal("Accept failed")
 		}
 		data, eof := api.Read(fd, 0)
@@ -136,9 +136,9 @@ func TestServerConnReadinessTransitions(t *testing.T) {
 	var fd *simkernel.FD
 	var conn *ServerConn
 	p.Batch(k.Now(), func() {
-		var ok bool
-		fd, conn, ok = api.Accept(lfd)
-		if !ok {
+		var err error
+		fd, conn, err = api.Accept(lfd)
+		if err != nil {
 			t.Fatal("accept failed")
 		}
 	}, nil)
@@ -273,8 +273,8 @@ func TestPortExhaustionAndTimeWait(t *testing.T) {
 	// Serve and close both connections; ports go to TIME-WAIT, still unusable.
 	p.Batch(k.Now(), func() {
 		for {
-			fd, _, ok := api.Accept(lfd)
-			if !ok {
+			fd, _, err := api.Accept(lfd)
+			if err != nil {
 				break
 			}
 			api.Close(fd)
@@ -318,7 +318,7 @@ func TestHighLatencyConnectionUsesItsRTT(t *testing.T) {
 func TestAcceptOnEmptyQueueAndWrongFD(t *testing.T) {
 	k, n, p, api, lfd, _ := testbed(t, DefaultConfig())
 	p.Batch(k.Now(), func() {
-		if _, _, ok := api.Accept(lfd); ok {
+		if _, _, err := api.Accept(lfd); err == nil {
 			t.Error("accept on empty queue should fail")
 		}
 	}, nil)
@@ -330,12 +330,12 @@ func TestAcceptOnEmptyQueueAndWrongFD(t *testing.T) {
 	_ = cc
 	var connFD *simkernel.FD
 	p.Batch(k.Now(), func() {
-		fd, _, ok := api.Accept(lfd)
-		if !ok {
+		fd, _, err := api.Accept(lfd)
+		if err != nil {
 			t.Fatal("accept failed")
 		}
 		connFD = fd
-		if _, _, ok := api.Accept(fd); ok {
+		if _, _, err := api.Accept(fd); err == nil {
 			t.Error("accept on a connection descriptor should fail")
 		}
 	}, nil)
@@ -368,7 +368,7 @@ func TestMaxServerFDsResetsConnection(t *testing.T) {
 	})
 	k.Sim.Run()
 	p.Batch(k.Now(), func() {
-		if _, _, ok := api.Accept(lfd); ok {
+		if _, _, err := api.Accept(lfd); err == nil {
 			t.Error("accept should fail at the descriptor limit")
 		}
 	}, nil)
@@ -409,8 +409,8 @@ func TestClientCloseDeliversFINToServer(t *testing.T) {
 	k.Sim.Run()
 	var conn *ServerConn
 	p.Batch(k.Now(), func() {
-		_, c, ok := api.Accept(lfd)
-		if !ok {
+		_, c, err := api.Accept(lfd)
+		if err != nil {
 			t.Fatal("accept failed")
 		}
 		conn = c
@@ -442,8 +442,8 @@ func TestWriteToClosedOrHungUpConnectionIsIgnored(t *testing.T) {
 	k.Sim.Run()
 	var fd *simkernel.FD
 	p.Batch(k.Now(), func() {
-		f, _, ok := api.Accept(lfd)
-		if !ok {
+		f, _, err := api.Accept(lfd)
+		if err != nil {
 			t.Fatal("accept failed")
 		}
 		fd = f
@@ -494,7 +494,7 @@ func TestConnectionConservationProperty(t *testing.T) {
 		// Accept everything pending.
 		p.Batch(k.Now(), func() {
 			for {
-				if _, _, ok := api.Accept(lfd); !ok {
+				if _, _, err := api.Accept(lfd); err != nil {
 					break
 				}
 			}
@@ -531,8 +531,8 @@ func TestRegisteredBufferReadSkipsExactlyTheCopyCharge(t *testing.T) {
 		k.Sim.Run()
 		var charge core.Duration
 		p.Batch(k.Now(), func() {
-			fd, _, ok := api.Accept(lfd)
-			if !ok {
+			fd, _, err := api.Accept(lfd)
+			if err != nil {
 				t.Fatal("Accept failed")
 			}
 			fd.BufferRegistered = register

@@ -1,8 +1,24 @@
 package netsim
 
 import (
+	"errors"
+
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/simkernel"
+)
+
+// Errors returned by the socket layer, mirroring the errno a real server sees.
+var (
+	// ErrAgain is accept(2)'s EAGAIN: nothing to return right now, either
+	// because the accept queue is empty or because the fault plane injected a
+	// spurious failure.
+	ErrAgain = errors.New("netsim: resource temporarily unavailable (EAGAIN)")
+	// ErrMFile is accept(2)'s EMFILE: the per-process descriptor limit is
+	// reached. With the fault plane's FDLimit the pending connection stays on
+	// the accept queue (the real syscall fails before touching it), so the
+	// reserve-descriptor trick can still drain it.
+	ErrMFile = errors.New("netsim: too many open files (EMFILE)")
 )
 
 // Listener is the server's listening socket ("port 80"). It implements
@@ -103,6 +119,7 @@ type ServerConn struct {
 	rcvBuf      []byte // request bytes buffered, not yet read by the server
 	peerClosed  bool   // client sent FIN
 	closedLocal bool   // server closed its end
+	resetPeer   bool   // client sent RST (fault plane): reads fail ECONNRESET, writes EPIPE
 	accepted    bool
 
 	// sndWindow is the peer's advertised receive window (0 = unlimited, the
@@ -130,6 +147,11 @@ func (c *ServerConn) Poll() core.EventMask {
 	if c.closedLocal {
 		return core.POLLNVAL
 	}
+	if c.resetPeer {
+		// A reset connection reports error + hangup; both read- and
+		// write-interested pollers surface it so the server can unwind.
+		return core.POLLIN | core.POLLERR | core.POLLHUP
+	}
 	var m core.EventMask
 	if len(c.rcvBuf) > 0 {
 		m |= core.POLLIN
@@ -156,6 +178,9 @@ func (c *ServerConn) Buffered() int { return len(c.rcvBuf) }
 
 // PeerClosed reports whether the client already sent FIN.
 func (c *ServerConn) PeerClosed() bool { return c.peerClosed }
+
+// ResetPeer reports whether the client reset the connection (fault plane).
+func (c *ServerConn) ResetPeer() bool { return c.resetPeer }
 
 // Accepted reports whether the server has accepted the connection.
 func (c *ServerConn) Accepted() bool { return c.accepted }
@@ -224,6 +249,19 @@ func (c *ServerConn) windowOpen(now core.Time, n int) {
 	}
 }
 
+// deliverRST is called by the network when a client RST arrives (fault
+// plane): buffered request bytes are discarded — a reset flushes the receive
+// queue — and the connection is marked so the server's next read fails like
+// ECONNRESET and its next write like EPIPE.
+func (c *ServerConn) deliverRST(now core.Time) {
+	if c.closedLocal || c.resetPeer {
+		return
+	}
+	c.resetPeer = true
+	c.rcvBuf = nil
+	c.notify(now, core.POLLIN|core.POLLERR|core.POLLHUP)
+}
+
 // deliverFIN is called by the network when the client's FIN arrives.
 func (c *ServerConn) deliverFIN(now core.Time) {
 	if c.closedLocal {
@@ -252,6 +290,23 @@ type SockAPI struct {
 
 	// EMFILECount counts accepts that failed due to the descriptor limit.
 	EMFILECount int64
+
+	// Fault-plane decision streams. The salt is derived from the process name
+	// and the sequence counters advance only while the corresponding rate is
+	// non-zero, so they are lane-local (one SockAPI per process per lane) and
+	// a zero fault config leaves the hot path untouched.
+	faultSalt uint64
+	acceptSeq uint64
+	readSeq   uint64
+	writeSeq  uint64
+}
+
+// fsalt lazily derives the per-process fault stream salt.
+func (a *SockAPI) fsalt() uint64 {
+	if a.faultSalt == 0 {
+		a.faultSalt = faults.SaltString(a.P.Name)
+	}
+	return a.faultSalt
 }
 
 // NewSockAPI builds the socket interface for process p.
@@ -272,29 +327,42 @@ func (a *SockAPI) Listen() (*simkernel.FD, *Listener) {
 }
 
 // Accept pops one pending connection from the listener's queue, installing a
-// new descriptor for it. ok is false when the queue is empty (EAGAIN) or the
-// descriptor limit is reached (EMFILE, in which case the pending connection is
-// reset, mirroring what a real server under fd pressure does).
-func (a *SockAPI) Accept(lfd *simkernel.FD) (fd *simkernel.FD, conn *ServerConn, ok bool) {
+// new descriptor for it. It fails with ErrAgain when the queue is empty (or
+// the fault plane injected a spurious EAGAIN, leaving the queue untouched) and
+// with ErrMFile when a descriptor limit is reached. Under the fault plane's
+// FDLimit the pending connection stays queued — the real syscall fails before
+// dequeuing — while the network-level MaxServerFDs keeps its historical
+// pop-and-reset semantics.
+func (a *SockAPI) Accept(lfd *simkernel.FD) (fd *simkernel.FD, conn *ServerConn, err error) {
 	a.P.ChargeSyscall(a.K.Cost.Accept)
 	l, isListener := lfd.File().(*Listener)
 	if !isListener {
-		return nil, nil, false
+		return nil, nil, core.ErrBadFD
+	}
+	if f := &a.K.Faults; f.AcceptEAGAINRate > 0 {
+		a.acceptSeq++
+		if f.AcceptEAGAIN(a.fsalt(), a.acceptSeq) {
+			return nil, nil, ErrAgain
+		}
+	}
+	if lim := a.K.Faults.FDLimit; lim > 0 && a.P.NumFDs() >= lim {
+		a.EMFILECount++
+		return nil, nil, ErrMFile
 	}
 	c, ok := l.pop()
 	if !ok {
-		return nil, nil, false
+		return nil, nil, ErrAgain
 	}
 	if a.Net.Cfg.MaxServerFDs > 0 && a.P.NumFDs() >= a.Net.Cfg.MaxServerFDs {
 		a.EMFILECount++
 		c.resetFromServer(a.P.Now())
-		return nil, nil, false
+		return nil, nil, ErrMFile
 	}
 	c.accepted = true
 	c.owner = a.P
 	a.Net.statsAt(a.P.Q()).Accepted++
 	fd = a.P.Install(c)
-	return fd, c, true
+	return fd, c, nil
 }
 
 // AcceptDetach pops one pending connection without installing a descriptor
@@ -362,6 +430,16 @@ func (a *SockAPI) Read(fd *simkernel.FD, max int) (data []byte, eof bool) {
 	if !isConn || fd.Closed() {
 		return nil, true
 	}
+	if f := &a.K.Faults; f.ReadEAGAINRate > 0 {
+		a.readSeq++
+		if f.ReadEAGAIN(a.fsalt(), a.readSeq) {
+			// Injected spurious EAGAIN: no data, not EOF. The buffered bytes
+			// stay queued and the descriptor stays readable, so a
+			// level-triggered poller re-reports it and an edge-triggered one
+			// already primed on Add retries on the next wakeup.
+			return nil, false
+		}
+	}
 	n := len(conn.rcvBuf)
 	if max > 0 && max < n {
 		n = max
@@ -370,7 +448,10 @@ func (a *SockAPI) Read(fd *simkernel.FD, max int) (data []byte, eof bool) {
 		data = conn.rcvBuf[:n:n]
 		conn.rcvBuf = conn.rcvBuf[n:]
 	}
-	if n == 0 && conn.peerClosed {
+	if n == 0 && (conn.peerClosed || conn.resetPeer) {
+		// A FIN'd connection drains to EOF; a reset one has had its buffer
+		// flushed, so the read fails immediately (ECONNRESET — callers
+		// distinguish via ResetPeer).
 		eof = true
 	}
 	return data, eof
@@ -388,6 +469,19 @@ func (a *SockAPI) Write(fd *simkernel.FD, n int) int {
 		// The kernel still walks the write path before failing the call.
 		a.P.ChargeSyscall(a.K.Cost.WriteCost(n))
 		return 0
+	}
+	if conn.resetPeer {
+		// EPIPE: the kernel fails the call before copying any bytes.
+		a.P.ChargeSyscall(a.K.Cost.WriteCost(0))
+		return 0
+	}
+	if f := &a.K.Faults; f.WriteEAGAINRate > 0 {
+		a.writeSeq++
+		if f.WriteEAGAIN(a.fsalt(), a.writeSeq) {
+			// Injected spurious EAGAIN, priced like the real failed call.
+			a.P.ChargeSyscall(a.K.Cost.WriteCost(0))
+			return 0
+		}
 	}
 	accepted := n
 	if conn.sndWindow > 0 {
@@ -426,6 +520,17 @@ func (a *SockAPI) Sendfile(fd *simkernel.FD, n int) int {
 		a.P.ChargeSyscall(a.K.Cost.SendfileCost(n))
 		return 0
 	}
+	if conn.resetPeer {
+		a.P.ChargeSyscall(a.K.Cost.SendfileCost(0))
+		return 0
+	}
+	if f := &a.K.Faults; f.WriteEAGAINRate > 0 {
+		a.writeSeq++
+		if f.WriteEAGAIN(a.fsalt(), a.writeSeq) {
+			a.P.ChargeSyscall(a.K.Cost.SendfileCost(0))
+			return 0
+		}
+	}
 	accepted := n
 	if conn.sndWindow > 0 {
 		if accepted > conn.sndAvail {
@@ -450,6 +555,10 @@ func (a *SockAPI) Close(fd *simkernel.FD) {
 	conn, isConn := fd.File().(*ServerConn)
 	_ = a.P.CloseFD(a.P.Now(), fd.Num)
 	if !isConn {
+		return
+	}
+	if conn.resetPeer {
+		// The peer already tore the connection down; there is no one to FIN.
 		return
 	}
 	a.Net.defer_(a.P, evtSrvClose, conn, 0)

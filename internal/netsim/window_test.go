@@ -13,9 +13,9 @@ func accept(t *testing.T, k *simkernel.Kernel, p *simkernel.Proc, api *SockAPI, 
 	var fd *simkernel.FD
 	var conn *ServerConn
 	p.Batch(k.Now(), func() {
-		var ok bool
-		fd, conn, ok = api.Accept(lfd)
-		if !ok {
+		var err error
+		fd, conn, err = api.Accept(lfd)
+		if err != nil {
 			t.Fatal("Accept failed")
 		}
 	}, nil)

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/interest"
 	"repro/internal/simkernel"
 )
@@ -76,6 +77,13 @@ type Queue struct {
 	overflowed       bool
 	overflowReported bool
 
+	// stormSalt / stormSeq key the injected overflow-storm decision stream
+	// (faults.Config.OverflowStormRate): one lane-local sequence per enqueue
+	// attempt, salted by the owning process so sibling queues draw
+	// independent storms.
+	stormSalt uint64
+	stormSeq  uint64
+
 	eng interest.Engine
 
 	stats  core.Stats
@@ -104,6 +112,7 @@ func New(k *simkernel.Kernel, p *simkernel.Proc, opts Options) *Queue {
 		Collect: q.collect,
 		// Blocking in sigwaitinfo() joins no per-descriptor wait queues and a
 		// timeout tears nothing down, so OnBlock and TimeoutTeardown stay nil.
+		Stats: &q.stats,
 	}
 	return q
 }
@@ -365,6 +374,26 @@ func (q *Queue) ReadinessChanged(now core.Time, fd *simkernel.FD, mask core.Even
 	cost := q.k.Cost
 	enqueueCost := cost.SigEnqueue + cost.SigEnqueuePerFD.Scale(float64(q.registered.Len()))
 	q.k.Interrupt(now, enqueueCost, nil)
+
+	// An injected overflow storm swallows this enqueue as if a kernel-side
+	// burst had already filled the queue: the signal is dropped, SIGIO raises,
+	// and the application must run its recovery rescan.
+	if f := &q.k.Faults; f.OverflowStormRate > 0 {
+		if q.stormSalt == 0 {
+			q.stormSalt = faults.SaltString(q.p.Name)
+		}
+		q.stormSeq++
+		if f.OverflowStorm(q.stormSalt, q.stormSeq) {
+			q.stats.Dropped++
+			if !q.overflowed {
+				q.overflowed = true
+				q.stats.Overflows++
+				q.k.Interrupt(now, cost.SigOverflow, nil)
+			}
+			q.eng.Wake()
+			return
+		}
+	}
 
 	if q.length >= q.opts.QueueLimit {
 		q.stats.Dropped++

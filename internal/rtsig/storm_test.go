@@ -1,0 +1,93 @@
+package rtsig
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simtest"
+)
+
+// Sustained injected overflow storms (faults.Config.OverflowStormRate):
+// several consecutive episodes with live traffic between them. Each episode
+// must drop the swallowed posts, raise the overflow flag exactly once, charge
+// exactly one SigOverflow interrupt no matter how many posts it swallows,
+// hand any waiter the SIGIO sentinel instead of stranding it, and leave the
+// queue delivering normally again after Recover.
+func TestSustainedOverflowStormRecovery(t *testing.T) {
+	env := simtest.NewEnv()
+	env.K.Faults = faults.Config{Seed: 11, OverflowStormRate: 1}
+	q := newQueue(env, DefaultOptions())
+	fd, file := env.NewFD(0)
+	env.P.Batch(0, func() { must(t, q.Add(fd.Num, core.POLLIN)) }, nil)
+	env.Run()
+
+	dropped := int64(0)
+	for episode := 1; episode <= 3; episode++ {
+		if episode == 2 {
+			// One episode starts against a blocked waiter: the swallowed
+			// post still wakes it, and the wake delivers the sentinel.
+			var blocked simtest.Collector
+			q.Wait(4, core.Forever, blocked.Handler())
+			file.SetReady(env.K.Now(), core.POLLIN)
+			dropped++
+			env.Run()
+			if blocked.Calls != 1 || len(blocked.Events) != 1 || blocked.Events[0].FD != OverflowFD {
+				t.Fatalf("episode %d: blocked waiter got %+v, want the overflow sentinel", episode, blocked.Events)
+			}
+		} else {
+			// Episode starts with no waiter; the overflow surcharge lands
+			// only on the post that starts the episode.
+			before := env.K.CPU.Busy
+			file.SetReady(env.K.Now(), core.POLLIN)
+			dropped++
+			env.Run()
+			first := env.K.CPU.Busy - before
+
+			before = env.K.CPU.Busy
+			file.SetReady(env.K.Now(), core.POLLIN)
+			dropped++
+			env.Run()
+			second := env.K.CPU.Busy - before
+			if first-second != env.K.Cost.SigOverflow {
+				t.Fatalf("episode %d: overflow surcharge = %v, want exactly SigOverflow %v",
+					episode, first-second, env.K.Cost.SigOverflow)
+			}
+
+			var col simtest.Collector
+			q.Wait(4, core.Forever, col.Handler())
+			env.Run()
+			if col.Calls != 1 || len(col.Events) != 1 || col.Events[0].FD != OverflowFD {
+				t.Fatalf("episode %d: waiter got %+v, want the overflow sentinel", episode, col.Events)
+			}
+		}
+		if !q.Overflowed() || q.QueueLength() != 0 {
+			t.Fatalf("episode %d: overflowed=%v len=%d", episode, q.Overflowed(), q.QueueLength())
+		}
+
+		env.P.Batch(env.K.Now(), func() { q.Recover() }, nil)
+		env.Run()
+		if q.Overflowed() {
+			t.Fatalf("episode %d: Recover left the overflow flag set", episode)
+		}
+
+		// Live traffic between storms: delivery is back to normal.
+		env.K.Faults.OverflowStormRate = 0
+		file.SetReady(env.K.Now(), core.POLLIN)
+		var live simtest.Collector
+		q.Wait(4, core.Forever, live.Handler())
+		env.Run()
+		if live.Calls != 1 || len(live.Events) != 1 || live.Events[0].FD != fd.Num {
+			t.Fatalf("episode %d: post-recovery delivery broken: %+v", episode, live.Events)
+		}
+		env.K.Faults.OverflowStormRate = 1
+	}
+
+	st := q.MechanismStats()
+	if st.Overflows != 3 {
+		t.Fatalf("Overflows = %d, want one per episode (3)", st.Overflows)
+	}
+	if st.Dropped != dropped {
+		t.Fatalf("Dropped = %d, want every swallowed post (%d)", st.Dropped, dropped)
+	}
+}

@@ -120,6 +120,9 @@ const (
 	CloseEOF // client closed before sending a complete request
 	CloseIdle
 	CloseShutdown
+	// CloseReset: the peer reset the connection (ECONNRESET on read or EPIPE
+	// on write); any response in flight is discarded.
+	CloseReset
 )
 
 // Stats tallies server-side application events.
@@ -140,6 +143,15 @@ type Stats struct {
 	// cache).
 	CacheHits   int64
 	CacheMisses int64
+	// Resets counts connections torn down because the peer reset them
+	// (ECONNRESET/EPIPE under the fault plane).
+	Resets int64
+	// EmfileSheds counts connections drained and immediately closed through
+	// the reserve-descriptor trick while accept was failing with EMFILE.
+	EmfileSheds int64
+	// AcceptBackoffs counts paced accept-retry timers armed after accept
+	// stalled (EMFILE or an injected EAGAIN).
+	AcceptBackoffs int64
 }
 
 // Conn is the per-connection state a server keeps. Closed connections return
@@ -227,9 +239,23 @@ type Handler struct {
 	// buffered; the event loop schedules a continuation so the remainder is
 	// served without waiting for more client bytes.
 	OnDeferred func(fd int)
+	// OnAcceptStall is called (inside the batch) when an accept pass ended
+	// with the queue possibly non-empty — EMFILE with no descriptor headroom,
+	// or an injected EAGAIN on an edge-triggered backend whose listener will
+	// post no further notification. The event loop arms a paced retry so the
+	// queue is re-drained without spinning.
+	OnAcceptStall func()
 
 	Conns map[int]*Conn
 	Stats Stats
+
+	// reserve is the descriptor held back for the EMFILE accept-drain trick:
+	// when accept fails on the descriptor limit, the reserve is closed to make
+	// one slot, the pending connection is accepted and immediately closed
+	// (shedding it with a clean FIN instead of leaving it to time out in the
+	// queue), and the reserve is reopened. Armed by Attach when the fault
+	// plane sets an FDLimit.
+	reserve *simkernel.FD
 
 	// free recycles Conn records (and their parser storage) across the
 	// connection churn of a benchmark run; acceptScratch is AcceptAll's
@@ -316,8 +342,22 @@ func (h *Handler) newConn(now core.Time, fd *simkernel.FD, sc *netsim.ServerConn
 func (h *Handler) AcceptAll(now core.Time, lfd *simkernel.FD) []int {
 	accepted := h.acceptScratch[:0]
 	for {
-		fd, sc, ok := h.API.Accept(lfd)
-		if !ok {
+		fd, sc, err := h.API.Accept(lfd)
+		if err == netsim.ErrMFile && h.reserve != nil {
+			// Descriptor limit: drain the queue through the reserve slot,
+			// shedding each pending connection with an immediate close.
+			if h.shedOverLimit(now, lfd) {
+				continue
+			}
+			break
+		}
+		if err != nil {
+			if h.OnAcceptStall != nil &&
+				(h.K.Faults.AcceptEAGAINRate > 0 || (err == netsim.ErrMFile && h.K.Faults.FDLimit > 0)) {
+				// The queue may still hold connections no further notification
+				// will announce; have the loop retry on a paced timer.
+				h.OnAcceptStall()
+			}
 			break
 		}
 		h.Stats.Accepted++
@@ -329,6 +369,44 @@ func (h *Handler) AcceptAll(now core.Time, lfd *simkernel.FD) []int {
 	}
 	h.acceptScratch = accepted
 	return accepted
+}
+
+// reserveFile is the dummy file occupying the reserve descriptor (a dup of
+// /dev/null in a real server): never ready, never notifies.
+type reserveFile struct{}
+
+func (reserveFile) Poll() core.EventMask           { return 0 }
+func (reserveFile) SetNotifier(simkernel.Notifier) {}
+func (reserveFile) Close(core.Time)                {}
+
+// ArmReserve opens the reserve descriptor for the EMFILE accept-drain trick.
+// Attach calls it when the fault plane sets a descriptor limit; it must run
+// inside the process's batch.
+func (h *Handler) ArmReserve() {
+	if h.reserve != nil {
+		return
+	}
+	h.P.ChargeSyscall(0) // open("/dev/null")
+	h.reserve = h.P.Install(reserveFile{})
+}
+
+// shedOverLimit runs one round of the reserve-descriptor trick: close the
+// reserve to free a slot, accept the head of the queue, close it immediately
+// (the client sees a clean FIN instead of rotting in the backlog), then reopen
+// the reserve. It reports whether a connection was shed; false means the queue
+// was empty.
+func (h *Handler) shedOverLimit(now core.Time, lfd *simkernel.FD) bool {
+	h.P.ChargeSyscall(h.K.Cost.SockClose) // close(reserve)
+	_ = h.P.CloseFD(now, h.reserve.Num)
+	h.reserve = nil
+	fd, _, err := h.API.Accept(lfd)
+	shed := err == nil
+	if shed {
+		h.API.Close(fd)
+		h.Stats.EmfileSheds++
+	}
+	h.ArmReserve()
+	return shed
 }
 
 // AdoptConn installs state for a connection accepted by a sibling worker and
@@ -457,6 +535,12 @@ func (h *Handler) pump(now core.Time, c *Conn, data []byte) bool {
 // zombie pipelines is what collapses a keep-alive server under overload —
 // most of its capacity goes to clients that already timed out.
 func (h *Handler) settle(now core.Time, c *Conn, eof bool) {
+	if c.SC != nil && c.SC.ResetPeer() {
+		// ECONNRESET: the peer slammed the connection shut. Whatever the
+		// parser has buffered is a dead pipeline; unwind immediately.
+		h.abortReset(c)
+		return
+	}
 	if !h.Opts.KeepAlive {
 		if eof {
 			// The client went away before completing its request.
@@ -535,6 +619,12 @@ func (h *Handler) HandleWritable(now core.Time, fd int) {
 	}
 	wrote := h.retryWrite(c)
 	if wrote <= 0 {
+		if c.SC != nil && c.SC.ResetPeer() {
+			// EPIPE: the parked response can never drain. Discard it and
+			// unwind mid-partial-write — the close below releases the cache
+			// pin, the event registration and the descriptor.
+			h.abortReset(c)
+		}
 		return
 	}
 	h.Stats.BytesSent += int64(wrote)
@@ -559,6 +649,16 @@ func (h *Handler) HandleWritable(now core.Time, fd int) {
 	if h.pump(now, c, nil) {
 		h.settle(now, c, false)
 	}
+}
+
+// abortReset unwinds a connection whose peer reset it: any blocked response
+// is discarded (there is no one left to drain it) and the connection closes
+// through the ordinary path, releasing its cache pin, event registration,
+// descriptor and pooled record.
+func (h *Handler) abortReset(c *Conn) {
+	c.PendingWrite, c.pendingBody = 0, 0
+	c.writeBlocked, c.keepOpen = false, false
+	h.closeConn(c, CloseReset)
 }
 
 // retryWrite pushes the blocked remainder into the socket. The copy and
@@ -742,6 +842,8 @@ func (h *Handler) closeConn(c *Conn, reason CloseReason) {
 		h.Stats.EOFCloses++
 	case CloseIdle:
 		h.Stats.IdleCloses++
+	case CloseReset:
+		h.Stats.Resets++
 	}
 }
 

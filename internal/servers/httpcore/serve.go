@@ -56,7 +56,24 @@ type EventLoop struct {
 	resume      *eventlib.Event
 	resumeQ     []int
 	resumeSpare []int
+
+	// acceptRetry / acceptBackoff implement paced accept backoff: when an
+	// accept pass stalls (EMFILE, or an injected EAGAIN that may have left the
+	// queue non-empty on an edge-triggered backend), a one-shot timer retries
+	// the drain after an exponentially growing delay instead of spinning. A
+	// pass that accepts connections resets the pace.
+	acceptRetry   *eventlib.Event
+	acceptBackoff core.Duration
 }
+
+// Accept-backoff pacing bounds: the first retry after a stall comes quickly,
+// then the pace halves the poll rate each barren pass up to the cap. The floor
+// is far above the parallel engine's lookahead, so retry timing is identical
+// at every thread count.
+const (
+	minAcceptBackoff = core.Millisecond
+	maxAcceptBackoff = 64 * core.Millisecond
+)
 
 // Attach wires the handler onto base: it registers a persistent accept event
 // on the listener, installs OnConnOpen/OnConnClose so each accepted
@@ -90,6 +107,12 @@ func (h *Handler) Attach(base *eventlib.Base, lfd *simkernel.FD, cfg ServeConfig
 	h.OnWriteBlocked = loop.blockOnWrite
 	h.OnWriteDrained = loop.drainedConn
 	h.OnDeferred = loop.deferConn
+	h.OnAcceptStall = loop.stallAccept
+	if h.K.Faults.FDLimit > 0 {
+		// Survive EMFILE: hold one descriptor in reserve so the accept queue
+		// can always be drained (see Handler.shedOverLimit).
+		h.ArmReserve()
+	}
 
 	if h.IdleTimeout > 0 {
 		loop.sweep = base.NewTimer(eventlib.EvPersist, func(_ int, _ eventlib.What, now core.Time) {
@@ -129,9 +152,43 @@ func (l *EventLoop) onAcceptable(_ int, _ eventlib.What, now core.Time) {
 		return
 	}
 	fds := l.h.AcceptAll(now, l.lfd)
+	if len(fds) > 0 {
+		// Progress: the next accept stall starts pacing from the floor again.
+		l.acceptBackoff = 0
+	}
 	if l.cfg.AfterAccept != nil && len(fds) > 0 {
 		l.cfg.AfterAccept(now, fds)
 	}
+}
+
+// stallAccept arms the paced accept-retry timer (Handler.OnAcceptStall): the
+// accept pass ended with the queue possibly non-empty and no notification
+// guaranteed to follow. Exponential pacing keeps a sustained stall (EMFILE
+// with no headroom) from degenerating into a poll spin.
+func (l *EventLoop) stallAccept() {
+	if l.lfd == nil {
+		return
+	}
+	if l.acceptRetry == nil {
+		l.acceptRetry = l.base.NewTimer(0, l.onAcceptRetry)
+	}
+	if l.acceptRetry.Pending() {
+		return
+	}
+	if l.acceptBackoff < minAcceptBackoff {
+		l.acceptBackoff = minAcceptBackoff
+	}
+	_ = l.acceptRetry.Add(l.acceptBackoff)
+	l.h.Stats.AcceptBackoffs++
+	l.acceptBackoff *= 2
+	if l.acceptBackoff > maxAcceptBackoff {
+		l.acceptBackoff = maxAcceptBackoff
+	}
+}
+
+// onAcceptRetry re-runs the accept drain when the backoff timer fires.
+func (l *EventLoop) onAcceptRetry(_ int, _ eventlib.What, now core.Time) {
+	l.onAcceptable(0, 0, now)
 }
 
 // connReady is the shared per-connection callback. Write readiness is served

@@ -289,9 +289,13 @@ func (s *Server) evaluateSwitch(delivered int, now core.Time) {
 	case ModePolling:
 		if delivered < s.cfg.LowWater && s.rtq.QueueLength() < s.cfg.LowWater {
 			s.lowRuns++
-			if s.lowRuns >= s.cfg.ConsecutiveLow {
-				// Load has subsided; drain the stale signal backlog and return
-				// to low-latency delivery.
+			if s.lowRuns >= s.cfg.ConsecutiveLow && s.rtq.QueueLength() == 0 {
+				// Load has subsided and no signals are pending; clear the
+				// overflow flags and return to low-latency delivery. The
+				// empty-queue requirement makes the switch lossless: Recover
+				// flushes the queue, and a flushed signal whose readiness
+				// edge already fired (a listener whose backlog is non-empty)
+				// would never announce itself again.
 				s.rtq.Recover()
 				s.switchMode(now, ModeSignal)
 			}

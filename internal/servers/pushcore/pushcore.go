@@ -230,8 +230,8 @@ func (s *Server) setConn(fd int, c *conn) {
 // further transition.
 func (s *Server) onAcceptable(_ int, _ eventlib.What, now core.Time) {
 	for {
-		fd, sc, ok := s.api.Accept(s.lfd)
-		if !ok {
+		fd, sc, err := s.api.Accept(s.lfd)
+		if err != nil {
 			return
 		}
 		s.stats.Accepted++

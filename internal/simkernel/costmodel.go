@@ -200,6 +200,14 @@ type CostModel struct {
 	// SchedWakeup is the latency between an event making a sleeping process
 	// runnable and that process starting to execute (context switch).
 	SchedWakeup core.Duration
+
+	// SignalDeliver is the cost of delivering an asynchronous signal to a
+	// blocked process and returning from the handler (save context, run the
+	// no-op handler, sigreturn). It is charged when fault injection interrupts
+	// a blocking wait with EINTR; the interrupted syscall's entry cost was
+	// already paid, and the restarted call pays a fresh one — exactly the
+	// double charge a real EINTR restart loop incurs.
+	SignalDeliver core.Duration
 }
 
 // DefaultCostModel returns the calibrated cost model described in DESIGN.md §5.
@@ -258,6 +266,8 @@ func DefaultCostModel() *CostModel {
 		FileReadPage: us(3.0),
 
 		SchedWakeup: us(8.0),
+
+		SignalDeliver: us(5.0),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // File is the kernel-side view of an open object (a socket, a listener, or the
@@ -52,6 +53,12 @@ type Kernel struct {
 	CPU   *CPU
 	Cost  *CostModel
 	Trace Tracer
+
+	// Faults is the deterministic fault-injection configuration every layer
+	// reads (netsim's socket calls, the interest engine's blocking waits). Its
+	// zero value injects nothing and charges nothing; set it before any
+	// process, server or connection exists.
+	Faults faults.Config
 }
 
 // NewKernel creates a uniprocessor kernel with a fresh simulator, the paper's

@@ -61,6 +61,7 @@ func New(k *simkernel.Kernel, p *simkernel.Proc) *Poller {
 		TimeoutTeardown: func() core.Duration {
 			return pl.k.Cost.WaitQueueOp.Scale(float64(pl.table.Len()))
 		},
+		Stats: &pl.stats,
 	}
 	return pl
 }
